@@ -1,0 +1,353 @@
+// Benchmarks regenerating the workload of every figure in the paper's
+// evaluation (Section VI). Dataset sizes are scaled down so `go test
+// -bench=.` completes quickly; `cmd/benchfig` runs the full-size sweeps and
+// prints the paper's series. Each figure has one benchmark with
+// per-dataset/per-algorithm sub-benchmarks, so relative timings (baseline
+// vs optimized — the paper's headline comparison) come straight out of the
+// bench output.
+package rankfair_test
+
+import (
+	"sync"
+	"testing"
+
+	"rankfair/internal/core"
+	"rankfair/internal/divergence"
+	"rankfair/internal/exp"
+	"rankfair/internal/explain"
+	"rankfair/internal/rank"
+	"rankfair/internal/synth"
+)
+
+// benchScale keeps bench iterations fast while preserving the search-space
+// shape (same schemas, reduced rows).
+var benchBundles = sync.OnceValue(func() map[string]*synth.Bundle {
+	return map[string]*synth.Bundle{
+		"compas":  synth.COMPAS(1500, 1),
+		"student": synth.Students(395, 2),
+		"german":  synth.GermanCredit(1000, 3),
+	}
+})
+
+var benchDatasets = []string{"compas", "student", "german"}
+
+// benchAttrs bounds the attribute count per dataset for the bench workloads.
+const benchAttrs = 8
+
+func benchInput(b *testing.B, name string, attrs int) *core.Input {
+	b.Helper()
+	bundle := benchBundles()[name]
+	if attrs > bundle.NumCatAttrs() {
+		attrs = bundle.NumCatAttrs()
+	}
+	in, err := bundle.InputAttrs(attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// benchGlobalPair benchmarks ITERTD vs GLOBALBOUNDS on one workload.
+func benchGlobalPair(b *testing.B, name string, attrs, tau, kMin, kMax int) {
+	in := benchInput(b, name, attrs)
+	params := core.GlobalParams{MinSize: tau, KMin: kMin, KMax: kMax, Lower: core.StaircaseBounds(kMin, kMax, 10, 10, 10)}
+	b.Run("IterTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDGlobal(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GlobalBounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GlobalBounds(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchPropPair benchmarks ITERTD vs PROPBOUNDS on one workload.
+func benchPropPair(b *testing.B, name string, attrs, tau, kMin, kMax int) {
+	in := benchInput(b, name, attrs)
+	params := core.PropParams{MinSize: tau, KMin: kMin, KMax: kMax, Alpha: 0.8}
+	b.Run("IterTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDProp(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PropBounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PropBounds(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4AttrsGlobal: runtime vs number of attributes, global bounds
+// (Figure 4a-4c).
+func BenchmarkFig4AttrsGlobal(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) { benchGlobalPair(b, name, benchAttrs, 50, 10, 49) })
+	}
+}
+
+// BenchmarkFig5AttrsProp: runtime vs number of attributes, proportional
+// representation (Figure 5a-5c).
+func BenchmarkFig5AttrsProp(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) { benchPropPair(b, name, benchAttrs, 50, 10, 49) })
+	}
+}
+
+// BenchmarkFig6ThresholdGlobal: runtime at the low end of the τs sweep,
+// global bounds (Figure 6a-6c; τs=10 is the hardest point of the sweep).
+func BenchmarkFig6ThresholdGlobal(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) { benchGlobalPair(b, name, benchAttrs, 10, 10, 49) })
+	}
+}
+
+// BenchmarkFig7ThresholdProp: the proportional τs sweep (Figure 7a-7c).
+func BenchmarkFig7ThresholdProp(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) { benchPropPair(b, name, benchAttrs, 10, 10, 49) })
+	}
+}
+
+// BenchmarkFig8KRangeGlobal: runtime with a wide k range, global bounds
+// (Figure 8a-8c; the widest range dominates the sweep).
+func BenchmarkFig8KRangeGlobal(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) {
+			n := benchBundles()[name].Table.NumRows()
+			kMax := 300
+			if kMax > n {
+				kMax = n
+			}
+			benchGlobalPair(b, name, benchAttrs, 50, 10, kMax)
+		})
+	}
+}
+
+// BenchmarkFig9KRangeProp: runtime with a wide k range, proportional
+// (Figure 9a-9c).
+func BenchmarkFig9KRangeProp(b *testing.B) {
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) {
+			n := benchBundles()[name].Table.NumRows()
+			kMax := 300
+			if kMax > n {
+				kMax = n
+			}
+			benchPropPair(b, name, benchAttrs, 50, 10, kMax)
+		})
+	}
+}
+
+// BenchmarkFig10Shapley: the Section V explanation pipeline per dataset
+// (Figures 10a-10f): surrogate training + aggregated Shapley values +
+// distribution comparison.
+func BenchmarkFig10Shapley(b *testing.B) {
+	targets := map[string][2]string{
+		"student": {"Medu", "primary"},
+		"compas":  {"age", "<35"},
+		"german":  {"status_checking", "[0,200)DM"},
+	}
+	for _, name := range benchDatasets {
+		b.Run(name, func(b *testing.B) {
+			bundle := benchBundles()[name]
+			in, err := bundle.Input()
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := targets[name]
+			a, err := rankfairBind(bundle, target[0], target[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := explain.Explain(in, bundle.Table.CatDicts(), a, 49, explain.Options{
+					Seed: 1, Permutations: 8, BackgroundSize: 16,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// rankfairBind resolves a {attr=label} pattern against a bundle.
+func rankfairBind(bundle *synth.Bundle, attr, label string) (core.Pattern, error) {
+	_, names, _ := bundle.Table.CatMatrix()
+	dicts := bundle.Table.CatDicts()
+	p := make(core.Pattern, len(names))
+	for i := range p {
+		p[i] = -1
+	}
+	for i, n := range names {
+		if n == attr {
+			for c, l := range dicts[i] {
+				if l == label {
+					p[i] = int32(c)
+					return p, nil
+				}
+			}
+		}
+	}
+	return nil, errNotFound(attr + "=" + label)
+}
+
+type errNotFound string
+
+func (e errNotFound) Error() string { return "not found: " + string(e) }
+
+// BenchmarkCaseStudyDivergence: the Section VI-D comparator (frequent
+// subgroup mining + divergence ranking) on the Student dataset.
+func BenchmarkCaseStudyDivergence(b *testing.B) {
+	bundle := benchBundles()["student"]
+	in, err := bundle.InputAttrs(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := divergence.Params{MinSupport: 0.13, K: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := divergence.Find(in, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem33WorstCase: the exponential construction of Figure 2;
+// the result size is C(n, n/2).
+func BenchmarkTheorem33WorstCase(b *testing.B) {
+	const n = 12
+	in, err := synth.WorstCase(n).Input()
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.GlobalParams{MinSize: 2, KMin: n, KMax: n, Lower: []int{n/2 + 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.GlobalBounds(in, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(res.At(n)); got != 924 { // C(12,6)
+			b.Fatalf("worst case returned %d groups", got)
+		}
+	}
+}
+
+// BenchmarkNodesExaminedReport: the Section VI-B nodes-examined comparison
+// across all datasets and both measures.
+func BenchmarkNodesExaminedReport(b *testing.B) {
+	cfg := exp.Defaults()
+	cfg.Timeout = 0
+	bundles := []*synth.Bundle{
+		benchBundles()["compas"], benchBundles()["student"], benchBundles()["german"],
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.NodesExamined(bundles, benchAttrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionExposure compares the exposure-measure baseline to its
+// incremental counterpart (an extension beyond the paper, same skeleton as
+// Figure 9's comparison).
+func BenchmarkExtensionExposure(b *testing.B) {
+	in := benchInput(b, "german", benchAttrs)
+	params := core.ExposureParams{MinSize: 50, KMin: 10, KMax: 200, Alpha: 0.8}
+	b.Run("IterTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDExposure(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ExposureBounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExposureBounds(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionUpper compares the upper-bound baseline to its
+// incremental counterpart.
+func BenchmarkExtensionUpper(b *testing.B) {
+	in := benchInput(b, "german", benchAttrs)
+	params := core.GlobalUpperParams{MinSize: 50, KMin: 10, KMax: 200, Upper: core.ConstantBounds(10, 200, 8)}
+	b.Run("IterTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDGlobalUpper(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GlobalUpperBounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GlobalUpperBounds(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionParallelBaseline measures the per-k fan-out of the
+// ITERTD baseline across workers.
+func BenchmarkExtensionParallelBaseline(b *testing.B) {
+	in := benchInput(b, "german", benchAttrs)
+	params := core.GlobalParams{MinSize: 50, KMin: 10, KMax: 120, Lower: core.StaircaseBounds(10, 120, 10, 10, 10)}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDGlobal(in, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.IterTDGlobalParallel(in, params, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionRepair measures the FairTopK constrained selection.
+func BenchmarkExtensionRepair(b *testing.B) {
+	bundle := benchBundles()["german"]
+	in, err := bundle.Input()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores := make([]float64, len(in.Rows))
+	groupOf := make([]int, len(in.Rows))
+	card := in.Space.Cards[0]
+	for pos, ri := range in.Ranking {
+		scores[ri] = -float64(pos)
+	}
+	for i, row := range in.Rows {
+		groupOf[i] = int(row[0])
+	}
+	constraints := make([]rank.FairTopKConstraint, card)
+	for g := range constraints {
+		constraints[g].Lower = 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.FairTopK(scores, groupOf, 100, constraints); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command benchfig regenerates every table and figure of the paper's
+// experimental study (Section VI) on the synthetic datasets, printing the
+// same series the paper plots: runtime as a function of the number of
+// attributes (Figs. 4-5), the size threshold (Figs. 6-7) and the range of k
+// (Figs. 8-9); the nodes-examined comparison (Sec. VI-B); the Shapley case
+// studies (Fig. 10); the divergence case study (Sec. VI-D); and the
+// result-size survey (Sec. III).
+//
+// Usage:
+//
+//	benchfig -fig all                 # everything, scaled-down datasets
+//	benchfig -fig 4 -scale 1          # Figure 4 at the paper's full sizes
+//	benchfig -fig casestudy -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rankfair/internal/exp"
+	"rankfair/internal/synth"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|nodes|casestudy|resultsize|all")
+		scale   = flag.Float64("scale", 0.25, "dataset size scale (1 = paper sizes: COMPAS 6889, Student 395, German 1000)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		attrs   = flag.Int("attrs", 10, "attribute budget for sweeps that fix the attribute count")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-run timeout (paper used 10m)")
+		format  = flag.String("format", "text", "output format for figures: text|csv")
+	)
+	flag.Parse()
+
+	cfg := exp.Defaults()
+	cfg.Seed = *seed
+	cfg.Timeout = *timeout
+
+	bundles := exp.Datasets(*scale, *seed)
+	if err := run(cfg, bundles, *fig, *attrs, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg exp.Config, bundles []*synth.Bundle, fig string, attrs int, format string) error {
+	out := os.Stdout
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want text|csv)", format)
+	}
+	printFig := func(f *exp.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		if format == "csv" {
+			return f.RenderCSV(out)
+		}
+		return f.Render(out)
+	}
+	want := func(name string) bool { return fig == "all" || fig == name }
+
+	if want("4") || want("5") {
+		for _, proportional := range []bool{false, true} {
+			if (proportional && !want("5") && fig != "all") || (!proportional && !want("4") && fig != "all") {
+				continue
+			}
+			for _, b := range bundles {
+				if err := printFig(cfg.AttrSweep(b, proportional, attrs)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("6") || want("7") {
+		for _, proportional := range []bool{false, true} {
+			if (proportional && !want("7") && fig != "all") || (!proportional && !want("6") && fig != "all") {
+				continue
+			}
+			for _, b := range bundles {
+				if err := printFig(cfg.ThresholdSweep(b, proportional, min(attrs, b.NumCatAttrs()))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("8") || want("9") {
+		for _, proportional := range []bool{false, true} {
+			if (proportional && !want("9") && fig != "all") || (!proportional && !want("8") && fig != "all") {
+				continue
+			}
+			for _, b := range bundles {
+				kMaxes := kRangeFor(b)
+				if err := printFig(cfg.KRangeSweep(b, proportional, min(attrs, b.NumCatAttrs()), kMaxes)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("nodes") {
+		if err := printFig(cfg.NodesExamined(bundles, attrs)); err != nil {
+			return err
+		}
+	}
+	// The case studies (Fig. 10, Sec. VI-D) are cheap single runs whose
+	// group sizes and support ratios only make sense at the paper's full
+	// dataset sizes, so they ignore -scale.
+	fullBundles := func() []*synth.Bundle { return exp.Datasets(1, cfg.Seed) }
+	if want("10") {
+		cases, err := cfg.ShapleyCases(fullBundles())
+		if err != nil {
+			return err
+		}
+		for _, c := range cases {
+			if err := c.Shapley.Render(out); err != nil {
+				return err
+			}
+			detected := "not detected"
+			if c.Detected {
+				detected = "detected by GlobalBounds (k=49, L=40)"
+			}
+			fmt.Fprintf(out, "  group %s: %s\n%s\n", c.Group, detected, c.Distribution)
+		}
+	}
+	if want("casestudy") {
+		var student *synth.Bundle
+		for _, b := range fullBundles() {
+			if b.Name == "student" {
+				student = b
+			}
+		}
+		if student == nil {
+			return fmt.Errorf("no student bundle")
+		}
+		if err := printFig(cfg.CaseStudy(student)); err != nil {
+			return err
+		}
+	}
+	if want("resultsize") {
+		if err := printFig(cfg.ResultSizeSurvey(bundles, attrs)); err != nil {
+			return err
+		}
+	}
+	if want("extensions") {
+		for _, b := range bundles {
+			if err := printFig(cfg.ExtensionSweep(b, attrs, kRangeFor(b))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// kRangeFor mirrors the paper's sweep endpoints: kmax up to 1000 for COMPAS
+// and up to 350 for the smaller datasets, capped by the generated size.
+func kRangeFor(b *synth.Bundle) []int {
+	var ends []int
+	limit := 350
+	step := 50
+	if b.Name == "compas" {
+		limit = 1000
+		step = 100
+	}
+	if limit > b.Table.NumRows() {
+		limit = b.Table.NumRows()
+	}
+	for k := 50; k <= limit; k += step {
+		ends = append(ends, k)
+	}
+	return ends
+}

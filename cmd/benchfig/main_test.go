@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"rankfair/internal/exp"
+	"rankfair/internal/synth"
+)
+
+func tinyBundles() []*synth.Bundle {
+	return []*synth.Bundle{
+		synth.COMPAS(80, 1),
+		synth.Students(80, 2),
+		synth.GermanCredit(80, 3),
+	}
+}
+
+func tinyConfig() exp.Config {
+	cfg := exp.Defaults()
+	cfg.Tau = 10
+	cfg.KMin, cfg.KMax = 5, 12
+	cfg.LowerBase, cfg.LowerStep, cfg.LowerWidth = 2, 1, 4
+	cfg.Timeout = 0
+	return cfg
+}
+
+func TestRunFigures(t *testing.T) {
+	cfg := tinyConfig()
+	bundles := tinyBundles()
+	for _, fig := range []string{"4", "6", "nodes", "resultsize"} {
+		if err := run(cfg, bundles, fig, 4, "text"); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+	if err := run(cfg, bundles, "4", 4, "csv"); err != nil {
+		t.Errorf("csv format: %v", err)
+	}
+	if err := run(cfg, bundles, "4", 4, "yaml"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestKRangeFor(t *testing.T) {
+	compas := synth.COMPAS(1200, 1)
+	ends := kRangeFor(compas)
+	if len(ends) == 0 || ends[0] != 50 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for _, k := range ends {
+		if k > compas.Table.NumRows() {
+			t.Errorf("kmax %d beyond dataset size", k)
+		}
+	}
+	small := synth.Students(70, 1)
+	for _, k := range kRangeFor(small) {
+		if k > 70 {
+			t.Errorf("kmax %d beyond dataset size", k)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseOptions() options {
+	return options{
+		demo: "running", measure: "global",
+		kMin: 4, kMax: 5, tau: 4,
+		alpha: 0.8, beta: 1.2,
+		lBase: 2, lStep: 0, lWidth: 10, uConst: 2,
+	}
+}
+
+func TestRunAllMeasuresOnDemo(t *testing.T) {
+	for _, m := range []string{"global", "prop", "exposure", "global-upper", "prop-upper", "lower-specific", "upper-general"} {
+		o := baseOptions()
+		o.measure = m
+		if err := run(o); err != nil {
+			t.Errorf("measure %s: %v", m, err)
+		}
+	}
+	o := baseOptions()
+	o.summary = true
+	if err := run(o); err != nil {
+		t.Errorf("summary: %v", err)
+	}
+	o.summary = false
+	o.baseline = true
+	if err := run(o); err != nil {
+		t.Errorf("baseline: %v", err)
+	}
+	o.measure = "prop"
+	if err := run(o); err != nil {
+		t.Errorf("prop baseline: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) { o.measure = "bogus" },
+		func(o *options) { o.demo = "bogus" },
+		func(o *options) { o.demo = ""; o.input = "" },
+		func(o *options) { o.kMax = 99 },
+		func(o *options) { o.demo = ""; o.input = "/nonexistent/file.csv" },
+	}
+	for i, mutate := range cases {
+		o := baseOptions()
+		mutate(&o)
+		if err := run(o); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRunFromCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	csv := "group,score\na,9\na,8\nb,7\nb,6\na,5\nb,4\na,3\nb,2\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.demo = ""
+	o.input = path
+	o.rankBy = "score"
+	o.kMin, o.kMax, o.tau = 2, 4, 2
+	o.lBase, o.lStep = 1, 0
+	if err := run(o); err != nil {
+		t.Fatalf("csv run: %v", err)
+	}
+	// Missing -rank-by.
+	o.rankBy = ""
+	if err := run(o); err == nil {
+		t.Error("missing rank-by should fail")
+	}
+}
+
+func TestDemoBundleVariants(t *testing.T) {
+	for _, name := range []string{"running", "student", "compas", "german"} {
+		b, err := demoBundle(name, 80, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if b.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+	// Default row counts kick in for <= 0.
+	b, err := demoBundle("student", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Table.NumRows() != 395 {
+		t.Errorf("default student rows = %d", b.Table.NumRows())
+	}
+	if _, err := demoBundle("zzz", 10, 1); err == nil {
+		t.Error("unknown demo should fail")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	o := baseOptions()
+	o.asJSON = true
+	if err := run(o); err != nil {
+		t.Fatalf("json output: %v", err)
+	}
+}

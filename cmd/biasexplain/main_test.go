@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunDemoExplain(t *testing.T) {
+	if err := run("", "student", 150, 1, "", "Medu=primary", 30, "ridge", 8); err != nil {
+		t.Fatalf("ridge: %v", err)
+	}
+	if err := run("", "student", 150, 1, "", "Medu=primary,sex=F", 30, "tree", 4); err != nil {
+		t.Fatalf("tree multi-attribute: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                       string
+		input, demo, rankBy, group string
+		rows, k, perms             int
+		model                      string
+	}{
+		{"no group", "", "student", "", "", 100, 20, 8, "ridge"},
+		{"bad assignment", "", "student", "", "Medu", 100, 20, 8, "ridge"},
+		{"unknown attr", "", "student", "", "nope=1", 100, 20, 8, "ridge"},
+		{"unknown value", "", "student", "", "Medu=phd", 100, 20, 8, "ridge"},
+		{"unknown model", "", "student", "", "Medu=primary", 100, 20, 8, "svm"},
+		{"unknown demo", "", "zzz", "", "Medu=primary", 100, 20, 8, "ridge"},
+		{"no source", "", "", "", "Medu=primary", 100, 20, 8, "ridge"},
+		{"k too large", "", "student", "", "Medu=primary", 100, 5000, 8, "ridge"},
+		{"missing file", "/nonexistent.csv", "", "score", "a=b", 0, 5, 8, "ridge"},
+	}
+	for _, c := range cases {
+		if err := run(c.input, c.demo, c.rows, 1, c.rankBy, c.group, c.k, c.model, c.perms); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

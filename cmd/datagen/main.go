@@ -1,0 +1,74 @@
+// Command datagen emits the synthetic evaluation datasets as CSV, so the
+// other tools (and external consumers) can run against files.
+//
+// Usage:
+//
+//	datagen -dataset compas -rows 6889 -seed 1 -o compas.csv
+//	datagen -dataset running            # the paper's Figure 1 example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rankfair/internal/dataset"
+	"rankfair/internal/synth"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "student", "dataset: running|worstcase|student|compas|german")
+		rows = flag.Int("rows", 0, "row count (0 = paper default); attribute count for worstcase")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*name, *rows, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, rows int, seed int64, out string) error {
+	var b *synth.Bundle
+	switch name {
+	case "running":
+		b = synth.RunningExample()
+	case "worstcase":
+		if rows <= 0 {
+			rows = 10
+		}
+		b = synth.WorstCase(rows)
+	case "student":
+		if rows <= 0 {
+			rows = synth.DefaultStudentRows
+		}
+		b = synth.Students(rows, seed)
+	case "compas":
+		if rows <= 0 {
+			rows = synth.DefaultCOMPASRows
+		}
+		b = synth.COMPAS(rows, seed)
+	case "german":
+		if rows <= 0 {
+			rows = synth.DefaultGermanRows
+		}
+		b = synth.GermanCredit(rows, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q (want running|worstcase|student|compas|german)", name)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataset.WriteCSV(w, b.Table)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"running", "worstcase", "student", "compas", "german"} {
+		out := filepath.Join(dir, name+".csv")
+		if err := run(name, 40, 1, out); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Errorf("%s: only %d lines", name, lines)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 10, 1, ""); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run("student", 40, 1, "/nonexistent/dir/file.csv"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.csv")
+	if err := run("german", 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 1001 { // header + 1000
+		t.Errorf("german default rows: %d lines", lines)
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution: detection of
+// groups (patterns) with biased representation in the top-k ranked items,
+// for every k in a range, without pre-defining protected groups.
+//
+// It provides:
+//
+//   - ITERTD (Section IV-A): the baseline that re-runs the top-down search
+//     of Algorithm 1 for every k, for both fairness measures.
+//   - GLOBALBOUNDS (Algorithm 2, Section IV-B): the optimized incremental
+//     algorithm for global representation bounds (Problem 3.1).
+//   - PROPBOUNDS (Algorithm 3, Section IV-C): the optimized incremental
+//     algorithm for proportional representation (Problem 3.2).
+//   - Upper-bound variants (Section III, "Upper bounds"): most-specific
+//     substantial patterns exceeding an upper bound.
+//
+// All algorithms treat the ranking as a black box: they consume only a
+// permutation of row indices (best first) and the categorical encoding of
+// the dataset.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rankfair/internal/pattern"
+)
+
+// Pattern is re-exported for convenience so callers of the detection
+// algorithms do not need to import internal/pattern separately.
+type Pattern = pattern.Pattern
+
+// Input bundles the dataset view consumed by every detection algorithm.
+type Input struct {
+	// Rows is the dictionary-encoded categorical matrix of the dataset
+	// (one slice per tuple, one entry per attribute).
+	Rows [][]int32
+	// Space describes the attributes of Rows.
+	Space *pattern.Space
+	// Ranking is a permutation of row indices, best first, produced by the
+	// black-box ranking algorithm R.
+	Ranking []int
+}
+
+// Validate checks structural consistency of the input.
+func (in *Input) Validate() error {
+	if in == nil {
+		return errors.New("core: nil input")
+	}
+	if in.Space == nil {
+		return errors.New("core: nil space")
+	}
+	n := in.Space.NumAttrs()
+	if n == 0 {
+		return errors.New("core: space has no attributes")
+	}
+	if len(in.Space.Names) != n {
+		return fmt.Errorf("core: %d attribute names for %d cardinalities", len(in.Space.Names), n)
+	}
+	for i, c := range in.Space.Cards {
+		if c < 1 {
+			return fmt.Errorf("core: attribute %d has cardinality %d", i, c)
+		}
+	}
+	for i, r := range in.Rows {
+		if len(r) != n {
+			return fmt.Errorf("core: row %d has %d attributes, want %d", i, len(r), n)
+		}
+		for j, v := range r {
+			if v < 0 || int(v) >= in.Space.Cards[j] {
+				return fmt.Errorf("core: row %d attribute %d: value %d out of domain [0,%d)", i, j, v, in.Space.Cards[j])
+			}
+		}
+	}
+	if len(in.Ranking) != len(in.Rows) {
+		return fmt.Errorf("core: ranking has %d entries for %d rows", len(in.Ranking), len(in.Rows))
+	}
+	seen := make([]bool, len(in.Rows))
+	for _, ri := range in.Ranking {
+		if ri < 0 || ri >= len(seen) || seen[ri] {
+			return fmt.Errorf("core: ranking is not a permutation (index %d)", ri)
+		}
+		seen[ri] = true
+	}
+	return nil
+}
+
+// Stats records work accounting used by the experimental study (Section
+// VI-B compares the number of patterns examined by the baseline and the
+// optimized algorithms).
+type Stats struct {
+	// NodesExamined counts pattern nodes whose sizes were (re)examined.
+	NodesExamined int64
+	// FullSearches counts complete top-down searches performed.
+	FullSearches int
+}
+
+func (s *Stats) add(o Stats) {
+	s.NodesExamined += o.NodesExamined
+	s.FullSearches += o.FullSearches
+}
+
+// Result holds, for each k in [KMin, KMax], the most general patterns with
+// biased representation in the top-k (or, for the upper-bound variants, the
+// most specific substantial patterns exceeding the bound).
+type Result struct {
+	KMin, KMax int
+	// Groups[k-KMin] is the result set for k, sorted by (number of bound
+	// attributes, key) for deterministic output.
+	Groups [][]pattern.Pattern
+	// Stats accumulates work accounting across the whole run.
+	Stats Stats
+}
+
+// At returns the result set for a specific k. It returns nil when k is
+// outside [KMin, KMax].
+func (r *Result) At(k int) []pattern.Pattern {
+	if k < r.KMin || k > r.KMax {
+		return nil
+	}
+	return r.Groups[k-r.KMin]
+}
+
+// TotalGroups returns the summed sizes of all per-k result sets.
+func (r *Result) TotalGroups() int {
+	total := 0
+	for _, g := range r.Groups {
+		total += len(g)
+	}
+	return total
+}
+
+// GlobalParams parameterizes Problem 3.1 (global bounds representation
+// bias) restricted to lower bounds, as in the body of the paper.
+type GlobalParams struct {
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin, KMax int
+	// Lower holds L_k for each k, indexed k-KMin (length KMax-KMin+1).
+	// GLOBALBOUNDS requires a non-decreasing sequence (the paper's
+	// assumption); ITERTD accepts any sequence.
+	Lower []int
+}
+
+func (p *GlobalParams) validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("core: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("core: negative size threshold %d", p.MinSize)
+	}
+	if len(p.Lower) != p.KMax-p.KMin+1 {
+		return fmt.Errorf("core: %d lower bounds for k range [%d,%d]", len(p.Lower), p.KMin, p.KMax)
+	}
+	return nil
+}
+
+// lowerAt returns L_k.
+func (p *GlobalParams) lowerAt(k int) int { return p.Lower[k-p.KMin] }
+
+// PropParams parameterizes Problem 3.2 (proportional representation bias)
+// restricted to the lower bound α, as in the body of the paper: a pattern
+// is biased at k when s_{R_k(D)}(p) < α·s_D(p)·k/|D|.
+type PropParams struct {
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin, KMax int
+	// Alpha is the proportionality slack, typically in (0, 1].
+	Alpha float64
+}
+
+func (p *PropParams) validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("core: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("core: negative size threshold %d", p.MinSize)
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: alpha must be positive, got %v", p.Alpha)
+	}
+	return nil
+}
+
+// StaircaseBounds builds the paper's default lower-bound sequence: starting
+// at base, the bound increases by step every width values of k. With
+// kMin=10, kMax=49, base=10, step=10, width=10 it yields L=10 for k in
+// [10,20), 20 for [20,30), 30 for [30,40) and 40 for [40,50) (Section VI-A).
+func StaircaseBounds(kMin, kMax, base, step, width int) []int {
+	if kMax < kMin || width <= 0 {
+		return nil
+	}
+	out := make([]int, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		out[k-kMin] = base + step*((k-kMin)/width)
+	}
+	return out
+}
+
+// ConstantBounds builds a constant lower-bound sequence L_k = l.
+func ConstantBounds(kMin, kMax, l int) []int {
+	if kMax < kMin {
+		return nil
+	}
+	out := make([]int, kMax-kMin+1)
+	for i := range out {
+		out[i] = l
+	}
+	return out
+}
+
+// sortPatterns orders a result set by (number of bound attributes, key) so
+// outputs are deterministic across runs and algorithms.
+func sortPatterns(ps []pattern.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		ni, nj := ps[i].NumAttrs(), ps[j].NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return ps[i].Key() < ps[j].Key()
+	})
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rankfair/internal/pattern"
+)
+
+// The paper's conclusion lists "the extension of the framework to support
+// other fairness measures" as future work. This file adds one such measure
+// from the fairness-in-ranking literature the paper builds on: exposure
+// (Singh & Joachims, KDD'18, the paper's [34]). Position i in the ranking
+// carries exposure 1/log2(i+1); a group's exposure in the top-k is the sum
+// over its members' positions. Proportional exposure fairness requires
+//
+//	exposure_k(p) >= α · s_D(p) · E(k) / |D|
+//
+// where E(k) is the total exposure of the first k positions. Unlike plain
+// counts, exposure distinguishes *where* in the prefix a group sits: a
+// group packed into positions k-9..k earns far less exposure than one
+// holding positions 1..10, exactly the phenomenon the paper's Section III
+// example describes (urban students in positions 1-5 vs 6-10).
+
+// ExposureParams parameterizes proportional-exposure bias detection.
+type ExposureParams struct {
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin, KMax int
+	// Alpha is the proportional slack, typically in (0, 1].
+	Alpha float64
+}
+
+func (p *ExposureParams) validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("core: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("core: negative size threshold %d", p.MinSize)
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: alpha must be positive, got %v", p.Alpha)
+	}
+	return nil
+}
+
+// PositionExposure returns the exposure weight of 1-based rank position i.
+func PositionExposure(i int) float64 {
+	return 1 / math.Log2(float64(i)+1)
+}
+
+// PatternExposure returns the exposure of pattern p in the top-k of the
+// ranking: the sum of position weights over its members there.
+func PatternExposure(in *Input, p Pattern, k int) float64 {
+	if k > len(in.Ranking) {
+		k = len(in.Ranking)
+	}
+	total := 0.0
+	for i := 0; i < k; i++ {
+		if p.Matches(in.Rows[in.Ranking[i]]) {
+			total += PositionExposure(i + 1)
+		}
+	}
+	return total
+}
+
+// IterTDExposure detects, for each k in range, the most general patterns
+// with size >= τs whose exposure in the top-k falls below α·s_D(p)·E(k)/|D|.
+// The search follows Algorithm 1 with the weighted measure: like the
+// proportional count measure, exposure bias is not monotone along the
+// pattern graph, so children of unbiased patterns are explored and biased
+// patterns close their subtrees (their descendants cannot be most general).
+func IterTDExposure(in *Input, params ExposureParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	n := in.Space.NumAttrs()
+	nf := float64(len(in.Rows))
+
+	// weightOf[row] is the exposure of the row's position (0 beyond k; the
+	// prefix sum gives E(k)).
+	weightOf := make([]float64, len(in.Rows))
+	totalExposure := make([]float64, params.KMax+1)
+	for i := 0; i < params.KMax; i++ {
+		w := PositionExposure(i + 1)
+		weightOf[in.Ranking[i]] = w
+		totalExposure[i+1] = totalExposure[i] + w
+	}
+
+	for k := params.KMin; k <= params.KMax; k++ {
+		res.Stats.FullSearches++
+		ek := totalExposure[k]
+		all := make([]int32, len(in.Rows))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		top := make([]int32, k)
+		for i := 0; i < k; i++ {
+			top[i] = int32(in.Ranking[i])
+		}
+		var groups []Pattern
+		queue := make([]searchEntry, 0, 64)
+		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+		for head := 0; head < len(queue); head++ {
+			e := queue[head]
+			queue[head] = searchEntry{}
+			res.Stats.NodesExamined++
+			sD := len(e.matchAll)
+			if sD < params.MinSize {
+				continue
+			}
+			exp := 0.0
+			for _, ri := range e.matchTop {
+				exp += weightOf[ri]
+			}
+			if exp < params.Alpha*float64(sD)*ek/nf {
+				if !hasProperSubset(groups, e.p) {
+					groups = append(groups, e.p)
+				}
+				continue
+			}
+			queue = appendChildren(queue, in, e)
+		}
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"sort"
+
+	"rankfair/internal/pattern"
+)
+
+// ExposureBounds is the optimized incremental counterpart of IterTDExposure,
+// built on the PROPBOUNDS skeleton (Algorithm 3): the exposure of a pattern
+// changes only when the newly inserted tuple R(D)[k] satisfies it (it gains
+// that position's weight), while its bound α·s_D(p)·E(k)/|D| grows with
+// every k. Unbiased nodes are therefore scheduled at the critical k̃ where
+// the growing bound overtakes their frozen exposure; per step only nodes
+// satisfied by the new tuple and nodes whose k̃ is due are examined.
+//
+// Unlike the count measure, a matched biased node does not necessarily flip
+// unbiased (position weights decay with k), so flips are re-checked rather
+// than assumed.
+func ExposureBounds(in *Input, params ExposureParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	st := &exposureState{
+		in:        in,
+		pr:        &params,
+		stats:     &res.Stats,
+		n:         float64(len(in.Rows)),
+		biasedSet: make(map[*enode]struct{}),
+		buckets:   make([][]*enode, params.KMax+2),
+		weightOf:  make([]float64, len(in.Rows)),
+		totalExp:  make([]float64, params.KMax+1),
+	}
+	for i := 0; i < params.KMax; i++ {
+		w := PositionExposure(i + 1)
+		st.weightOf[in.Ranking[i]] = w
+		st.totalExp[i+1] = st.totalExp[i] + w
+	}
+	st.fullBuild(params.KMin)
+	res.Groups[0] = st.snapshot()
+	for k := params.KMin + 1; k <= params.KMax; k++ {
+		st.step(k)
+		res.Groups[k-params.KMin] = st.snapshot()
+	}
+	return res, nil
+}
+
+// enode mirrors pnode with a float exposure in place of the integer count.
+type enode struct {
+	p        pattern.Pattern
+	sD       int
+	exposure float64
+	biased   bool
+	expanded bool
+	children []*enode
+	ktilde   int
+}
+
+type exposureState struct {
+	in    *Input
+	pr    *ExposureParams
+	stats *Stats
+	n     float64
+
+	roots     []*enode
+	biasedSet map[*enode]struct{}
+	buckets   [][]*enode
+	weightOf  []float64
+	totalExp  []float64
+
+	res  []Pattern
+	dirt bool
+}
+
+func (s *exposureState) biasedAt(sD int, exposure float64, k int) bool {
+	return exposure < s.pr.Alpha*float64(sD)*s.totalExp[k]/s.n
+}
+
+// computeKtilde finds the smallest k with biasedAt true. E(k) is strictly
+// increasing in k, so the bound is monotone and a scan from a solved
+// starting point terminates; exposure stays fixed between matches.
+func (s *exposureState) computeKtilde(sD int, exposure float64) int {
+	limit := s.pr.KMax + 1
+	if sD == 0 {
+		return limit
+	}
+	// Invert E(k) >= exposure·n/(α·sD) by scanning: E is concave and the
+	// range is small, so binary search over totalExp keeps this O(log k).
+	target := exposure * s.n / (s.pr.Alpha * float64(sD))
+	kt := sort.SearchFloat64s(s.totalExp, target) // first k with E(k) >= target
+	if kt < 1 {
+		kt = 1
+	}
+	for kt > 1 && s.biasedAt(sD, exposure, kt-1) {
+		kt--
+	}
+	for kt <= s.pr.KMax && !s.biasedAt(sD, exposure, kt) {
+		kt++
+	}
+	if kt > s.pr.KMax {
+		return limit
+	}
+	return kt
+}
+
+func (s *exposureState) schedule(nd *enode) {
+	nd.ktilde = s.computeKtilde(nd.sD, nd.exposure)
+	if nd.ktilde <= s.pr.KMax {
+		s.buckets[nd.ktilde] = append(s.buckets[nd.ktilde], nd)
+	}
+}
+
+func (s *exposureState) fullBuild(k int) {
+	s.stats.FullSearches++
+	n := s.in.Space.NumAttrs()
+	all := make([]int32, len(s.in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(s.in.Ranking[i])
+	}
+	root := &enode{p: pattern.Empty(n), sD: len(all), exposure: s.totalExp[k], expanded: true}
+	s.roots = s.buildChildren(root, all, top, k)
+	s.dirt = true
+}
+
+func (s *exposureState) buildChildren(parent *enode, matchAll, matchTop []int32, k int) []*enode {
+	var kids []*enode
+	n := s.in.Space.NumAttrs()
+	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.pr.MinSize {
+				continue
+			}
+			child := &enode{p: parent.p.With(a, int32(v)), sD: sD, exposure: s.sumWeights(topBuckets[v])}
+			kids = append(kids, child)
+			if s.biasedAt(sD, child.exposure, k) {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				continue
+			}
+			s.schedule(child)
+			child.expanded = true
+			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], k)
+		}
+	}
+	parent.children = kids
+	return kids
+}
+
+func (s *exposureState) sumWeights(rows []int32) float64 {
+	total := 0.0
+	for _, ri := range rows {
+		total += s.weightOf[ri]
+	}
+	return total
+}
+
+func (s *exposureState) step(k int) {
+	newRow := s.in.Rows[s.in.Ranking[k-1]]
+	w := s.weightOf[s.in.Ranking[k-1]]
+
+	var freed []*enode
+	var walk func(nd *enode)
+	walk = func(nd *enode) {
+		if !nd.p.Matches(newRow) {
+			return
+		}
+		s.stats.NodesExamined++
+		nd.exposure += w
+		if nd.biased {
+			if !s.biasedAt(nd.sD, nd.exposure, k) {
+				nd.biased = false
+				delete(s.biasedSet, nd)
+				s.schedule(nd)
+				freed = append(freed, nd)
+				s.dirt = true
+			}
+		} else if s.biasedAt(nd.sD, nd.exposure, k) {
+			// Late positions carry less weight than the bound's growth,
+			// so a matched unbiased node can still cross into bias.
+			nd.biased = true
+			s.biasedSet[nd] = struct{}{}
+			s.dirt = true
+		} else {
+			s.schedule(nd)
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	for _, r := range s.roots {
+		walk(r)
+	}
+
+	for _, nd := range s.buckets[k] {
+		if nd.biased || nd.ktilde != k {
+			continue
+		}
+		s.stats.NodesExamined++
+		if s.biasedAt(nd.sD, nd.exposure, k) {
+			nd.biased = true
+			s.biasedSet[nd] = struct{}{}
+			s.dirt = true
+		} else {
+			s.schedule(nd)
+		}
+	}
+	s.buckets[k] = nil
+
+	for _, nd := range freed {
+		if !nd.expanded {
+			nd.expanded = true
+			matchAll := matchingRows(s.in.Rows, nd.p, nil)
+			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+			s.expandWith(nd, matchAll, matchTop, k)
+		}
+	}
+}
+
+func (s *exposureState) expandWith(nd *enode, matchAll, matchTop []int32, k int) {
+	n := s.in.Space.NumAttrs()
+	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.pr.MinSize {
+				continue
+			}
+			child := &enode{p: nd.p.With(a, int32(v)), sD: sD, exposure: s.sumWeights(topBuckets[v])}
+			nd.children = append(nd.children, child)
+			if s.biasedAt(sD, child.exposure, k) {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				s.dirt = true
+				continue
+			}
+			s.schedule(child)
+			child.expanded = true
+			s.expandWith(child, allBuckets[v], topBuckets[v], k)
+		}
+	}
+}
+
+func (s *exposureState) snapshot() []Pattern {
+	if !s.dirt {
+		return s.res
+	}
+	s.dirt = false
+	nodes := make([]*enode, 0, len(s.biasedSet))
+	for nd := range s.biasedSet {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return nodes[i].p.Key() < nodes[j].p.Key()
+	})
+	res := make([]Pattern, 0, len(nodes))
+	for _, nd := range nodes {
+		dominated := false
+		for _, q := range res {
+			if q.ProperSubsetOf(nd.p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			res = append(res, nd.p)
+		}
+	}
+	s.res = res
+	return res
+}

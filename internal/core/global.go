@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rankfair/internal/pattern"
+)
+
+// gnode is a node of the persistent search tree maintained by GLOBALBOUNDS
+// across consecutive k values.
+type gnode struct {
+	p        pattern.Pattern
+	sD       int      // size in D (never changes)
+	cnt      int      // size in the current top-k
+	biased   bool     // cnt < L_k
+	expanded bool     // children have been generated
+	children []*gnode // explored children with sD >= minSize
+}
+
+// globalState holds the incremental search state of Algorithm 2.
+type globalState struct {
+	in     *Input
+	params *GlobalParams
+	stats  *Stats
+
+	roots []*gnode
+	// biasedSet is the biased frontier: Res ∪ DRes of the paper.
+	biasedSet map[*gnode]struct{}
+	// res / dres split the frontier into most general biased patterns and
+	// dominated biased patterns.
+	res  map[*gnode]struct{}
+	dres map[*gnode]struct{}
+}
+
+// GlobalBounds is Algorithm 2 (GLOBALBOUNDS): detection of groups with
+// biased representation under global lower bounds, computed incrementally
+// across k. When L_k = L_{k-1}, the search for k starts from the endpoint of
+// the search for k-1: only frontier patterns satisfied by the newly inserted
+// tuple R(D)[k] can change status, and a frontier pattern whose count rises
+// to the bound resumes the search in its unexplored subtree
+// (searchFromNode). When L_k increases, a fresh top-down search is performed
+// (the paper's rule; it requires a non-decreasing bound sequence).
+func GlobalBounds(in *Input, params GlobalParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(params.Lower); i++ {
+		if params.Lower[i] < params.Lower[i-1] {
+			return nil, fmt.Errorf("core: GlobalBounds requires non-decreasing lower bounds, got L=%d after L=%d (use IterTDGlobal for arbitrary bounds)",
+				params.Lower[i], params.Lower[i-1])
+		}
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	st := &globalState{in: in, params: &params, stats: &res.Stats}
+
+	st.fullBuild(params.KMin)
+	res.Groups[0] = st.snapshot()
+	for k := params.KMin + 1; k <= params.KMax; k++ {
+		if params.lowerAt(k) > params.lowerAt(k-1) {
+			st.fullBuild(k)
+			res.Groups[k-params.KMin] = st.snapshot()
+			continue
+		}
+		if st.step(k) {
+			res.Groups[k-params.KMin] = st.snapshot()
+		} else {
+			res.Groups[k-params.KMin] = res.Groups[k-params.KMin-1]
+		}
+	}
+	return res, nil
+}
+
+// fullBuild runs a complete top-down search at k, building the persistent
+// node tree (the paper's TopDownSearch with DRes maintenance).
+func (s *globalState) fullBuild(k int) {
+	s.stats.FullSearches++
+	s.roots = nil
+	s.biasedSet = make(map[*gnode]struct{})
+	s.res = make(map[*gnode]struct{})
+	s.dres = make(map[*gnode]struct{})
+
+	L := s.params.lowerAt(k)
+	n := s.in.Space.NumAttrs()
+	all := make([]int32, len(s.in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(s.in.Ranking[i])
+	}
+	root := &gnode{p: pattern.Empty(n), sD: len(all), cnt: k, expanded: true}
+	s.roots = s.buildChildren(root, all, top, L)
+	s.normalize()
+}
+
+// buildChildren recursively materializes the explored subtree below parent
+// given its match lists, returning the explored children.
+func (s *globalState) buildChildren(parent *gnode, matchAll, matchTop []int32, L int) []*gnode {
+	var kids []*gnode
+	n := s.in.Space.NumAttrs()
+	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.params.MinSize {
+				continue
+			}
+			child := &gnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			kids = append(kids, child)
+			if child.cnt < L {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				continue
+			}
+			child.expanded = true
+			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], L)
+		}
+	}
+	parent.children = kids
+	return kids
+}
+
+// step advances the state from k-1 to k with an unchanged bound. It returns
+// whether the result set changed.
+func (s *globalState) step(k int) bool {
+	L := s.params.lowerAt(k)
+	newRow := s.in.Rows[s.in.Ranking[k-1]]
+
+	var freed []*gnode
+	var walk func(nd *gnode)
+	walk = func(nd *gnode) {
+		if !nd.p.Matches(newRow) {
+			return
+		}
+		s.stats.NodesExamined++
+		nd.cnt++
+		if nd.biased && nd.cnt >= L {
+			nd.biased = false
+			freed = append(freed, nd)
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	for _, r := range s.roots {
+		walk(r)
+	}
+	if len(freed) == 0 {
+		return false
+	}
+
+	for _, nd := range freed {
+		delete(s.biasedSet, nd)
+		delete(s.res, nd)
+		delete(s.dres, nd)
+	}
+	// searchFromNode: resume the search in the unexplored subtrees of the
+	// freed frontier nodes.
+	for _, nd := range freed {
+		s.expand(nd, k, L)
+	}
+	// Freed nodes can promote their dominated descendants into Res, and
+	// concurrent expansions can discover biased patterns in any order, so
+	// the Res/DRes split is recomputed from the updated frontier.
+	s.normalize()
+	return true
+}
+
+// expand resumes the top-down search below a node whose count rose to the
+// bound. Newly reached biased descendants join the frontier; unbiased ones
+// are expanded further.
+func (s *globalState) expand(nd *gnode, k, L int) {
+	if nd.expanded {
+		return
+	}
+	nd.expanded = true
+	matchAll := matchingRows(s.in.Rows, nd.p, nil)
+	matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+	s.expandWith(nd, matchAll, matchTop, L)
+}
+
+func (s *globalState) expandWith(nd *gnode, matchAll, matchTop []int32, L int) {
+	n := s.in.Space.NumAttrs()
+	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.params.MinSize {
+				continue
+			}
+			child := &gnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			nd.children = append(nd.children, child)
+			if child.cnt < L {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				continue
+			}
+			child.expanded = true
+			s.expandWith(child, allBuckets[v], topBuckets[v], L)
+		}
+	}
+}
+
+// hasResAncestor reports whether some Res member is a proper subset of p.
+func (s *globalState) hasResAncestor(p pattern.Pattern) bool {
+	for nd := range s.res {
+		if nd.p.ProperSubsetOf(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize recomputes the Res/DRes split of the biased frontier from
+// scratch: Res is the set of biased patterns with no biased proper subset.
+func (s *globalState) normalize() {
+	nodes := make([]*gnode, 0, len(s.biasedSet))
+	for nd := range s.biasedSet {
+		nodes = append(nodes, nd)
+	}
+	sortNodes(nodes)
+	s.res = make(map[*gnode]struct{}, len(nodes))
+	s.dres = make(map[*gnode]struct{})
+	for _, nd := range nodes {
+		if s.hasResAncestor(nd.p) {
+			s.dres[nd] = struct{}{}
+		} else {
+			s.res[nd] = struct{}{}
+		}
+	}
+}
+
+// snapshot renders the current Res as a sorted pattern slice.
+func (s *globalState) snapshot() []Pattern {
+	out := make([]Pattern, 0, len(s.res))
+	for nd := range s.res {
+		out = append(out, nd.p)
+	}
+	sortPatterns(out)
+	return out
+}
+
+// sortNodes orders nodes by (number of bound attributes, key): generality
+// order with deterministic ties.
+func sortNodes(nodes []*gnode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return nodes[i].p.Key() < nodes[j].p.Key()
+	})
+}
+
+// matchingRows returns the indices of rows matching p. If base is non-nil
+// only those indices are considered.
+func matchingRows(rows [][]int32, p pattern.Pattern, base []int32) []int32 {
+	var out []int32
+	if base == nil {
+		for i, r := range rows {
+			if p.Matches(r) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, ri := range base {
+		if p.Matches(rows[ri]) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// matchingTopK returns the indices of top-k rows matching p.
+func matchingTopK(rows [][]int32, ranking []int, p pattern.Pattern, k int) []int32 {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	var out []int32
+	for _, ri := range ranking[:k] {
+		if p.Matches(rows[ri]) {
+			out = append(out, int32(ri))
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// IterTDGlobal is the ITERTD baseline of Section IV-A for global bounds
+// (Problem 3.1): it re-runs the top-down search of Algorithm 1 from scratch
+// for every k in [KMin, KMax]. Unlike GLOBALBOUNDS it accepts arbitrary
+// (including non-monotone) lower-bound sequences.
+func IterTDGlobal(in *Input, params GlobalParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	meas := globalMeasure{params: &params}
+	for k := params.KMin; k <= params.KMax; k++ {
+		groups, _ := topDownSearch(in, params.MinSize, k, meas, &res.Stats)
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// IterTDProp is the ITERTD baseline for proportional representation
+// (Problem 3.2): Algorithm 1 with the proportional lower bound, re-run from
+// scratch for every k in [KMin, KMax].
+func IterTDProp(in *Input, params PropParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
+	for k := params.KMin; k <= params.KMax; k++ {
+		groups, _ := topDownSearch(in, params.MinSize, k, meas, &res.Stats)
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// prepare validates the input and parameter combination shared by all
+// detection entry points.
+func prepare(in *Input, kMax int, paramErr error) error {
+	if paramErr != nil {
+		return paramErr
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if kMax > len(in.Rows) {
+		return fmt.Errorf("core: kMax=%d exceeds dataset size %d", kMax, len(in.Rows))
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The per-k searches of the ITERTD baseline are independent, so they
+// parallelize trivially across k. The incremental algorithms are inherently
+// sequential in k (each step consumes the previous frontier), which is why
+// the paper's optimized algorithms and this parallel baseline are
+// complementary: on many-core machines the parallel baseline narrows the
+// gap for small k ranges, while GLOBALBOUNDS/PROPBOUNDS win on long ones.
+
+// IterTDGlobalParallel is IterTDGlobal with the per-k searches fanned out
+// over workers goroutines (<= 0 means GOMAXPROCS). Results are identical to
+// the sequential baseline; Stats are summed across workers.
+func IterTDGlobalParallel(in *Input, params GlobalParams, workers int) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	meas := globalMeasure{params: &params}
+	return parallelPerK(in, params.MinSize, params.KMin, params.KMax, workers, meas), nil
+}
+
+// IterTDPropParallel is IterTDProp with the per-k searches fanned out over
+// workers goroutines (<= 0 means GOMAXPROCS).
+func IterTDPropParallel(in *Input, params PropParams, workers int) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
+	return parallelPerK(in, params.MinSize, params.KMin, params.KMax, workers, meas), nil
+}
+
+// parallelPerK runs one top-down search per k on a bounded worker pool.
+func parallelPerK(in *Input, minSize, kMin, kMax, workers int, meas measure) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if span := kMax - kMin + 1; workers > span {
+		workers = span
+	}
+	res := &Result{KMin: kMin, KMax: kMax, Groups: make([][]Pattern, kMax-kMin+1)}
+
+	ks := make(chan int)
+	statsPer := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := range ks {
+				groups, _ := topDownSearch(in, minSize, k, meas, &statsPer[w])
+				sortPatterns(groups)
+				res.Groups[k-kMin] = groups // distinct slot per k: no race
+			}
+		}(w)
+	}
+	for k := kMin; k <= kMax; k++ {
+		ks <- k
+	}
+	close(ks)
+	wg.Wait()
+	for _, s := range statsPer {
+		res.Stats.add(s)
+	}
+	return res
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"sort"
+
+	"rankfair/internal/pattern"
+)
+
+// pnode is a node of the persistent search tree maintained by PROPBOUNDS.
+// Unlike the global case, a node can oscillate between biased and unbiased:
+// the per-pattern bound α·s_D(p)·k/|D| grows with k while the count grows
+// only when new top tuples match. Nodes therefore keep their explored
+// children even while biased ("orphan" subtrees stay tracked).
+type pnode struct {
+	p        pattern.Pattern
+	sD       int
+	cnt      int
+	biased   bool
+	expanded bool
+	children []*pnode
+	// ktilde is, for an unbiased node, the smallest k at which the node
+	// becomes biased if its count stays unchanged (the k̃ of Section IV-C).
+	ktilde int
+}
+
+// propState holds the incremental search state of Algorithm 3.
+type propState struct {
+	in    *Input
+	pr    *PropParams
+	stats *Stats
+	n     int // |D|
+
+	roots     []*pnode
+	biasedSet map[*pnode]struct{}
+	// buckets[k] holds unbiased nodes scheduled for re-examination at k
+	// (the set K of the paper). Entries can be stale: a node is only
+	// processed when its stored ktilde still equals k and it is unbiased.
+	buckets [][]*pnode
+
+	res  []Pattern // current result snapshot (sorted)
+	dirt bool      // biased set changed since the last snapshot
+}
+
+// PropBounds is Algorithm 3 (PROPBOUNDS): detection of groups with biased
+// proportional representation, computed incrementally across k. Per k it
+// examines only (a) explored nodes satisfied by the newly inserted tuple
+// R(D)[k] — walking down from the root and skipping subtrees the tuple does
+// not satisfy — and (b) unbiased nodes whose critical value k̃ equals k
+// (maintained in the bucket queue K). A biased frontier node whose count
+// catches up with its growing bound is expanded (selectiveTD resumes the
+// search below it).
+func PropBounds(in *Input, params PropParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	st := &propState{
+		in:        in,
+		pr:        &params,
+		stats:     &res.Stats,
+		n:         len(in.Rows),
+		biasedSet: make(map[*pnode]struct{}),
+		buckets:   make([][]*pnode, params.KMax+2),
+	}
+	st.fullBuild(params.KMin)
+	res.Groups[0] = st.snapshot()
+	for k := params.KMin + 1; k <= params.KMax; k++ {
+		st.step(k)
+		res.Groups[k-params.KMin] = st.snapshot()
+	}
+	return res, nil
+}
+
+// biasedAt evaluates the proportional bias condition at k.
+func (s *propState) biasedAt(sD, cnt, k int) bool {
+	return float64(cnt) < s.pr.Alpha*float64(sD)*float64(k)/float64(s.n)
+}
+
+// computeKtilde returns the smallest k with biasedAt(sD, cnt, k), or
+// KMax+1 when the node cannot become biased within the range. The initial
+// estimate comes from solving cnt = α·sD·k/|D| and is corrected by a local
+// scan to be robust against floating-point rounding.
+func (s *propState) computeKtilde(sD, cnt int) int {
+	limit := s.pr.KMax + 1
+	if sD == 0 {
+		return limit
+	}
+	kt := int(float64(cnt)*float64(s.n)/(s.pr.Alpha*float64(sD))) + 1
+	if kt < 1 {
+		kt = 1
+	}
+	for kt > 1 && s.biasedAt(sD, cnt, kt-1) {
+		kt--
+	}
+	for kt <= s.pr.KMax && !s.biasedAt(sD, cnt, kt) {
+		kt++
+	}
+	if kt > s.pr.KMax {
+		return limit
+	}
+	return kt
+}
+
+// schedule records the node's k̃ and enqueues it for re-examination.
+func (s *propState) schedule(nd *pnode) {
+	nd.ktilde = s.computeKtilde(nd.sD, nd.cnt)
+	if nd.ktilde <= s.pr.KMax {
+		s.buckets[nd.ktilde] = append(s.buckets[nd.ktilde], nd)
+	}
+}
+
+// fullBuild runs the complete top-down search at kMin, materializing the
+// explored tree, the biased frontier, and the schedule K.
+func (s *propState) fullBuild(k int) {
+	s.stats.FullSearches++
+	n := s.in.Space.NumAttrs()
+	all := make([]int32, len(s.in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(s.in.Ranking[i])
+	}
+	root := &pnode{p: pattern.Empty(n), sD: len(all), cnt: k, expanded: true}
+	s.roots = s.buildChildren(root, all, top, k)
+	s.dirt = true
+}
+
+func (s *propState) buildChildren(parent *pnode, matchAll, matchTop []int32, k int) []*pnode {
+	var kids []*pnode
+	n := s.in.Space.NumAttrs()
+	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.pr.MinSize {
+				continue
+			}
+			child := &pnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			kids = append(kids, child)
+			if s.biasedAt(sD, child.cnt, k) {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				continue
+			}
+			s.schedule(child)
+			child.expanded = true
+			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], k)
+		}
+	}
+	parent.children = kids
+	return kids
+}
+
+// step advances the state from k-1 to k.
+func (s *propState) step(k int) {
+	newRow := s.in.Rows[s.in.Ranking[k-1]]
+
+	// Phase 1 (selectiveTD): walk only explored nodes the new tuple
+	// satisfies; their counts grow by one. Orphan subtrees below biased
+	// nodes are traversed too so their counts stay fresh.
+	var freed []*pnode
+	var walk func(nd *pnode)
+	walk = func(nd *pnode) {
+		if !nd.p.Matches(newRow) {
+			return
+		}
+		s.stats.NodesExamined++
+		nd.cnt++
+		if nd.biased {
+			if !s.biasedAt(nd.sD, nd.cnt, k) {
+				nd.biased = false
+				delete(s.biasedSet, nd)
+				s.schedule(nd)
+				freed = append(freed, nd)
+				s.dirt = true
+			}
+		} else if s.biasedAt(nd.sD, nd.cnt, k) {
+			// Only reachable when α > 1 lets the bound grow faster than
+			// one per k; handled for completeness.
+			nd.biased = true
+			s.biasedSet[nd] = struct{}{}
+			s.dirt = true
+		} else {
+			s.schedule(nd)
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	for _, r := range s.roots {
+		walk(r)
+	}
+
+	// Phase 2: nodes whose critical k̃ is reached flip to biased unless
+	// their count was bumped meanwhile (stale entries are skipped via the
+	// ktilde guard).
+	for _, nd := range s.buckets[k] {
+		if nd.biased || nd.ktilde != k {
+			continue
+		}
+		s.stats.NodesExamined++
+		if s.biasedAt(nd.sD, nd.cnt, k) {
+			nd.biased = true
+			s.biasedSet[nd] = struct{}{}
+			s.dirt = true
+		} else {
+			s.schedule(nd)
+		}
+	}
+	s.buckets[k] = nil
+
+	// Phase 3: resume the search below frontier nodes that became
+	// unbiased and had no explored children yet.
+	for _, nd := range freed {
+		if !nd.expanded {
+			nd.expanded = true
+			matchAll := matchingRows(s.in.Rows, nd.p, nil)
+			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+			s.expandWith(nd, matchAll, matchTop, k)
+		}
+	}
+}
+
+func (s *propState) expandWith(nd *pnode, matchAll, matchTop []int32, k int) {
+	n := s.in.Space.NumAttrs()
+	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.pr.MinSize {
+				continue
+			}
+			child := &pnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			nd.children = append(nd.children, child)
+			if s.biasedAt(sD, child.cnt, k) {
+				child.biased = true
+				s.biasedSet[child] = struct{}{}
+				s.dirt = true
+				continue
+			}
+			s.schedule(child)
+			child.expanded = true
+			s.expandWith(child, allBuckets[v], topBuckets[v], k)
+		}
+	}
+}
+
+// snapshot returns the most general biased patterns. Because biased nodes
+// can appear and disappear anywhere in the explored tree (including
+// interior nodes with explored descendants), Res is recomputed from the
+// biased frontier whenever it changed.
+func (s *propState) snapshot() []Pattern {
+	if !s.dirt {
+		return s.res
+	}
+	s.dirt = false
+	nodes := make([]*pnode, 0, len(s.biasedSet))
+	for nd := range s.biasedSet {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return nodes[i].p.Key() < nodes[j].p.Key()
+	})
+	res := make([]Pattern, 0, len(nodes))
+	for _, nd := range nodes {
+		dominated := false
+		for _, q := range res {
+			if q.ProperSubsetOf(nd.p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			res = append(res, nd.p)
+		}
+	}
+	s.res = res
+	return res
+}

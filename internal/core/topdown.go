@@ -1,0 +1,137 @@
+package core
+
+import (
+	"rankfair/internal/pattern"
+)
+
+// measure abstracts the "biased below the lower bound" test shared by the
+// two problem definitions. k is the current prefix length, sD the pattern's
+// size in D and cnt its size in the top-k.
+type measure interface {
+	biased(sD, cnt, k int) bool
+}
+
+// globalMeasure implements Problem 3.1: cnt < L_k.
+type globalMeasure struct{ params *GlobalParams }
+
+func (m globalMeasure) biased(sD, cnt, k int) bool { return cnt < m.params.lowerAt(k) }
+
+// propMeasure implements Problem 3.2: cnt < α·sD·k/|D|.
+type propMeasure struct {
+	alpha float64
+	n     int
+}
+
+func (m propMeasure) biased(sD, cnt, k int) bool {
+	return float64(cnt) < m.alpha*float64(sD)*float64(k)/float64(m.n)
+}
+
+// searchEntry is a frontier element of the breadth-first top-down search of
+// Algorithm 1. matchAll and matchTop hold the row indices (into in.Rows)
+// matching the pattern in D and in the top-k respectively, so children
+// sizes are computed by filtering the parent's lists rather than rescanning
+// the dataset.
+type searchEntry struct {
+	p        pattern.Pattern
+	matchAll []int32
+	matchTop []int32
+}
+
+// topDownSearch is Algorithm 1: a single top-down traversal of the search
+// tree for one value of k, returning the most general biased patterns (Res)
+// and the dominated biased patterns reached during the search (DRes).
+//
+// The traversal is FIFO (level order), so when a biased pattern is reached,
+// every more general biased pattern has already been classified; the
+// update() check of the paper therefore only needs to scan Res.
+func topDownSearch(in *Input, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
+	stats.FullSearches++
+	n := in.Space.NumAttrs()
+
+	all := make([]int32, len(in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	kk := k
+	if kk > len(in.Ranking) {
+		kk = len(in.Ranking)
+	}
+	top := make([]int32, kk)
+	for i := 0; i < kk; i++ {
+		top[i] = int32(in.Ranking[i])
+	}
+
+	queue := make([]searchEntry, 0, 64)
+	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		queue[head] = searchEntry{} // release row lists of consumed entries
+		stats.NodesExamined++
+		sD := len(e.matchAll)
+		if sD < minSize {
+			continue
+		}
+		cnt := len(e.matchTop)
+		if meas.biased(sD, cnt, k) {
+			if hasProperSubset(res, e.p) {
+				dres = append(dres, e.p)
+			} else {
+				res = append(res, e.p)
+			}
+			continue
+		}
+		queue = appendChildren(queue, in, e)
+	}
+	return res, dres
+}
+
+// appendChildren pushes the search-tree children (Definition 4.1) of e onto
+// the queue, partitioning the parent's match lists per attribute value in a
+// single pass per attribute.
+func appendChildren(queue []searchEntry, in *Input, e searchEntry) []searchEntry {
+	n := in.Space.NumAttrs()
+	for a := e.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := in.Space.Cards[a]
+		allBuckets := partitionByValue(in.Rows, e.matchAll, a, card)
+		topBuckets := partitionByValue(in.Rows, e.matchTop, a, card)
+		for v := 0; v < card; v++ {
+			queue = append(queue, searchEntry{
+				p:        e.p.With(a, int32(v)),
+				matchAll: allBuckets[v],
+				matchTop: topBuckets[v],
+			})
+		}
+	}
+	return queue
+}
+
+// partitionByValue splits idxs by the value of attribute attr.
+func partitionByValue(rows [][]int32, idxs []int32, attr, card int) [][]int32 {
+	counts := make([]int, card)
+	for _, ri := range idxs {
+		counts[rows[ri][attr]]++
+	}
+	flat := make([]int32, len(idxs))
+	buckets := make([][]int32, card)
+	off := 0
+	for v := 0; v < card; v++ {
+		buckets[v] = flat[off : off : off+counts[v]]
+		off += counts[v]
+	}
+	for _, ri := range idxs {
+		v := rows[ri][attr]
+		buckets[v] = append(buckets[v], ri)
+	}
+	return buckets
+}
+
+// hasProperSubset reports whether any member of set is a proper subset of p.
+func hasProperSubset(set []pattern.Pattern, p pattern.Pattern) bool {
+	for _, q := range set {
+		if q.ProperSubsetOf(p) {
+			return true
+		}
+	}
+	return false
+}

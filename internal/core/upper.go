@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"rankfair/internal/pattern"
+)
+
+// The paper's body focuses on lower bounds; Section III ("Upper bounds")
+// observes that for bounds from above the informative answers are the
+// *most specific substantial* patterns: if black females exceed the upper
+// bound then so do blacks and females, so the most specific description is
+// reported. This file implements that variant for both fairness measures
+// with ITERTD-style per-k searches.
+//
+// Interpretation implemented here: report patterns p with s_D(p) ≥ τs and
+// s_{R_k(D)}(p) above the bound such that no proper superset of p also has
+// size ≥ τs and count above the bound (the most specific members of the
+// substantial-and-exceeding set).
+
+// GlobalUpperParams parameterizes upper-bound detection for the global
+// measure: a pattern exceeds at k when its top-k count is > U_k.
+type GlobalUpperParams struct {
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin, KMax int
+	// Upper holds U_k for each k, indexed k-KMin.
+	Upper []int
+}
+
+func (p *GlobalUpperParams) validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("core: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("core: negative size threshold %d", p.MinSize)
+	}
+	if len(p.Upper) != p.KMax-p.KMin+1 {
+		return fmt.Errorf("core: %d upper bounds for k range [%d,%d]", len(p.Upper), p.KMin, p.KMax)
+	}
+	return nil
+}
+
+// IterTDGlobalUpper detects, for each k, the most specific substantial
+// patterns whose top-k count exceeds U_k. Exceeding is downward closed
+// (every subset of an exceeding pattern exceeds too), so the search prunes
+// subtrees whose root no longer exceeds, and maximality reduces to having
+// no exceeding pattern-graph child.
+func IterTDGlobalUpper(in *Input, params GlobalUpperParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	for k := params.KMin; k <= params.KMax; k++ {
+		u := params.Upper[k-params.KMin]
+		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+			c := cnt > u
+			return c, c // prune when not exceeding: children have count <= cnt
+		})
+		groups := mostSpecificByChildLookup(in.Space, cands)
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// PropUpperParams parameterizes upper-bound detection for the proportional
+// measure: a pattern exceeds at k when its top-k count is > β·s_D(p)·k/|D|.
+type PropUpperParams struct {
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin, KMax int
+	// Beta is the proportionality slack, > Alpha of the lower-bound side.
+	Beta float64
+}
+
+func (p *PropUpperParams) validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("core: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("core: negative size threshold %d", p.MinSize)
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("core: beta must be positive, got %v", p.Beta)
+	}
+	return nil
+}
+
+// IterTDPropUpper detects, for each k, the most specific substantial
+// patterns whose top-k count exceeds β·s_D(p)·k/|D|. Exceeding is not
+// downward closed for the proportional measure, so the search only prunes
+// subtrees that provably contain no candidate (count ≤ β·τs·k/|D| bounds
+// every descendant's count below every descendant's bound) and maximality
+// uses a full superset check.
+func IterTDPropUpper(in *Input, params PropUpperParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	n := float64(len(in.Rows))
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	for k := params.KMin; k <= params.KMax; k++ {
+		floor := params.Beta * float64(params.MinSize) * float64(k) / n
+		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+			c := float64(cnt) > params.Beta*float64(sD)*float64(k)/n
+			return c, float64(cnt) > floor
+		})
+		groups := pattern.MostSpecific(cands)
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// collectExceeding runs a top-down search that prunes on the size threshold
+// and on the classify callback's descend decision, returning every pattern
+// classified as a candidate.
+func collectExceeding(in *Input, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
+	stats.FullSearches++
+	n := in.Space.NumAttrs()
+	all := make([]int32, len(in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(in.Ranking[i])
+	}
+	var cands []Pattern
+	queue := make([]searchEntry, 0, 64)
+	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		queue[head] = searchEntry{}
+		stats.NodesExamined++
+		sD := len(e.matchAll)
+		if sD < minSize {
+			continue
+		}
+		candidate, descend := classify(sD, len(e.matchTop))
+		if candidate {
+			cands = append(cands, e.p)
+		}
+		if descend {
+			queue = appendChildren(queue, in, e)
+		}
+	}
+	return cands
+}
+
+// mostSpecificByChildLookup filters a downward-closed candidate set to its
+// maximal members: candidates none of whose pattern-graph children is a
+// candidate.
+func mostSpecificByChildLookup(space *pattern.Space, cands []Pattern) []Pattern {
+	in := make(map[string]bool, len(cands))
+	for _, p := range cands {
+		in[p.Key()] = true
+	}
+	var out []Pattern
+	for _, p := range cands {
+		maximal := true
+	scan:
+		for a := 0; a < space.NumAttrs(); a++ {
+			if p[a] != pattern.Unbound {
+				continue
+			}
+			for v := 0; v < space.Cards[a]; v++ {
+				if in[p.With(a, int32(v)).Key()] {
+					maximal = false
+					break scan
+				}
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"rankfair/internal/pattern"
+)
+
+// GlobalUpperBounds is the incremental counterpart of IterTDGlobalUpper,
+// adapting the Algorithm 2 idea to the upper-bound problem. Within a
+// segment of constant U_k, counts only grow with k, so the candidate set
+// (substantial patterns exceeding the bound — a downward-closed family)
+// only grows; per step the search touches only explored nodes satisfied by
+// the newly inserted tuple, and a frontier node crossing the bound resumes
+// the search below it. The most specific (maximal) candidates are
+// maintained incrementally: a new candidate starts maximal and de-maximizes
+// its pattern-graph parents. When U_k changes, a fresh search runs (the
+// analogue of the paper's rebuild on bound change).
+func GlobalUpperBounds(in *Input, params GlobalUpperParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	st := &upperState{in: in, params: &params, stats: &res.Stats}
+
+	st.fullBuild(params.KMin)
+	res.Groups[0] = st.snapshot()
+	for k := params.KMin + 1; k <= params.KMax; k++ {
+		if params.Upper[k-params.KMin] != params.Upper[k-params.KMin-1] {
+			st.fullBuild(k)
+			res.Groups[k-params.KMin] = st.snapshot()
+			continue
+		}
+		if st.step(k) {
+			res.Groups[k-params.KMin] = st.snapshot()
+		} else {
+			res.Groups[k-params.KMin] = res.Groups[k-params.KMin-1]
+		}
+	}
+	return res, nil
+}
+
+// unode is a node of the persistent tree maintained by GlobalUpperBounds.
+type unode struct {
+	p         pattern.Pattern
+	sD        int
+	cnt       int
+	candidate bool // substantial and cnt > U
+	expanded  bool
+	children  []*unode
+}
+
+type upperState struct {
+	in     *Input
+	params *GlobalUpperParams
+	stats  *Stats
+
+	roots []*unode
+	// candidates maps pattern keys of all current candidates; maximal
+	// tracks the most specific ones (no candidate pattern-graph child).
+	candidates map[string]*unode
+	maximal    map[*unode]struct{}
+}
+
+func (s *upperState) upperAt(k int) int { return s.params.Upper[k-s.params.KMin] }
+
+// fullBuild runs a complete search at k: candidates are explored, frontier
+// nodes (substantial, not exceeding) stop the descent.
+func (s *upperState) fullBuild(k int) {
+	s.stats.FullSearches++
+	s.roots = nil
+	s.candidates = make(map[string]*unode)
+	s.maximal = make(map[*unode]struct{})
+
+	u := s.upperAt(k)
+	n := s.in.Space.NumAttrs()
+	all := make([]int32, len(s.in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(s.in.Ranking[i])
+	}
+	root := &unode{p: pattern.Empty(n), sD: len(all), cnt: k, candidate: true, expanded: true}
+	s.roots = s.buildChildren(root, all, top, u)
+}
+
+func (s *upperState) buildChildren(parent *unode, matchAll, matchTop []int32, u int) []*unode {
+	var kids []*unode
+	n := s.in.Space.NumAttrs()
+	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.params.MinSize {
+				continue
+			}
+			child := &unode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			kids = append(kids, child)
+			if child.cnt > u {
+				s.admit(child)
+				child.expanded = true
+				child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], u)
+			}
+		}
+	}
+	parent.children = kids
+	return kids
+}
+
+// admit registers a node as a candidate, keeping the maximal set correct
+// for any insertion order within a step: the node is maximal unless one of
+// its pattern-graph children is already a candidate, and its candidate
+// pattern-graph parents stop being maximal.
+func (s *upperState) admit(nd *unode) {
+	nd.candidate = true
+	s.candidates[nd.p.Key()] = nd
+	hasCandChild := false
+scan:
+	for a := 0; a < s.in.Space.NumAttrs(); a++ {
+		if nd.p[a] != pattern.Unbound {
+			continue
+		}
+		for v := 0; v < s.in.Space.Cards[a]; v++ {
+			if _, ok := s.candidates[nd.p.With(a, int32(v)).Key()]; ok {
+				hasCandChild = true
+				break scan
+			}
+		}
+	}
+	if !hasCandChild {
+		s.maximal[nd] = struct{}{}
+	}
+	for _, parent := range nd.p.GraphParents() {
+		if parent.NumAttrs() == 0 {
+			continue
+		}
+		if pn, ok := s.candidates[parent.Key()]; ok {
+			delete(s.maximal, pn)
+		}
+	}
+}
+
+// step advances from k-1 to k with an unchanged bound. Returns whether the
+// candidate set changed.
+func (s *upperState) step(k int) bool {
+	u := s.upperAt(k)
+	newRow := s.in.Rows[s.in.Ranking[k-1]]
+	var crossed []*unode
+	var walk func(nd *unode)
+	walk = func(nd *unode) {
+		if !nd.p.Matches(newRow) {
+			return
+		}
+		s.stats.NodesExamined++
+		nd.cnt++
+		if !nd.candidate && nd.cnt > u {
+			crossed = append(crossed, nd)
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	for _, r := range s.roots {
+		walk(r)
+	}
+	if len(crossed) == 0 {
+		return false
+	}
+	// Admit in generality order so graph-parent bookkeeping sees parents
+	// before children (a crossing node's crossing parent must already be
+	// a candidate when the child de-maximizes it).
+	sortUnodes(crossed)
+	for _, nd := range crossed {
+		s.admit(nd)
+	}
+	// Resume the search below the newly admitted candidates.
+	for _, nd := range crossed {
+		if !nd.expanded {
+			nd.expanded = true
+			matchAll := matchingRows(s.in.Rows, nd.p, nil)
+			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+			s.expandWith(nd, matchAll, matchTop, u)
+		}
+	}
+	return true
+}
+
+func (s *upperState) expandWith(nd *unode, matchAll, matchTop []int32, u int) {
+	n := s.in.Space.NumAttrs()
+	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := s.in.Space.Cards[a]
+		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			s.stats.NodesExamined++
+			sD := len(allBuckets[v])
+			if sD < s.params.MinSize {
+				continue
+			}
+			child := &unode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			nd.children = append(nd.children, child)
+			if child.cnt > u {
+				s.admit(child)
+				child.expanded = true
+				s.expandWith(child, allBuckets[v], topBuckets[v], u)
+			}
+		}
+	}
+}
+
+func (s *upperState) snapshot() []Pattern {
+	out := make([]Pattern, 0, len(s.maximal))
+	for nd := range s.maximal {
+		out = append(out, nd.p)
+	}
+	sortPatterns(out)
+	return out
+}
+
+func sortUnodes(nodes []*unode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && lessUnode(nodes[j], nodes[j-1]); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+func lessUnode(a, b *unode) bool {
+	na, nb := a.p.NumAttrs(), b.p.NumAttrs()
+	if na != nb {
+		return na < nb
+	}
+	return a.p.Key() < b.p.Key()
+}

@@ -1,0 +1,112 @@
+package core
+
+import "rankfair/internal/pattern"
+
+// Section III sketches two further report semantics beyond the ones the
+// paper's body develops ("our solutions can be adjusted to support such
+// problem definition (and other definitions such as most general for upper
+// bound, and the most specific for lower bound)"). This file implements
+// both for the global measure.
+//
+// Their structure follows from count monotonicity (specializing a pattern
+// never increases its count):
+//
+//   - exceeding an upper bound is downward closed, so the most *general*
+//     exceeding patterns bind a single attribute;
+//   - falling below a lower bound is upward closed among substantial
+//     patterns, so a below pattern is most *specific* exactly when none of
+//     its pattern-graph children clears the size threshold.
+
+// IterTDGlobalUpperMostGeneral reports, for each k, the most general
+// patterns with size >= τs whose top-k count exceeds U_k. Because every
+// subset of an exceeding pattern also exceeds, the result consists of
+// single-attribute patterns; the function computes it generically (collect
+// the downward-closed candidate set, filter to its most general members) so
+// it stays correct for any future measure plugged into the same skeleton.
+func IterTDGlobalUpperMostGeneral(in *Input, params GlobalUpperParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	for k := params.KMin; k <= params.KMax; k++ {
+		u := params.Upper[k-params.KMin]
+		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+			c := cnt > u
+			return c, c
+		})
+		groups := pattern.MostGeneral(cands)
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// IterTDGlobalLowerMostSpecific reports, for each k, the most specific
+// substantial patterns whose top-k count falls below L_k: below patterns p
+// with s_D(p) >= τs none of whose pattern-graph children is substantial
+// (any substantial child is automatically below as well, by count
+// monotonicity, so it would always dominate p).
+func IterTDGlobalLowerMostSpecific(in *Input, params GlobalParams) (*Result, error) {
+	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
+	for k := params.KMin; k <= params.KMax; k++ {
+		l := params.lowerAt(k)
+		// Traverse every substantial pattern: below-ness is not prunable
+		// top-down (an above-bound parent can have below children), so
+		// only the size threshold prunes.
+		substantial := make(map[string]bool)
+		var below []Pattern
+		res.Stats.FullSearches++
+		n := in.Space.NumAttrs()
+		all := make([]int32, len(in.Rows))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		top := make([]int32, k)
+		for i := 0; i < k; i++ {
+			top[i] = int32(in.Ranking[i])
+		}
+		queue := make([]searchEntry, 0, 64)
+		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+		for head := 0; head < len(queue); head++ {
+			e := queue[head]
+			queue[head] = searchEntry{}
+			res.Stats.NodesExamined++
+			if len(e.matchAll) < params.MinSize {
+				continue
+			}
+			substantial[e.p.Key()] = true
+			if len(e.matchTop) < l {
+				below = append(below, e.p)
+			}
+			queue = appendChildren(queue, in, e)
+		}
+		var groups []Pattern
+		for _, p := range below {
+			if !hasSubstantialChild(in.Space, p, substantial) {
+				groups = append(groups, p)
+			}
+		}
+		sortPatterns(groups)
+		res.Groups[k-params.KMin] = groups
+	}
+	return res, nil
+}
+
+// hasSubstantialChild reports whether any pattern-graph child of p (one
+// extra attribute-value pair, any attribute) is in the substantial set.
+func hasSubstantialChild(space *pattern.Space, p Pattern, substantial map[string]bool) bool {
+	for a := 0; a < space.NumAttrs(); a++ {
+		if p[a] != pattern.Unbound {
+			continue
+		}
+		for v := 0; v < space.Cards[a]; v++ {
+			if substantial[p.With(a, int32(v)).Key()] {
+				return true
+			}
+		}
+	}
+	return false
+}

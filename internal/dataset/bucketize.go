@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// BucketMethod selects how Bucketize splits a numeric domain.
+type BucketMethod int
+
+const (
+	// EqualWidth splits [min, max] into bins of equal width, the paper's
+	// default for continuous attributes such as age ("bucketized equally
+	// into 3-4 bins, based on their domain and values", Sec. VI-A).
+	EqualWidth BucketMethod = iota
+	// Quantile splits at empirical quantiles so bins have roughly equal
+	// population.
+	Quantile
+)
+
+// Bucketize derives a categorical column from the named numeric column by
+// splitting its domain into bins labeled "[lo,hi)" (last bin "[lo,hi]").
+// The new column is appended with the given name. bins must be >= 2.
+func (t *Table) Bucketize(numericCol, newName string, bins int, method BucketMethod) error {
+	if bins < 2 {
+		return fmt.Errorf("dataset: bucketize needs bins >= 2, got %d", bins)
+	}
+	c := t.ColumnByName(numericCol)
+	if c == nil {
+		return fmt.Errorf("dataset: no column %q", numericCol)
+	}
+	if c.Kind != Numeric {
+		return fmt.Errorf("dataset: column %q is %s, want numeric", numericCol, c.Kind)
+	}
+	if len(c.Floats) == 0 {
+		return fmt.Errorf("dataset: column %q is empty", numericCol)
+	}
+	cuts, err := cutPoints(c.Floats, bins, method)
+	if err != nil {
+		return fmt.Errorf("dataset: bucketize %q: %w", numericCol, err)
+	}
+	dict := make([]string, len(cuts)-1)
+	for b := 0; b+1 < len(cuts); b++ {
+		close := ")"
+		if b == len(cuts)-2 {
+			close = "]"
+		}
+		dict[b] = "[" + trimFloat(cuts[b]) + "," + trimFloat(cuts[b+1]) + close
+	}
+	codes := make([]int32, len(c.Floats))
+	for i, v := range c.Floats {
+		codes[i] = int32(bucketOf(v, cuts))
+	}
+	return t.AddCategoricalCodes(newName, codes, dict)
+}
+
+// cutPoints returns bins+1 strictly increasing cut points covering the data.
+func cutPoints(vals []float64, bins int, method BucketMethod) ([]float64, error) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite value %v", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("constant column (all values %v)", lo)
+	}
+	var cuts []float64
+	switch method {
+	case EqualWidth:
+		cuts = make([]float64, bins+1)
+		for i := 0; i <= bins; i++ {
+			cuts[i] = lo + (hi-lo)*float64(i)/float64(bins)
+		}
+	case Quantile:
+		sorted := make([]float64, len(vals))
+		copy(sorted, vals)
+		sort.Float64s(sorted)
+		cuts = append(cuts, lo)
+		for i := 1; i < bins; i++ {
+			q := sorted[i*len(sorted)/bins]
+			if q > cuts[len(cuts)-1] {
+				cuts = append(cuts, q)
+			}
+		}
+		cuts = append(cuts, hi)
+		if len(cuts) < 3 {
+			// Degenerate quantiles (heavily skewed data): fall back to
+			// equal width so the caller still gets the requested shape.
+			return cutPoints(vals, bins, EqualWidth)
+		}
+	default:
+		return nil, fmt.Errorf("unknown bucket method %d", method)
+	}
+	return cuts, nil
+}
+
+// bucketOf returns the bin index of v for the given cut points: bin b covers
+// [cuts[b], cuts[b+1]), with the final bin closed on the right.
+func bucketOf(v float64, cuts []float64) int {
+	n := len(cuts) - 1
+	for b := 0; b < n-1; b++ {
+		if v < cuts[b+1] {
+			return b
+		}
+	}
+	return n - 1
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions controls CSV decoding.
+type CSVOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// NumericColumns forces the named columns to be parsed as numeric.
+	// Columns not listed are auto-detected: a column whose every value
+	// parses as a float is numeric unless AllCategorical is set.
+	NumericColumns []string
+	// CategoricalColumns forces the named columns to be categorical even
+	// if every value parses as a float (e.g. zip codes).
+	CategoricalColumns []string
+	// AllCategorical disables numeric auto-detection entirely.
+	AllCategorical bool
+}
+
+// ReadCSV decodes a header-first CSV stream into a Table.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = 0 // all records must match the header length
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	body := records[1:]
+
+	forceNum := make(map[string]bool, len(opts.NumericColumns))
+	for _, n := range opts.NumericColumns {
+		forceNum[n] = true
+	}
+	forceCat := make(map[string]bool, len(opts.CategoricalColumns))
+	for _, n := range opts.CategoricalColumns {
+		forceCat[n] = true
+	}
+
+	t := New()
+	for j, name := range header {
+		raw := make([]string, len(body))
+		for i, rec := range body {
+			raw[i] = rec[j]
+		}
+		numeric := false
+		switch {
+		case forceCat[name]:
+			numeric = false
+		case forceNum[name]:
+			numeric = true
+		case opts.AllCategorical:
+			numeric = false
+		default:
+			numeric = len(raw) > 0
+			for _, v := range raw {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					numeric = false
+					break
+				}
+			}
+		}
+		if numeric {
+			vals := make([]float64, len(raw))
+			for i, v := range raw {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q row %d: %w", name, i, err)
+				}
+				vals[i] = f
+			}
+			if err := t.AddNumeric(name, vals); err != nil {
+				return nil, err
+			}
+		} else if err := t.AddCategorical(name, raw); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV encodes the table as CSV with a header row. Categorical columns
+// are written as their string labels; numeric columns with strconv
+// formatting ('g').
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.NumCols())
+	for i, c := range t.Columns() {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.Columns() {
+			if c.Kind == Categorical {
+				rec[j] = c.Label(c.Codes[i])
+			} else {
+				rec[j] = strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics and that every
+// successfully decoded table is internally consistent and re-encodable.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("name\n\n")
+	f.Add("a,a\n1,2\n")
+	f.Add(",\n,\n")
+	f.Add("h\n1.5\nNaN\n")
+	f.Add("x,y,z\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV(strings.NewReader(input), CSVOptions{})
+		if err != nil {
+			return
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("decoded table fails validation: %v\ninput: %q", err, input)
+		}
+		var sb strings.Builder
+		if err := WriteCSV(&sb, tab); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package dataset implements the relational substrate of the paper: an
+// in-memory table with dictionary-encoded categorical columns and numeric
+// columns, CSV encoding/decoding, and bucketization of continuous attributes
+// into categorical ranges (Section II-A of the paper).
+//
+// Pattern search (internal/pattern, internal/core) operates only on the
+// categorical columns of a Table; rankers (internal/rank) may read both
+// categorical and numeric columns.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes the two supported column types.
+type Kind int
+
+const (
+	// Categorical columns hold dictionary-encoded string values and are
+	// the attributes over which patterns are defined.
+	Categorical Kind = iota
+	// Numeric columns hold float64 values, usable by rankers and by
+	// Bucketize to derive categorical views.
+	Numeric
+)
+
+// String returns a human-readable column kind.
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is a single named column of a Table. Exactly one of the value
+// slices is populated, according to Kind.
+type Column struct {
+	Name string
+	Kind Kind
+
+	// Codes holds the dictionary code of each row for Categorical columns.
+	Codes []int32
+	// Dict maps a code to its string label for Categorical columns.
+	Dict []string
+
+	// Floats holds the value of each row for Numeric columns.
+	Floats []float64
+
+	index map[string]int32 // label -> code, lazily built
+}
+
+// Cardinality returns the size of the active domain of a categorical
+// column, and 0 for numeric columns.
+func (c *Column) Cardinality() int {
+	if c.Kind != Categorical {
+		return 0
+	}
+	return len(c.Dict)
+}
+
+// Code returns the dictionary code for label, or -1 if the label does not
+// occur in the column.
+func (c *Column) Code(label string) int32 {
+	if c.index == nil {
+		c.index = make(map[string]int32, len(c.Dict))
+		for i, s := range c.Dict {
+			c.index[s] = int32(i)
+		}
+	}
+	if code, ok := c.index[label]; ok {
+		return code
+	}
+	return -1
+}
+
+// Label returns the string label of a dictionary code. It returns "?" for
+// out-of-range codes.
+func (c *Column) Label(code int32) string {
+	if code < 0 || int(code) >= len(c.Dict) {
+		return "?"
+	}
+	return c.Dict[code]
+}
+
+// Table is an immutable-by-convention in-memory relation. Columns are added
+// at construction time; all columns must have the same number of rows.
+type Table struct {
+	cols   []*Column
+	byName map[string]int
+	rows   int
+}
+
+// New returns an empty table. Rows are implied by the first column added.
+func New() *Table {
+	return &Table{byName: make(map[string]int)}
+}
+
+// NumRows returns the number of tuples in the table.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the number of columns in the table.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the table's columns in insertion order. The returned
+// slice must not be modified.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) *Column { return t.cols[i] }
+
+// ColumnByName returns the column with the given name, or nil if absent.
+func (t *Table) ColumnByName(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.cols[i]
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or -1 if absent.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (t *Table) addColumn(c *Column, n int) error {
+	if c.Name == "" {
+		return errors.New("dataset: column name must not be empty")
+	}
+	if _, dup := t.byName[c.Name]; dup {
+		return fmt.Errorf("dataset: duplicate column %q", c.Name)
+	}
+	if len(t.cols) == 0 {
+		t.rows = n
+	} else if n != t.rows {
+		return fmt.Errorf("dataset: column %q has %d rows, table has %d", c.Name, n, t.rows)
+	}
+	t.byName[c.Name] = len(t.cols)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// AddCategorical appends a categorical column built from raw string values.
+// The dictionary is the sorted set of distinct values, so codes are stable
+// across runs for the same data.
+func (t *Table) AddCategorical(name string, values []string) error {
+	distinct := make(map[string]struct{}, 16)
+	for _, v := range values {
+		distinct[v] = struct{}{}
+	}
+	dict := make([]string, 0, len(distinct))
+	for v := range distinct {
+		dict = append(dict, v)
+	}
+	sort.Strings(dict)
+	code := make(map[string]int32, len(dict))
+	for i, v := range dict {
+		code[v] = int32(i)
+	}
+	codes := make([]int32, len(values))
+	for i, v := range values {
+		codes[i] = code[v]
+	}
+	return t.addColumn(&Column{Name: name, Kind: Categorical, Codes: codes, Dict: dict, index: code}, len(values))
+}
+
+// AddCategoricalCodes appends a categorical column from pre-encoded codes
+// and an explicit dictionary. Every code must index into dict.
+func (t *Table) AddCategoricalCodes(name string, codes []int32, dict []string) error {
+	for i, c := range codes {
+		if c < 0 || int(c) >= len(dict) {
+			return fmt.Errorf("dataset: column %q row %d: code %d out of range [0,%d)", name, i, c, len(dict))
+		}
+	}
+	cp := make([]int32, len(codes))
+	copy(cp, codes)
+	dc := make([]string, len(dict))
+	copy(dc, dict)
+	return t.addColumn(&Column{Name: name, Kind: Categorical, Codes: cp, Dict: dc}, len(codes))
+}
+
+// AddNumeric appends a numeric column.
+func (t *Table) AddNumeric(name string, values []float64) error {
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	return t.addColumn(&Column{Name: name, Kind: Numeric, Floats: cp}, len(values))
+}
+
+// CategoricalIndices returns the positions of all categorical columns, in
+// insertion order. These are the attributes available for pattern search.
+func (t *Table) CategoricalIndices() []int {
+	var idx []int
+	for i, c := range t.cols {
+		if c.Kind == Categorical {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// CategoricalNames returns the names of all categorical columns.
+func (t *Table) CategoricalNames() []string {
+	var names []string
+	for _, c := range t.cols {
+		if c.Kind == Categorical {
+			names = append(names, c.Name)
+		}
+	}
+	return names
+}
+
+// Project returns a new table with only the named columns, in the given
+// order. Column data is shared with the receiver.
+func (t *Table) Project(names ...string) (*Table, error) {
+	out := New()
+	for _, n := range names {
+		c := t.ColumnByName(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataset: no column %q", n)
+		}
+		if err := out.addColumn(c, t.rows); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CatMatrix materializes the categorical part of the table in row-major
+// form for the pattern-search algorithms. It returns the encoded rows, the
+// attribute names, and the per-attribute cardinalities.
+func (t *Table) CatMatrix() (rows [][]int32, names []string, cards []int) {
+	catCols := t.CategoricalIndices()
+	names = make([]string, len(catCols))
+	cards = make([]int, len(catCols))
+	for j, ci := range catCols {
+		names[j] = t.cols[ci].Name
+		cards[j] = t.cols[ci].Cardinality()
+	}
+	flat := make([]int32, t.rows*len(catCols))
+	rows = make([][]int32, t.rows)
+	for i := 0; i < t.rows; i++ {
+		rows[i], flat = flat[:len(catCols):len(catCols)], flat[len(catCols):]
+	}
+	for j, ci := range catCols {
+		codes := t.cols[ci].Codes
+		for i := 0; i < t.rows; i++ {
+			rows[i][j] = codes[i]
+		}
+	}
+	return rows, names, cards
+}
+
+// CatDicts returns the value dictionaries of the categorical columns, in
+// the same order as CatMatrix attributes. The returned slices are shared
+// with the table and must not be modified.
+func (t *Table) CatDicts() [][]string {
+	var dicts [][]string
+	for _, ci := range t.CategoricalIndices() {
+		dicts = append(dicts, t.cols[ci].Dict)
+	}
+	return dicts
+}
+
+// Value renders the table cell at (row, col) as a string.
+func (t *Table) Value(row, col int) string {
+	c := t.cols[col]
+	switch c.Kind {
+	case Categorical:
+		return c.Label(c.Codes[row])
+	default:
+		return fmt.Sprintf("%g", c.Floats[row])
+	}
+}
+
+// Validate checks the internal consistency of the table: equal column
+// lengths and in-range dictionary codes. It is intended for use after
+// loading external data.
+func (t *Table) Validate() error {
+	for _, c := range t.cols {
+		switch c.Kind {
+		case Categorical:
+			if len(c.Codes) != t.rows {
+				return fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, len(c.Codes), t.rows)
+			}
+			for i, code := range c.Codes {
+				if code < 0 || int(code) >= len(c.Dict) {
+					return fmt.Errorf("dataset: column %q row %d: code %d out of range", c.Name, i, code)
+				}
+			}
+		case Numeric:
+			if len(c.Floats) != t.rows {
+				return fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, len(c.Floats), t.rows)
+			}
+		default:
+			return fmt.Errorf("dataset: column %q has invalid kind %d", c.Name, c.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddCategoricalSortedDict(t *testing.T) {
+	tb := New()
+	if err := tb.AddCategorical("color", []string{"red", "blue", "red", "green"}); err != nil {
+		t.Fatal(err)
+	}
+	c := tb.ColumnByName("color")
+	if c == nil || c.Kind != Categorical {
+		t.Fatal("missing categorical column")
+	}
+	want := []string{"blue", "green", "red"}
+	for i, w := range want {
+		if c.Dict[i] != w {
+			t.Errorf("dict[%d] = %q, want %q", i, c.Dict[i], w)
+		}
+	}
+	if c.Cardinality() != 3 {
+		t.Errorf("cardinality = %d", c.Cardinality())
+	}
+	if got := []int32{c.Codes[0], c.Codes[1], c.Codes[2], c.Codes[3]}; got[0] != 2 || got[1] != 0 || got[2] != 2 || got[3] != 1 {
+		t.Errorf("codes = %v", got)
+	}
+	if c.Code("red") != 2 || c.Code("missing") != -1 {
+		t.Error("Code lookup broken")
+	}
+	if c.Label(0) != "blue" || c.Label(99) != "?" || c.Label(-1) != "?" {
+		t.Error("Label lookup broken")
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	tb := New()
+	if err := tb.AddCategorical("", []string{"x"}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := tb.AddCategorical("a", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddCategorical("a", []string{"x", "y"}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if err := tb.AddNumeric("b", []float64{1}); err == nil {
+		t.Error("row count mismatch should fail")
+	}
+	if err := tb.AddCategoricalCodes("c", []int32{0, 5}, []string{"only"}); err == nil {
+		t.Error("out-of-range code should fail")
+	}
+}
+
+func TestNumericColumnAndValue(t *testing.T) {
+	tb := New()
+	if err := tb.AddCategorical("g", []string{"F", "M"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNumeric("score", []float64{1.5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	if got := tb.Value(0, 0); got != "F" {
+		t.Errorf("Value(0,0) = %q", got)
+	}
+	if got := tb.Value(0, 1); got != "1.5" {
+		t.Errorf("Value(0,1) = %q", got)
+	}
+	if tb.ColumnByName("score").Cardinality() != 0 {
+		t.Error("numeric cardinality should be 0")
+	}
+	if tb.ColumnIndex("score") != 1 || tb.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex broken")
+	}
+}
+
+func TestCategoricalIndicesAndCatMatrix(t *testing.T) {
+	tb := New()
+	_ = tb.AddCategorical("a", []string{"x", "y", "x"})
+	_ = tb.AddNumeric("n", []float64{1, 2, 3})
+	_ = tb.AddCategorical("b", []string{"p", "p", "q"})
+	idx := tb.CategoricalIndices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("CategoricalIndices = %v", idx)
+	}
+	names := tb.CategoricalNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("CategoricalNames = %v", names)
+	}
+	rows, mnames, cards := tb.CatMatrix()
+	if len(rows) != 3 || len(mnames) != 2 || cards[0] != 2 || cards[1] != 2 {
+		t.Fatalf("CatMatrix shape: rows=%d names=%v cards=%v", len(rows), mnames, cards)
+	}
+	if rows[2][0] != 0 || rows[2][1] != 1 { // ("x","q")
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+func TestProject(t *testing.T) {
+	tb := New()
+	_ = tb.AddCategorical("a", []string{"x"})
+	_ = tb.AddNumeric("n", []float64{1})
+	p, err := tb.Project("n", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Column(0).Name != "n" || p.Column(1).Name != "a" {
+		t.Error("projection order wrong")
+	}
+	if _, err := tb.Project("missing"); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tb := New()
+	_ = tb.AddCategorical("a", []string{"x", "y"})
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb.ColumnByName("a").Codes[1] = 99
+	if err := tb.Validate(); err == nil {
+		t.Error("corrupted code should fail validation")
+	}
+	tb2 := New()
+	_ = tb2.AddNumeric("n", []float64{1, 2})
+	tb2.ColumnByName("n").Floats = tb2.ColumnByName("n").Floats[:1]
+	if err := tb2.Validate(); err == nil {
+		t.Error("short column should fail validation")
+	}
+}
+
+func TestReadCSVAutoDetect(t *testing.T) {
+	csv := "name,age,city\nalice,30,ny\nbob,25,sf\n"
+	tb, err := ReadCSV(strings.NewReader(csv), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ColumnByName("age").Kind != Numeric {
+		t.Error("age should auto-detect numeric")
+	}
+	if tb.ColumnByName("name").Kind != Categorical {
+		t.Error("name should be categorical")
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestReadCSVForcedKinds(t *testing.T) {
+	csv := "zip,score\n10001,5\n94103,7\n"
+	tb, err := ReadCSV(strings.NewReader(csv), CSVOptions{CategoricalColumns: []string{"zip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ColumnByName("zip").Kind != Categorical {
+		t.Error("zip should be forced categorical")
+	}
+	tb2, err := ReadCSV(strings.NewReader(csv), CSVOptions{AllCategorical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.ColumnByName("score").Kind != Numeric {
+		if tb2.ColumnByName("score").Kind != Categorical {
+			t.Error("unexpected kind")
+		}
+	} else {
+		t.Error("AllCategorical should disable detection")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), CSVOptions{}); err == nil {
+		t.Error("ragged csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nx\n"), CSVOptions{NumericColumns: []string{"a"}}); err == nil {
+		t.Error("forced numeric on non-numeric should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New()
+	_ = tb.AddCategorical("g", []string{"F", "M", "F"})
+	_ = tb.AddNumeric("s", []float64{1.25, -3, 0})
+	var sb strings.Builder
+	if err := WriteCSV(&sb, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.NumCols() != 2 {
+		t.Fatalf("round trip shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if tb.Value(i, j) != back.Value(i, j) {
+				t.Errorf("cell (%d,%d): %q != %q", i, j, tb.Value(i, j), back.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestBucketizeEqualWidth(t *testing.T) {
+	tb := New()
+	_ = tb.AddNumeric("age", []float64{0, 10, 20, 30, 40})
+	if err := tb.Bucketize("age", "age_bin", 4, EqualWidth); err != nil {
+		t.Fatal(err)
+	}
+	c := tb.ColumnByName("age_bin")
+	if c == nil || c.Cardinality() != 4 {
+		t.Fatalf("age_bin cardinality = %d", c.Cardinality())
+	}
+	// 0→bin0, 10→bin1, 20→bin2, 30→bin3, 40→bin3 (max closed).
+	want := []int32{0, 1, 2, 3, 3}
+	for i, w := range want {
+		if c.Codes[i] != w {
+			t.Errorf("row %d: bin %d, want %d", i, c.Codes[i], w)
+		}
+	}
+}
+
+func TestBucketizeQuantile(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i * i) // heavily skewed
+	}
+	tb := New()
+	_ = tb.AddNumeric("v", vals)
+	if err := tb.Bucketize("v", "v_bin", 4, Quantile); err != nil {
+		t.Fatal(err)
+	}
+	c := tb.ColumnByName("v_bin")
+	counts := make([]int, c.Cardinality())
+	for _, code := range c.Codes {
+		counts[code]++
+	}
+	for b, n := range counts {
+		if n < 15 || n > 35 {
+			t.Errorf("quantile bin %d holds %d of 100 values, want roughly 25", b, n)
+		}
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	tb := New()
+	_ = tb.AddNumeric("v", []float64{1, 1, 1})
+	_ = tb.AddCategorical("c", []string{"a", "b", "c"})
+	if err := tb.Bucketize("v", "x", 1, EqualWidth); err == nil {
+		t.Error("bins < 2 should fail")
+	}
+	if err := tb.Bucketize("missing", "x", 3, EqualWidth); err == nil {
+		t.Error("missing column should fail")
+	}
+	if err := tb.Bucketize("c", "x", 3, EqualWidth); err == nil {
+		t.Error("categorical source should fail")
+	}
+	if err := tb.Bucketize("v", "x", 3, EqualWidth); err == nil {
+		t.Error("constant column should fail")
+	}
+}

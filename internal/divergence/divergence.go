@@ -1,0 +1,174 @@
+// Package divergence reimplements the comparator of Pastor, de Alfaro &
+// Baralis ("Identifying biased subgroups in ranking and classification",
+// [27] in the paper) that Section VI-D contrasts with the detection
+// algorithms. Each tuple gets a binary outcome o(t) = 1 iff it appears in
+// the top-k; a subgroup's outcome o(G) is the mean over its members; the
+// divergence of G is o(G) - o(D). The method reports every pattern with
+// support above a threshold (no most-general filtering), ranked by
+// divergence — which is why its output is typically much larger than the
+// paper's and contains mutually subsumed groups.
+package divergence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rankfair/internal/core"
+	"rankfair/internal/pattern"
+)
+
+// Params configures the divergence search.
+type Params struct {
+	// MinSupport is the minimum fraction of the dataset a subgroup must
+	// cover (the s threshold of [27]; the paper's case study uses 0.13).
+	MinSupport float64
+	// K defines the binary outcome: o(t) = 1 iff t ranks in the top K.
+	K int
+}
+
+// Group is one reported subgroup.
+type Group struct {
+	// Pattern describes the subgroup.
+	Pattern pattern.Pattern
+	// Size is the subgroup's tuple count.
+	Size int
+	// Support is Size / |D|.
+	Support float64
+	// Outcome is the mean outcome o(G): the fraction of the subgroup in
+	// the top-k.
+	Outcome float64
+	// Divergence is o(G) - o(D).
+	Divergence float64
+	// TStat is Welch's t statistic between the group's outcomes and the
+	// complement's, the significance measure DivExplorer attaches to its
+	// divergences. Zero when either side is too small to estimate.
+	TStat float64
+}
+
+// Result is the divergence-ranked report.
+type Result struct {
+	// Groups is sorted by divergence descending (most negative last);
+	// ties break by generality then key for determinism.
+	Groups []Group
+	// DatasetOutcome is o(D) = K / |D|.
+	DatasetOutcome float64
+}
+
+// Find enumerates all patterns with support >= MinSupport and computes
+// their divergence. Support pruning makes the frequent-pattern search
+// tractable: a pattern below the support threshold has no frequent
+// descendant.
+func Find(in *core.Input, params Params) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if params.MinSupport < 0 || params.MinSupport > 1 {
+		return nil, fmt.Errorf("divergence: support %v outside [0,1]", params.MinSupport)
+	}
+	if params.K < 1 || params.K > len(in.Rows) {
+		return nil, fmt.Errorf("divergence: k=%d outside [1,%d]", params.K, len(in.Rows))
+	}
+	n := len(in.Rows)
+	minSize := int(params.MinSupport * float64(n))
+	if float64(minSize) < params.MinSupport*float64(n) {
+		minSize++ // ceil
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	oD := float64(params.K) / float64(n)
+
+	inTop := make([]bool, n)
+	for _, ri := range in.Ranking[:params.K] {
+		inTop[ri] = true
+	}
+
+	var groups []Group
+	type entry struct {
+		p     pattern.Pattern
+		match []int32
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	queue := []entry{{p: pattern.Empty(in.Space.NumAttrs()), match: all}}
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		queue[head] = entry{}
+		if e.p.NumAttrs() > 0 {
+			hits := 0
+			for _, ri := range e.match {
+				if inTop[ri] {
+					hits++
+				}
+			}
+			oG := float64(hits) / float64(len(e.match))
+			groups = append(groups, Group{
+				Pattern:    e.p,
+				Size:       len(e.match),
+				Support:    float64(len(e.match)) / float64(n),
+				Outcome:    oG,
+				Divergence: oG - oD,
+				TStat:      welchT(hits, len(e.match), params.K-hits, n-len(e.match)),
+			})
+		}
+		// Generate frequent children along the search tree.
+		for a := e.p.MaxAttrIdx() + 1; a < in.Space.NumAttrs(); a++ {
+			for v := 0; v < in.Space.Cards[a]; v++ {
+				child := e.p.With(a, int32(v))
+				var match []int32
+				for _, ri := range e.match {
+					if in.Rows[ri][a] == int32(v) {
+						match = append(match, ri)
+					}
+				}
+				if len(match) >= minSize {
+					queue = append(queue, entry{p: child, match: match})
+				}
+			}
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Divergence != groups[j].Divergence {
+			return groups[i].Divergence > groups[j].Divergence
+		}
+		ni, nj := groups[i].Pattern.NumAttrs(), groups[j].Pattern.NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return groups[i].Pattern.Key() < groups[j].Pattern.Key()
+	})
+	return &Result{Groups: groups, DatasetOutcome: oD}, nil
+}
+
+// welchT computes Welch's t statistic between two Bernoulli samples: a
+// group with hitsG successes of nG trials against its complement with
+// hitsC of nC. Sample variances use the n-1 denominator; degenerate sides
+// yield 0.
+func welchT(hitsG, nG, hitsC, nC int) float64 {
+	if nG < 2 || nC < 2 {
+		return 0
+	}
+	oG := float64(hitsG) / float64(nG)
+	oC := float64(hitsC) / float64(nC)
+	varG := oG * (1 - oG) * float64(nG) / float64(nG-1)
+	varC := oC * (1 - oC) * float64(nC) / float64(nC-1)
+	se := varG/float64(nG) + varC/float64(nC)
+	if se <= 0 {
+		return 0
+	}
+	return (oG - oC) / math.Sqrt(se)
+}
+
+// RankOf returns the 1-based position of pattern p in the divergence-ranked
+// report, or 0 if absent. The paper's case study reports {sex=M} at rank 17.
+func (r *Result) RankOf(p pattern.Pattern) int {
+	for i, g := range r.Groups {
+		if g.Pattern.Equal(p) {
+			return i + 1
+		}
+	}
+	return 0
+}

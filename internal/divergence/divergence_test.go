@@ -1,0 +1,208 @@
+package divergence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankfair/internal/core"
+	"rankfair/internal/pattern"
+	"rankfair/internal/synth"
+)
+
+func runningInput(t *testing.T) *core.Input {
+	t.Helper()
+	in, err := synth.RunningExample().Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestFindHandChecked(t *testing.T) {
+	in := runningInput(t)
+	// k=4: o(D) = 4/16 = 0.25. {Gender=F} has 8 members, 2 in top-4:
+	// o(G)=0.25, divergence 0.
+	res, err := Find(in, Params{MinSupport: 0.25, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DatasetOutcome-0.25) > 1e-12 {
+		t.Errorf("o(D) = %v", res.DatasetOutcome)
+	}
+	gf := pattern.Pattern{0, pattern.Unbound, pattern.Unbound, pattern.Unbound}
+	found := false
+	for _, g := range res.Groups {
+		if g.Pattern.Equal(gf) {
+			found = true
+			if g.Size != 8 || math.Abs(g.Outcome-0.25) > 1e-12 || math.Abs(g.Divergence) > 1e-12 {
+				t.Errorf("{Gender=F}: %+v", g)
+			}
+		}
+		if g.Support < 0.25-1e-12 {
+			t.Errorf("group %v below support threshold: %v", g.Pattern, g.Support)
+		}
+	}
+	if !found {
+		t.Error("{Gender=F} missing from report")
+	}
+}
+
+// TestFindMatchesBruteForce: the support-pruned search returns exactly the
+// frequent patterns, with correct divergences.
+func TestFindMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAttrs := 2 + rng.Intn(3)
+		cards := make([]int, nAttrs)
+		names := make([]string, nAttrs)
+		for i := range cards {
+			cards[i] = 2 + rng.Intn(2)
+			names[i] = string(rune('A' + i))
+		}
+		nRows := 15 + rng.Intn(40)
+		rows := make([][]int32, nRows)
+		for i := range rows {
+			r := make([]int32, nAttrs)
+			for j := range r {
+				r[j] = int32(rng.Intn(cards[j]))
+			}
+			rows[i] = r
+		}
+		in := &core.Input{Rows: rows, Space: &pattern.Space{Names: names, Cards: cards}, Ranking: rng.Perm(nRows)}
+		k := 1 + rng.Intn(nRows)
+		support := 0.05 + 0.3*rng.Float64()
+		res, err := Find(in, Params{MinSupport: support, K: k})
+		if err != nil {
+			return false
+		}
+		got := make(map[string]Group, len(res.Groups))
+		for _, g := range res.Groups {
+			got[g.Pattern.Key()] = g
+		}
+		ok := true
+		count := 0
+		oD := float64(k) / float64(nRows)
+		pattern.EnumerateAll(in.Space, func(p pattern.Pattern) bool {
+			size := p.Count(rows)
+			if float64(size) < support*float64(nRows) {
+				return true
+			}
+			count++
+			g, present := got[p.Key()]
+			if !present {
+				ok = false
+				return false
+			}
+			wantO := float64(p.CountTopK(rows, in.Ranking, k)) / float64(size)
+			if g.Size != size || math.Abs(g.Outcome-wantO) > 1e-12 || math.Abs(g.Divergence-(wantO-oD)) > 1e-12 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && count == len(res.Groups)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedByDivergence(t *testing.T) {
+	in := runningInput(t)
+	res, err := Find(in, Params{MinSupport: 0.2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Groups); i++ {
+		if res.Groups[i].Divergence > res.Groups[i-1].Divergence+1e-12 {
+			t.Fatalf("not sorted at %d: %v > %v", i, res.Groups[i].Divergence, res.Groups[i-1].Divergence)
+		}
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	in := runningInput(t)
+	res, err := Find(in, Params{MinSupport: 0.2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Groups[0].Pattern
+	if res.RankOf(first) != 1 {
+		t.Error("first group should rank 1")
+	}
+	absent := pattern.Pattern{0, 0, 0, 0}
+	if res.RankOf(absent) != 0 {
+		t.Error("absent pattern should rank 0")
+	}
+}
+
+// TestOutputContainsSubsumedGroups documents the Section VI-D contrast: the
+// divergence method reports subsumed group pairs, unlike the most-general
+// semantics of the detection algorithms.
+func TestOutputContainsSubsumedGroups(t *testing.T) {
+	in := runningInput(t)
+	res, err := Find(in, Params{MinSupport: 0.2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Groups {
+		for _, b := range res.Groups {
+			if a.Pattern.ProperSubsetOf(b.Pattern) {
+				return // found a subsumed pair, as expected
+			}
+		}
+	}
+	t.Error("expected at least one subsumed pair in the divergence output")
+}
+
+func TestFindErrors(t *testing.T) {
+	in := runningInput(t)
+	if _, err := Find(in, Params{MinSupport: -0.1, K: 4}); err == nil {
+		t.Error("negative support should fail")
+	}
+	if _, err := Find(in, Params{MinSupport: 1.5, K: 4}); err == nil {
+		t.Error("support > 1 should fail")
+	}
+	if _, err := Find(in, Params{MinSupport: 0.1, K: 0}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Find(in, Params{MinSupport: 0.1, K: 99}); err == nil {
+		t.Error("k beyond dataset should fail")
+	}
+}
+
+func TestWelchTStat(t *testing.T) {
+	in := runningInput(t)
+	res, err := Find(in, Params{MinSupport: 0.25, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		// Sign of t must agree with the sign of the group-vs-complement
+		// difference; groups at the dataset outcome with a balanced
+		// complement sit near zero.
+		hits := int(g.Outcome*float64(g.Size) + 0.5)
+		compHits := 4 - hits
+		compN := 16 - g.Size
+		oc := float64(compHits) / float64(compN)
+		diff := g.Outcome - oc
+		switch {
+		case diff > 1e-9 && g.TStat <= 0:
+			t.Errorf("%v: positive difference %v but t=%v", g.Pattern, diff, g.TStat)
+		case diff < -1e-9 && g.TStat >= 0:
+			t.Errorf("%v: negative difference %v but t=%v", g.Pattern, diff, g.TStat)
+		case math.Abs(diff) <= 1e-9 && math.Abs(g.TStat) > 1e-9:
+			t.Errorf("%v: zero difference but t=%v", g.Pattern, g.TStat)
+		}
+	}
+	// Hand check one value: {Gender=F} has 2 of 8 in the top-4; the
+	// complement has 2 of 8 as well, so t must be exactly 0.
+	gf := pattern.Pattern{0, pattern.Unbound, pattern.Unbound, pattern.Unbound}
+	for _, g := range res.Groups {
+		if g.Pattern.Equal(gf) && g.TStat != 0 {
+			t.Errorf("{Gender=F}: t = %v, want 0", g.TStat)
+		}
+	}
+}

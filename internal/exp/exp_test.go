@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rankfair/internal/synth"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig() Config {
+	cfg := Defaults()
+	cfg.Tau = 10
+	cfg.KMin, cfg.KMax = 5, 14
+	cfg.LowerBase, cfg.LowerStep, cfg.LowerWidth = 2, 2, 5
+	cfg.Timeout = 0
+	return cfg
+}
+
+func tinyStudent() *synth.Bundle { return synth.Students(120, 3) }
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Defaults()
+	if cfg.Tau != 50 || cfg.KMin != 10 || cfg.KMax != 49 || cfg.Alpha != 0.8 {
+		t.Errorf("defaults diverge from Section VI-A: %+v", cfg)
+	}
+	lower := cfg.lower(10, 49)
+	if lower[0] != 10 || lower[39] != 40 {
+		t.Errorf("staircase = %v", lower)
+	}
+}
+
+func TestDatasetsScaling(t *testing.T) {
+	bundles := Datasets(1, 1)
+	if len(bundles) != 3 {
+		t.Fatalf("%d bundles", len(bundles))
+	}
+	wantRows := map[string]int{"compas": 6889, "student": 395, "german": 1000}
+	for _, b := range bundles {
+		if got := b.Table.NumRows(); got != wantRows[b.Name] {
+			t.Errorf("%s: %d rows, want %d", b.Name, got, wantRows[b.Name])
+		}
+	}
+	small := Datasets(0.01, 1)
+	for _, b := range small {
+		if b.Table.NumRows() < 60 {
+			t.Errorf("%s: scaled below the floor: %d", b.Name, b.Table.NumRows())
+		}
+	}
+	if Datasets(-1, 1)[0].Table.NumRows() != 6889 {
+		t.Error("non-positive scale should mean 1.0")
+	}
+}
+
+func TestAttrSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.AttrSweep(tinyStudent(), false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4 { // attrs 3..6
+		t.Fatalf("%d rows, want 4", len(fig.Rows))
+	}
+	for _, row := range fig.Rows {
+		if len(row) != len(fig.Header) {
+			t.Fatalf("row width %d, header %d", len(row), len(fig.Header))
+		}
+		if !strings.HasSuffix(row[1], "ms") || !strings.HasSuffix(row[2], "ms") {
+			t.Errorf("durations missing: %v", row)
+		}
+		if _, err := strconv.ParseInt(row[4], 10, 64); err != nil {
+			t.Errorf("baseline nodes not numeric: %v", row)
+		}
+	}
+	// Proportional variant has the PropBounds column.
+	figP, err := cfg.AttrSweep(tinyStudent(), true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figP.Header[2] != "PropBounds" {
+		t.Errorf("header = %v", figP.Header)
+	}
+}
+
+func TestThresholdSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.ThresholdSweep(tinyStudent(), false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 10 { // τs = 10..100 step 10
+		t.Fatalf("%d rows, want 10", len(fig.Rows))
+	}
+	if fig.Rows[0][0] != "10" || fig.Rows[9][0] != "100" {
+		t.Errorf("τs endpoints: %v %v", fig.Rows[0][0], fig.Rows[9][0])
+	}
+}
+
+func TestKRangeSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.KRangeSweep(tinyStudent(), true, 5, []int{20, 60, 110, 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 { // 9999 exceeds the 120-row dataset
+		t.Fatalf("%d rows, want 3", len(fig.Rows))
+	}
+}
+
+func TestNodesExaminedReduction(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.NodesExamined([]*synth.Bundle{tinyStudent()}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 { // global + proportional
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	for _, row := range fig.Rows {
+		if !strings.HasSuffix(row[4], "%") {
+			t.Errorf("reduction cell %q", row[4])
+		}
+	}
+	// The global-bounds reduction is guaranteed non-negative (the
+	// incremental algorithm never revisits more nodes than the baseline).
+	red := strings.TrimSuffix(fig.Rows[0][4], "%")
+	v, err := strconv.ParseFloat(red, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", red, err)
+	}
+	if v < 0 {
+		t.Errorf("global reduction negative: %v", v)
+	}
+}
+
+func TestShapleyCases(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Tau = 20
+	bundles := []*synth.Bundle{synth.Students(200, 5), synth.GermanCredit(200, 6)}
+	cases, err := cfg.ShapleyCases(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("%d cases", len(cases))
+	}
+	for _, c := range cases {
+		if len(c.Shapley.Rows) == 0 {
+			t.Errorf("%s: empty Shapley table", c.Dataset)
+		}
+		if !strings.Contains(c.Distribution, "top-k") {
+			t.Errorf("%s: missing distribution", c.Dataset)
+		}
+		var sb strings.Builder
+		if err := c.Shapley.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "attribute") {
+			t.Error("render lost the header")
+		}
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Tau = 16 // support 16/120 ≈ 0.13, the paper's ratio
+	fig, err := cfg.CaseStudy(tinyStudent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"PropBounds", "GlobalBounds", "Divergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultSizeSurvey(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.ResultSizeSurvey([]*synth.Bundle{tinyStudent()}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 {
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	for _, row := range fig.Rows {
+		if !strings.HasSuffix(row[5], "%") {
+			t.Errorf("fraction cell %q", row[5])
+		}
+	}
+}
+
+func TestTimeoutMarksRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Timeout = time.Nanosecond
+	fig, err := cfg.AttrSweep(tinyStudent(), false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if fig.Rows[0][1] != "timeout" {
+		t.Errorf("baseline cell = %q, want timeout", fig.Rows[0][1])
+	}
+}
+
+func TestFigureRenderAlignment(t *testing.T) {
+	fig := &Figure{
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+	}
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[1], "  a  ") || !strings.HasPrefix(lines[2], "  xxx") {
+		t.Errorf("misaligned:\n%s", sb.String())
+	}
+}
+
+func TestExtensionSweep(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := cfg.ExtensionSweep(tinyStudent(), 5, []int{20, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4 { // 2 kmaxes x 2 measures
+		t.Fatalf("%d rows, want 4", len(fig.Rows))
+	}
+	var sb strings.Builder
+	if err := fig.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "exposure") || !strings.Contains(sb.String(), "global-upper") {
+		t.Errorf("csv missing measures:\n%s", sb.String())
+	}
+}

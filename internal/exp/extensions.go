@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"rankfair/internal/core"
+	"rankfair/internal/synth"
+)
+
+// ExtensionSweep benchmarks the extension algorithms beyond the paper's
+// body (DESIGN.md §7): the incremental exposure detector and the
+// incremental upper-bound detector, each against its per-k baseline, as a
+// function of the k range — the dimension where incremental search pays off
+// most (Figures 8-9's shape).
+func (c Config) ExtensionSweep(b *synth.Bundle, attrs int, kMaxes []int) (*Figure, error) {
+	in, err := b.InputAttrs(min(attrs, b.NumCatAttrs()))
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Title: fmt.Sprintf("Extensions (%s): incremental vs per-k baseline across the k range (attrs=%d, τs=%d)",
+			b.Name, min(attrs, b.NumCatAttrs()), c.Tau),
+		Header: []string{"kmax", "measure", "baseline", "incremental", "speedup", "baseline nodes", "incr nodes"},
+	}
+	for _, kMax := range kMaxes {
+		if kMax > b.Table.NumRows() {
+			break
+		}
+		expParams := core.ExposureParams{MinSize: c.Tau, KMin: c.KMin, KMax: kMax, Alpha: c.Alpha}
+		base := runDetector("IterTDExposure", c.Timeout, func() (*core.Result, error) { return core.IterTDExposure(in, expParams) })
+		opt := runDetector("ExposureBounds", c.Timeout, func() (*core.Result, error) { return core.ExposureBounds(in, expParams) })
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%d", kMax), "exposure",
+			fmtDur(base), fmtDur(opt), speedup(base, opt), fmtNodes(base), fmtNodes(opt),
+		})
+
+		upParams := core.GlobalUpperParams{MinSize: c.Tau, KMin: c.KMin, KMax: kMax, Upper: core.ConstantBounds(c.KMin, kMax, c.LowerBase)}
+		ubase := runDetector("IterTDGlobalUpper", c.Timeout, func() (*core.Result, error) { return core.IterTDGlobalUpper(in, upParams) })
+		uopt := runDetector("GlobalUpperBounds", c.Timeout, func() (*core.Result, error) { return core.GlobalUpperBounds(in, upParams) })
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%d", kMax), "global-upper",
+			fmtDur(ubase), fmtDur(uopt), speedup(ubase, uopt), fmtNodes(ubase), fmtNodes(uopt),
+		})
+	}
+	return fig, nil
+}

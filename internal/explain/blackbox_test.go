@@ -1,0 +1,72 @@
+package explain
+
+import (
+	"testing"
+
+	"rankfair/internal/core"
+	"rankfair/internal/pattern"
+	"rankfair/internal/rank"
+	"rankfair/internal/regress"
+	"rankfair/internal/synth"
+)
+
+// TestBlackBoxModelRankerRecovered is the hardest version of the Section
+// VI-C claim: the ranker is itself a *learned model* (a CART tree trained
+// to imitate the grade order), and the explanation pipeline — which sees
+// only the final permutation — must still surface the attributes the model
+// ranks by.
+func TestBlackBoxModelRankerRecovered(t *testing.T) {
+	b := synth.Students(220, 29)
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train a tree on (categorical tuple -> grade) and use it as R.
+	enc := regress.NewEncoder(in.Space)
+	X := enc.EncodeAll(in.Rows)
+	grade := b.Table.ColumnByName("G3_score").Floats
+	model, err := regress.FitTree(X, grade, regress.TreeParams{MaxDepth: 6, MinLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranker := &rank.FromModel{Model: model, Encoder: enc}
+	ranking, err := ranker.Rank(b.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackbox := &core.Input{Rows: in.Rows, Space: in.Space, Ranking: ranking}
+	if err := blackbox.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explain an arbitrary substantial group against the model ranker.
+	var p pattern.Pattern
+	for i, n := range in.Space.Names {
+		if n == "sex" {
+			p = pattern.Empty(in.Space.NumAttrs()).With(i, 0)
+		}
+	}
+	expl, err := Explain(blackbox, b.Table.CatDicts(), p, 40, Options{
+		Seed: 1, Permutations: 16, BackgroundSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree ranks via the grade buckets (the only strong predictors of
+	// G3_score); a grade attribute must top the Shapley report.
+	top := expl.Shapley[0].Name
+	if top != "G3" && top != "G2" && top != "G1" {
+		t.Errorf("top attribute %q, want a grade attribute; report: %v", top, expl.Shapley)
+	}
+	if expl.Fidelity.Spearman < 0.8 {
+		t.Errorf("surrogate should track a categorical model ranker closely, Spearman=%v", expl.Fidelity.Spearman)
+	}
+}
+
+// TestFromModelErrors covers the ranker's failure modes.
+func TestFromModelErrors(t *testing.T) {
+	b := synth.RunningExample()
+	if _, err := (&rank.FromModel{}).Rank(b.Table); err == nil {
+		t.Error("nil model should fail")
+	}
+}

@@ -1,0 +1,287 @@
+// Package explain implements the paper's result analysis (Section V): given
+// a detected group with biased representation, it trains a regression model
+// M_R simulating the black-box ranker on D_R = {(t, R(D)[t])}, computes
+// aggregated Shapley values of every attribute over the group's tuples, and
+// compares the value distribution of the most influential attribute between
+// the top-k tuples and the group (Figures 10a-10f).
+package explain
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rankfair/internal/core"
+	"rankfair/internal/pattern"
+	"rankfair/internal/rank"
+	"rankfair/internal/regress"
+	"rankfair/internal/shapley"
+	"rankfair/internal/stats"
+)
+
+// ModelKind selects the regression model simulating the ranker.
+type ModelKind int
+
+const (
+	// RidgeModel trains a one-hot ridge regression (the default).
+	RidgeModel ModelKind = iota
+	// TreeModel trains a CART regression tree.
+	TreeModel
+)
+
+// Options tunes the explanation pipeline. The zero value selects sensible
+// defaults (ridge with λ=1, 32 permutations, 64 background rows, top 6
+// attributes as in Figure 10).
+type Options struct {
+	// Model selects the surrogate regression model.
+	Model ModelKind
+	// Lambda is the ridge regularization strength; <= 0 means 1.
+	Lambda float64
+	// Tree holds CART parameters when Model == TreeModel.
+	Tree regress.TreeParams
+	// Permutations is the sampling budget per tuple; <= 0 means 32.
+	Permutations int
+	// BackgroundSize is the background sample size; <= 0 means 64.
+	BackgroundSize int
+	// TopAttrs is how many attributes to keep in the report; <= 0 means 6.
+	TopAttrs int
+	// Exact switches to the exact Shapley estimator (subset enumeration);
+	// it fails beyond shapley.MaxExactAttrs attributes.
+	Exact bool
+	// Seed drives all sampling; explanations are deterministic per seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lambda <= 0 {
+		o.Lambda = 1
+	}
+	if o.Permutations <= 0 {
+		o.Permutations = 32
+	}
+	if o.BackgroundSize <= 0 {
+		o.BackgroundSize = 64
+	}
+	if o.TopAttrs <= 0 {
+		o.TopAttrs = 6
+	}
+	return o
+}
+
+// AttrShapley is one attribute's aggregated Shapley value for a group.
+type AttrShapley struct {
+	// Attr is the attribute index in the input space.
+	Attr int
+	// Name is the attribute name.
+	Name string
+	// Value is the aggregated Shapley value. The surrogate predicts rank
+	// positions (1 = best), so negative values push the group toward the
+	// top and positive values toward the bottom.
+	Value float64
+}
+
+// Explanation is the result of explaining one detected group.
+type Explanation struct {
+	// Pattern is the explained group.
+	Pattern pattern.Pattern
+	// GroupSize is the number of tuples satisfying the pattern.
+	GroupSize int
+	// K is the prefix length the group was detected at.
+	K int
+	// Shapley lists the top attributes by |aggregated Shapley value|,
+	// descending (Figure 10a-10c).
+	Shapley []AttrShapley
+	// AllShapley lists every attribute, same ordering.
+	AllShapley []AttrShapley
+	// Comparison contrasts the top attribute's value distribution between
+	// the top-k and the group (Figure 10d-10f).
+	Comparison *stats.Comparison
+	// Fidelity reports how faithfully the surrogate reproduces the
+	// black-box ranking it explains.
+	Fidelity Fidelity
+}
+
+// Fidelity quantifies surrogate quality: Shapley values explain the
+// surrogate, so they only transfer to the black-box ranker to the extent
+// the surrogate tracks it.
+type Fidelity struct {
+	// R2 is the coefficient of determination of predicted vs actual rank
+	// positions (1 = perfect).
+	R2 float64
+	// Spearman is the rank correlation between the surrogate-induced
+	// ordering and the actual ranking (1 = identical order).
+	Spearman float64
+}
+
+// Explain runs the Section V pipeline for one detected pattern at prefix
+// length k. dicts optionally supplies the value labels of each attribute
+// (from dataset.Table.CatDicts) for the distribution report.
+func Explain(in *core.Input, dicts [][]string, p pattern.Pattern, k int, opts Options) (*Explanation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p) != in.Space.NumAttrs() {
+		return nil, fmt.Errorf("explain: pattern has %d attributes, space has %d", len(p), in.Space.NumAttrs())
+	}
+	if k < 1 || k > len(in.Rows) {
+		return nil, fmt.Errorf("explain: k=%d outside [1,%d]", k, len(in.Rows))
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	model, enc, err := FitSurrogate(in, o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Background: a uniform sample of the dataset.
+	bg := make([][]int32, 0, o.BackgroundSize)
+	for _, i := range rng.Perm(len(in.Rows)) {
+		bg = append(bg, in.Rows[i])
+		if len(bg) == o.BackgroundSize {
+			break
+		}
+	}
+	ex, err := shapley.NewExplainer(model, enc, bg)
+	if err != nil {
+		return nil, err
+	}
+	var agg []float64
+	var size int
+	if o.Exact {
+		agg, size, err = ex.AggregateGroupExact(in.Rows, p)
+	} else {
+		agg, size, err = ex.AggregateGroup(in.Rows, p, o.Permutations, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	all := make([]AttrShapley, len(agg))
+	for a, v := range agg {
+		all[a] = AttrShapley{Attr: a, Name: in.Space.Names[a], Value: v}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := abs(all[i].Value), abs(all[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return all[i].Attr < all[j].Attr
+	})
+	top := o.TopAttrs
+	if top > len(all) {
+		top = len(all)
+	}
+
+	expl := &Explanation{
+		Pattern:    p,
+		GroupSize:  size,
+		K:          k,
+		Shapley:    all[:top],
+		AllShapley: all,
+	}
+	expl.Comparison = CompareDistributions(in, dicts, p, k, all[0].Attr)
+	if expl.Fidelity, err = surrogateFidelity(in, model, enc); err != nil {
+		return nil, err
+	}
+	return expl, nil
+}
+
+// surrogateFidelity measures the surrogate against the true ranking: R² of
+// predicted vs actual positions, and Spearman correlation between the
+// surrogate-induced order and the black box's order.
+func surrogateFidelity(in *core.Input, model regress.Model, enc *regress.Encoder) (Fidelity, error) {
+	pos := rank.Positions(in.Ranking)
+	preds := make([]float64, len(in.Rows))
+	buf := make([]float64, enc.Width())
+	yMean := 0.0
+	for i, row := range in.Rows {
+		enc.Encode(row, buf)
+		preds[i] = model.Predict(buf)
+		yMean += float64(pos[i] + 1)
+	}
+	yMean /= float64(len(in.Rows))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range preds {
+		y := float64(pos[i] + 1)
+		ssRes += (y - preds[i]) * (y - preds[i])
+		ssTot += (y - yMean) * (y - yMean)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	// Surrogate predicts positions: lower is better, so its induced
+	// ranking sorts predictions ascending.
+	neg := make([]float64, len(preds))
+	for i, v := range preds {
+		neg[i] = -v
+	}
+	rho, err := rank.SpearmanRho(rank.ByScoresDesc(neg), in.Ranking)
+	if err != nil {
+		return Fidelity{}, err
+	}
+	return Fidelity{R2: r2, Spearman: rho}, nil
+}
+
+// FitSurrogate trains the regression model M_R on D_R = {(t, R(D)[t])}:
+// every tuple labeled with its 1-based rank position.
+func FitSurrogate(in *core.Input, opts Options) (regress.Model, *regress.Encoder, error) {
+	o := opts.withDefaults()
+	enc := regress.NewEncoder(in.Space)
+	X := enc.EncodeAll(in.Rows)
+	pos := rank.Positions(in.Ranking)
+	y := make([]float64, len(in.Rows))
+	for i := range y {
+		y[i] = float64(pos[i] + 1)
+	}
+	switch o.Model {
+	case RidgeModel:
+		m, err := regress.FitRidge(X, y, o.Lambda)
+		if err != nil {
+			return nil, nil, fmt.Errorf("explain: fitting surrogate: %w", err)
+		}
+		return m, enc, nil
+	case TreeModel:
+		m, err := regress.FitTree(X, y, o.Tree)
+		if err != nil {
+			return nil, nil, fmt.Errorf("explain: fitting surrogate: %w", err)
+		}
+		return m, enc, nil
+	default:
+		return nil, nil, errors.New("explain: unknown model kind")
+	}
+}
+
+// CompareDistributions builds the Figure 10d-10f comparison of attribute
+// attr between the top-k tuples and the tuples satisfying p.
+func CompareDistributions(in *core.Input, dicts [][]string, p pattern.Pattern, k, attr int) *stats.Comparison {
+	card := in.Space.Cards[attr]
+	var labels []string
+	if dicts != nil && attr < len(dicts) {
+		labels = dicts[attr]
+	}
+	topCodes := make([]int32, 0, k)
+	for _, ri := range in.Ranking[:k] {
+		topCodes = append(topCodes, in.Rows[ri][attr])
+	}
+	var groupCodes []int32
+	for _, row := range in.Rows {
+		if p.Matches(row) {
+			groupCodes = append(groupCodes, row[attr])
+		}
+	}
+	return &stats.Comparison{
+		Attribute: in.Space.Names[attr],
+		TopK:      stats.NewHistogram(topCodes, card, labels),
+		Group:     stats.NewHistogram(groupCodes, card, labels),
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,238 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"rankfair/internal/core"
+	"rankfair/internal/pattern"
+	"rankfair/internal/synth"
+)
+
+// studentCase builds a small Student dataset with the {Medu=primary}
+// pattern of the paper's Figure 10a case study.
+func studentCase(t *testing.T) (*core.Input, [][]string, pattern.Pattern) {
+	t.Helper()
+	b := synth.Students(250, 17)
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dicts := b.Table.CatDicts()
+	meduIdx := -1
+	for i, n := range in.Space.Names {
+		if n == "Medu" {
+			meduIdx = i
+			break
+		}
+	}
+	if meduIdx < 0 {
+		t.Fatal("no Medu attribute")
+	}
+	code := int32(-1)
+	for c, label := range dicts[meduIdx] {
+		if label == "primary" {
+			code = int32(c)
+			break
+		}
+	}
+	if code < 0 {
+		t.Fatal("no primary label in Medu dictionary")
+	}
+	p := pattern.Empty(in.Space.NumAttrs())
+	p[meduIdx] = code
+	return in, dicts, p
+}
+
+// TestExplainRecoversRankingAttribute is the Section VI-C headline: the
+// surrogate's Shapley analysis must identify the final grade (the only
+// attribute the Student ranker uses) as the most influential one.
+func TestExplainRecoversRankingAttribute(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	expl, err := Explain(in, dicts, p, 40, Options{Seed: 1, Permutations: 16, BackgroundSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := expl.Shapley[0].Name
+	if top != "G3" && top != "G2" && top != "G1" {
+		t.Errorf("top Shapley attribute = %q, want a grade attribute", top)
+	}
+	foundG3 := false
+	for _, s := range expl.Shapley {
+		if s.Name == "G3" {
+			foundG3 = true
+		}
+	}
+	if !foundG3 {
+		t.Errorf("G3 missing from top attributes: %v", expl.Shapley)
+	}
+	if expl.GroupSize < 1 {
+		t.Error("group size must be positive")
+	}
+	if len(expl.Shapley) != 6 {
+		t.Errorf("default TopAttrs should be 6, got %d", len(expl.Shapley))
+	}
+	if len(expl.AllShapley) != in.Space.NumAttrs() {
+		t.Errorf("AllShapley has %d entries", len(expl.AllShapley))
+	}
+}
+
+// TestExplainDistributionsDiffer: the detected group's distribution of the
+// top attribute must differ visibly from the top-k's (Figure 10d).
+func TestExplainDistributionsDiffer(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	expl, err := Explain(in, dicts, p, 40, Options{Seed: 1, Permutations: 16, BackgroundSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl.Comparison == nil {
+		t.Fatal("missing comparison")
+	}
+	if tv := expl.Comparison.TotalVariation(); tv < 0.05 {
+		t.Errorf("top-k vs group distributions too similar (TV=%v)", tv)
+	}
+	if out := expl.Comparison.Render(); !strings.Contains(out, expl.Shapley[0].Name) {
+		t.Error("render should mention the attribute")
+	}
+}
+
+func TestExplainDeterministicPerSeed(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	a, err := Explain(in, dicts, p, 30, Options{Seed: 9, Permutations: 8, BackgroundSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explain(in, dicts, p, 30, Options{Seed: 9, Permutations: 8, BackgroundSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.AllShapley {
+		if a.AllShapley[i] != b.AllShapley[i] {
+			t.Fatalf("explanations differ at %d: %+v vs %+v", i, a.AllShapley[i], b.AllShapley[i])
+		}
+	}
+}
+
+func TestExplainTreeModel(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	expl, err := Explain(in, dicts, p, 30, Options{
+		Model: TreeModel, Seed: 3, Permutations: 8, BackgroundSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl.Shapley) == 0 {
+		t.Fatal("no Shapley values")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	if _, err := Explain(in, dicts, p, 0, Options{Seed: 1}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Explain(in, dicts, p, len(in.Rows)+1, Options{Seed: 1}); err == nil {
+		t.Error("k beyond dataset should fail")
+	}
+	if _, err := Explain(in, dicts, pattern.Empty(2), 10, Options{Seed: 1}); err == nil {
+		t.Error("wrong pattern width should fail")
+	}
+	bad := Options{Model: ModelKind(99)}
+	if _, _, err := FitSurrogate(in, bad); err == nil {
+		t.Error("unknown model kind should fail")
+	}
+	// A pattern matching no tuples.
+	small, err := synth.RunningExample().Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := pattern.Pattern{0, 0, 0, 2} // F, GP, R, failures=2: no such tuple
+	if never.Count(small.Rows) != 0 {
+		t.Fatal("fixture assumption broken")
+	}
+	if _, err := Explain(small, nil, never, 5, Options{Seed: 1, Permutations: 4, BackgroundSize: 8}); err == nil {
+		t.Error("empty group should fail")
+	}
+}
+
+func TestCompareDistributions(t *testing.T) {
+	in, err := synth.RunningExample().Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.Pattern{pattern.Unbound, 0, pattern.Unbound, pattern.Unbound} // {School=GP}
+	c := CompareDistributions(in, nil, p, 5, 1)
+	if c.Attribute != "School" {
+		t.Errorf("attribute = %q", c.Attribute)
+	}
+	if c.TopK.N != 5 || c.Group.N != 8 {
+		t.Errorf("sizes: topk=%d group=%d", c.TopK.N, c.Group.N)
+	}
+	// All 8 group members are GP (code 0).
+	if c.Group.Props[0] != 1 {
+		t.Errorf("group GP proportion = %v", c.Group.Props[0])
+	}
+	// Top-5 has exactly one GP student (Example 2.3).
+	if c.TopK.Props[0] != 0.2 {
+		t.Errorf("top-k GP proportion = %v", c.TopK.Props[0])
+	}
+}
+
+func TestExplainFidelityReported(t *testing.T) {
+	in, dicts, p := studentCase(t)
+	expl, err := Explain(in, dicts, p, 30, Options{Seed: 5, Permutations: 8, BackgroundSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Student ranker sorts by G3, which the surrogate sees only in
+	// 4-value buckets; fidelity should still be strongly positive.
+	if expl.Fidelity.R2 < 0.5 {
+		t.Errorf("surrogate R² = %v, want >= 0.5", expl.Fidelity.R2)
+	}
+	if expl.Fidelity.Spearman < 0.6 {
+		t.Errorf("surrogate Spearman = %v, want >= 0.6", expl.Fidelity.Spearman)
+	}
+}
+
+func TestExplainExactOption(t *testing.T) {
+	// The running example has 4 attributes — well within the exact limit.
+	in, err := synth.RunningExample().Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.Pattern{pattern.Unbound, 0, pattern.Unbound, pattern.Unbound} // {School=GP}
+	exact, err := Explain(in, nil, p, 5, Options{Exact: true, Seed: 1, BackgroundSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact explanations are deterministic given the seed (background
+	// sampling is the only random step).
+	again, err := Explain(in, nil, p, 5, Options{Exact: true, Seed: 1, BackgroundSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.AllShapley {
+		if exact.AllShapley[i] != again.AllShapley[i] {
+			t.Fatalf("exact explanation not deterministic at %d", i)
+		}
+	}
+	// Sampled with a large budget should approach the exact values.
+	sampled, err := Explain(in, nil, p, 5, Options{Seed: 1, Permutations: 3000, BackgroundSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactByAttr := map[int]float64{}
+	for _, s := range exact.AllShapley {
+		exactByAttr[s.Attr] = s.Value
+	}
+	for _, s := range sampled.AllShapley {
+		if d := s.Value - exactByAttr[s.Attr]; d > 0.4 || d < -0.4 {
+			t.Errorf("attr %d: sampled %v vs exact %v", s.Attr, s.Value, exactByAttr[s.Attr])
+		}
+	}
+	// Exact on a wide dataset must fail cleanly.
+	wide, _, pw := studentCase(t)
+	if _, err := Explain(wide, nil, pw, 20, Options{Exact: true, BackgroundSize: 4}); err == nil {
+		t.Error("exact on 33 attributes should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package pattern
+
+// EnumerateAll calls fn for every non-empty pattern over the space, in
+// search-tree preorder. It is intended for brute-force oracles in tests and
+// for the worst-case analyses; the number of patterns is exponential in the
+// number of attributes. fn returning false stops the enumeration early.
+func EnumerateAll(space *Space, fn func(Pattern) bool) {
+	var rec func(p Pattern) bool
+	rec = func(p Pattern) bool {
+		for _, c := range p.Children(space) {
+			if !fn(c) {
+				return false
+			}
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(Empty(space.NumAttrs()))
+}
+
+// MostGeneral filters a set of patterns down to its most general members:
+// those with no proper subset inside the set. The result preserves the
+// input order of the survivors.
+func MostGeneral(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		dominated := false
+		for j, q := range ps {
+			if i == j {
+				continue
+			}
+			if q.ProperSubsetOf(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MostSpecific filters a set of patterns down to its most specific members:
+// those with no proper superset inside the set.
+func MostSpecific(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		dominated := false
+		for j, q := range ps {
+			if i == j {
+				continue
+			}
+			if p.ProperSubsetOf(q) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseKey checks that ParseKey never panics and that accepted keys
+// round-trip through Key exactly.
+func FuzzParseKey(f *testing.F) {
+	f.Add("1|*|3")
+	f.Add("*")
+	f.Add("0")
+	f.Add("12|0|*|*|7")
+	f.Add("")
+	f.Add("-1|2")
+	f.Add("x|y")
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		if got := p.Key(); got != key {
+			// The only legal mismatch would be non-canonical numerals
+			// (e.g. "01"); reject those too by re-parsing.
+			q, err2 := ParseKey(got)
+			if err2 != nil || !q.Equal(p) {
+				t.Fatalf("round trip %q -> %v -> %q", key, p, got)
+			}
+		}
+	})
+}
+
+// FuzzMatchesSubset checks the core semantic link on arbitrary inputs:
+// whenever p ⊆ q, every row matched by q is matched by p.
+func FuzzMatchesSubset(f *testing.F) {
+	f.Add("1|*", "1|0", "1|0")
+	f.Add("*|*", "2|2", "2|2")
+	f.Fuzz(func(t *testing.T, pKey, qKey, rowKey string) {
+		p, err := ParseKey(pKey)
+		if err != nil {
+			return
+		}
+		q, err := ParseKey(qKey)
+		if err != nil || len(q) != len(p) {
+			return
+		}
+		rp, err := ParseKey(rowKey)
+		if err != nil || len(rp) != len(p) {
+			return
+		}
+		row := make([]int32, len(rp))
+		for i, v := range rp {
+			if v == Unbound {
+				return // rows must be fully bound
+			}
+			row[i] = v
+		}
+		if p.SubsetOf(q) && q.Matches(row) && !p.Matches(row) {
+			t.Fatalf("subset violated: p=%q q=%q row=%q", pKey, qKey, strings.Join([]string{rowKey}, ""))
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package pattern implements the group-description substrate of the paper:
+// patterns (value assignments to attribute subsets, Definition 2.2), the
+// pattern graph of Asudeh et al. (ICDE'19), and the spanning search tree of
+// Definition 4.1 used by all detection algorithms.
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unbound marks an attribute that a pattern does not constrain.
+const Unbound int32 = -1
+
+// Space describes the categorical attribute universe of a dataset: the
+// attribute names (ordered; the order defines the search tree of
+// Definition 4.1) and per-attribute cardinalities.
+type Space struct {
+	Names []string
+	Cards []int
+}
+
+// NumAttrs returns the number of attributes in the space.
+func (s *Space) NumAttrs() int { return len(s.Cards) }
+
+// NumPatterns returns the number of non-empty patterns over the space:
+// prod(card_i + 1) - 1. It saturates at math.MaxInt64 on overflow.
+func (s *Space) NumPatterns() int64 {
+	total := int64(1)
+	for _, c := range s.Cards {
+		next := total * int64(c+1)
+		if next/int64(c+1) != total {
+			return 1<<63 - 1
+		}
+		total = next
+	}
+	return total - 1
+}
+
+// Pattern is a value assignment to a subset of attributes: element i is
+// either Unbound or a dictionary code of attribute i. A Pattern's length
+// always equals the number of attributes in its Space.
+type Pattern []int32
+
+// Empty returns the most general pattern (no attribute bound) over n
+// attributes.
+func Empty(n int) Pattern {
+	p := make(Pattern, n)
+	for i := range p {
+		p[i] = Unbound
+	}
+	return p
+}
+
+// Clone returns an independent copy of p.
+func (p Pattern) Clone() Pattern {
+	q := make(Pattern, len(p))
+	copy(q, p)
+	return q
+}
+
+// With returns a copy of p with attribute attr bound to val.
+func (p Pattern) With(attr int, val int32) Pattern {
+	q := p.Clone()
+	q[attr] = val
+	return q
+}
+
+// Without returns a copy of p with attribute attr unbound.
+func (p Pattern) Without(attr int) Pattern {
+	q := p.Clone()
+	q[attr] = Unbound
+	return q
+}
+
+// NumAttrs returns |Attr(p)|, the number of bound attributes.
+func (p Pattern) NumAttrs() int {
+	n := 0
+	for _, v := range p {
+		if v != Unbound {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxAttrIdx returns idx(Attr(p)): the maximal index of a bound attribute,
+// or -1 for the empty pattern.
+func (p Pattern) MaxAttrIdx() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != Unbound {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attrs returns the indices of the bound attributes in increasing order.
+func (p Pattern) Attrs() []int {
+	var idx []int
+	for i, v := range p {
+		if v != Unbound {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Matches reports whether tuple row satisfies p (Definition 2.2: the tuple
+// agrees with every bound attribute).
+func (p Pattern) Matches(row []int32) bool {
+	for i, v := range p {
+		if v != Unbound && row[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether p ⊆ q as sets of attribute-value pairs, i.e. p
+// is equal to or more general than q.
+func (p Pattern) SubsetOf(q Pattern) bool {
+	for i, v := range p {
+		if v != Unbound && q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether p ⊊ q: p is strictly more general than q.
+func (p Pattern) ProperSubsetOf(q Pattern) bool {
+	proper := false
+	for i, v := range p {
+		switch {
+		case v == Unbound && q[i] != Unbound:
+			proper = true
+		case v == Unbound:
+		case q[i] != v:
+			return false
+		}
+	}
+	return proper
+}
+
+// Equal reports whether p and q bind the same attributes to the same values.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact canonical encoding of p, usable as a map key.
+func (p Pattern) Key() string {
+	var b strings.Builder
+	b.Grow(len(p) * 3)
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if v == Unbound {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+	}
+	return b.String()
+}
+
+// ParseKey decodes a pattern previously produced by Key.
+func ParseKey(key string) (Pattern, error) {
+	parts := strings.Split(key, "|")
+	p := make(Pattern, len(parts))
+	for i, s := range parts {
+		if s == "*" {
+			p[i] = Unbound
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("pattern: invalid key segment %q", s)
+		}
+		p[i] = int32(v)
+	}
+	return p, nil
+}
+
+// Format renders p using the attribute names and dictionaries of a space,
+// e.g. "{Gender=F, School=GP}". dicts may be nil, in which case raw codes
+// are printed.
+func (p Pattern) Format(space *Space, dicts [][]string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range p {
+		if v == Unbound {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(space.Names[i])
+		b.WriteByte('=')
+		if dicts != nil && i < len(dicts) && int(v) < len(dicts[i]) {
+			b.WriteString(dicts[i][v])
+		} else {
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String implements fmt.Stringer with raw codes, e.g. "{A1=0, A3=2}".
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range p {
+		if v == Unbound {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "A%d=%d", i+1, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Children generates the children of p in the search tree of Definition
+// 4.1: p extended with a single attribute-value pair whose attribute index
+// is strictly greater than MaxAttrIdx(p). The traversal of these children
+// from the empty pattern visits every pattern exactly once.
+func (p Pattern) Children(space *Space) []Pattern {
+	start := p.MaxAttrIdx() + 1
+	var kids []Pattern
+	for a := start; a < space.NumAttrs(); a++ {
+		for v := 0; v < space.Cards[a]; v++ {
+			kids = append(kids, p.With(a, int32(v)))
+		}
+	}
+	return kids
+}
+
+// GraphParents returns the parents of p in the pattern graph: every pattern
+// obtained by unbinding exactly one bound attribute.
+func (p Pattern) GraphParents() []Pattern {
+	var parents []Pattern
+	for i, v := range p {
+		if v != Unbound {
+			parents = append(parents, p.Without(i))
+		}
+	}
+	return parents
+}
+
+// TreeParent returns the unique parent of p in the search tree (unbinding
+// the maximal bound attribute), or nil for the empty pattern.
+func (p Pattern) TreeParent() Pattern {
+	m := p.MaxAttrIdx()
+	if m < 0 {
+		return nil
+	}
+	return p.Without(m)
+}
+
+// Count returns s_D(p): the number of rows matching p.
+func (p Pattern) Count(rows [][]int32) int {
+	n := 0
+	for _, r := range rows {
+		if p.Matches(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountTopK returns s_{R_k(D)}(p): the number of tuples among the top k of
+// ranking (a permutation of row indices, best first) that match p.
+func (p Pattern) CountTopK(rows [][]int32, ranking []int, k int) int {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	n := 0
+	for _, ri := range ranking[:k] {
+		if p.Matches(rows[ri]) {
+			n++
+		}
+	}
+	return n
+}

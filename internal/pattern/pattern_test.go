@@ -1,0 +1,311 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func space2() *Space {
+	return &Space{Names: []string{"Gender", "School"}, Cards: []int{2, 2}}
+}
+
+func TestEmptyAndBasics(t *testing.T) {
+	p := Empty(3)
+	if p.NumAttrs() != 0 {
+		t.Errorf("empty pattern binds %d attrs", p.NumAttrs())
+	}
+	if p.MaxAttrIdx() != -1 {
+		t.Errorf("empty MaxAttrIdx = %d, want -1", p.MaxAttrIdx())
+	}
+	q := p.With(1, 2)
+	if p.NumAttrs() != 0 {
+		t.Error("With must not mutate the receiver")
+	}
+	if q.NumAttrs() != 1 || q.MaxAttrIdx() != 1 || q[1] != 2 {
+		t.Errorf("unexpected q = %v", q)
+	}
+	if got := q.Without(1); got.NumAttrs() != 0 {
+		t.Errorf("Without: %v", got)
+	}
+	if got := q.Attrs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	p := Pattern{Unbound, 1, Unbound}
+	if !p.Matches([]int32{5, 1, 9}) {
+		t.Error("should match")
+	}
+	if p.Matches([]int32{5, 0, 9}) {
+		t.Error("should not match")
+	}
+	if !Empty(3).Matches([]int32{1, 2, 3}) {
+		t.Error("empty pattern matches everything")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	gf := Pattern{0, Unbound}  // {Gender=F}
+	gfgp := Pattern{0, 0}      // {Gender=F, School=GP}
+	gm := Pattern{1, Unbound}  // {Gender=M}
+	sgp := Pattern{Unbound, 0} // {School=GP}
+
+	if !gf.SubsetOf(gfgp) || !gf.ProperSubsetOf(gfgp) {
+		t.Error("{G=F} ⊊ {G=F,S=GP}")
+	}
+	if gfgp.SubsetOf(gf) {
+		t.Error("{G=F,S=GP} ⊄ {G=F}")
+	}
+	if !gf.SubsetOf(gf) || gf.ProperSubsetOf(gf) {
+		t.Error("subset is reflexive, proper subset is not")
+	}
+	if gm.SubsetOf(gfgp) {
+		t.Error("{G=M} ⊄ {G=F,S=GP}")
+	}
+	if !sgp.ProperSubsetOf(gfgp) {
+		t.Error("{S=GP} ⊊ {G=F,S=GP}")
+	}
+	if gf.Equal(gm) || !gf.Equal(Pattern{0, Unbound}) {
+		t.Error("Equal broken")
+	}
+}
+
+// TestExample42SearchTreeChildren encodes Example 4.2: {G=F, S=GP} is a
+// child of both {G=F} and {S=GP} in the pattern graph but only of {G=F} in
+// the search tree.
+func TestExample42SearchTreeChildren(t *testing.T) {
+	sp := space2()
+	gf := Pattern{0, Unbound}
+	sgp := Pattern{Unbound, 0}
+	gfgp := Pattern{0, 0}
+
+	if !containsPattern(gf.Children(sp), gfgp) {
+		t.Error("{G=F,S=GP} must be a tree child of {G=F}")
+	}
+	if containsPattern(sgp.Children(sp), gfgp) {
+		t.Error("{G=F,S=GP} must not be a tree child of {S=GP}")
+	}
+	parents := gfgp.GraphParents()
+	if len(parents) != 2 || !containsPattern(parents, gf) || !containsPattern(parents, sgp) {
+		t.Errorf("graph parents = %v", parents)
+	}
+	if tp := gfgp.TreeParent(); !tp.Equal(gf) {
+		t.Errorf("tree parent = %v, want {G=F}", tp)
+	}
+	if Empty(2).TreeParent() != nil {
+		t.Error("empty pattern has no tree parent")
+	}
+}
+
+func containsPattern(ps []Pattern, q Pattern) bool {
+	for _, p := range ps {
+		if p.Equal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickSearchTreeSpansPatternGraph: the search tree of Definition 4.1
+// visits every non-empty pattern exactly once.
+func TestQuickSearchTreeSpansPatternGraph(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		sp := &Space{Names: make([]string, n), Cards: make([]int, n)}
+		for i := 0; i < n; i++ {
+			sp.Names[i] = "A"
+			sp.Cards[i] = 1 + rng.Intn(3)
+		}
+		seen := make(map[string]bool)
+		dups := false
+		EnumerateAll(sp, func(p Pattern) bool {
+			k := p.Key()
+			if seen[k] {
+				dups = true
+				return false
+			}
+			seen[k] = true
+			return true
+		})
+		return !dups && int64(len(seen)) == sp.NumPatterns()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKeyRoundTrip: ParseKey inverts Key.
+func TestQuickKeyRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		p := Empty(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				p[i] = int32(rng.Intn(5))
+			}
+		}
+		q, err := ParseKey(p.Key())
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, bad := range []string{"x", "1|y", "-3", ""} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q): want error", bad)
+		}
+	}
+}
+
+// TestQuickSubsetConsistentWithMatches: if p ⊆ q then every row matching q
+// matches p.
+func TestQuickSubsetConsistentWithMatches(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		q := Empty(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q[i] = int32(rng.Intn(3))
+			}
+		}
+		// p: random generalization of q.
+		p := q.Clone()
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				p[i] = Unbound
+			}
+		}
+		if !p.SubsetOf(q) {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			row := make([]int32, n)
+			for i := range row {
+				row[i] = int32(rng.Intn(3))
+			}
+			if q.Matches(row) && !p.Matches(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMostGeneralMostSpecific(t *testing.T) {
+	gf := Pattern{0, Unbound, Unbound}
+	gfgp := Pattern{0, 0, Unbound}
+	sms := Pattern{Unbound, 1, Unbound}
+	all := []Pattern{gfgp, gf, sms}
+	mg := MostGeneral(all)
+	if len(mg) != 2 || !containsPattern(mg, gf) || !containsPattern(mg, sms) {
+		t.Errorf("MostGeneral = %v", mg)
+	}
+	ms := MostSpecific(all)
+	if len(ms) != 2 || !containsPattern(ms, gfgp) || !containsPattern(ms, sms) {
+		t.Errorf("MostSpecific = %v", ms)
+	}
+	if MostGeneral(nil) != nil {
+		t.Error("MostGeneral(nil) should be nil")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	rows := [][]int32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ranking := []int{3, 2, 1, 0}
+	p := Pattern{1, Unbound}
+	if got := p.Count(rows); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := p.CountTopK(rows, ranking, 2); got != 2 {
+		t.Errorf("CountTopK(2) = %d, want 2", got)
+	}
+	if got := p.CountTopK(rows, ranking, 99); got != 2 {
+		t.Errorf("CountTopK over-length = %d, want 2", got)
+	}
+	if got := Empty(2).CountTopK(rows, ranking, 3); got != 3 {
+		t.Errorf("empty CountTopK(3) = %d, want 3", got)
+	}
+}
+
+func TestFormatAndString(t *testing.T) {
+	sp := space2()
+	dicts := [][]string{{"F", "M"}, {"GP", "MS"}}
+	p := Pattern{0, 1}
+	if got := p.Format(sp, dicts); got != "{Gender=F, School=MS}" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := p.Format(sp, nil); got != "{Gender=0, School=1}" {
+		t.Errorf("Format nil dicts = %q", got)
+	}
+	if got := p.String(); got != "{A1=0, A2=1}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty(2).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestNumPatternsOverflowSaturates(t *testing.T) {
+	sp := &Space{Names: make([]string, 64), Cards: make([]int, 64)}
+	for i := range sp.Cards {
+		sp.Cards[i] = 1000
+	}
+	if got := sp.NumPatterns(); got != 1<<63-1 {
+		t.Errorf("NumPatterns should saturate, got %d", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	sp := &Space{Names: []string{"A", "B", "C"}, Cards: []int{2, 2, 2}}
+	count := 0
+	EnumerateAll(sp, func(Pattern) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d patterns, want 5", count)
+	}
+}
+
+// TestQuickProposition43 encodes Proposition 4.3: when every attribute has
+// at least two values, any single tuple satisfies at most half of the
+// patterns in the search tree (siblings differing in one attribute value
+// cannot both be satisfied).
+func TestQuickProposition43(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		sp := &Space{Names: make([]string, n), Cards: make([]int, n)}
+		for i := 0; i < n; i++ {
+			sp.Names[i] = "A"
+			sp.Cards[i] = 2 + rng.Intn(3)
+		}
+		row := make([]int32, n)
+		for i := range row {
+			row[i] = int32(rng.Intn(sp.Cards[i]))
+		}
+		total, matched := 0, 0
+		EnumerateAll(sp, func(p Pattern) bool {
+			total++
+			if p.Matches(row) {
+				matched++
+			}
+			return true
+		})
+		return 2*matched <= total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the rank-quality metrics the library uses to assess
+// ranking surrogates (Section V trains a model to simulate the ranker; a
+// downstream user should know how faithful it is) and to compare rankings:
+// Kendall's tau, Spearman's rho, and NDCG (Järvelin & Kekäläinen, the
+// paper's [20]).
+
+// KendallTau returns Kendall's tau-a between two rankings of the same
+// items: 1 for identical orders, -1 for reversed, 0 for uncorrelated.
+// Both arguments are permutations of row indices (best first). Runs in
+// O(n log n) via inversion counting.
+func KendallTau(a, b []int) (float64, error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, fmt.Errorf("rank: rankings of different lengths %d and %d", n, len(b))
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	posB := make([]int, n)
+	for i, ri := range b {
+		if ri < 0 || ri >= n {
+			return 0, fmt.Errorf("rank: index %d out of range", ri)
+		}
+		posB[ri] = i
+	}
+	seq := make([]int, n)
+	for i, ri := range a {
+		if ri < 0 || ri >= n {
+			return 0, fmt.Errorf("rank: index %d out of range", ri)
+		}
+		seq[i] = posB[ri]
+	}
+	inv := countInversions(seq)
+	pairs := float64(n) * float64(n-1) / 2
+	return 1 - 2*float64(inv)/pairs, nil
+}
+
+// countInversions counts pairs i<j with seq[i] > seq[j] by merge sort.
+func countInversions(seq []int) int64 {
+	buf := make([]int, len(seq))
+	return mergeCount(seq, buf)
+}
+
+func mergeCount(seq, buf []int) int64 {
+	n := len(seq)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(seq[:mid], buf[:mid]) + mergeCount(seq[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if seq[i] <= seq[j] {
+			buf[k] = seq[i]
+			i++
+		} else {
+			buf[k] = seq[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	copy(buf[k:], seq[i:mid])
+	copy(buf[k+mid-i:], seq[j:n])
+	copy(seq, buf[:n])
+	return inv
+}
+
+// SpearmanRho returns Spearman's rank correlation between two rankings of
+// the same items (Pearson correlation of the position vectors).
+func SpearmanRho(a, b []int) (float64, error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, fmt.Errorf("rank: rankings of different lengths %d and %d", n, len(b))
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	pa := Positions(a)
+	pb := Positions(b)
+	// With distinct ranks 0..n-1 on both sides the closed form applies:
+	// rho = 1 - 6*sum(d²)/(n(n²-1)).
+	var sumD2 float64
+	for i := 0; i < n; i++ {
+		d := float64(pa[i] - pb[i])
+		sumD2 += d * d
+	}
+	nf := float64(n)
+	return 1 - 6*sumD2/(nf*(nf*nf-1)), nil
+}
+
+// NDCG returns the normalized discounted cumulative gain of a ranking at
+// cutoff k, given per-item relevance grades: DCG(ranking@k) / DCG(ideal@k).
+// It returns 1 when all relevances are zero (any order is ideal).
+func NDCG(relevance []float64, ranking []int, k int) (float64, error) {
+	n := len(relevance)
+	if len(ranking) != n {
+		return 0, fmt.Errorf("rank: %d relevances for ranking of %d", n, len(ranking))
+	}
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("rank: cutoff %d outside [1,%d]", k, n)
+	}
+	dcg := 0.0
+	for i := 0; i < k; i++ {
+		ri := ranking[i]
+		if ri < 0 || ri >= n {
+			return 0, fmt.Errorf("rank: index %d out of range", ri)
+		}
+		dcg += relevance[ri] / math.Log2(float64(i)+2)
+	}
+	ideal := ByScoresDesc(relevance)
+	idcg := 0.0
+	for i := 0; i < k; i++ {
+		idcg += relevance[ideal[i]] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 1, nil
+	}
+	return dcg / idcg, nil
+}

@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauExtremes(t *testing.T) {
+	a := []int{0, 1, 2, 3}
+	rev := []int{3, 2, 1, 0}
+	if tau, err := KendallTau(a, a); err != nil || tau != 1 {
+		t.Errorf("identical tau = %v, %v", tau, err)
+	}
+	if tau, err := KendallTau(a, rev); err != nil || tau != -1 {
+		t.Errorf("reversed tau = %v, %v", tau, err)
+	}
+	if _, err := KendallTau(a, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := KendallTau([]int{0, 9}, []int{0, 1}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if tau, _ := KendallTau([]int{0}, []int{0}); tau != 1 {
+		t.Error("singleton tau should be 1")
+	}
+}
+
+// TestQuickKendallTauMatchesBruteForce validates the O(n log n) inversion
+// counter against the O(n²) definition.
+func TestQuickKendallTauMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := rng.Perm(n)
+		b := rng.Perm(n)
+		got, err := KendallTau(a, b)
+		if err != nil {
+			return false
+		}
+		pa, pb := Positions(a), Positions(b)
+		concordant, discordant := 0, 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				da := pa[i] - pa[j]
+				db := pb[i] - pb[j]
+				if da*db > 0 {
+					concordant++
+				} else {
+					discordant++
+				}
+			}
+		}
+		want := float64(concordant-discordant) / float64(concordant+discordant)
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	a := []int{0, 1, 2, 3, 4}
+	rev := []int{4, 3, 2, 1, 0}
+	if rho, err := SpearmanRho(a, a); err != nil || rho != 1 {
+		t.Errorf("identical rho = %v, %v", rho, err)
+	}
+	if rho, err := SpearmanRho(a, rev); err != nil || rho != -1 {
+		t.Errorf("reversed rho = %v, %v", rho, err)
+	}
+	if _, err := SpearmanRho(a, []int{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	rel := []float64{3, 2, 1, 0}
+	ideal := []int{0, 1, 2, 3}
+	if v, err := NDCG(rel, ideal, 4); err != nil || math.Abs(v-1) > 1e-12 {
+		t.Errorf("ideal NDCG = %v, %v", v, err)
+	}
+	worst := []int{3, 2, 1, 0}
+	v, err := NDCG(rel, worst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 1 || v <= 0 {
+		t.Errorf("worst-order NDCG = %v, want in (0,1)", v)
+	}
+	if z, err := NDCG([]float64{0, 0}, []int{1, 0}, 2); err != nil || z != 1 {
+		t.Errorf("zero-relevance NDCG = %v, %v", z, err)
+	}
+	if _, err := NDCG(rel, ideal, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NDCG(rel, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NDCG(rel, []int{0, 1, 2, 9}, 4); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+// TestQuickNDCGMonotoneUnderImprovement: swapping a better item earlier
+// never lowers NDCG.
+func TestQuickNDCGBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		rel := make([]float64, n)
+		for i := range rel {
+			rel[i] = float64(rng.Intn(4))
+		}
+		ranking := rng.Perm(n)
+		k := 1 + rng.Intn(n)
+		v, err := NDCG(rel, ranking, k)
+		if err != nil {
+			return false
+		}
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

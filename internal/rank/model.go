@@ -1,0 +1,58 @@
+package rank
+
+import (
+	"errors"
+	"fmt"
+
+	"rankfair/internal/dataset"
+)
+
+// Scorer is anything that assigns a score to an encoded feature vector —
+// satisfied by the regression models of internal/regress. It lets a learned
+// model act as the black-box ranking algorithm R, the setting the paper's
+// Section VI-C studies ("reveal the actual attributes used for ranking when
+// the ranking algorithm is given as a black box").
+type Scorer interface {
+	Predict(x []float64) float64
+}
+
+// RowEncoder turns a categorical tuple into the Scorer's feature vector —
+// satisfied by regress.Encoder.
+type RowEncoder interface {
+	Width() int
+	Encode(row []int32, dst []float64)
+}
+
+// FromModel ranks tuples by a learned model's score over the table's
+// categorical attributes. Descending scores by default; set Ascending for
+// models that predict rank positions or risk (lower = better).
+type FromModel struct {
+	Model   Scorer
+	Encoder RowEncoder
+	// Ascending ranks smaller predictions first.
+	Ascending bool
+}
+
+// Rank implements Ranker.
+func (r *FromModel) Rank(t *dataset.Table) ([]int, error) {
+	if r.Model == nil || r.Encoder == nil {
+		return nil, errors.New("rank: FromModel needs a model and an encoder")
+	}
+	rows, names, _ := t.CatMatrix()
+	if len(names) == 0 {
+		return nil, errors.New("rank: table has no categorical attributes")
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("rank: table has no rows")
+	}
+	buf := make([]float64, r.Encoder.Width())
+	scores := make([]float64, len(rows))
+	for i, row := range rows {
+		r.Encoder.Encode(row, buf)
+		scores[i] = r.Model.Predict(buf)
+		if r.Ascending {
+			scores[i] = -scores[i]
+		}
+	}
+	return ByScoresDesc(scores), nil
+}

@@ -1,0 +1,210 @@
+// Package rank implements the ranking substrate: the black-box Ranker
+// interface consumed by the detection algorithms, and the concrete rankers
+// used in the paper's experiments — attribute-score ranking (Student),
+// normalized linear scoring with inverted attributes (COMPAS, following
+// Asudeh et al. [4]), and externally supplied rankings (German Credit,
+// which the paper takes from Yang & Stoyanovich [36]).
+package rank
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rankfair/internal/dataset"
+)
+
+// Ranker produces a total order over the tuples of a table. The detection
+// algorithms treat it as a black box (the problems are model agnostic).
+type Ranker interface {
+	// Rank returns a permutation of the row indices of t, best first.
+	Rank(t *dataset.Table) ([]int, error)
+}
+
+// ByColumns ranks rows lexicographically by a sequence of numeric column
+// sort keys, mirroring the paper's running example ("rank students by their
+// grades; in the case of similar grades, students with fewer failures are
+// ranked higher"). Ties after all keys break by ascending row index so
+// rankings are deterministic.
+type ByColumns struct {
+	Keys []ColumnKey
+}
+
+// ColumnKey is one lexicographic sort key of a ByColumns ranker.
+type ColumnKey struct {
+	// Column names a numeric column of the table.
+	Column string
+	// Descending ranks larger values first when true.
+	Descending bool
+}
+
+// Rank implements Ranker.
+func (r *ByColumns) Rank(t *dataset.Table) ([]int, error) {
+	if len(r.Keys) == 0 {
+		return nil, errors.New("rank: ByColumns needs at least one key")
+	}
+	cols := make([]*dataset.Column, len(r.Keys))
+	for i, k := range r.Keys {
+		c := t.ColumnByName(k.Column)
+		if c == nil {
+			return nil, fmt.Errorf("rank: no column %q", k.Column)
+		}
+		if c.Kind != dataset.Numeric {
+			return nil, fmt.Errorf("rank: column %q is %s, want numeric", k.Column, c.Kind)
+		}
+		cols[i] = c
+	}
+	perm := identity(t.NumRows())
+	sort.SliceStable(perm, func(a, b int) bool {
+		ia, ib := perm[a], perm[b]
+		for i, k := range r.Keys {
+			va, vb := cols[i].Floats[ia], cols[i].Floats[ib]
+			if va == vb {
+				continue
+			}
+			if k.Descending {
+				return va > vb
+			}
+			return va < vb
+		}
+		return ia < ib
+	})
+	return perm, nil
+}
+
+// Linear ranks rows by a weighted sum of min-max normalized numeric
+// attributes, the scheme the paper uses for COMPAS: "Values are normalized
+// as (val-min)/(max-min). Higher values correspond to higher scores, except
+// for age" (Sec. VI-A). Attributes listed in Inverted contribute 1-norm.
+type Linear struct {
+	// Columns are the numeric scoring attributes.
+	Columns []string
+	// Weights are per-column weights; nil means all 1.
+	Weights []float64
+	// Inverted lists columns whose normalized value is flipped (lower raw
+	// value scores higher), e.g. age in the COMPAS ranking.
+	Inverted []string
+}
+
+// Scores computes the per-row score of the ranker without sorting.
+func (r *Linear) Scores(t *dataset.Table) ([]float64, error) {
+	if len(r.Columns) == 0 {
+		return nil, errors.New("rank: Linear needs at least one column")
+	}
+	if r.Weights != nil && len(r.Weights) != len(r.Columns) {
+		return nil, fmt.Errorf("rank: %d weights for %d columns", len(r.Weights), len(r.Columns))
+	}
+	inv := make(map[string]bool, len(r.Inverted))
+	for _, n := range r.Inverted {
+		inv[n] = true
+	}
+	scores := make([]float64, t.NumRows())
+	for j, name := range r.Columns {
+		c := t.ColumnByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("rank: no column %q", name)
+		}
+		if c.Kind != dataset.Numeric {
+			return nil, fmt.Errorf("rank: column %q is %s, want numeric", name, c.Kind)
+		}
+		lo, hi := minMax(c.Floats)
+		span := hi - lo
+		w := 1.0
+		if r.Weights != nil {
+			w = r.Weights[j]
+		}
+		for i, v := range c.Floats {
+			norm := 0.0
+			if span > 0 {
+				norm = (v - lo) / span
+			}
+			if inv[name] {
+				norm = 1 - norm
+			}
+			scores[i] += w * norm
+		}
+	}
+	return scores, nil
+}
+
+// Rank implements Ranker: tuples are ranked descending by score, ties by
+// ascending row index.
+func (r *Linear) Rank(t *dataset.Table) ([]int, error) {
+	scores, err := r.Scores(t)
+	if err != nil {
+		return nil, err
+	}
+	return ByScoresDesc(scores), nil
+}
+
+// Fixed wraps an externally produced ranking (e.g. the creditworthiness
+// ranking of [36] for German Credit). It validates that the permutation
+// matches the table size.
+type Fixed struct {
+	Perm []int
+}
+
+// Rank implements Ranker.
+func (r *Fixed) Rank(t *dataset.Table) ([]int, error) {
+	if len(r.Perm) != t.NumRows() {
+		return nil, fmt.Errorf("rank: fixed ranking has %d entries, table has %d rows", len(r.Perm), t.NumRows())
+	}
+	seen := make([]bool, len(r.Perm))
+	for _, ri := range r.Perm {
+		if ri < 0 || ri >= len(seen) || seen[ri] {
+			return nil, fmt.Errorf("rank: fixed ranking is not a permutation (index %d)", ri)
+		}
+		seen[ri] = true
+	}
+	out := make([]int, len(r.Perm))
+	copy(out, r.Perm)
+	return out, nil
+}
+
+// ByScoresDesc returns the permutation of indices ordering scores
+// descending, ties broken by ascending index.
+func ByScoresDesc(scores []float64) []int {
+	perm := identity(len(scores))
+	sort.SliceStable(perm, func(a, b int) bool {
+		ia, ib := perm[a], perm[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	return perm
+}
+
+// Positions inverts a ranking permutation: Positions(r)[row] is the
+// 0-based rank of the row (0 = best).
+func Positions(ranking []int) []int {
+	pos := make([]int, len(ranking))
+	for i, ri := range ranking {
+		pos[ri] = i
+	}
+	return pos
+}
+
+func identity(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

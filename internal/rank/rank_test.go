@@ -1,0 +1,188 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankfair/internal/dataset"
+)
+
+func scoreTable(t *testing.T, scores ...float64) *dataset.Table {
+	t.Helper()
+	tb := dataset.New()
+	if err := tb.AddNumeric("s", scores); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestByColumnsDescending(t *testing.T) {
+	tb := scoreTable(t, 3, 1, 2)
+	r := &ByColumns{Keys: []ColumnKey{{Column: "s", Descending: true}}}
+	perm, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 1}
+	for i, w := range want {
+		if perm[i] != w {
+			t.Errorf("perm[%d] = %d, want %d", i, perm[i], w)
+		}
+	}
+}
+
+func TestByColumnsTieBreak(t *testing.T) {
+	tb := dataset.New()
+	_ = tb.AddNumeric("grade", []float64{10, 10, 10})
+	_ = tb.AddNumeric("failures", []float64{2, 0, 1})
+	r := &ByColumns{Keys: []ColumnKey{
+		{Column: "grade", Descending: true},
+		{Column: "failures", Descending: false},
+	}}
+	perm, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0} // fewer failures first
+	for i, w := range want {
+		if perm[i] != w {
+			t.Errorf("perm[%d] = %d, want %d", i, perm[i], w)
+		}
+	}
+}
+
+func TestByColumnsErrors(t *testing.T) {
+	tb := dataset.New()
+	_ = tb.AddCategorical("c", []string{"a"})
+	if _, err := (&ByColumns{}).Rank(tb); err == nil {
+		t.Error("no keys should fail")
+	}
+	if _, err := (&ByColumns{Keys: []ColumnKey{{Column: "x"}}}).Rank(tb); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := (&ByColumns{Keys: []ColumnKey{{Column: "c"}}}).Rank(tb); err == nil {
+		t.Error("categorical key should fail")
+	}
+}
+
+func TestLinearNormalizationAndInversion(t *testing.T) {
+	tb := dataset.New()
+	_ = tb.AddNumeric("a", []float64{0, 5, 10})
+	_ = tb.AddNumeric("b", []float64{10, 5, 0})
+	// With b inverted, scores become: row0: 0+0=0? no: a norm {0,0.5,1}; b
+	// norm {1,0.5,0} inverted {0,0.5,1}. Sum: {0,1,2} → ranking 2,1,0.
+	r := &Linear{Columns: []string{"a", "b"}, Inverted: []string{"b"}}
+	perm, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 0}
+	for i, w := range want {
+		if perm[i] != w {
+			t.Errorf("perm[%d] = %d, want %d", i, perm[i], w)
+		}
+	}
+	scores, err := r.Scores(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 || scores[1] != 1 || scores[2] != 2 {
+		t.Errorf("scores = %v", scores)
+	}
+}
+
+func TestLinearWeightsAndErrors(t *testing.T) {
+	tb := dataset.New()
+	_ = tb.AddNumeric("a", []float64{0, 1})
+	_ = tb.AddCategorical("c", []string{"x", "y"})
+	r := &Linear{Columns: []string{"a"}, Weights: []float64{-1}}
+	perm, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Error("negative weight should invert the order")
+	}
+	if _, err := (&Linear{}).Rank(tb); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := (&Linear{Columns: []string{"a"}, Weights: []float64{1, 2}}).Rank(tb); err == nil {
+		t.Error("weight mismatch should fail")
+	}
+	if _, err := (&Linear{Columns: []string{"zz"}}).Rank(tb); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := (&Linear{Columns: []string{"c"}}).Rank(tb); err == nil {
+		t.Error("categorical column should fail")
+	}
+}
+
+func TestLinearConstantColumn(t *testing.T) {
+	tb := dataset.New()
+	_ = tb.AddNumeric("a", []float64{7, 7, 7})
+	r := &Linear{Columns: []string{"a"}}
+	scores, err := r.Scores(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Errorf("constant column should contribute 0, got %v", s)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	tb := scoreTable(t, 1, 2, 3)
+	r := &Fixed{Perm: []int{2, 0, 1}}
+	perm, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 2 {
+		t.Error("fixed perm not honored")
+	}
+	perm[0] = 99 // callers must not be able to corrupt the ranker
+	perm2, _ := r.Rank(tb)
+	if perm2[0] != 2 {
+		t.Error("Fixed must copy its permutation")
+	}
+	if _, err := (&Fixed{Perm: []int{0}}).Rank(tb); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := (&Fixed{Perm: []int{0, 0, 1}}).Rank(tb); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := (&Fixed{Perm: []int{0, 1, 5}}).Rank(tb); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestPositionsInverse(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		perm := rng.Perm(n)
+		pos := Positions(perm)
+		for i, ri := range perm {
+			if pos[ri] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByScoresDescStableTies(t *testing.T) {
+	perm := ByScoresDesc([]float64{1, 3, 3, 2})
+	want := []int{1, 2, 3, 0}
+	for i, w := range want {
+		if perm[i] != w {
+			t.Errorf("perm[%d] = %d, want %d", i, perm[i], w)
+		}
+	}
+}

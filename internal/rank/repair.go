@@ -1,0 +1,123 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FairTopK implements the constrained top-k selection of Celis, Straszak &
+// Vishnoi (the paper's fairness definition [10]) for the common case of a
+// single protected attribute partitioning the items: select k items
+// maximizing total score subject to a lower and an upper bound on every
+// group's count. Detection (this library's core) finds the groups whose
+// bounds a ranking violates; FairTopK is the companion repair for the
+// partition case.
+//
+// For partition constraints the greedy is exactly optimal: first take each
+// group's top lower[g] members, then fill the remaining slots with the best
+// remaining items whose groups are below their caps.
+
+// FairTopKConstraint bounds one group's count in the selection.
+type FairTopKConstraint struct {
+	// Lower is the minimum number of selected members (0 = none).
+	Lower int
+	// Upper is the maximum number of selected members; <= 0 means k (no
+	// cap).
+	Upper int
+}
+
+// FairTopK returns the indices of the selected items ordered by descending
+// score. groupOf[i] is item i's group id in [0, len(constraints)).
+func FairTopK(scores []float64, groupOf []int, k int, constraints []FairTopKConstraint) ([]int, error) {
+	n := len(scores)
+	if len(groupOf) != n {
+		return nil, fmt.Errorf("rank: %d group ids for %d scores", len(groupOf), n)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("rank: k=%d outside [1,%d]", k, n)
+	}
+	g := len(constraints)
+	sizes := make([]int, g)
+	for i, gi := range groupOf {
+		if gi < 0 || gi >= g {
+			return nil, fmt.Errorf("rank: item %d has group %d outside [0,%d)", i, gi, g)
+		}
+		sizes[gi]++
+	}
+	lowerSum := 0
+	for gi, c := range constraints {
+		upper := c.Upper
+		if upper <= 0 {
+			upper = k
+		}
+		if c.Lower < 0 || c.Lower > upper {
+			return nil, fmt.Errorf("rank: group %d bounds [%d,%d] invalid", gi, c.Lower, upper)
+		}
+		if c.Lower > sizes[gi] {
+			return nil, fmt.Errorf("rank: group %d lower bound %d exceeds its size %d", gi, c.Lower, sizes[gi])
+		}
+		lowerSum += c.Lower
+	}
+	if lowerSum > k {
+		return nil, fmt.Errorf("rank: lower bounds sum to %d > k=%d", lowerSum, k)
+	}
+	upperCap := 0
+	for gi, c := range constraints {
+		upper := c.Upper
+		if upper <= 0 {
+			upper = k
+		}
+		if upper > sizes[gi] {
+			upper = sizes[gi]
+		}
+		upperCap += upper
+	}
+	if upperCap < k {
+		return nil, fmt.Errorf("rank: upper bounds admit only %d items for k=%d", upperCap, k)
+	}
+
+	// Per-group members, best first.
+	members := make([][]int, g)
+	for _, i := range ByScoresDesc(scores) {
+		members[groupOf[i]] = append(members[groupOf[i]], i)
+	}
+	taken := make([]int, g)
+	inSelection := make(map[int]bool, k)
+	var selected []int
+	pick := func(i int) {
+		selected = append(selected, i)
+		inSelection[i] = true
+		taken[groupOf[i]]++
+	}
+	// Phase 1: satisfy lower bounds with each group's best members.
+	for gi, c := range constraints {
+		for j := 0; j < c.Lower; j++ {
+			pick(members[gi][j])
+		}
+	}
+	// Phase 2: fill with the globally best remaining items under caps.
+	for _, i := range ByScoresDesc(scores) {
+		if len(selected) == k {
+			break
+		}
+		if inSelection[i] {
+			continue
+		}
+		gi := groupOf[i]
+		upper := constraints[gi].Upper
+		if upper <= 0 {
+			upper = k
+		}
+		if taken[gi] >= upper {
+			continue
+		}
+		pick(i)
+	}
+	sort.SliceStable(selected, func(a, b int) bool {
+		if scores[selected[a]] != scores[selected[b]] {
+			return scores[selected[a]] > scores[selected[b]]
+		}
+		return selected[a] < selected[b]
+	})
+	return selected, nil
+}

@@ -1,0 +1,163 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFairTopKBasic(t *testing.T) {
+	// Six items, two groups; group 1 scores lower across the board.
+	scores := []float64{90, 80, 70, 60, 50, 40}
+	groups := []int{0, 0, 0, 1, 1, 1}
+	// Unconstrained: top-3 is all group 0.
+	sel, err := FairTopK(scores, groups, 3, []FairTopKConstraint{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 0 || sel[1] != 1 || sel[2] != 2 {
+		t.Errorf("unconstrained selection = %v", sel)
+	}
+	// Lower bound of 1 on group 1 displaces the weakest group-0 member.
+	sel, err = FairTopK(scores, groups, 3, []FairTopKConstraint{{}, {Lower: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3}
+	for i, w := range want {
+		if sel[i] != w {
+			t.Fatalf("constrained selection = %v, want %v", sel, want)
+		}
+	}
+	// Upper bound of 1 on group 0.
+	sel, err = FairTopK(scores, groups, 3, []FairTopKConstraint{{Upper: 1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{0, 3, 4}
+	for i, w := range want {
+		if sel[i] != w {
+			t.Fatalf("capped selection = %v, want %v", sel, want)
+		}
+	}
+}
+
+func TestFairTopKErrors(t *testing.T) {
+	scores := []float64{1, 2, 3}
+	groups := []int{0, 1, 0}
+	cases := []struct {
+		name        string
+		k           int
+		groups      []int
+		constraints []FairTopKConstraint
+	}{
+		{"k too big", 4, groups, []FairTopKConstraint{{}, {}}},
+		{"k zero", 0, groups, []FairTopKConstraint{{}, {}}},
+		{"bad group id", 2, []int{0, 5, 0}, []FairTopKConstraint{{}, {}}},
+		{"group length", 2, []int{0, 1}, []FairTopKConstraint{{}, {}}},
+		{"lower above size", 2, groups, []FairTopKConstraint{{}, {Lower: 2}}},
+		{"lower above upper", 2, groups, []FairTopKConstraint{{Lower: 2, Upper: 1}, {}}},
+		{"lower sum above k", 2, groups, []FairTopKConstraint{{Lower: 2}, {Lower: 1}}},
+		{"uppers below k", 3, groups, []FairTopKConstraint{{Upper: 1}, {Upper: 1}}},
+		{"negative lower", 2, groups, []FairTopKConstraint{{Lower: -1}, {}}},
+	}
+	for _, c := range cases {
+		if _, err := FairTopK(scores, c.groups, c.k, c.constraints); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+// TestQuickFairTopKOptimal: the greedy selection is score-optimal among
+// all feasible selections (verified by exhaustive enumeration on small
+// instances) and respects every bound.
+func TestQuickFairTopKOptimal(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := 2 + rng.Intn(2)
+		scores := make([]float64, n)
+		groups := make([]int, n)
+		sizes := make([]int, g)
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*100) / 4 // ties possible
+			groups[i] = rng.Intn(g)
+			sizes[groups[i]]++
+		}
+		k := 1 + rng.Intn(n)
+		constraints := make([]FairTopKConstraint, g)
+		lowerSum := 0
+		for gi := range constraints {
+			maxL := min(sizes[gi], k-lowerSum)
+			if maxL > 0 && rng.Intn(2) == 0 {
+				constraints[gi].Lower = rng.Intn(maxL + 1)
+			}
+			lowerSum += constraints[gi].Lower
+		}
+		sel, err := FairTopK(scores, groups, k, constraints)
+		if err != nil {
+			return true // infeasible instances are allowed to error
+		}
+		if len(sel) != k {
+			return false
+		}
+		counts := make([]int, g)
+		total := 0.0
+		seen := map[int]bool{}
+		for _, i := range sel {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+			counts[groups[i]]++
+			total += scores[i]
+		}
+		for gi, c := range constraints {
+			upper := c.Upper
+			if upper <= 0 {
+				upper = k
+			}
+			if counts[gi] < c.Lower || counts[gi] > upper {
+				return false
+			}
+		}
+		// Exhaustive optimum.
+		best := -1.0
+		idx := make([]int, 0, k)
+		var rec func(start int)
+		rec = func(start int) {
+			if len(idx) == k {
+				cnt := make([]int, g)
+				sum := 0.0
+				for _, i := range idx {
+					cnt[groups[i]]++
+					sum += scores[i]
+				}
+				for gi, c := range constraints {
+					upper := c.Upper
+					if upper <= 0 {
+						upper = k
+					}
+					if cnt[gi] < c.Lower || cnt[gi] > upper {
+						return
+					}
+				}
+				if sum > best {
+					best = sum
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				idx = append(idx, i)
+				rec(i + 1)
+				idx = idx[:len(idx)-1]
+			}
+		}
+		rec(0)
+		return math.Abs(total-best) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

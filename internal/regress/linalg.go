@@ -1,0 +1,80 @@
+package regress
+
+import (
+	"errors"
+	"math"
+)
+
+// sym is a dense symmetric matrix stored as the upper triangle.
+type sym struct {
+	n int
+	a []float64 // row-major upper triangle: (i,j) with j >= i at idx(i,j)
+}
+
+func newSym(n int) *sym {
+	return &sym{n: n, a: make([]float64, n*(n+1)/2)}
+}
+
+func (s *sym) idx(i, j int) int {
+	// j >= i assumed; row i starts after i full rows of decreasing length.
+	return i*s.n - i*(i-1)/2 + (j - i)
+}
+
+func (s *sym) at(i, j int) float64 {
+	if j < i {
+		i, j = j, i
+	}
+	return s.a[s.idx(i, j)]
+}
+
+func (s *sym) add(i, j int, v float64) {
+	if j < i {
+		i, j = j, i
+	}
+	s.a[s.idx(i, j)] += v
+}
+
+// solveCholesky solves A x = b for symmetric positive definite A.
+func solveCholesky(A *sym, b []float64) ([]float64, error) {
+	n := A.n
+	// L is lower triangular, stored dense row-major for simplicity.
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, i+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := A.at(i, j)
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, errors.New("matrix is not positive definite")
+				}
+				L[i][j] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	// Forward solve L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= L[i][k] * z[k]
+		}
+		z[i] = sum / L[i][i]
+	}
+	// Back solve L^T x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= L[k][i] * x[k]
+		}
+		x[i] = sum / L[i][i]
+	}
+	return x, nil
+}

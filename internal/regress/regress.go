@@ -1,0 +1,151 @@
+// Package regress implements the regression substrate of Section V: the
+// paper trains a regression model M_R on D_R = {(t, R(D)[t])} to simulate a
+// black-box ranking algorithm, then explains it with Shapley values. The
+// package provides one-hot encoding of categorical tuples, ridge regression
+// solved by normal equations, and a CART regression tree.
+package regress
+
+import (
+	"errors"
+	"fmt"
+
+	"rankfair/internal/pattern"
+)
+
+// Model is a trained regression model over encoded feature vectors.
+type Model interface {
+	// Predict returns the model output for one encoded feature vector.
+	Predict(x []float64) float64
+}
+
+// Encoder one-hot encodes dictionary-coded categorical tuples. Attribute i
+// with cardinality c_i occupies c_i consecutive feature columns.
+type Encoder struct {
+	space   *pattern.Space
+	offsets []int
+	width   int
+}
+
+// NewEncoder builds an encoder for the attribute space.
+func NewEncoder(space *pattern.Space) *Encoder {
+	e := &Encoder{space: space, offsets: make([]int, space.NumAttrs())}
+	for i, c := range space.Cards {
+		e.offsets[i] = e.width
+		e.width += c
+	}
+	return e
+}
+
+// Width returns the encoded feature-vector length.
+func (e *Encoder) Width() int { return e.width }
+
+// NumAttrs returns the number of attributes the encoder covers.
+func (e *Encoder) NumAttrs() int { return e.space.NumAttrs() }
+
+// AttrColumns returns the feature-column range [lo, hi) of attribute attr.
+func (e *Encoder) AttrColumns(attr int) (lo, hi int) {
+	return e.offsets[attr], e.offsets[attr] + e.space.Cards[attr]
+}
+
+// Encode writes the one-hot encoding of row into dst, which must have
+// length Width().
+func (e *Encoder) Encode(row []int32, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for a, v := range row {
+		dst[e.offsets[a]+int(v)] = 1
+	}
+}
+
+// EncodeAll encodes a batch of rows into a fresh matrix.
+func (e *Encoder) EncodeAll(rows [][]int32) [][]float64 {
+	X := make([][]float64, len(rows))
+	flat := make([]float64, len(rows)*e.width)
+	for i, r := range rows {
+		X[i] = flat[i*e.width : (i+1)*e.width]
+		e.Encode(r, X[i])
+	}
+	return X
+}
+
+// Ridge is a linear model fitted with L2 regularization.
+type Ridge struct {
+	// Weights holds one coefficient per encoded feature column.
+	Weights []float64
+	// Intercept is the bias term.
+	Intercept float64
+}
+
+// FitRidge fits min_w ||Xw + b - y||² + λ||w||² via the normal equations.
+// λ must be positive; with one-hot features the unregularized system is
+// singular (each attribute's columns sum to the intercept column).
+func FitRidge(X [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	if len(X) == 0 {
+		return nil, errors.New("regress: no training rows")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("regress: %d rows, %d targets", len(X), len(y))
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("regress: lambda must be positive, got %v", lambda)
+	}
+	d := len(X[0])
+	// Center y and columns so the intercept is handled analytically.
+	yMean := mean(y)
+	colMean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			colMean[j] += v
+		}
+	}
+	for j := range colMean {
+		colMean[j] /= float64(len(X))
+	}
+
+	// A = Xc^T Xc + λI, rhs = Xc^T yc.
+	A := newSym(d)
+	rhs := make([]float64, d)
+	for i, row := range X {
+		yc := y[i] - yMean
+		for j := 0; j < d; j++ {
+			xj := row[j] - colMean[j]
+			if xj == 0 {
+				continue
+			}
+			rhs[j] += xj * yc
+			for l := j; l < d; l++ {
+				A.add(j, l, xj*(row[l]-colMean[l]))
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		A.add(j, j, lambda)
+	}
+	w, err := solveCholesky(A, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("regress: ridge solve: %w", err)
+	}
+	b := yMean
+	for j := 0; j < d; j++ {
+		b -= w[j] * colMean[j]
+	}
+	return &Ridge{Weights: w, Intercept: b}, nil
+}
+
+// Predict implements Model.
+func (r *Ridge) Predict(x []float64) float64 {
+	out := r.Intercept
+	for j, w := range r.Weights {
+		out += w * x[j]
+	}
+	return out
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

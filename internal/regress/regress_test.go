@@ -1,0 +1,253 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankfair/internal/pattern"
+)
+
+func testSpace() *pattern.Space {
+	return &pattern.Space{Names: []string{"A", "B", "C"}, Cards: []int{2, 3, 2}}
+}
+
+func TestEncoder(t *testing.T) {
+	enc := NewEncoder(testSpace())
+	if enc.Width() != 7 {
+		t.Fatalf("width = %d, want 7", enc.Width())
+	}
+	if enc.NumAttrs() != 3 {
+		t.Fatalf("attrs = %d", enc.NumAttrs())
+	}
+	lo, hi := enc.AttrColumns(1)
+	if lo != 2 || hi != 5 {
+		t.Errorf("attr 1 columns = [%d,%d), want [2,5)", lo, hi)
+	}
+	x := make([]float64, enc.Width())
+	enc.Encode([]int32{1, 2, 0}, x)
+	want := []float64{0, 1, 0, 0, 1, 1, 0}
+	for i, w := range want {
+		if x[i] != w {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], w)
+		}
+	}
+	X := enc.EncodeAll([][]int32{{0, 0, 0}, {1, 2, 1}})
+	if len(X) != 2 || X[0][0] != 1 || X[1][6] != 1 {
+		t.Errorf("EncodeAll wrong: %v", X)
+	}
+}
+
+func TestRidgeRecoversLinearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	enc := NewEncoder(testSpace())
+	n := 400
+	rows := make([][]int32, n)
+	y := make([]float64, n)
+	// Ground truth: per-value effects.
+	effA := []float64{0, 4}
+	effB := []float64{-2, 0, 3}
+	effC := []float64{1, -1}
+	for i := range rows {
+		r := []int32{int32(rng.Intn(2)), int32(rng.Intn(3)), int32(rng.Intn(2))}
+		rows[i] = r
+		y[i] = 10 + effA[r[0]] + effB[r[1]] + effC[r[2]]
+	}
+	X := enc.EncodeAll(rows)
+	m, err := FitRidge(X, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range rows {
+		e := math.Abs(m.Predict(X[i]) - y[i])
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-3 {
+		t.Errorf("max prediction error %v on noiseless linear target", maxErr)
+	}
+}
+
+func TestRidgeRegularizationShrinks(t *testing.T) {
+	enc := NewEncoder(&pattern.Space{Names: []string{"A"}, Cards: []int{2}})
+	X := enc.EncodeAll([][]int32{{0}, {1}, {0}, {1}})
+	y := []float64{0, 10, 0, 10}
+	small, err := FitRidge(X, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := FitRidge(X, y, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(big.Weights) >= norm(small.Weights) {
+		t.Errorf("heavy regularization should shrink weights: %v vs %v", norm(big.Weights), norm(small.Weights))
+	}
+	// Heavily regularized model predicts near the mean.
+	if math.Abs(big.Predict(X[0])-5) > 0.1 {
+		t.Errorf("heavily regularized prediction %v, want ~5", big.Predict(X[0]))
+	}
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("zero lambda should fail")
+	}
+}
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	X := [][]float64{}
+	y := []float64{}
+	for i := 0; i < 40; i++ {
+		v := float64(i) / 40
+		X = append(X, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 9)
+		}
+	}
+	tr, err := FitTree(X, y, TreeParams{MaxDepth: 3, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Predict(0.1) = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{0.9}); math.Abs(got-9) > 1e-9 {
+		t.Errorf("Predict(0.9) = %v, want 9", got)
+	}
+	if tr.NumNodes() < 3 {
+		t.Errorf("tree too small: %d nodes", tr.NumNodes())
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 0, 10, 10}
+	tr, err := FitTree(X, y, TreeParams{MaxDepth: 5, MinLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("MinLeaf=4 on 4 samples must yield a stump, got %d nodes", tr.NumNodes())
+	}
+	if got := tr.Predict([]float64{0}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("stump predicts %v, want mean 5", got)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}, {11}}
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = 7
+	}
+	tr, err := FitTree(X, y, TreeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("constant target should not split, got %d nodes", tr.NumNodes())
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeParams{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeParams{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// TestQuickTreePredictionsWithinRange: tree predictions always lie within
+// [min(y), max(y)] (leaf values are means of subsets).
+func TestQuickTreePredictionsWithinRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		d := 1 + rng.Intn(4)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				X[i][j] = rng.Float64()
+			}
+			y[i] = rng.NormFloat64() * 10
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		tr, err := FitTree(X, y, TreeParams{MaxDepth: 4, MinLeaf: 2})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			p := tr.Predict(x)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRidgePredictionFiniteAndDeterministic: fitting the same data
+// twice yields identical models with finite predictions.
+func TestQuickRidgeDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		enc := NewEncoder(testSpace())
+		n := 20 + rng.Intn(50)
+		rows := make([][]int32, n)
+		y := make([]float64, n)
+		for i := range rows {
+			rows[i] = []int32{int32(rng.Intn(2)), int32(rng.Intn(3)), int32(rng.Intn(2))}
+			y[i] = rng.NormFloat64()
+		}
+		X := enc.EncodeAll(rows)
+		m1, err := FitRidge(X, y, 0.5)
+		if err != nil {
+			return false
+		}
+		m2, err := FitRidge(X, y, 0.5)
+		if err != nil {
+			return false
+		}
+		for j := range m1.Weights {
+			if m1.Weights[j] != m2.Weights[j] || math.IsNaN(m1.Weights[j]) {
+				return false
+			}
+		}
+		return m1.Intercept == m2.Intercept && !math.IsNaN(m1.Predict(X[0]))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TreeParams controls CART fitting.
+type TreeParams struct {
+	// MaxDepth bounds the tree depth (root = depth 0). <= 0 means 6.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples per leaf. <= 0 means 5.
+	MinLeaf int
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 6
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 5
+	}
+	return p
+}
+
+// Tree is a CART regression tree with axis-aligned threshold splits,
+// fitted by variance reduction.
+type Tree struct {
+	nodes []treeNode
+}
+
+type treeNode struct {
+	feature   int     // split feature; -1 for leaves
+	threshold float64 // go left when x[feature] <= threshold
+	left      int32
+	right     int32
+	value     float64 // leaf prediction
+}
+
+// FitTree fits a CART regression tree to (X, y).
+func FitTree(X [][]float64, y []float64, params TreeParams) (*Tree, error) {
+	if len(X) == 0 {
+		return nil, errors.New("regress: no training rows")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("regress: %d rows, %d targets", len(X), len(y))
+	}
+	p := params.withDefaults()
+	t := &Tree{}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(X, y, idx, 0, p)
+	return t, nil
+}
+
+// build grows the subtree over samples idx and returns its node index.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int, p TreeParams) int32 {
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: meanAt(y, idx)})
+	if depth >= p.MaxDepth || len(idx) < 2*p.MinLeaf {
+		return node
+	}
+	feat, thr, ok := bestSplit(X, y, idx, p.MinLeaf)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	t.nodes[node].feature = feat
+	t.nodes[node].threshold = thr
+	l := t.build(X, y, left, depth+1, p)
+	r := t.build(X, y, right, depth+1, p)
+	t.nodes[node].left = l
+	t.nodes[node].right = r
+	return node
+}
+
+// bestSplit finds the (feature, threshold) minimizing the weighted sum of
+// child squared errors, honoring the minimum leaf size.
+func bestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	d := len(X[idx[0]])
+	totalSum, totalSq := 0.0, 0.0
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	bestScore := totalSq - totalSum*totalSum/float64(n) // parent SSE
+	improved := false
+
+	order := make([]int, n)
+	for f := 0; f < d; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		leftSum, leftSq := 0.0, 0.0
+		for pos := 0; pos < n-1; pos++ {
+			i := order[pos]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			if X[order[pos]][f] == X[order[pos+1]][f] {
+				continue // not a valid cut point
+			}
+			nl, nr := pos+1, n-pos-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			if sse < bestScore-1e-12 {
+				bestScore = sse
+				feature = f
+				threshold = (X[order[pos]][f] + X[order[pos+1]][f]) / 2
+				improved = true
+			}
+		}
+	}
+	return feature, threshold, improved
+}
+
+// Predict implements Model.
+func (t *Tree) Predict(x []float64) float64 {
+	nd := int32(0)
+	for {
+		n := t.nodes[nd]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			nd = n.left
+		} else {
+			nd = n.right
+		}
+	}
+}
+
+// NumNodes returns the number of nodes in the fitted tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+func meanAt(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}

@@ -1,0 +1,207 @@
+// Package shapley computes Shapley values of attributes for a regression
+// model over categorical tuples, as used by the paper's result analysis
+// (Section V): the contribution of each attribute to the model's output for
+// one tuple, measured against a background distribution, and aggregated
+// over all tuples of a detected group.
+//
+// Two estimators are provided: exact subset enumeration (feasible for small
+// attribute counts) and the permutation-sampling approximation of Štrumbelj
+// & Kononenko, which the paper's experiments rely on.
+package shapley
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rankfair/internal/pattern"
+	"rankfair/internal/regress"
+)
+
+// MaxExactAttrs bounds the subset enumeration of the exact estimator.
+const MaxExactAttrs = 16
+
+// Explainer computes per-attribute Shapley values for a model simulating a
+// ranking algorithm. The coalition value of an attribute subset S for tuple
+// t is v(S) = E_b[M(t_S ⊕ b_\S)]: the expected model output when t's values
+// for S are composed with background values elsewhere.
+type Explainer struct {
+	model      regress.Model
+	enc        *regress.Encoder
+	background [][]int32
+}
+
+// NewExplainer builds an explainer over the given background sample. The
+// background must be non-empty; a uniform sample of the dataset is the
+// usual choice.
+func NewExplainer(model regress.Model, enc *regress.Encoder, background [][]int32) (*Explainer, error) {
+	if model == nil || enc == nil {
+		return nil, errors.New("shapley: nil model or encoder")
+	}
+	if len(background) == 0 {
+		return nil, errors.New("shapley: empty background sample")
+	}
+	for i, b := range background {
+		if len(b) != enc.NumAttrs() {
+			return nil, fmt.Errorf("shapley: background row %d has %d attributes, want %d", i, len(b), enc.NumAttrs())
+		}
+	}
+	return &Explainer{model: model, enc: enc, background: background}, nil
+}
+
+// predictRow encodes and evaluates one categorical tuple.
+func (e *Explainer) predictRow(row []int32, buf []float64) float64 {
+	e.enc.Encode(row, buf)
+	return e.model.Predict(buf)
+}
+
+// Exact computes the exact Shapley value of every attribute for tuple row
+// by enumerating all attribute subsets. It fails for more than
+// MaxExactAttrs attributes.
+func (e *Explainer) Exact(row []int32) ([]float64, error) {
+	n := e.enc.NumAttrs()
+	if len(row) != n {
+		return nil, fmt.Errorf("shapley: row has %d attributes, want %d", len(row), n)
+	}
+	if n > MaxExactAttrs {
+		return nil, fmt.Errorf("shapley: %d attributes exceed exact limit %d (use Sampled)", n, MaxExactAttrs)
+	}
+	// v[mask] = mean over background of M(row on mask, background off mask).
+	v := make([]float64, 1<<uint(n))
+	buf := make([]float64, e.enc.Width())
+	mixed := make([]int32, n)
+	for mask := 0; mask < len(v); mask++ {
+		total := 0.0
+		for _, b := range e.background {
+			for a := 0; a < n; a++ {
+				if mask&(1<<uint(a)) != 0 {
+					mixed[a] = row[a]
+				} else {
+					mixed[a] = b[a]
+				}
+			}
+			total += e.predictRow(mixed, buf)
+		}
+		v[mask] = total / float64(len(e.background))
+	}
+	// φ_i = Σ_S |S|!(n-|S|-1)!/n! (v(S∪{i}) - v(S)).
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	phi := make([]float64, n)
+	for mask := 0; mask < len(v); mask++ {
+		s := popcount(mask)
+		for a := 0; a < n; a++ {
+			if mask&(1<<uint(a)) != 0 {
+				continue
+			}
+			weight := fact[s] * fact[n-s-1] / fact[n]
+			phi[a] += weight * (v[mask|1<<uint(a)] - v[mask])
+		}
+	}
+	return phi, nil
+}
+
+// Sampled estimates Shapley values with perms random permutations, pairing
+// each with one background draw (the sampling estimator of Štrumbelj &
+// Kononenko). The estimate is unbiased; variance shrinks as 1/perms.
+func (e *Explainer) Sampled(row []int32, perms int, rng *rand.Rand) ([]float64, error) {
+	n := e.enc.NumAttrs()
+	if len(row) != n {
+		return nil, fmt.Errorf("shapley: row has %d attributes, want %d", len(row), n)
+	}
+	if perms < 1 {
+		return nil, fmt.Errorf("shapley: need at least 1 permutation, got %d", perms)
+	}
+	if rng == nil {
+		return nil, errors.New("shapley: nil rng (pass a seeded *rand.Rand for reproducibility)")
+	}
+	phi := make([]float64, n)
+	buf := make([]float64, e.enc.Width())
+	mixed := make([]int32, n)
+	for it := 0; it < perms; it++ {
+		b := e.background[rng.Intn(len(e.background))]
+		copy(mixed, b)
+		prev := e.predictRow(mixed, buf)
+		for _, a := range rng.Perm(n) {
+			mixed[a] = row[a]
+			cur := e.predictRow(mixed, buf)
+			phi[a] += cur - prev
+			prev = cur
+		}
+	}
+	for a := range phi {
+		phi[a] /= float64(perms)
+	}
+	return phi, nil
+}
+
+// AggregateGroup computes the paper's aggregated Shapley vector for a
+// pattern: the mean of per-tuple Shapley vectors over every tuple in rows
+// that satisfies p, using the sampling estimator with perms permutations
+// per tuple. It returns the aggregate and the group size.
+func (e *Explainer) AggregateGroup(rows [][]int32, p pattern.Pattern, perms int, rng *rand.Rand) ([]float64, int, error) {
+	n := e.enc.NumAttrs()
+	agg := make([]float64, n)
+	count := 0
+	for _, row := range rows {
+		if !p.Matches(row) {
+			continue
+		}
+		phi, err := e.Sampled(row, perms, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		for a := range agg {
+			agg[a] += phi[a]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil, 0, fmt.Errorf("shapley: no tuple satisfies %v", p)
+	}
+	for a := range agg {
+		agg[a] /= float64(count)
+	}
+	return agg, count, nil
+}
+
+// AggregateGroupExact is AggregateGroup with the exact estimator: the mean
+// of exact per-tuple Shapley vectors over the group. It inherits Exact's
+// attribute-count limit.
+func (e *Explainer) AggregateGroupExact(rows [][]int32, p pattern.Pattern) ([]float64, int, error) {
+	n := e.enc.NumAttrs()
+	agg := make([]float64, n)
+	count := 0
+	for _, row := range rows {
+		if !p.Matches(row) {
+			continue
+		}
+		phi, err := e.Exact(row)
+		if err != nil {
+			return nil, 0, err
+		}
+		for a := range agg {
+			agg[a] += phi[a]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil, 0, fmt.Errorf("shapley: no tuple satisfies %v", p)
+	}
+	for a := range agg {
+		agg[a] /= float64(count)
+	}
+	return agg, count, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,310 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankfair/internal/pattern"
+	"rankfair/internal/regress"
+)
+
+func smallSpace() *pattern.Space {
+	return &pattern.Space{Names: []string{"A", "B", "C"}, Cards: []int{2, 3, 2}}
+}
+
+// linearModel builds a ridge model with hand-set weights over the encoder's
+// one-hot columns.
+func linearModel(enc *regress.Encoder, weights []float64, intercept float64) *regress.Ridge {
+	return &regress.Ridge{Weights: weights, Intercept: intercept}
+}
+
+func randomRows(rng *rand.Rand, sp *pattern.Space, n int) [][]int32 {
+	rows := make([][]int32, n)
+	for i := range rows {
+		r := make([]int32, sp.NumAttrs())
+		for a := range r {
+			r[a] = int32(rng.Intn(sp.Cards[a]))
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// TestExactEfficiency: Shapley values sum to M(t) - E_b[M(b)].
+func TestExactEfficiency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := smallSpace()
+		enc := regress.NewEncoder(sp)
+		w := make([]float64, enc.Width())
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		m := linearModel(enc, w, rng.NormFloat64())
+		bg := randomRows(rng, sp, 8)
+		ex, err := NewExplainer(m, enc, bg)
+		if err != nil {
+			return false
+		}
+		row := randomRows(rng, sp, 1)[0]
+		phi, err := ex.Exact(row)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range phi {
+			sum += v
+		}
+		buf := make([]float64, enc.Width())
+		mt := ex.predictRow(row, buf)
+		base := 0.0
+		for _, b := range bg {
+			base += ex.predictRow(b, buf)
+		}
+		base /= float64(len(bg))
+		return math.Abs(sum-(mt-base)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactLinearity: for a linear model, the Shapley value of attribute a
+// equals sum over its columns of w_j (x_j(t) - E_b[x_j(b)]).
+func TestExactLinearity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := smallSpace()
+		enc := regress.NewEncoder(sp)
+		w := make([]float64, enc.Width())
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		m := linearModel(enc, w, 3)
+		bg := randomRows(rng, sp, 6)
+		ex, err := NewExplainer(m, enc, bg)
+		if err != nil {
+			return false
+		}
+		row := randomRows(rng, sp, 1)[0]
+		phi, err := ex.Exact(row)
+		if err != nil {
+			return false
+		}
+		// Analytic Shapley for linear models.
+		xT := make([]float64, enc.Width())
+		enc.Encode(row, xT)
+		xB := make([]float64, enc.Width())
+		tmp := make([]float64, enc.Width())
+		for _, b := range bg {
+			enc.Encode(b, tmp)
+			for j := range xB {
+				xB[j] += tmp[j]
+			}
+		}
+		for j := range xB {
+			xB[j] /= float64(len(bg))
+		}
+		for a := 0; a < sp.NumAttrs(); a++ {
+			lo, hi := enc.AttrColumns(a)
+			want := 0.0
+			for j := lo; j < hi; j++ {
+				want += w[j] * (xT[j] - xB[j])
+			}
+			if math.Abs(phi[a]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactDummy: an attribute whose columns all have zero weight gets
+// Shapley value zero.
+func TestExactDummy(t *testing.T) {
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	w := make([]float64, enc.Width())
+	lo, hi := enc.AttrColumns(1)
+	for j := 0; j < enc.Width(); j++ {
+		if j < lo || j >= hi {
+			w[j] = float64(j + 1)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	bg := randomRows(rng, sp, 5)
+	ex, err := NewExplainer(linearModel(enc, w, 0), enc, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ex.Exact([]int32{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[1]) > 1e-12 {
+		t.Errorf("dummy attribute has Shapley %v, want 0", phi[1])
+	}
+}
+
+// TestSampledConvergesToExact: the permutation estimator approaches the
+// exact values with a large sampling budget.
+func TestSampledConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	w := make([]float64, enc.Width())
+	for j := range w {
+		w[j] = rng.NormFloat64() * 2
+	}
+	bg := randomRows(rng, sp, 10)
+	ex, err := NewExplainer(linearModel(enc, w, 1), enc, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []int32{1, 1, 1}
+	exact, err := ex.Exact(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ex.Sampled(row, 4000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range exact {
+		if math.Abs(exact[a]-approx[a]) > 0.15 {
+			t.Errorf("attr %d: exact %v sampled %v", a, exact[a], approx[a])
+		}
+	}
+}
+
+// TestSampledEfficiencyInExpectation: each permutation telescopes, so the
+// sum of sampled Shapley values equals M(t) minus the mean prediction of
+// the *sampled* backgrounds — with the full budget over a single-row
+// background this is exact.
+func TestSampledEfficiencySingleBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	w := make([]float64, enc.Width())
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	bg := randomRows(rng, sp, 1)
+	ex, err := NewExplainer(linearModel(enc, w, 2), enc, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []int32{0, 2, 1}
+	phi, err := ex.Sampled(row, 50, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range phi {
+		sum += v
+	}
+	buf := make([]float64, enc.Width())
+	want := ex.predictRow(row, buf) - ex.predictRow(bg[0], buf)
+	if math.Abs(sum-want) > 1e-9 {
+		t.Errorf("sampled sum %v, want %v", sum, want)
+	}
+}
+
+func TestSampledDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	w := make([]float64, enc.Width())
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	bg := randomRows(rng, sp, 4)
+	ex, _ := NewExplainer(linearModel(enc, w, 0), enc, bg)
+	row := []int32{1, 0, 1}
+	a, _ := ex.Sampled(row, 20, rand.New(rand.NewSource(7)))
+	b, _ := ex.Sampled(row, 20, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must give identical estimates: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAggregateGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	w := make([]float64, enc.Width())
+	for j := range w {
+		w[j] = float64(j)
+	}
+	bg := randomRows(rng, sp, 5)
+	ex, _ := NewExplainer(linearModel(enc, w, 0), enc, bg)
+	rows := [][]int32{{0, 0, 0}, {0, 1, 1}, {1, 2, 0}}
+	p := pattern.Pattern{0, pattern.Unbound, pattern.Unbound} // matches first two
+	agg, size, err := ex.AggregateGroup(rows, p, 200, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Fatalf("group size = %d, want 2", size)
+	}
+	if len(agg) != sp.NumAttrs() {
+		t.Fatalf("aggregate length %d", len(agg))
+	}
+	// No tuple matches this pattern.
+	none := pattern.Pattern{pattern.Unbound, pattern.Unbound, 1}
+	none[0] = 1
+	none[1] = 0
+	if _, _, err := ex.AggregateGroup(rows, pattern.Pattern{1, 0, 1}, 10, rng); err == nil {
+		t.Error("empty group should fail")
+	}
+	_ = none
+}
+
+func TestExplainerErrors(t *testing.T) {
+	sp := smallSpace()
+	enc := regress.NewEncoder(sp)
+	m := linearModel(enc, make([]float64, enc.Width()), 0)
+	if _, err := NewExplainer(nil, enc, [][]int32{{0, 0, 0}}); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := NewExplainer(m, enc, nil); err == nil {
+		t.Error("empty background should fail")
+	}
+	if _, err := NewExplainer(m, enc, [][]int32{{0}}); err == nil {
+		t.Error("short background row should fail")
+	}
+	ex, err := NewExplainer(m, enc, [][]int32{{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Exact([]int32{0}); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, err := ex.Sampled([]int32{0, 0, 0}, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero permutations should fail")
+	}
+	if _, err := ex.Sampled([]int32{0, 0, 0}, 5, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	// Exact limit.
+	big := &pattern.Space{Names: make([]string, MaxExactAttrs+1), Cards: make([]int, MaxExactAttrs+1)}
+	for i := range big.Cards {
+		big.Cards[i] = 2
+	}
+	bigEnc := regress.NewEncoder(big)
+	bigRow := make([]int32, MaxExactAttrs+1)
+	bx, err := NewExplainer(linearModel(bigEnc, make([]float64, bigEnc.Width()), 0), bigEnc, [][]int32{bigRow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bx.Exact(bigRow); err == nil {
+		t.Error("exceeding exact limit should fail")
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the small statistical helpers the result-analysis
+// pipeline needs: categorical value-distribution histograms, the top-k vs
+// detected-group distribution comparison of Figures 10d-10f, and summary
+// statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram holds the proportion of tuples per categorical value.
+type Histogram struct {
+	// Labels are the value labels in dictionary order.
+	Labels []string
+	// Props[i] is the fraction of tuples with value i; sums to 1 for
+	// non-empty input.
+	Props []float64
+	// N is the number of tuples summarized.
+	N int
+}
+
+// NewHistogram computes the distribution of codes over a domain of the
+// given cardinality. labels may be nil, in which case codes are rendered
+// numerically.
+func NewHistogram(codes []int32, card int, labels []string) *Histogram {
+	h := &Histogram{Props: make([]float64, card), N: len(codes)}
+	if labels != nil {
+		h.Labels = labels
+	} else {
+		h.Labels = make([]string, card)
+		for i := range h.Labels {
+			h.Labels[i] = fmt.Sprintf("%d", i)
+		}
+	}
+	if len(codes) == 0 {
+		return h
+	}
+	for _, c := range codes {
+		if c >= 0 && int(c) < card {
+			h.Props[c]++
+		}
+	}
+	for i := range h.Props {
+		h.Props[i] /= float64(len(codes))
+	}
+	return h
+}
+
+// Comparison pairs the distribution of one attribute among the top-k tuples
+// with its distribution inside a detected group (Figures 10d-10f).
+type Comparison struct {
+	// Attribute names the compared attribute.
+	Attribute string
+	// TopK and Group are distributions over the same value domain.
+	TopK, Group *Histogram
+}
+
+// TotalVariation returns the total variation distance between the two
+// distributions: half the L1 distance, in [0, 1].
+func (c *Comparison) TotalVariation() float64 {
+	tv := 0.0
+	for i := range c.TopK.Props {
+		tv += math.Abs(c.TopK.Props[i] - c.Group.Props[i])
+	}
+	return tv / 2
+}
+
+// Render formats the comparison as an aligned text table with proportion
+// bars, the textual analogue of the paper's bar charts.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "value distribution of %q (top-k n=%d vs group n=%d)\n", c.Attribute, c.TopK.N, c.Group.N)
+	width := 5
+	for _, l := range c.TopK.Labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, label := range c.TopK.Labels {
+		fmt.Fprintf(&b, "  %-*s  top-k %5.1f%% %-20s  group %5.1f%% %s\n",
+			width, label,
+			100*c.TopK.Props[i], bar(c.TopK.Props[i]),
+			100*c.Group.Props[i], bar(c.Group.Props[i]))
+	}
+	return b.String()
+}
+
+func bar(p float64) string {
+	n := int(math.Round(p * 20))
+	if n < 0 {
+		n = 0
+	}
+	if n > 20 {
+		n = 20
+	}
+	return strings.Repeat("#", n)
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}

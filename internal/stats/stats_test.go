@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int32{0, 0, 1, 2}, 3, []string{"a", "b", "c"})
+	if h.N != 4 {
+		t.Fatalf("N = %d", h.N)
+	}
+	want := []float64{0.5, 0.25, 0.25}
+	sum := 0.0
+	for i, w := range want {
+		if math.Abs(h.Props[i]-w) > 1e-12 {
+			t.Errorf("prop[%d] = %v, want %v", i, h.Props[i], w)
+		}
+		sum += h.Props[i]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("props sum to %v", sum)
+	}
+}
+
+func TestHistogramEmptyAndNilLabels(t *testing.T) {
+	h := NewHistogram(nil, 2, nil)
+	if h.N != 0 || h.Props[0] != 0 || h.Props[1] != 0 {
+		t.Error("empty histogram should be all zeros")
+	}
+	if h.Labels[1] != "1" {
+		t.Errorf("auto label = %q", h.Labels[1])
+	}
+	// Out-of-range codes are ignored rather than panicking.
+	h2 := NewHistogram([]int32{0, 7, -1}, 2, nil)
+	if h2.Props[0] != 1.0/3 {
+		t.Errorf("prop[0] = %v", h2.Props[0])
+	}
+}
+
+func TestComparisonTotalVariation(t *testing.T) {
+	c := &Comparison{
+		Attribute: "x",
+		TopK:      NewHistogram([]int32{0, 0}, 2, nil),
+		Group:     NewHistogram([]int32{1, 1}, 2, nil),
+	}
+	if tv := c.TotalVariation(); math.Abs(tv-1) > 1e-12 {
+		t.Errorf("disjoint distributions TV = %v, want 1", tv)
+	}
+	same := &Comparison{
+		Attribute: "x",
+		TopK:      NewHistogram([]int32{0, 1}, 2, nil),
+		Group:     NewHistogram([]int32{1, 0}, 2, nil),
+	}
+	if tv := same.TotalVariation(); math.Abs(tv) > 1e-12 {
+		t.Errorf("identical distributions TV = %v, want 0", tv)
+	}
+}
+
+func TestComparisonRender(t *testing.T) {
+	c := &Comparison{
+		Attribute: "grade",
+		TopK:      NewHistogram([]int32{1, 1, 1}, 2, []string{"low", "high"}),
+		Group:     NewHistogram([]int32{0, 0, 1}, 2, []string{"low", "high"}),
+	}
+	out := c.Render()
+	for _, want := range []string{"grade", "low", "high", "top-k", "group", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}

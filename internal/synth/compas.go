@@ -1,0 +1,257 @@
+package synth
+
+import (
+	"math"
+
+	"rankfair/internal/dataset"
+	"rankfair/internal/rank"
+)
+
+// DefaultCOMPASRows matches the ProPublica COMPAS dataset used in the
+// paper (6,889 individuals, 16 usable attributes).
+const DefaultCOMPASRows = 6889
+
+// COMPAS generates a synthetic COMPAS-shaped dataset: 16 categorical
+// attributes with the ProPublica schema plus the seven numeric scoring
+// columns the paper ranks by ("c_days_from_compas, juv_other_count,
+// days_b_screening_arrest, start, end, age, and priors_count", normalized
+// min-max, all ascending except age which is inverted — the method of
+// Asudeh et al. [4]).
+func COMPAS(n int, seed int64) *Bundle {
+	g := newGen(seed)
+
+	sex := make([]string, n)
+	ageCat := make([]string, n)
+	race := make([]string, n)
+	juvFel := make([]string, n)
+	juvMisd := make([]string, n)
+	juvOtherCat := make([]string, n)
+	priorsCat := make([]string, n)
+	chargeDegree := make([]string, n)
+	decile := make([]string, n)
+	vDecile := make([]string, n)
+	isRecid := make([]string, n)
+	twoYear := make([]string, n)
+	daysFromCat := make([]string, n)
+	screeningCat := make([]string, n)
+	startCat := make([]string, n)
+	endCat := make([]string, n)
+
+	ageNum := make([]float64, n)
+	juvOtherNum := make([]float64, n)
+	priorsNum := make([]float64, n)
+	daysFromNum := make([]float64, n)
+	screeningNum := make([]float64, n)
+	startNum := make([]float64, n)
+	endNum := make([]float64, n)
+
+	raceLabels := []string{"African-American", "Asian", "Caucasian", "Hispanic", "Native American", "Other"}
+
+	for i := 0; i < n; i++ {
+		// Latent criminal-history intensity; correlated with age so the
+		// top of the ranking has a distinctive age mix.
+		risk := g.normal(0, 1)
+
+		sex[i] = "Male"
+		if g.bern(0.19) {
+			sex[i] = "Female"
+		}
+		age := clamp(18+math.Abs(g.normal(0, 14))+2.0*clamp(risk, -1, 3), 18, 96)
+		ageNum[i] = math.Round(age)
+		ageCat[i] = ageBucket(ageNum[i])
+		race[i] = raceLabels[g.choice([]float64{0.51, 0.01, 0.34, 0.08, 0.01, 0.05})]
+
+		jf := g.poissonish(clamp(0.06+0.05*risk, 0, 2), 5)
+		jm := g.poissonish(clamp(0.09+0.06*risk, 0, 2), 5)
+		jo := g.poissonish(clamp(0.10+0.08*risk, 0, 2), 6)
+		juvFel[i] = countBucket(jf)
+		juvMisd[i] = countBucket(jm)
+		juvOtherCat[i] = countBucket(jo)
+		juvOtherNum[i] = float64(jo)
+
+		// Priors accumulate with age, so older defendants climb the
+		// normalized-score ranking despite the inverted age term — which
+		// is what leaves {age<35} under-represented in the paper's top-k.
+		priors := g.poissonish(clamp(3.2+2.4*risk+0.16*(age-35), 0, 30), 38)
+		priorsNum[i] = float64(priors)
+		priorsCat[i] = priorsBucket(priors)
+
+		chargeDegree[i] = "F"
+		if g.bern(0.36) {
+			chargeDegree[i] = "M"
+		}
+
+		dec := int(clamp(math.Round(5.2+2.3*risk-0.045*(age-35)+g.normal(0, 1.6)), 1, 10))
+		decile[i] = decileBucket(dec)
+		vdec := int(clamp(float64(dec)+g.normal(0, 1.8), 1, 10))
+		vDecile[i] = decileBucket(vdec)
+
+		recid := g.bern(clamp(0.30+0.12*risk, 0.02, 0.95))
+		isRecid[i] = boolLabel(recid)
+		twoYear[i] = boolLabel(recid && g.bern(0.8) || g.bern(0.08))
+
+		dfc := math.Abs(g.normal(0, 1)) * 200 * (1 + 0.3*clamp(risk, -1, 2))
+		if g.bern(0.7) {
+			dfc = g.uniform(0, 2) // most screenings happen within a day or two
+		}
+		daysFromNum[i] = math.Round(dfc)
+		daysFromCat[i] = daysBucket(daysFromNum[i])
+
+		sba := g.normal(0, 8)
+		if g.bern(0.12) {
+			sba = g.normal(-200, 120)
+		}
+		screeningNum[i] = math.Round(clamp(sba, -600, 60))
+		screeningCat[i] = screeningBucket(screeningNum[i])
+
+		st := math.Abs(g.normal(0, 1)) * 120 * (1 + 0.4*clamp(risk, -1, 2))
+		startNum[i] = math.Round(st)
+		startCat[i] = daysBucket(startNum[i])
+
+		// Supervision end: overwhelmingly small, heavy right tail that is
+		// larger for young high-risk individuals — reproducing the
+		// Figure 10e contrast between the top-k (end=0) and the detected
+		// young group (about a third in higher buckets).
+		en := 0.0
+		if g.bern(clamp(0.42+0.10*risk-0.004*(age-35), 0.05, 0.9)) {
+			en = math.Abs(g.normal(0, 1)) * 350 * (1 + 0.5*clamp(risk, -1, 2))
+		}
+		endNum[i] = math.Round(en)
+		endCat[i] = endBucket(endNum[i])
+	}
+
+	t := dataset.New()
+	mustAddCat(t, "sex", sex)
+	mustAddCat(t, "age", ageCat)
+	mustAddCat(t, "race", race)
+	mustAddCat(t, "juv_fel_count", juvFel)
+	mustAddCat(t, "juv_misd_count", juvMisd)
+	mustAddCat(t, "juv_other_count", juvOtherCat)
+	mustAddCat(t, "priors_count", priorsCat)
+	mustAddCat(t, "c_charge_degree", chargeDegree)
+	mustAddCat(t, "decile_score", decile)
+	mustAddCat(t, "v_decile_score", vDecile)
+	mustAddCat(t, "is_recid", isRecid)
+	mustAddCat(t, "two_year_recid", twoYear)
+	mustAddCat(t, "c_days_from_compas", daysFromCat)
+	mustAddCat(t, "days_b_screening_arrest", screeningCat)
+	mustAddCat(t, "start", startCat)
+	mustAddCat(t, "end", endCat)
+	mustAddNum(t, "age_num", ageNum)
+	mustAddNum(t, "juv_other_num", juvOtherNum)
+	mustAddNum(t, "priors_num", priorsNum)
+	mustAddNum(t, "c_days_from_compas_num", daysFromNum)
+	mustAddNum(t, "days_b_screening_arrest_num", screeningNum)
+	mustAddNum(t, "start_num", startNum)
+	mustAddNum(t, "end_num", endNum)
+
+	return &Bundle{
+		Name:  "compas",
+		Table: t,
+		Ranker: &rank.Linear{
+			Columns: []string{
+				"c_days_from_compas_num", "juv_other_num",
+				"days_b_screening_arrest_num", "start_num", "end_num",
+				"age_num", "priors_num",
+			},
+			Inverted: []string{"age_num"},
+		},
+	}
+}
+
+func boolLabel(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ageBucket matches the paper's case-study group p2 = {age = younger than 35}.
+func ageBucket(age float64) string {
+	switch {
+	case age < 35:
+		return "<35"
+	case age < 55:
+		return "[35,55)"
+	default:
+		return ">=55"
+	}
+}
+
+func countBucket(v int) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v == 1:
+		return "1"
+	case v == 2:
+		return "2"
+	default:
+		return ">=3"
+	}
+}
+
+func priorsBucket(v int) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v <= 3:
+		return "[1,3]"
+	case v <= 9:
+		return "[4,9]"
+	default:
+		return ">=10"
+	}
+}
+
+func decileBucket(v int) string {
+	switch {
+	case v <= 3:
+		return "low"
+	case v <= 7:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+func daysBucket(v float64) string {
+	switch {
+	case v < 1:
+		return "0"
+	case v < 30:
+		return "[1,30)"
+	case v < 180:
+		return "[30,180)"
+	default:
+		return ">=180"
+	}
+}
+
+func screeningBucket(v float64) string {
+	switch {
+	case v < -30:
+		return "<-30"
+	case v < 0:
+		return "[-30,0)"
+	case v < 8:
+		return "[0,8)"
+	default:
+		return ">=8"
+	}
+}
+
+// endBucket uses ordinal bucket indices as labels, matching the x-axis of
+// Figure 10e (values 0, 1, 2, 3).
+func endBucket(v float64) string {
+	switch {
+	case v < 1:
+		return "0"
+	case v < 120:
+		return "1"
+	case v < 500:
+		return "2"
+	default:
+		return "3"
+	}
+}

@@ -1,0 +1,67 @@
+package synth
+
+import (
+	"rankfair/internal/dataset"
+	"rankfair/internal/rank"
+)
+
+// RunningExample returns the 16-student dataset of Figure 1 with the
+// paper's ranking algorithm: students are ranked by grade descending, ties
+// broken by fewer past failures. The categorical attributes are Gender,
+// School, Address, and Failures (in that order, matching the search-tree
+// attribute order of Example 4.2); Grade and FailuresNum are numeric
+// ranking columns.
+func RunningExample() *Bundle {
+	type student struct {
+		gender, school, address, failures string
+		grade                             float64
+	}
+	rowsData := []student{
+		{"F", "MS", "R", "1", 11},
+		{"M", "MS", "R", "1", 15},
+		{"M", "GP", "U", "1", 8},
+		{"M", "GP", "U", "2", 4},
+		{"M", "MS", "R", "0", 19},
+		{"F", "MS", "U", "1", 4},
+		{"F", "GP", "R", "1", 7},
+		{"M", "GP", "R", "1", 6},
+		{"F", "MS", "R", "0", 14},
+		{"F", "MS", "R", "2", 7},
+		{"M", "MS", "R", "2", 13},
+		{"F", "GP", "U", "0", 20},
+		{"F", "GP", "U", "2", 12},
+		{"M", "MS", "U", "1", 13},
+		{"F", "GP", "U", "1", 5},
+		{"M", "GP", "U", "0", 9},
+	}
+	n := len(rowsData)
+	gender := make([]string, n)
+	school := make([]string, n)
+	address := make([]string, n)
+	failures := make([]string, n)
+	grade := make([]float64, n)
+	failNum := make([]float64, n)
+	for i, s := range rowsData {
+		gender[i] = s.gender
+		school[i] = s.school
+		address[i] = s.address
+		failures[i] = s.failures
+		grade[i] = s.grade
+		failNum[i] = float64(s.failures[0] - '0')
+	}
+	t := dataset.New()
+	mustAddCat(t, "Gender", gender)
+	mustAddCat(t, "School", school)
+	mustAddCat(t, "Address", address)
+	mustAddCat(t, "Failures", failures)
+	mustAddNum(t, "Grade", grade)
+	mustAddNum(t, "FailuresNum", failNum)
+	return &Bundle{
+		Name:  "running-example",
+		Table: t,
+		Ranker: &rank.ByColumns{Keys: []rank.ColumnKey{
+			{Column: "Grade", Descending: true},
+			{Column: "FailuresNum", Descending: false},
+		}},
+	}
+}

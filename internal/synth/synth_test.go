@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"rankfair/internal/dataset"
+)
+
+func TestRunningExampleShape(t *testing.T) {
+	b := RunningExample()
+	if b.Table.NumRows() != 16 {
+		t.Fatalf("rows = %d, want 16", b.Table.NumRows())
+	}
+	if got := b.NumCatAttrs(); got != 4 {
+		t.Fatalf("categorical attrs = %d, want 4", got)
+	}
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"Gender", "School", "Address", "Failures"}
+	for i, w := range wantNames {
+		if in.Space.Names[i] != w {
+			t.Errorf("attr %d = %q, want %q", i, in.Space.Names[i], w)
+		}
+	}
+	// Top-1 must be tuple 12 (grade 20).
+	if in.Ranking[0] != 11 {
+		t.Errorf("top tuple = %d, want 12", in.Ranking[0]+1)
+	}
+}
+
+func TestWorstCaseMatchesFigure2(t *testing.T) {
+	const n = 6
+	b := WorstCase(n)
+	if b.Table.NumRows() != n+1 {
+		t.Fatalf("rows = %d, want %d", b.Table.NumRows(), n+1)
+	}
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int32(0)
+			if i == j {
+				want = 1
+			}
+			if in.Rows[i][j] != want {
+				t.Errorf("t%d[A%d] = %d, want %d", i+1, j+1, in.Rows[i][j], want)
+			}
+		}
+		if in.Ranking[i] != i {
+			t.Errorf("ranking[%d] = %d, want identity", i, in.Ranking[i])
+		}
+	}
+	for j := 0; j < n; j++ {
+		if in.Rows[n][j] != 0 {
+			t.Errorf("t%d[A%d] = %d, want 0", n+1, j+1, in.Rows[n][j])
+		}
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	gens := []func(int64) *Bundle{
+		func(s int64) *Bundle { return Students(150, s) },
+		func(s int64) *Bundle { return COMPAS(200, s) },
+		func(s int64) *Bundle { return GermanCredit(150, s) },
+	}
+	for _, gen := range gens {
+		a, b, c := gen(1), gen(1), gen(2)
+		ia, err := a.Input()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib, err := b.Input()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := c.Input()
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, diff := true, false
+		for i := range ia.Rows {
+			for j := range ia.Rows[i] {
+				if ia.Rows[i][j] != ib.Rows[i][j] {
+					same = false
+				}
+				if ia.Rows[i][j] != ic.Rows[i][j] {
+					diff = true
+				}
+			}
+		}
+		if !same {
+			t.Errorf("%s: same seed must reproduce identical data", a.Name)
+		}
+		if !diff {
+			t.Errorf("%s: different seeds should differ", a.Name)
+		}
+	}
+}
+
+func TestStudentsShapeAndCorrelations(t *testing.T) {
+	b := Students(DefaultStudentRows, 42)
+	if b.Table.NumRows() != 395 {
+		t.Fatalf("rows = %d", b.Table.NumRows())
+	}
+	if got := b.NumCatAttrs(); got != 33 {
+		t.Fatalf("categorical attrs = %d, want 33", got)
+	}
+	// Mother's education must correlate positively with the final grade
+	// (the paper's Figure 10a finding).
+	medu := b.Table.ColumnByName("Medu")
+	score := b.Table.ColumnByName("G3_score")
+	loSum, loN, hiSum, hiN := 0.0, 0, 0.0, 0
+	for i := 0; i < b.Table.NumRows(); i++ {
+		switch medu.Label(medu.Codes[i]) {
+		case "none", "primary":
+			loSum += score.Floats[i]
+			loN++
+		case "higher":
+			hiSum += score.Floats[i]
+			hiN++
+		}
+	}
+	if loN < 10 || hiN < 10 {
+		t.Fatalf("degenerate education distribution: lo=%d hi=%d", loN, hiN)
+	}
+	if hiSum/float64(hiN) <= loSum/float64(loN)+0.5 {
+		t.Errorf("G3 should rise with mother's education: low=%.2f high=%.2f",
+			loSum/float64(loN), hiSum/float64(hiN))
+	}
+	// Grades must be in [0,20].
+	for _, v := range score.Floats {
+		if v < 0 || v > 20 {
+			t.Fatalf("grade %v out of range", v)
+		}
+	}
+}
+
+func TestCOMPASShape(t *testing.T) {
+	b := COMPAS(1000, 7)
+	if got := b.NumCatAttrs(); got != 16 {
+		t.Fatalf("categorical attrs = %d, want 16", got)
+	}
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Rows) != 1000 {
+		t.Fatalf("rows = %d", len(in.Rows))
+	}
+	// The age<35 bucket must be substantial (it is the paper's case-study
+	// group p2 and needs s_D >= τs = 50).
+	age := b.Table.ColumnByName("age")
+	young := 0
+	for _, c := range age.Codes {
+		if age.Label(c) == "<35" {
+			young++
+		}
+	}
+	if young < 100 {
+		t.Errorf("only %d individuals younger than 35", young)
+	}
+}
+
+func TestGermanShapeAndRankingDirection(t *testing.T) {
+	b := GermanCredit(DefaultGermanRows, 3)
+	if b.Table.NumRows() != 1000 {
+		t.Fatalf("rows = %d", b.Table.NumRows())
+	}
+	if got := b.NumCatAttrs(); got != 20 {
+		t.Fatalf("categorical attrs = %d, want 20", got)
+	}
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short loan durations should dominate the top of the ranking
+	// (creditworthiness falls with duration by construction).
+	dur := b.Table.ColumnByName("duration")
+	topShort, allShort := 0, 0
+	for _, ri := range in.Ranking[:100] {
+		if dur.Label(dur.Codes[ri]) == "<12m" {
+			topShort++
+		}
+	}
+	for _, c := range dur.Codes {
+		if dur.Label(c) == "<12m" {
+			allShort++
+		}
+	}
+	topFrac := float64(topShort) / 100
+	allFrac := float64(allShort) / 1000
+	if topFrac <= allFrac {
+		t.Errorf("short loans should be overrepresented in the top: top=%.2f overall=%.2f", topFrac, allFrac)
+	}
+	// The p3 case-study group must be substantial.
+	status := b.Table.ColumnByName("status_checking")
+	mid := 0
+	for _, c := range status.Codes {
+		if status.Label(c) == "[0,200)DM" {
+			mid++
+		}
+	}
+	if mid < 50 {
+		t.Errorf("status [0,200)DM group has only %d members", mid)
+	}
+}
+
+func TestInputAttrsTrims(t *testing.T) {
+	b := Students(80, 5)
+	in, err := b.InputAttrs(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Space.NumAttrs() != 7 || len(in.Rows[0]) != 7 {
+		t.Fatalf("trimmed width = %d", in.Space.NumAttrs())
+	}
+	if _, err := b.InputAttrs(99); err == nil {
+		t.Error("too many attributes should fail")
+	}
+}
+
+func TestBundleTablesValidate(t *testing.T) {
+	for _, b := range []*Bundle{
+		RunningExample(), WorstCase(5), Students(60, 1), COMPAS(60, 1), GermanCredit(60, 1),
+	} {
+		if err := b.Table.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestGeneratorsCSVRoundTrip exercises dataset CSV encoding on the full
+// generator output.
+func TestGeneratorsCSVRoundTrip(t *testing.T) {
+	b := GermanCredit(50, 9)
+	var sb strings.Builder
+	if err := dataset.WriteCSV(&sb, b.Table); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(strings.NewReader(sb.String()), dataset.CSVOptions{NumericColumns: []string{"credit_score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 50 || back.NumCols() != b.Table.NumCols() {
+		t.Fatalf("round trip shape %dx%d", back.NumRows(), back.NumCols())
+	}
+}
+
+// TestCOMPASAgePriorsCorrelation checks the correlation the Figure 10b
+// reproduction depends on: priors accumulate with age, pushing older
+// defendants up the normalized-score ranking.
+func TestCOMPASAgePriorsCorrelation(t *testing.T) {
+	b := COMPAS(2000, 13)
+	age := b.Table.ColumnByName("age_num").Floats
+	priors := b.Table.ColumnByName("priors_num").Floats
+	youngSum, youngN, oldSum, oldN := 0.0, 0, 0.0, 0
+	for i := range age {
+		if age[i] < 35 {
+			youngSum += priors[i]
+			youngN++
+		} else if age[i] >= 45 {
+			oldSum += priors[i]
+			oldN++
+		}
+	}
+	if youngN < 50 || oldN < 50 {
+		t.Fatalf("degenerate age split: young=%d old=%d", youngN, oldN)
+	}
+	if oldSum/float64(oldN) <= youngSum/float64(youngN) {
+		t.Errorf("priors should grow with age: young=%.2f old=%.2f",
+			youngSum/float64(youngN), oldSum/float64(oldN))
+	}
+	// And the top of the ranking therefore over-represents older people
+	// relative to a pure age sort.
+	in, err := b.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageAttr := b.Table.ColumnByName("age")
+	young := 0
+	for _, ri := range in.Ranking[:49] {
+		if ageAttr.Label(ageAttr.Codes[ri]) == "<35" {
+			young++
+		}
+	}
+	if young >= 45 {
+		t.Errorf("top-49 is %d/49 young; the age<35 case study needs a mix", young)
+	}
+}

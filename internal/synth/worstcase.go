@@ -1,0 +1,36 @@
+package synth
+
+import (
+	"fmt"
+
+	"rankfair/internal/dataset"
+	"rankfair/internal/rank"
+)
+
+// WorstCase builds the construction of Theorem 3.3 (Figure 2): n binary
+// attributes and n+1 tuples where tuple i (i in [1,n]) has A_i=1 and zeros
+// elsewhere, tuple n+1 is all zeros, and the ranking places t_1..t_{n+1} in
+// order. With kmin=kmax=n and L_k = n/2+1 (global) or α=(n+3)/(n+4)
+// (proportional), the most general biased patterns are exactly the C(n,n/2)
+// patterns binding n/2 attributes to 0 — exponentially many.
+func WorstCase(n int) *Bundle {
+	rows := n + 1
+	t := dataset.New()
+	dict := []string{"0", "1"}
+	for a := 0; a < n; a++ {
+		codes := make([]int32, rows)
+		if a < rows-1 {
+			codes[a] = 1
+		}
+		mustAddCatCodes(t, attrName(a), codes, dict)
+	}
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	return &Bundle{Name: "worst-case", Table: t, Ranker: &rank.Fixed{Perm: perm}}
+}
+
+func attrName(a int) string {
+	return fmt.Sprintf("A%d", a+1)
+}

@@ -1,0 +1,328 @@
+// Package rankfair detects groups with biased representation in the top-k
+// results of a ranking algorithm, without pre-defined protected groups,
+// implementing Li, Moskovitch & Jagadish, "Detection of Groups with Biased
+// Representation in Ranking" (ICDE 2023).
+//
+// The entry point is an Analyst bound to a dataset and a black-box ranker:
+//
+//	table, _ := rankfair.ReadCSV(f, rankfair.CSVOptions{})
+//	a, err := rankfair.New(table, &rankfair.ByColumns{
+//		Keys: []rankfair.ColumnKey{{Column: "score", Descending: true}},
+//	})
+//	report, err := a.DetectProportional(rankfair.PropParams{
+//		MinSize: 50, KMin: 10, KMax: 49, Alpha: 0.8,
+//	})
+//	for _, g := range report.At(20) {
+//		fmt.Println(report.Format(g)) // e.g. {sex=F, address=R}
+//	}
+//
+// Detected groups can be explained with aggregated Shapley values over a
+// regression surrogate of the ranker (Analyst.Explain), and compared with
+// the divergence-based method of Pastor et al. (Analyst.Divergence).
+package rankfair
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rankfair/internal/core"
+	"rankfair/internal/dataset"
+	"rankfair/internal/divergence"
+	"rankfair/internal/explain"
+	"rankfair/internal/pattern"
+	"rankfair/internal/rank"
+)
+
+// Re-exported substrate types: the facade exposes the full vocabulary of
+// the library without requiring internal imports.
+type (
+	// Dataset is an in-memory relation of categorical and numeric columns.
+	Dataset = dataset.Table
+	// CSVOptions controls CSV decoding.
+	CSVOptions = dataset.CSVOptions
+	// Pattern is a value assignment to a subset of attributes, describing
+	// a group (Definition 2.2 of the paper).
+	Pattern = pattern.Pattern
+	// Space describes the categorical attribute universe.
+	Space = pattern.Space
+	// Ranker is the black-box ranking algorithm interface.
+	Ranker = rank.Ranker
+	// ByColumns ranks lexicographically by numeric sort keys.
+	ByColumns = rank.ByColumns
+	// ColumnKey is one sort key of ByColumns.
+	ColumnKey = rank.ColumnKey
+	// Linear ranks by a weighted sum of min-max normalized attributes.
+	Linear = rank.Linear
+	// Fixed wraps an externally produced ranking permutation.
+	Fixed = rank.Fixed
+
+	// Input is the algorithm-level dataset view (rows, space, ranking).
+	Input = core.Input
+	// GlobalParams parameterizes Problem 3.1 (global bounds, lower side).
+	GlobalParams = core.GlobalParams
+	// PropParams parameterizes Problem 3.2 (proportional, lower side).
+	PropParams = core.PropParams
+	// GlobalUpperParams parameterizes upper-bound detection, global.
+	GlobalUpperParams = core.GlobalUpperParams
+	// PropUpperParams parameterizes upper-bound detection, proportional.
+	PropUpperParams = core.PropUpperParams
+	// ExposureParams parameterizes proportional-exposure detection (the
+	// position-discounted measure of Singh & Joachims).
+	ExposureParams = core.ExposureParams
+	// Result holds per-k result sets and work statistics.
+	Result = core.Result
+
+	// ExplainOptions tunes the Shapley explanation pipeline (Section V).
+	ExplainOptions = explain.Options
+	// Explanation is a Shapley-based group explanation.
+	Explanation = explain.Explanation
+	// DivergenceParams configures the Pastor et al. comparator.
+	DivergenceParams = divergence.Params
+	// DivergenceResult is the divergence-ranked subgroup report.
+	DivergenceResult = divergence.Result
+)
+
+// Model kinds for ExplainOptions.
+const (
+	// RidgeModel uses one-hot ridge regression as the ranking surrogate.
+	RidgeModel = explain.RidgeModel
+	// TreeModel uses a CART regression tree as the ranking surrogate.
+	TreeModel = explain.TreeModel
+)
+
+// Unbound marks an unconstrained attribute inside a Pattern.
+const Unbound = pattern.Unbound
+
+// NewDataset returns an empty dataset; add columns with AddCategorical,
+// AddNumeric, and Bucketize.
+func NewDataset() *Dataset { return dataset.New() }
+
+// ReadCSV decodes a header-first CSV stream into a Dataset.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	return dataset.ReadCSV(r, opts)
+}
+
+// WriteCSV encodes a Dataset as CSV.
+func WriteCSV(w io.Writer, t *Dataset) error { return dataset.WriteCSV(w, t) }
+
+// StaircaseBounds builds the paper's default non-decreasing lower-bound
+// sequence for GlobalParams.
+func StaircaseBounds(kMin, kMax, base, step, width int) []int {
+	return core.StaircaseBounds(kMin, kMax, base, step, width)
+}
+
+// ConstantBounds builds a constant bound sequence.
+func ConstantBounds(kMin, kMax, l int) []int { return core.ConstantBounds(kMin, kMax, l) }
+
+// Analyst binds a dataset to a ranker and exposes the paper's detection,
+// explanation and comparison pipelines over it.
+type Analyst struct {
+	table *Dataset
+	in    *core.Input
+	dicts [][]string
+}
+
+// New builds an Analyst: it materializes the categorical view of the table
+// and invokes the black-box ranker once.
+func New(table *Dataset, ranker Ranker) (*Analyst, error) {
+	if table == nil {
+		return nil, errors.New("rankfair: nil dataset")
+	}
+	if ranker == nil {
+		return nil, errors.New("rankfair: nil ranker")
+	}
+	rows, names, cards := table.CatMatrix()
+	if len(names) == 0 {
+		return nil, errors.New("rankfair: dataset has no categorical attributes (bucketize numeric columns first)")
+	}
+	ranking, err := ranker.Rank(table)
+	if err != nil {
+		return nil, fmt.Errorf("rankfair: ranking: %w", err)
+	}
+	in := &core.Input{Rows: rows, Space: &pattern.Space{Names: names, Cards: cards}, Ranking: ranking}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("rankfair: %w", err)
+	}
+	return &Analyst{table: table, in: in, dicts: table.CatDicts()}, nil
+}
+
+// NewFromInput builds an Analyst directly from an algorithm-level input,
+// for callers that produce encoded rows and rankings themselves. dicts may
+// be nil (patterns then render with raw codes).
+func NewFromInput(in *Input, dicts [][]string) (*Analyst, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("rankfair: %w", err)
+	}
+	return &Analyst{in: in, dicts: dicts}, nil
+}
+
+// Input exposes the algorithm-level view (rows, space, ranking).
+func (a *Analyst) Input() *Input { return a.in }
+
+// Space exposes the categorical attribute universe.
+func (a *Analyst) Space() *Space { return a.in.Space }
+
+// EmptyPattern returns the all-unbound pattern over the analyst's space;
+// bind attributes with Pattern.With or Analyst.Bind.
+func (a *Analyst) EmptyPattern() Pattern { return pattern.Empty(a.in.Space.NumAttrs()) }
+
+// Bind returns a copy of p with the named attribute bound to the value
+// with the given label.
+func (a *Analyst) Bind(p Pattern, attr, label string) (Pattern, error) {
+	for i, n := range a.in.Space.Names {
+		if n != attr {
+			continue
+		}
+		if a.dicts != nil {
+			for c, l := range a.dicts[i] {
+				if l == label {
+					return p.With(i, int32(c)), nil
+				}
+			}
+			return nil, fmt.Errorf("rankfair: attribute %q has no value %q", attr, label)
+		}
+		return nil, fmt.Errorf("rankfair: no value dictionary for attribute %q", attr)
+	}
+	return nil, fmt.Errorf("rankfair: no attribute %q", attr)
+}
+
+// Format renders a pattern with attribute names and value labels.
+func (a *Analyst) Format(p Pattern) string { return p.Format(a.in.Space, a.dicts) }
+
+// Report pairs a detection result with its analyst for rendering and with
+// the bound parameters for bias-magnitude computations (see InfoAt).
+type Report struct {
+	*Result
+	analyst *Analyst
+
+	kind     reportKind
+	gParams  core.GlobalParams
+	pParams  core.PropParams
+	guParams core.GlobalUpperParams
+	puParams core.PropUpperParams
+	eParams  core.ExposureParams
+}
+
+// Format renders a group with attribute names and value labels.
+func (r *Report) Format(p Pattern) string { return r.analyst.Format(p) }
+
+// DetectGlobal runs GLOBALBOUNDS (Algorithm 2): most general groups whose
+// top-k count falls below L_k, for every k in range.
+func (a *Analyst) DetectGlobal(params GlobalParams) (*Report, error) {
+	res, err := core.GlobalBounds(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachGlobal(params), nil
+}
+
+// DetectGlobalBaseline runs the ITERTD baseline for global bounds. Unlike
+// DetectGlobal it accepts non-monotone bound sequences.
+func (a *Analyst) DetectGlobalBaseline(params GlobalParams) (*Report, error) {
+	res, err := core.IterTDGlobal(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachGlobal(params), nil
+}
+
+// DetectProportional runs PROPBOUNDS (Algorithm 3): most general groups
+// whose top-k count falls below α·s_D(p)·k/|D|, for every k in range.
+func (a *Analyst) DetectProportional(params PropParams) (*Report, error) {
+	res, err := core.PropBounds(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachProp(params), nil
+}
+
+// DetectProportionalBaseline runs the ITERTD baseline for proportional
+// representation.
+func (a *Analyst) DetectProportionalBaseline(params PropParams) (*Report, error) {
+	res, err := core.IterTDProp(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachProp(params), nil
+}
+
+// DetectGlobalUpper finds the most specific substantial groups exceeding
+// the upper bounds U_k (Section III, "Upper bounds").
+func (a *Analyst) DetectGlobalUpper(params GlobalUpperParams) (*Report, error) {
+	res, err := core.IterTDGlobalUpper(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachGlobalUpper(params), nil
+}
+
+// DetectProportionalUpper finds the most specific substantial groups
+// exceeding β·s_D(p)·k/|D|.
+func (a *Analyst) DetectProportionalUpper(params PropUpperParams) (*Report, error) {
+	res, err := core.IterTDPropUpper(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachPropUpper(params), nil
+}
+
+// DetectExposure finds the most general groups whose position-discounted
+// exposure in the top-k falls below α times their proportional exposure
+// share, for every k in range. Exposure distinguishes *where* in the prefix
+// a group sits, not just how often it appears (an extension measure from
+// the fairness-in-ranking literature the paper builds on). It runs the
+// incremental ExposureBounds algorithm.
+func (a *Analyst) DetectExposure(params ExposureParams) (*Report, error) {
+	res, err := core.ExposureBounds(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Result: res, analyst: a, kind: kindExposure, eParams: params}, nil
+}
+
+// DetectExposureBaseline runs the per-k baseline for the exposure measure.
+func (a *Analyst) DetectExposureBaseline(params ExposureParams) (*Report, error) {
+	res, err := core.IterTDExposure(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Result: res, analyst: a, kind: kindExposure, eParams: params}, nil
+}
+
+// DetectGlobalLowerMostSpecific reports the most specific substantial
+// groups below the lower bounds — the alternate report semantics Section
+// III sketches for analysts who want maximal detail rather than concise
+// descriptions.
+func (a *Analyst) DetectGlobalLowerMostSpecific(params GlobalParams) (*Report, error) {
+	res, err := core.IterTDGlobalLowerMostSpecific(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachGlobal(params), nil
+}
+
+// DetectGlobalUpperMostGeneral reports the most general groups exceeding
+// the upper bounds (by count monotonicity these bind a single attribute).
+func (a *Analyst) DetectGlobalUpperMostGeneral(params GlobalUpperParams) (*Report, error) {
+	res, err := core.IterTDGlobalUpperMostGeneral(a.in, params)
+	if err != nil {
+		return nil, err
+	}
+	return (&Report{Result: res, analyst: a}).attachGlobalUpper(params), nil
+}
+
+// Explain runs the Section V pipeline on a detected group: it trains a
+// regression surrogate of the ranker, aggregates Shapley values over the
+// group's tuples, and compares the top attribute's value distribution
+// between the top-k and the group.
+func (a *Analyst) Explain(p Pattern, k int, opts ExplainOptions) (*Explanation, error) {
+	return explain.Explain(a.in, a.dicts, p, k, opts)
+}
+
+// Divergence runs the comparator of Pastor et al. [27] (Section VI-D):
+// every subgroup above the support threshold, ranked by the divergence of
+// its binary top-k outcome.
+func (a *Analyst) Divergence(params DivergenceParams) (*DivergenceResult, error) {
+	return divergence.Find(a.in, params)
+}

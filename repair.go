@@ -1,0 +1,84 @@
+package rankfair
+
+import (
+	"fmt"
+
+	"rankfair/internal/rank"
+)
+
+// FairTopKConstraint bounds one group's count in a repaired selection.
+type FairTopKConstraint = rank.FairTopKConstraint
+
+// FairTopK selects k items maximizing total score subject to per-group
+// lower/upper bounds, for groups partitioned by a single attribute (the
+// constrained ranking of Celis et al., the paper's fairness definition
+// [10]). See Analyst.RepairTopK for the dataset-level entry point.
+func FairTopK(scores []float64, groupOf []int, k int, constraints []FairTopKConstraint) ([]int, error) {
+	return rank.FairTopK(scores, groupOf, k, constraints)
+}
+
+// KendallTau returns Kendall's tau-a between two rankings (permutations of
+// the same row indices, best first).
+func KendallTau(a, b []int) (float64, error) { return rank.KendallTau(a, b) }
+
+// SpearmanRho returns Spearman's rank correlation between two rankings.
+func SpearmanRho(a, b []int) (float64, error) { return rank.SpearmanRho(a, b) }
+
+// NDCG returns the normalized discounted cumulative gain of a ranking at
+// cutoff k for the given per-item relevance grades.
+func NDCG(relevance []float64, ranking []int, k int) (float64, error) {
+	return rank.NDCG(relevance, ranking, k)
+}
+
+// RepairTopK builds a repaired top-k selection over one protected
+// attribute: the best-ranked k tuples (by the analyst's black-box ranking)
+// subject to per-value count bounds. Constraints are keyed by the
+// attribute's value labels; absent values are unconstrained. The returned
+// row indices are ordered best first.
+//
+// Detection tells the analyst *which* groups a ranking under-serves;
+// RepairTopK produces the minimally perturbed prefix that meets explicit
+// representation targets — the companion operation the paper cites as
+// orthogonal work ([3], [38]).
+func (a *Analyst) RepairTopK(attr string, k int, constraints map[string]FairTopKConstraint) ([]int, error) {
+	attrIdx := -1
+	for i, n := range a.in.Space.Names {
+		if n == attr {
+			attrIdx = i
+			break
+		}
+	}
+	if attrIdx < 0 {
+		return nil, fmt.Errorf("rankfair: no attribute %q", attr)
+	}
+	card := a.in.Space.Cards[attrIdx]
+	cons := make([]FairTopKConstraint, card)
+	if a.dicts != nil {
+		seen := make(map[string]bool, len(constraints))
+		for v := 0; v < card; v++ {
+			label := a.dicts[attrIdx][v]
+			if c, ok := constraints[label]; ok {
+				cons[v] = c
+				seen[label] = true
+			}
+		}
+		for label := range constraints {
+			if !seen[label] {
+				return nil, fmt.Errorf("rankfair: attribute %q has no value %q", attr, label)
+			}
+		}
+	} else if len(constraints) > 0 {
+		return nil, fmt.Errorf("rankfair: no value dictionary for attribute %q", attr)
+	}
+	groupOf := make([]int, len(a.in.Rows))
+	for i, row := range a.in.Rows {
+		groupOf[i] = int(row[attrIdx])
+	}
+	// The black box only exposes an order; positions serve as scores so
+	// the repair is the minimally perturbed prefix.
+	scores := make([]float64, len(a.in.Rows))
+	for pos, ri := range a.in.Ranking {
+		scores[ri] = -float64(pos)
+	}
+	return rank.FairTopK(scores, groupOf, k, cons)
+}

@@ -1,0 +1,150 @@
+package rankfair
+
+import (
+	"fmt"
+	"sort"
+
+	"rankfair/internal/core"
+)
+
+// GroupInfo enriches a detected group with the quantities behind its
+// detection, supporting the output organization the paper recommends
+// ("rank the groups by their overall size in the data or by the bias in
+// their representation", Section III).
+type GroupInfo struct {
+	// Pattern is the detected group.
+	Pattern Pattern
+	// Size is s_D(p), the group's size in the dataset.
+	Size int
+	// TopK is s_{R_k(D)}(p), the group's size among the top-k.
+	TopK int
+	// Required is the bound the group violates at k: the lower bound for
+	// under-representation reports, the upper bound for over-representation
+	// reports.
+	Required float64
+	// Bias is the violation magnitude: Required-TopK for lower bounds,
+	// TopK-Required for upper bounds. Larger means more biased.
+	Bias float64
+}
+
+// reportKind identifies which bound a Report's groups violate.
+type reportKind int
+
+const (
+	kindGlobalLower reportKind = iota
+	kindPropLower
+	kindGlobalUpper
+	kindPropUpper
+	kindExposure
+)
+
+// bound computes the violated bound for a pattern of size sD at prefix k.
+func (r *Report) bound(sD, k int) float64 {
+	n := float64(len(r.analyst.in.Rows))
+	switch r.kind {
+	case kindGlobalLower:
+		return float64(r.gParams.Lower[k-r.gParams.KMin])
+	case kindPropLower:
+		return r.pParams.Alpha * float64(sD) * float64(k) / n
+	case kindGlobalUpper:
+		return float64(r.guParams.Upper[k-r.guParams.KMin])
+	case kindExposure:
+		ek := 0.0
+		for i := 1; i <= k; i++ {
+			ek += core.PositionExposure(i)
+		}
+		return r.eParams.Alpha * float64(sD) * ek / n
+	default:
+		return r.puParams.Beta * float64(sD) * float64(k) / n
+	}
+}
+
+// InfoAt returns the result set at k enriched with sizes, bounds and bias
+// magnitudes, sorted by descending bias (ties: larger groups first, then
+// deterministic key order).
+func (r *Report) InfoAt(k int) []GroupInfo {
+	groups := r.At(k)
+	if groups == nil {
+		return nil
+	}
+	in := r.analyst.in
+	infos := make([]GroupInfo, len(groups))
+	for i, g := range groups {
+		sD := g.Count(in.Rows)
+		cnt := g.CountTopK(in.Rows, in.Ranking, k)
+		req := r.bound(sD, k)
+		var bias float64
+		switch r.kind {
+		case kindGlobalUpper, kindPropUpper:
+			bias = float64(cnt) - req
+		case kindExposure:
+			bias = req - core.PatternExposure(in, g, k)
+		default:
+			bias = req - float64(cnt)
+		}
+		infos[i] = GroupInfo{Pattern: g, Size: sD, TopK: cnt, Required: req, Bias: bias}
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].Bias != infos[b].Bias {
+			return infos[a].Bias > infos[b].Bias
+		}
+		if infos[a].Size != infos[b].Size {
+			return infos[a].Size > infos[b].Size
+		}
+		return infos[a].Pattern.Key() < infos[b].Pattern.Key()
+	})
+	return infos
+}
+
+// Describe renders one enriched group as a human-readable line, e.g.
+//
+//	{sex=F, address=R}: 61 tuples, 2 of top-20 (bound 4.9, bias 2.9)
+func (r *Report) Describe(info GroupInfo, k int) string {
+	return fmt.Sprintf("%s: %d tuples, %d of top-%d (bound %.1f, bias %.1f)",
+		r.Format(info.Pattern), info.Size, info.TopK, k, info.Required, info.Bias)
+}
+
+// SuggestLowerBounds proposes a non-decreasing lower-bound staircase for
+// DetectGlobal from a target share: L_k = floor(share·k), clamped to at
+// least 1 once share·k reaches 1. It addresses the paper's future-work item
+// of automatic threshold suggestion with the simplest useful policy: "every
+// substantial group should hold at least `share` of every prefix".
+func SuggestLowerBounds(kMin, kMax int, share float64) ([]int, error) {
+	if kMax < kMin || kMin < 1 {
+		return nil, fmt.Errorf("rankfair: invalid k range [%d,%d]", kMin, kMax)
+	}
+	if share <= 0 || share > 1 {
+		return nil, fmt.Errorf("rankfair: share %v outside (0,1]", share)
+	}
+	out := make([]int, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		out[k-kMin] = int(share * float64(k))
+	}
+	return out, nil
+}
+
+// attachKind records the bound parameters on a freshly built report so
+// InfoAt can recompute per-group bounds.
+func (r *Report) attachGlobal(p core.GlobalParams) *Report {
+	r.kind = kindGlobalLower
+	r.gParams = p
+	return r
+}
+
+func (r *Report) attachProp(p core.PropParams) *Report {
+	r.kind = kindPropLower
+	r.pParams = p
+	return r
+}
+
+func (r *Report) attachGlobalUpper(p core.GlobalUpperParams) *Report {
+	r.kind = kindGlobalUpper
+	r.guParams = p
+	return r
+}
+
+func (r *Report) attachPropUpper(p core.PropUpperParams) *Report {
+	r.kind = kindPropUpper
+	r.puParams = p
+	return r
+}

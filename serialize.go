@@ -1,0 +1,131 @@
+package rankfair
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rankfair/internal/pattern"
+)
+
+// ReportJSON is the serialized form of a detection report, suitable for
+// dashboards and downstream tooling. Groups carry both machine-readable
+// keys and human-readable attribute/label maps, enriched with the sizes
+// and bias magnitudes of InfoAt.
+type ReportJSON struct {
+	// Measure names the fairness measure that produced the report.
+	Measure string `json:"measure"`
+	// KMin, KMax delimit the examined range of k.
+	KMin int `json:"kmin"`
+	KMax int `json:"kmax"`
+	// Attributes lists the pattern space, in order.
+	Attributes []string `json:"attributes"`
+	// NodesExamined and FullSearches mirror the work statistics.
+	NodesExamined int64 `json:"nodes_examined"`
+	FullSearches  int   `json:"full_searches"`
+	// Results holds one entry per k with a non-empty (or changed) result
+	// set; consumers index by K.
+	Results []KGroupsJSON `json:"results"`
+}
+
+// KGroupsJSON is one k's result set.
+type KGroupsJSON struct {
+	K      int         `json:"k"`
+	Groups []GroupJSON `json:"groups"`
+}
+
+// GroupJSON is one detected group.
+type GroupJSON struct {
+	// Pattern maps attribute names to value labels (raw codes when the
+	// analyst has no dictionaries).
+	Pattern map[string]string `json:"pattern"`
+	// Key is the canonical pattern encoding (pattern.ParseKey inverts it).
+	Key string `json:"key"`
+	// Size, TopK, Required and Bias mirror GroupInfo.
+	Size     int     `json:"size"`
+	TopK     int     `json:"top_k"`
+	Required float64 `json:"required"`
+	Bias     float64 `json:"bias"`
+}
+
+// measureName renders the report kind.
+func (r *Report) measureName() string {
+	switch r.kind {
+	case kindGlobalLower:
+		return "global-lower"
+	case kindPropLower:
+		return "proportional-lower"
+	case kindGlobalUpper:
+		return "global-upper"
+	case kindPropUpper:
+		return "proportional-upper"
+	case kindExposure:
+		return "exposure"
+	default:
+		return "unknown"
+	}
+}
+
+// ToJSON converts the report to its serializable form.
+func (r *Report) ToJSON() *ReportJSON {
+	out := &ReportJSON{
+		Measure:       r.measureName(),
+		KMin:          r.KMin,
+		KMax:          r.KMax,
+		Attributes:    append([]string(nil), r.analyst.in.Space.Names...),
+		NodesExamined: r.Stats.NodesExamined,
+		FullSearches:  r.Stats.FullSearches,
+	}
+	for k := r.KMin; k <= r.KMax; k++ {
+		infos := r.InfoAt(k)
+		if len(infos) == 0 {
+			continue
+		}
+		kg := KGroupsJSON{K: k, Groups: make([]GroupJSON, len(infos))}
+		for i, info := range infos {
+			assigns := make(map[string]string, info.Pattern.NumAttrs())
+			for _, a := range info.Pattern.Attrs() {
+				label := fmt.Sprintf("%d", info.Pattern[a])
+				if r.analyst.dicts != nil && a < len(r.analyst.dicts) && int(info.Pattern[a]) < len(r.analyst.dicts[a]) {
+					label = r.analyst.dicts[a][info.Pattern[a]]
+				}
+				assigns[r.analyst.in.Space.Names[a]] = label
+			}
+			kg.Groups[i] = GroupJSON{
+				Pattern:  assigns,
+				Key:      info.Pattern.Key(),
+				Size:     info.Size,
+				TopK:     info.TopK,
+				Required: info.Required,
+				Bias:     info.Bias,
+			}
+		}
+		out.Results = append(out.Results, kg)
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.ToJSON())
+}
+
+// ParseGroupKey decodes a GroupJSON key back into a Pattern over the
+// analyst's space, validating width and value ranges.
+func (a *Analyst) ParseGroupKey(key string) (Pattern, error) {
+	p, err := pattern.ParseKey(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != a.in.Space.NumAttrs() {
+		return nil, fmt.Errorf("rankfair: key has %d attributes, space has %d", len(p), a.in.Space.NumAttrs())
+	}
+	for i, v := range p {
+		if v != Unbound && int(v) >= a.in.Space.Cards[i] {
+			return nil, fmt.Errorf("rankfair: key binds attribute %q to out-of-domain value %d", a.in.Space.Names[i], v)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,97 @@
+package rankfair_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rankfair"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	a := runningAnalyst(t)
+	report, err := a.DetectGlobal(rankfair.GlobalParams{
+		MinSize: 4, KMin: 4, KMax: 5, Lower: []int{2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded rankfair.ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Measure != "global-lower" || decoded.KMin != 4 || decoded.KMax != 5 {
+		t.Errorf("header: %+v", decoded)
+	}
+	if len(decoded.Attributes) != 4 || decoded.Attributes[0] != "Gender" {
+		t.Errorf("attributes: %v", decoded.Attributes)
+	}
+	if decoded.NodesExamined == 0 {
+		t.Error("stats lost")
+	}
+	if len(decoded.Results) != 2 {
+		t.Fatalf("results for %d ks, want 2", len(decoded.Results))
+	}
+	k4 := decoded.Results[0]
+	if k4.K != 4 || len(k4.Groups) != 6 {
+		t.Fatalf("k=4: %d groups, want 6", len(k4.Groups))
+	}
+	// Keys parse back into live patterns over the analyst's space.
+	for _, g := range k4.Groups {
+		p, err := a.ParseGroupKey(g.Key)
+		if err != nil {
+			t.Fatalf("key %q: %v", g.Key, err)
+		}
+		if p.Count(a.Input().Rows) != g.Size {
+			t.Errorf("key %q: size %d, recomputed %d", g.Key, g.Size, p.Count(a.Input().Rows))
+		}
+		if len(g.Pattern) != p.NumAttrs() {
+			t.Errorf("key %q: %d assignments for %d bound attrs", g.Key, len(g.Pattern), p.NumAttrs())
+		}
+	}
+	// The most biased group leads.
+	if k4.Groups[0].Bias < k4.Groups[len(k4.Groups)-1].Bias {
+		t.Error("groups not ordered by bias")
+	}
+}
+
+func TestReportJSONAllMeasures(t *testing.T) {
+	a := runningAnalyst(t)
+	reports := map[string]*rankfair.Report{}
+	var err error
+	if reports["proportional-lower"], err = a.DetectProportional(rankfair.PropParams{MinSize: 5, KMin: 4, KMax: 5, Alpha: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if reports["global-upper"], err = a.DetectGlobalUpper(rankfair.GlobalUpperParams{MinSize: 4, KMin: 5, KMax: 5, Upper: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if reports["exposure"], err = a.DetectExposure(rankfair.ExposureParams{MinSize: 4, KMin: 5, KMax: 5, Alpha: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	for want, r := range reports {
+		j := r.ToJSON()
+		if j.Measure != want {
+			t.Errorf("measure = %q, want %q", j.Measure, want)
+		}
+		if len(j.Results) == 0 {
+			t.Errorf("%s: empty results", want)
+		}
+	}
+}
+
+func TestParseGroupKeyErrors(t *testing.T) {
+	a := runningAnalyst(t)
+	if _, err := a.ParseGroupKey("not-a-key"); err == nil {
+		t.Error("garbage key should fail")
+	}
+	if _, err := a.ParseGroupKey("0|1"); err == nil {
+		t.Error("short key should fail")
+	}
+	if _, err := a.ParseGroupKey("9|*|*|*"); err == nil {
+		t.Error("out-of-domain value should fail")
+	}
+}

@@ -8,14 +8,18 @@
 package rankfair_test
 
 import (
+	"bytes"
+	"context"
 	"sync"
 	"testing"
 
+	"rankfair"
 	"rankfair/internal/core"
 	"rankfair/internal/divergence"
 	"rankfair/internal/exp"
 	"rankfair/internal/explain"
 	"rankfair/internal/rank"
+	"rankfair/internal/service"
 	"rankfair/internal/synth"
 )
 
@@ -320,6 +324,71 @@ func BenchmarkExtensionParallelBaseline(b *testing.B) {
 			if _, err := core.IterTDGlobalParallel(in, params, 0); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkServiceAudit measures one audit through the rankfaird serving
+// layer (submit → worker → report), cold versus cached: "cold" defeats
+// the result cache with a fresh parameter set per iteration, "cached"
+// repeats one audit so every iteration after the first is a cache hit.
+// The gap between the two is the speedup the cache buys the repeated-
+// audit dashboard workload.
+func BenchmarkServiceAudit(b *testing.B) {
+	bundle := benchBundles()["german"]
+	var csv bytes.Buffer
+	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
+		b.Fatal(err)
+	}
+
+	newService := func(b *testing.B) (*service.Service, service.DatasetInfo) {
+		b.Helper()
+		svc := service.New(service.Config{Workers: 2, QueueDepth: 256, CacheEntries: 1024})
+		b.Cleanup(func() { svc.Shutdown(context.Background()) })
+		info, err := svc.Registry().Add("german", csv.Bytes(), rankfair.CSVOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc, info
+	}
+	auditReq := func(id string, alpha float64) service.AuditRequest {
+		return service.AuditRequest{
+			Dataset: id,
+			Ranker:  service.RankerSpec{Columns: []service.ColumnKeySpec{{Column: "credit_score", Descending: true}}},
+			Params: rankfair.AuditParams{
+				Measure: rankfair.MeasureProp, MinSize: 50, KMin: 10, KMax: 49, Alpha: alpha,
+			},
+		}
+	}
+	runAudit := func(b *testing.B, svc *service.Service, req service.AuditRequest) {
+		b.Helper()
+		view, err := svc.SubmitAudit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := svc.Jobs().Wait(context.Background(), view.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.Status != service.JobDone {
+			b.Fatalf("audit ended %s: %s", final.Status, final.Error)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		svc, info := newService(b)
+		for i := 0; i < b.N; i++ {
+			// A unique alpha per iteration gives every audit a distinct
+			// cache key, forcing the full lattice search.
+			runAudit(b, svc, auditReq(info.ID, 0.8+float64(i)*1e-9))
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc, info := newService(b)
+		runAudit(b, svc, auditReq(info.ID, 0.8)) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runAudit(b, svc, auditReq(info.ID, 0.8))
 		}
 	})
 }

@@ -1,0 +1,93 @@
+// Command rankfaird serves the rankfair detection pipelines as a
+// long-lived HTTP daemon: upload a CSV once, then run audits, repairs and
+// explanations against it over REST. Identical audits of an unchanged
+// dataset are answered from a result cache instead of re-running the
+// lattice search.
+//
+// Usage:
+//
+//	rankfaird -addr :8080
+//
+//	curl -X POST --data-binary @applicants.csv 'localhost:8080/v1/datasets?name=applicants'
+//	curl -X POST -d '{"dataset":"ds-...","ranker":{"columns":[{"column":"score","descending":true}]},
+//	                  "params":{"measure":"prop","min_size":50,"kmin":10,"kmax":49,"alpha":0.8}}' \
+//	     localhost:8080/v1/audits
+//	curl localhost:8080/v1/audits/job-000001/report
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rankfair/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "pending audit queue depth")
+		cacheSize   = flag.Int("cache", 128, "result cache entries")
+		maxDatasets = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
+		maxUpload   = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		MaxDatasets:    *maxDatasets,
+		MaxUploadBytes: *maxUpload,
+	}
+	if err := run(*addr, cfg, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "rankfaird:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests and
+// audit workers within the drain timeout.
+func run(addr string, cfg service.Config, drain time.Duration) error {
+	svc := service.New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rankfaird listening on %s (workers=%d, queue=%d, cache=%d)",
+			addr, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected close
+	case <-ctx.Done():
+	}
+
+	log.Printf("rankfaird shutting down (drain %s)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	errHTTP := srv.Shutdown(dctx)
+	errJobs := svc.Shutdown(dctx)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return errors.Join(errHTTP, errJobs)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"rankfair/internal/service"
+)
+
+// freeAddr reserves a port and releases it for the daemon to claim.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestRunServesAndDrains boots the daemon on a real socket, probes
+// /healthz, then delivers SIGTERM and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	addr := freeAddr(t)
+	errc := make(chan error, 1)
+	go func() { errc <- run(addr, service.Config{Workers: 1}, 5*time.Second) }()
+
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+func TestRunBindFailure(t *testing.T) {
+	// Occupy a port so the daemon's bind fails immediately.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := run(l.Addr().String(), service.Config{Workers: 1}, time.Second); err == nil {
+		t.Fatal("run should fail when the address is taken")
+	}
+}
+
+// TestMainExitsNonZeroOnBadFlags exercises the main() error path in a
+// subprocess.
+func TestMainExitsNonZeroOnBadFlags(t *testing.T) {
+	if os.Getenv("RANKFAIRD_TEST_MAIN") == "1" {
+		// Bind to an invalid address: main should print and exit 1.
+		os.Args = []string{"rankfaird", "-addr", "256.256.256.256:1"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], fmt.Sprintf("-test.run=%s", t.Name()))
+	cmd.Env = append(os.Environ(), "RANKFAIRD_TEST_MAIN=1")
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if err == nil {
+		t.Fatal("subprocess exited 0, want failure")
+	} else if ok := isExitError(err, &exitErr); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("subprocess err = %v, want exit code 1", err)
+	}
+}
+
+func isExitError(err error, target **exec.ExitError) bool {
+	if e, ok := err.(*exec.ExitError); ok {
+		*target = e
+		return true
+	}
+	return false
+}

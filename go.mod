@@ -1,0 +1,3 @@
+module rankfair
+
+go 1.24

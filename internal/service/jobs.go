@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rankfair"
+)
+
+// JobStatus is the lifecycle state of an audit job.
+type JobStatus string
+
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// HTTP handlers map it to 503 so clients can back off.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// JobFunc is one unit of audit work. It returns the serialized report and
+// whether the result came from the cache (directly or by joining an
+// in-flight duplicate) rather than a fresh computation.
+type JobFunc func(ctx context.Context) (*rankfair.ReportJSON, bool, error)
+
+// Job is the manager's record of one submitted audit.
+type Job struct {
+	ID      string
+	Dataset string
+	Params  rankfair.AuditParams
+
+	status   JobStatus
+	err      string
+	cacheHit bool
+	report   *rankfair.ReportJSON
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	run      JobFunc
+	runCtx   context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// finish closes the job's completion channel exactly once.
+func (j *Job) finish() { j.doneOnce.Do(func() { close(j.done) }) }
+
+// JobView is the JSON-safe snapshot of a job served by the audit API.
+type JobView struct {
+	ID       string               `json:"id"`
+	Dataset  string               `json:"dataset"`
+	Params   rankfair.AuditParams `json:"params"`
+	Status   JobStatus            `json:"status"`
+	Error    string               `json:"error,omitempty"`
+	CacheHit bool                 `json:"cache_hit"`
+	Created  time.Time            `json:"created"`
+	// ElapsedMS is the run time: queued jobs report 0, running jobs the
+	// time since start, finished jobs the total duration.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// NodesExamined, FullSearches and TotalGroups surface the detection
+	// work statistics once the job is done.
+	NodesExamined int64 `json:"nodes_examined,omitempty"`
+	FullSearches  int   `json:"full_searches,omitempty"`
+	TotalGroups   int   `json:"total_groups,omitempty"`
+}
+
+// ManagerStats snapshots the job counters for /metrics.
+type ManagerStats struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+}
+
+// Manager runs audit jobs on a fixed pool of workers over a bounded
+// queue. Submission is non-blocking: a full queue rejects immediately
+// rather than stalling the HTTP handler.
+type Manager struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	seq     int64
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	submitted, completed, failed, canceled int64
+	running                                int
+	retain                                 int
+	clock                                  func() time.Time
+}
+
+// defaultJobRetention bounds how many job records the manager keeps; the
+// oldest *finished* jobs are pruned beyond it so the daemon's memory does
+// not grow with its lifetime.
+const defaultJobRetention = 1024
+
+// NewManager starts workers goroutines consuming a queue of queueDepth
+// pending jobs (<= 0: 4 workers, depth 64).
+func NewManager(workers, queueDepth int) *Manager {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, queueDepth),
+		baseCtx: ctx,
+		stop:    cancel,
+		retain:  defaultJobRetention,
+		clock:   time.Now,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit queues one job. It returns the job snapshot immediately; the
+// work runs asynchronously on the pool.
+func (m *Manager) Submit(dataset string, params rankfair.AuditParams, run JobFunc) (JobView, error) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	m.mu.Lock()
+	m.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", m.seq),
+		Dataset: dataset,
+		Params:  params,
+		status:  JobQueued,
+		created: m.clock(),
+		run:     run,
+		runCtx:  ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.submitted++
+	view := m.viewLocked(j)
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return view, nil
+	default:
+		m.mu.Lock()
+		j.status = JobFailed
+		j.err = ErrQueueFull.Error()
+		m.submitted-- // never entered the queue
+		delete(m.jobs, j.ID)
+		m.mu.Unlock()
+		cancel()
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// worker drains the queue until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.execute(j)
+		}
+	}
+}
+
+// execute runs one job to completion.
+func (m *Manager) execute(j *Job) {
+	defer j.finish()
+	ctx := j.runCtx
+	m.mu.Lock()
+	if j.status == JobCanceled || ctx.Err() != nil {
+		if j.status != JobCanceled {
+			j.status = JobCanceled
+			m.canceled++
+		}
+		j.finished = m.clock()
+		j.run = nil
+		m.mu.Unlock()
+		j.cancel()
+		return
+	}
+	j.status = JobRunning
+	j.started = m.clock()
+	m.running++
+	m.mu.Unlock()
+
+	report, hit, err := j.run(ctx)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.finished = m.clock()
+	switch {
+	case ctx.Err() != nil:
+		// Canceled mid-run: the lattice search is not interruptible once
+		// inside internal/core, so the result (if any) is discarded.
+		j.status = JobCanceled
+		m.canceled++
+	case err != nil:
+		j.status = JobFailed
+		j.err = err.Error()
+		m.failed++
+	default:
+		j.status = JobDone
+		j.report = report
+		j.cacheHit = hit
+		m.completed++
+	}
+	// Release what the job no longer needs: the run closure pins the
+	// decoded table, and the uncalled cancel pins a child of baseCtx.
+	// (Called after the ctx.Err() check above, which it would taint.)
+	j.run = nil
+	j.cancel()
+	m.pruneLocked()
+}
+
+// pruneLocked drops the oldest finished jobs beyond the retention cap.
+// Job IDs are zero-padded sequence numbers, so lexicographic order is
+// submission order.
+func (m *Manager) pruneLocked() {
+	if len(m.jobs) <= m.retain {
+		return
+	}
+	finished := make([]string, 0, len(m.jobs))
+	for id, j := range m.jobs {
+		switch j.status {
+		case JobDone, JobFailed, JobCanceled:
+			finished = append(finished, id)
+		}
+	}
+	sort.Strings(finished)
+	for _, id := range finished {
+		if len(m.jobs) <= m.retain {
+			break
+		}
+		delete(m.jobs, id)
+	}
+}
+
+// Cancel cancels a queued or running job; it reports whether the job
+// exists. A queued job never starts; a running job's context is canceled
+// and its result discarded when the current phase finishes.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	canceledQueued := false
+	if ok && j.status == JobQueued {
+		j.status = JobCanceled
+		j.finished = m.clock()
+		m.canceled++
+		canceledQueued = true
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel()
+	if canceledQueued {
+		j.finish()
+	}
+	return true
+}
+
+// Wait blocks until the job finishes (done, failed or canceled) or ctx
+// expires, then returns the final snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("service: no audit %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	view, _ := m.Get(id)
+	return view, nil
+}
+
+// Get returns the snapshot of one job.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// Report returns the finished report of a done job.
+func (m *Manager) Report(id string) (*rankfair.ReportJSON, JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, JobView{}, false
+	}
+	return j.report, m.viewLocked(j), true
+}
+
+// List returns snapshots of every job, newest first.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.viewLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	queued := 0
+	for _, j := range m.jobs {
+		if j.status == JobQueued {
+			queued++
+		}
+	}
+	return ManagerStats{
+		Submitted: m.submitted,
+		Completed: m.completed,
+		Failed:    m.failed,
+		Canceled:  m.canceled,
+		Queued:    queued,
+		Running:   m.running,
+	}
+}
+
+// Shutdown cancels every outstanding job and waits for the workers to
+// drain, or for ctx to expire. Jobs still waiting in the queue are
+// marked canceled so concurrent Wait calls unblock.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.stop()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		// Workers are gone; whatever is left in the queue will never
+		// run. Cancel it so waiters see a terminal state.
+		for {
+			select {
+			case j := <-m.queue:
+				m.mu.Lock()
+				if j.status == JobQueued {
+					j.status = JobCanceled
+					j.finished = m.clock()
+					m.canceled++
+				}
+				m.mu.Unlock()
+				j.finish()
+			default:
+				close(done)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// viewLocked snapshots a job; callers hold m.mu.
+func (m *Manager) viewLocked(j *Job) JobView {
+	v := JobView{
+		ID:       j.ID,
+		Dataset:  j.Dataset,
+		Params:   j.Params,
+		Status:   j.status,
+		Error:    j.err,
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+	}
+	switch j.status {
+	case JobRunning:
+		v.ElapsedMS = float64(m.clock().Sub(j.started)) / float64(time.Millisecond)
+	case JobDone, JobFailed, JobCanceled:
+		if !j.started.IsZero() {
+			v.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if j.report != nil {
+		v.NodesExamined = j.report.NodesExamined
+		v.FullSearches = j.report.FullSearches
+		for _, kg := range j.report.Results {
+			v.TotalGroups += len(kg.Groups)
+		}
+	}
+	return v
+}

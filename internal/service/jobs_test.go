@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rankfair"
+)
+
+func testParams() rankfair.AuditParams {
+	return rankfair.AuditParams{Measure: rankfair.MeasureProp, MinSize: 1, KMin: 1, KMax: 2, Alpha: 0.8}
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestManagerRunsJobs(t *testing.T) {
+	m := NewManager(2, 8)
+	defer m.Shutdown(context.Background())
+
+	report := &rankfair.ReportJSON{Measure: "proportional-lower", KMin: 1, KMax: 2, NodesExamined: 7}
+	view, err := m.Submit("ds-x", testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		return report, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != JobQueued || view.ID == "" {
+		t.Errorf("submit view = %+v, want queued with ID", view)
+	}
+
+	final, err := m.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone || final.NodesExamined != 7 {
+		t.Errorf("final = %+v, want done with stats", final)
+	}
+	got, _, ok := m.Report(view.ID)
+	if !ok || got != report {
+		t.Errorf("Report = %v, %v; want the submitted report", got, ok)
+	}
+	if st := m.Stats(); st.Completed != 1 || st.Submitted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestManagerJobFailure(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Shutdown(context.Background())
+	view, err := m.Submit("ds-x", testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		return nil, false, errors.New("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := m.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobFailed || final.Error != "kaboom" {
+		t.Errorf("final = %+v, want failed kaboom", final)
+	}
+	if st := m.Stats(); st.Failed != 1 {
+		t.Errorf("stats = %+v, want 1 failure", st)
+	}
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManager(1, 1)
+	defer m.Shutdown(context.Background())
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return &rankfair.ReportJSON{}, false, nil
+	}
+	// First job occupies the worker; second fills the queue slot. The
+	// worker may not have picked up the first yet, so allow one extra.
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		_, lastErr = m.Submit("ds-x", testParams(), block)
+		if lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull after saturating worker+queue", lastErr)
+	}
+}
+
+func TestManagerCancelQueued(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Shutdown(context.Background())
+	gate := make(chan struct{})
+	block := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return &rankfair.ReportJSON{}, false, nil
+	}
+	running, err := m.Submit("ds-x", testParams(), block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit("ds-x", testParams(), block)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if m.Cancel("job-nope") {
+		t.Error("Cancel of unknown job should report false")
+	}
+	if !m.Cancel(queued.ID) {
+		t.Fatal("Cancel of queued job should report true")
+	}
+	view, err := m.Wait(waitCtx(t), queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != JobCanceled {
+		t.Errorf("canceled job status = %s, want canceled", view.Status)
+	}
+
+	close(gate)
+	if _, err := m.Wait(waitCtx(t), running.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Canceled != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 canceled, 1 completed", st)
+	}
+}
+
+func TestManagerList(t *testing.T) {
+	m := NewManager(2, 8)
+	defer m.Shutdown(context.Background())
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit(fmt.Sprintf("ds-%d", i), testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+			return &rankfair.ReportJSON{}, false, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List returned %d jobs, want 3", len(list))
+	}
+	if list[0].ID <= list[1].ID || list[1].ID <= list[2].ID {
+		t.Errorf("List not newest-first: %v, %v, %v", list[0].ID, list[1].ID, list[2].ID)
+	}
+}
+
+// TestManagerShutdownDrainsQueued: jobs still waiting in the queue when
+// Shutdown runs must end canceled, and Wait on them must unblock.
+func TestManagerShutdownDrainsQueued(t *testing.T) {
+	m := NewManager(1, 8)
+	started := make(chan struct{})
+	block := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	}
+	first, err := m.Submit("ds-x", testParams(), block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var queued []JobView
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit("ds-x", testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+			return &rankfair.ReportJSON{}, false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, v)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := m.Wait(context.Background(), queued[0].ID)
+		waitErr <- err
+	}()
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Errorf("Wait on queued job after shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait on a queued job deadlocked across Shutdown")
+	}
+	for _, v := range append(queued, first) {
+		final, ok := m.Get(v.ID)
+		if !ok || final.Status != JobCanceled {
+			t.Errorf("job %s = %+v, want canceled", v.ID, final)
+		}
+	}
+}
+
+// TestManagerPrunesFinishedJobs: the record map must stay bounded.
+func TestManagerPrunesFinishedJobs(t *testing.T) {
+	m := NewManager(2, 64)
+	defer m.Shutdown(context.Background())
+	m.retain = 5
+	ids := make([]string, 12)
+	for i := range ids {
+		v, err := m.Submit("ds-x", testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+			return &rankfair.ReportJSON{}, false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+		if _, err := m.Wait(waitCtx(t), v.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.List()); got > 5 {
+		t.Errorf("%d job records retained, want <= 5", got)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Error("oldest finished job should have been pruned")
+	}
+	if _, ok := m.Get(ids[len(ids)-1]); !ok {
+		t.Error("newest job should be retained")
+	}
+}
+
+func TestManagerShutdownCancelsRunning(t *testing.T) {
+	m := NewManager(1, 4)
+	started := make(chan struct{})
+	view, err := m.Submit("ds-x", testParams(), func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	final, ok := m.Get(view.ID)
+	if !ok || final.Status != JobCanceled {
+		t.Errorf("after shutdown job = %+v, want canceled", final)
+	}
+}

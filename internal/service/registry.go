@@ -1,0 +1,205 @@
+// Package service is the serving layer of the reproduction: it turns the
+// rankfair library into a long-lived audit engine. It provides a dataset
+// registry (content-hashed CSV uploads), a bounded-worker asynchronous job
+// manager for the five detection measures, and an LRU result cache with
+// in-flight deduplication so repeated audits of the same table — the
+// common dashboard workload — are served without recomputing the lattice
+// search. cmd/rankfaird exposes it over HTTP.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rankfair"
+	"rankfair/internal/dataset"
+)
+
+// DatasetInfo is the registry's public record of one uploaded table.
+type DatasetInfo struct {
+	// ID addresses the dataset in the API; it is derived from Hash, so
+	// byte-identical uploads land on the same ID.
+	ID string `json:"id"`
+	// Name is the optional caller-supplied label.
+	Name string `json:"name,omitempty"`
+	// Hash is the hex SHA-256 of the uploaded CSV bytes; result cache
+	// keys embed it, so cache entries can never serve a stale table.
+	Hash string `json:"hash"`
+	// Rows and Columns describe the decoded table.
+	Rows    int `json:"rows"`
+	Columns int `json:"columns"`
+	// Attributes lists the categorical columns (the pattern space).
+	Attributes []string `json:"attributes"`
+	// Numeric lists the numeric columns (usable as ranking keys).
+	Numeric []string `json:"numeric,omitempty"`
+	// Bytes is the size of the uploaded CSV.
+	Bytes int64 `json:"bytes"`
+	// Created is the upload time.
+	Created time.Time `json:"created"`
+}
+
+type regEntry struct {
+	info  DatasetInfo
+	table *rankfair.Dataset
+}
+
+// Registry holds decoded datasets in memory, keyed by content-derived IDs.
+// When the configured capacity is exceeded the least recently *used*
+// dataset is evicted (uploads and audits both count as use).
+type Registry struct {
+	mu    sync.Mutex
+	byID  map[string]*regEntry
+	used  map[string]time.Time
+	cap   int
+	clock func() time.Time
+}
+
+// NewRegistry returns a registry evicting beyond maxDatasets entries
+// (<= 0 means 64).
+func NewRegistry(maxDatasets int) *Registry {
+	if maxDatasets <= 0 {
+		maxDatasets = 64
+	}
+	return &Registry{
+		byID:  make(map[string]*regEntry),
+		used:  make(map[string]time.Time),
+		cap:   maxDatasets,
+		clock: time.Now,
+	}
+}
+
+// HashCSV returns the content hash the registry would assign to raw CSV
+// bytes.
+func HashCSV(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// idFromHash shortens a content hash into an addressable dataset ID.
+func idFromHash(hash string) string { return "ds-" + hash[:12] }
+
+// Add decodes raw CSV bytes into a dataset and registers it. Re-uploading
+// byte-identical content is idempotent and returns the existing record.
+func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (DatasetInfo, error) {
+	hash := HashCSV(raw)
+	id := idFromHash(hash)
+
+	r.mu.Lock()
+	if e, ok := r.byID[id]; ok {
+		r.used[id] = r.clock()
+		info := e.info
+		r.mu.Unlock()
+		return info, nil
+	}
+	r.mu.Unlock()
+
+	// Decode outside the lock: CSV parsing is the slow part.
+	table, err := rankfair.ReadCSV(bytes.NewReader(raw), opts)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: decoding CSV: %w", err)
+	}
+	if err := table.Validate(); err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: invalid table: %w", err)
+	}
+	if table.NumRows() == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: dataset has no rows")
+	}
+	info := DatasetInfo{
+		ID:         id,
+		Name:       name,
+		Hash:       hash,
+		Rows:       table.NumRows(),
+		Columns:    table.NumCols(),
+		Attributes: table.CategoricalNames(),
+		Bytes:      int64(len(raw)),
+	}
+	for _, c := range table.Columns() {
+		if c.Kind == dataset.Numeric {
+			info.Numeric = append(info.Numeric, c.Name)
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok { // lost a concurrent upload race
+		r.used[id] = r.clock()
+		return e.info, nil
+	}
+	info.Created = r.clock()
+	r.byID[id] = &regEntry{info: info, table: table}
+	r.used[id] = info.Created
+	for len(r.byID) > r.cap {
+		r.evictOldestLocked()
+	}
+	return info, nil
+}
+
+// evictOldestLocked drops the least recently used dataset.
+func (r *Registry) evictOldestLocked() {
+	oldestID := ""
+	var oldest time.Time
+	for id, at := range r.used {
+		if oldestID == "" || at.Before(oldest) {
+			oldestID, oldest = id, at
+		}
+	}
+	if oldestID != "" {
+		delete(r.byID, oldestID)
+		delete(r.used, oldestID)
+	}
+}
+
+// Get returns the decoded table and its record, marking the dataset used.
+func (r *Registry) Get(id string) (*rankfair.Dataset, DatasetInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok {
+		return nil, DatasetInfo{}, false
+	}
+	r.used[id] = r.clock()
+	return e.table, e.info, true
+}
+
+// List returns every record, most recently created first.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.After(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Evict removes a dataset; it reports whether the ID was present. Cached
+// audit results keyed by the dataset's content hash survive eviction by
+// design (the hash pins their validity, not the registry entry).
+func (r *Registry) Evict(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	delete(r.used, id)
+	return true
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"rankfair"
+)
+
+const tinyCSV = "sex,region,score\nF,N,1\nM,S,9\nF,E,2\nM,W,8\n"
+
+func TestRegistryAddGetEvict(t *testing.T) {
+	r := NewRegistry(4)
+	info, err := r.Add("tiny", []byte(tinyCSV), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 4 || info.Columns != 3 {
+		t.Errorf("info = %+v, want 4 rows, 3 columns", info)
+	}
+	if want := []string{"sex", "region"}; strings.Join(info.Attributes, ",") != strings.Join(want, ",") {
+		t.Errorf("attributes = %v, want %v", info.Attributes, want)
+	}
+	if len(info.Numeric) != 1 || info.Numeric[0] != "score" {
+		t.Errorf("numeric = %v, want [score]", info.Numeric)
+	}
+	if !strings.HasPrefix(info.ID, "ds-") || info.Hash == "" {
+		t.Errorf("ID/Hash malformed: %+v", info)
+	}
+
+	table, got, ok := r.Get(info.ID)
+	if !ok || table == nil || got.ID != info.ID {
+		t.Fatalf("Get(%s) = %v, %v", info.ID, got, ok)
+	}
+
+	// Idempotent re-upload: same bytes, same record, no duplicate.
+	again, err := r.Add("other-name", []byte(tinyCSV), rankfair.CSVOptions{})
+	if err != nil || again.ID != info.ID {
+		t.Errorf("re-upload: %+v, %v; want same ID", again, err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after idempotent re-upload, want 1", r.Len())
+	}
+
+	if !r.Evict(info.ID) {
+		t.Error("Evict should report true for present ID")
+	}
+	if r.Evict(info.ID) {
+		t.Error("Evict should report false for absent ID")
+	}
+	if _, _, ok := r.Get(info.ID); ok {
+		t.Error("Get should miss after Evict")
+	}
+}
+
+func TestRegistryRejectsBadCSV(t *testing.T) {
+	r := NewRegistry(4)
+	for name, raw := range map[string]string{
+		"empty":  "",
+		"header": "a,b\n",
+		"ragged": "a,b\n1,2\n3\n",
+	} {
+		if _, err := r.Add(name, []byte(raw), rankfair.CSVOptions{}); err == nil {
+			t.Errorf("%s: Add accepted invalid CSV", name)
+		}
+	}
+}
+
+func TestRegistryCapEviction(t *testing.T) {
+	r := NewRegistry(2)
+	ids := make([]string, 3)
+	for i := range ids {
+		csv := tinyCSV + strings.Repeat("F,N,1\n", i+1) // distinct content
+		info, err := r.Add("t", []byte(csv), rankfair.CSVOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want cap 2", r.Len())
+	}
+	if _, _, ok := r.Get(ids[0]); ok {
+		t.Error("oldest dataset should have been evicted")
+	}
+	if _, _, ok := r.Get(ids[2]); !ok {
+		t.Error("newest dataset should be resident")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry(4)
+	a, _ := r.Add("a", []byte(tinyCSV), rankfair.CSVOptions{})
+	b, _ := r.Add("b", []byte(tinyCSV+"F,N,3\n"), rankfair.CSVOptions{})
+	list := r.List()
+	if len(list) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(list))
+	}
+	got := map[string]bool{list[0].ID: true, list[1].ID: true}
+	if !got[a.ID] || !got[b.ID] {
+		t.Errorf("List = %v, want both %s and %s", list, a.ID, b.ID)
+	}
+}

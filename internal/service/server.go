@@ -1,0 +1,304 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"rankfair"
+)
+
+// metrics holds the request-level counters; job and cache counters live
+// with their subsystems and are gathered at scrape time.
+type metrics struct {
+	requests      atomic.Int64
+	requestErrors atomic.Int64
+	uploads       atomic.Int64
+}
+
+// Handler returns the daemon's full route table as a stdlib handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetEvict)
+	mux.HandleFunc("POST /v1/audits", s.handleAuditSubmit)
+	mux.HandleFunc("GET /v1/audits", s.handleAuditList)
+	mux.HandleFunc("GET /v1/audits/{id}", s.handleAuditGet)
+	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleAuditCancel)
+	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleAuditReport)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.count(mux)
+}
+
+// statusWriter records the response code for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// count wraps the mux with request/error accounting.
+func (s *Service) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			s.metrics.requestErrors.Add(1)
+		}
+	})
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps service errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	var nf *NotFoundError
+	var br *BadRequestError
+	switch {
+	case errors.As(err, &nf):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.As(err, &br):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+// handleDatasetUpload decodes a raw CSV body into the registry. Optional
+// query parameters: name (label), categorical / numeric (comma-separated
+// column lists forcing the kind), all_categorical=true, comma (single-rune
+// field delimiter).
+func (s *Service) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: fmt.Sprintf("reading upload: %v", err)})
+		return
+	}
+	if len(raw) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty upload"})
+		return
+	}
+	q := r.URL.Query()
+	opts := rankfair.CSVOptions{
+		AllCategorical: q.Get("all_categorical") == "true",
+	}
+	if v := q.Get("categorical"); v != "" {
+		opts.CategoricalColumns = strings.Split(v, ",")
+	}
+	if v := q.Get("numeric"); v != "" {
+		opts.NumericColumns = strings.Split(v, ",")
+	}
+	if v := q.Get("comma"); v != "" {
+		runes := []rune(v)
+		if len(runes) != 1 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("comma must be a single rune, got %q", v)})
+			return
+		}
+		opts.Comma = runes[0]
+	}
+	info, err := s.registry.Add(q.Get("name"), raw, opts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.metrics.uploads.Add(1)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{Datasets: s.registry.List()})
+}
+
+func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, info, ok := s.registry.Get(id)
+	if !ok {
+		writeErr(w, &NotFoundError{Resource: "dataset", ID: id})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleDatasetEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Evict(id) {
+		writeErr(w, &NotFoundError{Resource: "dataset", ID: id})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
+	var req AuditRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	view, err := s.SubmitAudit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/audits/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Service) handleAuditList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Audits []JobView `json:"audits"`
+	}{Audits: s.jobs.List()})
+}
+
+func (s *Service) handleAuditGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.jobs.Get(id)
+	if !ok {
+		writeErr(w, &NotFoundError{Resource: "audit", ID: id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleAuditCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.jobs.Cancel(id) {
+		writeErr(w, &NotFoundError{Resource: "audit", ID: id})
+		return
+	}
+	view, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleAuditReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	report, view, ok := s.jobs.Report(id)
+	if !ok {
+		writeErr(w, &NotFoundError{Resource: "audit", ID: id})
+		return
+	}
+	switch view.Status {
+	case JobDone:
+		writeJSON(w, http.StatusOK, report)
+	case JobFailed:
+		writeJSON(w, http.StatusConflict, apiError{Error: "audit failed: " + view.Error})
+	case JobCanceled:
+		writeJSON(w, http.StatusConflict, apiError{Error: "audit canceled"})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("audit %s is %s", id, view.Status)})
+	}
+}
+
+func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req RepairRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	resp, err := s.Repair(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	resp, err := s.Explain(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}{Status: "ok", Datasets: s.registry.Len()})
+}
+
+// handleMetrics emits the counters in the Prometheus text exposition
+// format (no client library: the format is plain lines).
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	js := s.jobs.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	writeMetric := func(name string, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			name, help, name, metricType(name), name, v)
+	}
+	writeMetric("rankfaird_requests_total", "HTTP requests served.", s.metrics.requests.Load())
+	writeMetric("rankfaird_request_errors_total", "HTTP responses with status >= 400.", s.metrics.requestErrors.Load())
+	writeMetric("rankfaird_dataset_uploads_total", "Accepted dataset uploads.", s.metrics.uploads.Load())
+	writeMetric("rankfaird_datasets", "Datasets currently registered.", int64(s.registry.Len()))
+	writeMetric("rankfaird_jobs_submitted_total", "Audit jobs accepted.", js.Submitted)
+	writeMetric("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", js.Completed)
+	writeMetric("rankfaird_jobs_failed_total", "Audit jobs that errored.", js.Failed)
+	writeMetric("rankfaird_jobs_canceled_total", "Audit jobs canceled.", js.Canceled)
+	writeMetric("rankfaird_jobs_queued", "Audit jobs waiting for a worker.", int64(js.Queued))
+	writeMetric("rankfaird_jobs_running", "Audit jobs currently running.", int64(js.Running))
+	writeMetric("rankfaird_cache_hits_total", "Audits served from the result cache (completed entries plus joined in-flight computations).", cs.Hits+cs.Shared)
+	writeMetric("rankfaird_cache_entry_hits_total", "Audits served from a completed cache entry.", cs.Hits)
+	writeMetric("rankfaird_cache_inflight_shared_total", "Audits that joined an identical in-flight computation.", cs.Shared)
+	writeMetric("rankfaird_cache_misses_total", "Audits that ran the lattice search.", cs.Misses)
+	writeMetric("rankfaird_cache_evictions_total", "Result cache LRU evictions.", cs.Evictions)
+	writeMetric("rankfaird_cache_entries", "Result cache entries resident.", int64(cs.Entries))
+	_, _ = io.WriteString(w, b.String())
+}
+
+// metricType classifies a metric name for the TYPE line.
+func metricType(name string) string {
+	if strings.HasSuffix(name, "_total") {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// decodeJSON strictly decodes one JSON body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,556 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rankfair"
+)
+
+// biasedCSV builds a deterministic table where every odd row is M with a
+// high score and every even row is F with a much lower one, so the top of
+// the ranking is all-male: {sex=F} (and the regions riding on even rows)
+// are under-represented at every prefix.
+func biasedCSV(rows int) []byte {
+	var b bytes.Buffer
+	b.WriteString("sex,region,score\n")
+	regions := []string{"N", "S", "E", "W"}
+	for i := 0; i < rows; i++ {
+		sex := "M"
+		score := 10000 - i
+		if i%2 == 0 {
+			sex = "F"
+			score -= 5000
+		}
+		fmt.Fprintf(&b, "%s,%s,%d\n", sex, regions[i%4], score)
+	}
+	return b.Bytes()
+}
+
+// testServer wraps a Service in an httptest server.
+func testServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{Workers: 4, QueueDepth: 32, CacheEntries: 32, MaxDatasets: 8})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return svc, ts
+}
+
+// doJSON posts a JSON body and decodes the response into out.
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// upload posts CSV bytes and returns the dataset record.
+func upload(t *testing.T, ts *httptest.Server, raw []byte) DatasetInfo {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=test", "text/csv", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func scoreRanker() RankerSpec {
+	return RankerSpec{Columns: []ColumnKeySpec{{Column: "score", Descending: true}}}
+}
+
+// awaitReport polls the audit endpoints until the job finishes and
+// returns its report.
+func awaitReport(t *testing.T, ts *httptest.Server, jobID string) *rankfair.ReportJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var view JobView
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/audits/"+jobID, nil, &view); code != http.StatusOK {
+			t.Fatalf("GET audit %s: status %d", jobID, code)
+		}
+		switch view.Status {
+		case JobDone:
+			var report rankfair.ReportJSON
+			if code := doJSON(t, http.MethodGet, ts.URL+"/v1/audits/"+jobID+"/report", nil, &report); code != http.StatusOK {
+				t.Fatalf("GET report %s: status %d", jobID, code)
+			}
+			return &report
+		case JobFailed, JobCanceled:
+			t.Fatalf("audit %s ended %s: %s", jobID, view.Status, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("audit %s still %s after deadline", jobID, view.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestUploadAuditReportAllMeasures is the end-to-end cycle of the
+// acceptance criteria: upload → audit → report for all five measures.
+func TestUploadAuditReportAllMeasures(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(200))
+
+	cases := []struct {
+		params  rankfair.AuditParams
+		measure string // ReportJSON measure name
+	}{
+		{rankfair.AuditParams{Measure: "global", MinSize: 10, KMin: 5, KMax: 20, Lower: constants(5, 20, 2)}, "global-lower"},
+		{rankfair.AuditParams{Measure: "prop", MinSize: 10, KMin: 5, KMax: 20, Alpha: 0.8}, "proportional-lower"},
+		{rankfair.AuditParams{Measure: "global-upper", MinSize: 10, KMin: 5, KMax: 20, Upper: constants(5, 20, 3)}, "global-upper"},
+		{rankfair.AuditParams{Measure: "prop-upper", MinSize: 10, KMin: 5, KMax: 20, Beta: 1.25}, "proportional-upper"},
+		{rankfair.AuditParams{Measure: "exposure", MinSize: 10, KMin: 5, KMax: 20, Alpha: 0.8}, "exposure"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.params.Measure, func(t *testing.T) {
+			var view JobView
+			code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+				Dataset: info.ID, Ranker: scoreRanker(), Params: tc.params,
+			}, &view)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: status %d", code)
+			}
+			report := awaitReport(t, ts, view.ID)
+			if report.Measure != tc.measure {
+				t.Errorf("report measure = %q, want %q", report.Measure, tc.measure)
+			}
+			if report.KMin != 5 || report.KMax != 20 {
+				t.Errorf("report k range = [%d,%d], want [5,20]", report.KMin, report.KMax)
+			}
+			if len(report.Results) == 0 {
+				t.Errorf("measure %s found no groups on the biased table", tc.params.Measure)
+			}
+		})
+	}
+
+	// The lower-side reports must flag the all-female group.
+	var view JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+		Dataset: info.ID, Ranker: scoreRanker(),
+		Params: rankfair.AuditParams{Measure: "prop", MinSize: 10, KMin: 5, KMax: 20, Alpha: 0.8},
+	}, &view)
+	report := awaitReport(t, ts, view.ID)
+	foundF := false
+	for _, kg := range report.Results {
+		for _, g := range kg.Groups {
+			if g.Pattern["sex"] == "F" {
+				foundF = true
+				if g.TopK != 0 {
+					t.Errorf("k=%d: {sex=F} top-k count = %d, want 0 on the all-male prefix", kg.K, g.TopK)
+				}
+			}
+		}
+	}
+	if !foundF {
+		t.Error("proportional report never flagged {sex=F}")
+	}
+}
+
+func constants(kMin, kMax, v int) []int {
+	out := make([]int, kMax-kMin+1)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestConcurrentIdenticalAuditsComputeOnce fires identical audits in
+// parallel and proves, via the cache counters surfaced on /metrics, that
+// the lattice search ran exactly once.
+func TestConcurrentIdenticalAuditsComputeOnce(t *testing.T) {
+	svc, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(400))
+
+	req := AuditRequest{
+		Dataset: info.ID, Ranker: scoreRanker(),
+		Params: rankfair.AuditParams{Measure: "prop", MinSize: 10, KMin: 5, KMax: 60, Alpha: 0.8},
+	}
+	const clients = 12
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var view JobView
+			if code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", req, &view); code != http.StatusAccepted {
+				t.Errorf("client %d: status %d", i, code)
+				return
+			}
+			ids[i] = view.ID
+		}(i)
+	}
+	wg.Wait()
+
+	reports := make([]*rankfair.ReportJSON, clients)
+	for i, id := range ids {
+		if id == "" {
+			t.Fatal("missing job id")
+		}
+		reports[i] = awaitReport(t, ts, id)
+	}
+	for i := 1; i < clients; i++ {
+		a, _ := json.Marshal(reports[0])
+		b, _ := json.Marshal(reports[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("client %d report differs from client 0", i)
+		}
+	}
+
+	cs := svc.Cache().Stats()
+	if cs.Misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 computation for %d identical audits", cs.Misses, clients)
+	}
+	if cs.Hits+cs.Shared != clients-1 {
+		t.Errorf("cache hits+shared = %d, want %d", cs.Hits+cs.Shared, clients-1)
+	}
+
+	// The same counters must be visible on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if got := metricValue(t, raw, "rankfaird_cache_misses_total"); got != 1 {
+		t.Errorf("metrics: cache_misses_total = %d, want 1", got)
+	}
+	if got := metricValue(t, raw, "rankfaird_cache_hits_total"); got != clients-1 {
+		t.Errorf("metrics: cache_hits_total = %d, want %d", got, clients-1)
+	}
+	if got := metricValue(t, raw, "rankfaird_jobs_completed_total"); got != clients {
+		t.Errorf("metrics: jobs_completed_total = %d, want %d", got, clients)
+	}
+}
+
+// metricValue extracts one gauge/counter value from a Prometheus text
+// exposition.
+func metricValue(t *testing.T, raw []byte, name string) int {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, raw)
+	}
+	v, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(60))
+
+	t.Run("upload-empty", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/datasets", "text/csv", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("upload-bad-delimiter", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/datasets?comma=ab", "text/csv", strings.NewReader(tinyCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("audit-malformed-json", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/audits", "application/json", strings.NewReader("{nope"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("audit-unknown-dataset", func(t *testing.T) {
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+			Dataset: "ds-missing", Ranker: scoreRanker(),
+			Params: rankfair.AuditParams{Measure: "prop", MinSize: 1, KMin: 1, KMax: 5, Alpha: 0.8},
+		}, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", code)
+		}
+	})
+	t.Run("audit-bad-measure", func(t *testing.T) {
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+			Dataset: info.ID, Ranker: scoreRanker(),
+			Params: rankfair.AuditParams{Measure: "bogus", MinSize: 1, KMin: 1, KMax: 5},
+		}, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", code)
+		}
+	})
+	t.Run("audit-kmax-too-large", func(t *testing.T) {
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+			Dataset: info.ID, Ranker: scoreRanker(),
+			Params: rankfair.AuditParams{Measure: "prop", MinSize: 1, KMin: 1, KMax: 10_000, Alpha: 0.8},
+		}, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", code)
+		}
+	})
+	t.Run("audit-no-ranker", func(t *testing.T) {
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+			Dataset: info.ID,
+			Params:  rankfair.AuditParams{Measure: "prop", MinSize: 1, KMin: 1, KMax: 5, Alpha: 0.8},
+		}, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", code)
+		}
+	})
+	t.Run("audit-unknown-id", func(t *testing.T) {
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/audits/job-999999", nil, nil); code != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", code)
+		}
+	})
+	t.Run("report-unknown-id", func(t *testing.T) {
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/audits/job-999999/report", nil, nil); code != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", code)
+		}
+	})
+	t.Run("dataset-unknown-id", func(t *testing.T) {
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/ds-missing", nil, nil); code != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", code)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/ds-missing", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("delete status = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+func TestDatasetLifecycleEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(40))
+
+	var got DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+info.ID, nil, &got); code != http.StatusOK || got.ID != info.ID {
+		t.Errorf("GET dataset: code=%d got=%+v", code, got)
+	}
+
+	var list struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets", nil, &list); code != http.StatusOK || len(list.Datasets) != 1 {
+		t.Errorf("GET datasets: code=%d list=%+v", code, list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE: status %d, want 204", resp.StatusCode)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+info.ID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("GET after evict: status %d, want 404", code)
+	}
+}
+
+func TestRepairEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(60))
+
+	var resp RepairResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/repair", RepairRequest{
+		Dataset: info.ID, Ranker: scoreRanker(), Attr: "sex", K: 10,
+		Constraints: map[string]rankfair.FairTopKConstraint{"F": {Lower: 4}},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("repair: status %d", code)
+	}
+	if len(resp.Selected) != 10 {
+		t.Fatalf("repair selected %d rows, want 10", len(resp.Selected))
+	}
+	// biasedCSV puts F on even row indices; the unconstrained top-10 has
+	// none, the repaired prefix must hold at least 4.
+	females := 0
+	for _, ri := range resp.Selected {
+		if ri%2 == 0 {
+			females++
+		}
+	}
+	if females < 4 {
+		t.Errorf("repaired top-10 has %d F rows, want >= 4", females)
+	}
+
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/repair", RepairRequest{
+		Dataset: info.ID, Ranker: scoreRanker(), Attr: "nope", K: 10,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("repair with unknown attr: status %d, want 400", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(120))
+
+	var resp ExplainResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/explain", ExplainRequest{
+		Dataset: info.ID, Ranker: scoreRanker(),
+		Group: map[string]string{"sex": "F"}, K: 20,
+		Options: rankfair.ExplainOptions{Seed: 1, Permutations: 8, BackgroundSize: 16},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("explain: status %d", code)
+	}
+	if resp.Group != "{sex=F}" {
+		t.Errorf("explain group = %q, want {sex=F}", resp.Group)
+	}
+	if resp.Explanation == nil || len(resp.Explanation.Shapley) == 0 {
+		t.Errorf("explain returned no Shapley attributions: %+v", resp.Explanation)
+	}
+
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/explain", ExplainRequest{
+		Dataset: info.ID, Ranker: scoreRanker(), K: 20,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("explain without group: status %d, want 400", code)
+	}
+}
+
+func TestCancelEndpointAndHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(40))
+
+	var view JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/audits", AuditRequest{
+		Dataset: info.ID, Ranker: scoreRanker(),
+		Params: rankfair.AuditParams{Measure: "prop", MinSize: 2, KMin: 2, KMax: 10, Alpha: 0.8},
+	}, &view)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/audits/"+view.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cancel: status %d, want 200", resp.StatusCode)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: code=%d status=%q", code, health.Status)
+	}
+}
+
+// TestRankerSpecCacheKeyDistinct guards the cache-key invariant: specs
+// selecting different computations must not collide, even with delimiter
+// characters inside column names.
+func TestRankerSpecCacheKeyDistinct(t *testing.T) {
+	specs := []RankerSpec{
+		{Columns: []ColumnKeySpec{{Column: "a,b"}}},
+		{Columns: []ColumnKeySpec{{Column: "a"}, {Column: "b"}}},
+		{Columns: []ColumnKeySpec{{Column: "score:desc"}}},
+		{Columns: []ColumnKeySpec{{Column: "score", Descending: true}}},
+		{Columns: []ColumnKeySpec{{Column: "score"}}},
+		{Ranking: []int{0, 1, 2}},
+		{Ranking: []int{2, 1, 0}},
+	}
+	seen := map[string]int{}
+	for i, s := range specs {
+		key := s.CacheKey()
+		if j, dup := seen[key]; dup {
+			t.Errorf("specs %d and %d collide on cache key %q", j, i, key)
+		}
+		seen[key] = i
+	}
+}
+
+// TestCachedAuditServedFromCache runs the same audit twice sequentially
+// and checks the second job reports a cache hit without re-computation.
+func TestCachedAuditServedFromCache(t *testing.T) {
+	svc, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(120))
+	req := AuditRequest{
+		Dataset: info.ID, Ranker: scoreRanker(),
+		Params: rankfair.AuditParams{Measure: "global", MinSize: 5, KMin: 5, KMax: 30, Lower: constants(5, 30, 2)},
+	}
+
+	var first JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/audits", req, &first)
+	awaitReport(t, ts, first.ID)
+
+	var second JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/audits", req, &second)
+	awaitReport(t, ts, second.ID)
+
+	final, ok := svc.Jobs().Get(second.ID)
+	if !ok || !final.CacheHit {
+		t.Errorf("second audit job = %+v, want cache_hit=true", final)
+	}
+	if cs := svc.Cache().Stats(); cs.Misses != 1 {
+		t.Errorf("cache misses = %d after repeat audit, want 1", cs.Misses)
+	}
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"rankfair"
+)
+
+// Config sizes the service's pools and caches. The zero value selects
+// defaults suitable for an interactive daemon.
+type Config struct {
+	// Workers is the audit worker pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending-job queue; <= 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache; <= 0 means 128.
+	CacheEntries int
+	// MaxDatasets bounds the registry; <= 0 means 64.
+	MaxDatasets int
+	// MaxUploadBytes bounds one CSV upload; <= 0 means 32 MiB.
+	MaxUploadBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	return c
+}
+
+// Service is the audit engine behind cmd/rankfaird: a dataset registry, a
+// job manager, and a result cache, plus request counters for /metrics.
+type Service struct {
+	cfg      Config
+	registry *Registry
+	cache    *Cache
+	jobs     *Manager
+	metrics  *metrics
+}
+
+// New builds a started service; callers must Shutdown it.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatasets),
+		cache:    NewCache(cfg.CacheEntries),
+		jobs:     NewManager(cfg.Workers, cfg.QueueDepth),
+		metrics:  &metrics{},
+	}
+}
+
+// Registry exposes the dataset registry.
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Cache exposes the result cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Jobs exposes the job manager.
+func (s *Service) Jobs() *Manager { return s.jobs }
+
+// Shutdown cancels outstanding jobs and waits for workers to drain.
+func (s *Service) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+
+// RankerSpec is the wire description of the black-box ranker an audit
+// binds to its dataset: either numeric sort keys or an explicit
+// permutation. The zero value is invalid.
+type RankerSpec struct {
+	// Columns ranks lexicographically by numeric sort keys (rank.ByColumns).
+	Columns []ColumnKeySpec `json:"columns,omitempty"`
+	// Ranking supplies an externally produced permutation of row indices,
+	// best first (rank.Fixed).
+	Ranking []int `json:"ranking,omitempty"`
+}
+
+// ColumnKeySpec is one sort key of RankerSpec.Columns.
+type ColumnKeySpec struct {
+	Column     string `json:"column"`
+	Descending bool   `json:"descending"`
+}
+
+// Build materializes the ranker.
+func (r *RankerSpec) Build() (rankfair.Ranker, error) {
+	switch {
+	case len(r.Columns) > 0 && len(r.Ranking) > 0:
+		return nil, fmt.Errorf("service: ranker: set columns or ranking, not both")
+	case len(r.Columns) > 0:
+		keys := make([]rankfair.ColumnKey, len(r.Columns))
+		for i, c := range r.Columns {
+			if c.Column == "" {
+				return nil, fmt.Errorf("service: ranker: column %d has no name", i)
+			}
+			keys[i] = rankfair.ColumnKey{Column: c.Column, Descending: c.Descending}
+		}
+		return &rankfair.ByColumns{Keys: keys}, nil
+	case len(r.Ranking) > 0:
+		return &rankfair.Fixed{Perm: r.Ranking}, nil
+	default:
+		return nil, fmt.Errorf("service: ranker: need columns or ranking")
+	}
+}
+
+// CacheKey renders the spec canonically for result-cache keys. Explicit
+// permutations are content-hashed so the key stays short.
+func (r *RankerSpec) CacheKey() string {
+	var b strings.Builder
+	if len(r.Ranking) > 0 {
+		b.WriteString("perm:")
+		raw := make([]byte, 0, len(r.Ranking)*4)
+		for _, v := range r.Ranking {
+			raw = strconv.AppendInt(raw, int64(v), 10)
+			raw = append(raw, ',')
+		}
+		b.WriteString(HashCSV(raw)[:16])
+		return b.String()
+	}
+	b.WriteString("cols:")
+	for _, c := range r.Columns {
+		// Length-prefix the name so column names containing the
+		// delimiters cannot collide with a different key list.
+		fmt.Fprintf(&b, "%d:%s:%t;", len(c.Column), c.Column, c.Descending)
+	}
+	return b.String()
+}
+
+// AuditRequest is the POST /v1/audits body.
+type AuditRequest struct {
+	// Dataset is the registry ID of an uploaded dataset.
+	Dataset string `json:"dataset"`
+	// Ranker binds the black-box ranking algorithm.
+	Ranker RankerSpec `json:"ranker"`
+	// Params selects the measure and its thresholds.
+	Params rankfair.AuditParams `json:"params"`
+}
+
+// SubmitAudit validates an audit request and queues it on the worker
+// pool. Identical requests against identical data share one computation
+// through the result cache.
+func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
+	table, info, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		return JobView{}, &NotFoundError{Resource: "dataset", ID: req.Dataset}
+	}
+	if err := req.Params.Validate(); err != nil {
+		return JobView{}, &BadRequestError{Err: err}
+	}
+	if req.Params.KMax > info.Rows {
+		return JobView{}, &BadRequestError{Err: fmt.Errorf("kmax=%d exceeds dataset size %d", req.Params.KMax, info.Rows)}
+	}
+	ranker, err := req.Ranker.Build()
+	if err != nil {
+		return JobView{}, &BadRequestError{Err: err}
+	}
+
+	key := info.Hash + "|" + req.Ranker.CacheKey() + "|" + req.Params.CacheKey()
+	params := req.Params
+	run := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
+			analyst, err := rankfair.New(table, ranker)
+			if err != nil {
+				return nil, err
+			}
+			report, err := analyst.Detect(params)
+			if err != nil {
+				return nil, err
+			}
+			return report.ToJSON(), nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return val.(*rankfair.ReportJSON), hit, nil
+	}
+	view, err := s.jobs.Submit(req.Dataset, req.Params, run)
+	if err != nil {
+		return JobView{}, err
+	}
+	return view, nil
+}
+
+// RepairRequest is the POST /v1/repair body: a constrained top-k
+// selection over one protected attribute (Analyst.RepairTopK).
+type RepairRequest struct {
+	Dataset string     `json:"dataset"`
+	Ranker  RankerSpec `json:"ranker"`
+	// Attr is the protected categorical attribute.
+	Attr string `json:"attr"`
+	// K is the selection size.
+	K int `json:"k"`
+	// Constraints maps the attribute's value labels to count bounds;
+	// absent values are unconstrained.
+	Constraints map[string]rankfair.FairTopKConstraint `json:"constraints"`
+}
+
+// RepairResponse is the repaired prefix, best first.
+type RepairResponse struct {
+	Dataset  string `json:"dataset"`
+	Attr     string `json:"attr"`
+	K        int    `json:"k"`
+	Selected []int  `json:"selected"`
+}
+
+// Repair runs the constrained top-k selection synchronously (it is a
+// greedy pass over the ranking, cheap next to a lattice search).
+func (s *Service) Repair(req RepairRequest) (*RepairResponse, error) {
+	analyst, err := s.bindAnalyst(req.Dataset, req.Ranker)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := analyst.RepairTopK(req.Attr, req.K, req.Constraints)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	return &RepairResponse{Dataset: req.Dataset, Attr: req.Attr, K: req.K, Selected: selected}, nil
+}
+
+// ExplainRequest is the POST /v1/explain body: the Section V Shapley
+// pipeline for one detected group.
+type ExplainRequest struct {
+	Dataset string     `json:"dataset"`
+	Ranker  RankerSpec `json:"ranker"`
+	// Group binds attributes to value labels, e.g. {"sex": "F"}.
+	// Alternatively Key supplies a canonical pattern key from a report.
+	Group map[string]string `json:"group,omitempty"`
+	Key   string            `json:"key,omitempty"`
+	// K is the prefix length the group was detected at.
+	K int `json:"k"`
+	// Options tunes the pipeline; the zero value uses library defaults.
+	Options rankfair.ExplainOptions `json:"options"`
+}
+
+// ExplainResponse pairs the explanation with the rendered group.
+type ExplainResponse struct {
+	Dataset string `json:"dataset"`
+	Group   string `json:"group"`
+	K       int    `json:"k"`
+	*rankfair.Explanation
+}
+
+// Explain runs the explanation pipeline synchronously.
+func (s *Service) Explain(req ExplainRequest) (*ExplainResponse, error) {
+	analyst, err := s.bindAnalyst(req.Dataset, req.Ranker)
+	if err != nil {
+		return nil, err
+	}
+	var p rankfair.Pattern
+	switch {
+	case req.Key != "" && len(req.Group) > 0:
+		return nil, &BadRequestError{Err: fmt.Errorf("set group or key, not both")}
+	case req.Key != "":
+		p, err = analyst.ParseGroupKey(req.Key)
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	case len(req.Group) > 0:
+		p = analyst.EmptyPattern()
+		for attr, label := range req.Group {
+			p, err = analyst.Bind(p, attr, label)
+			if err != nil {
+				return nil, &BadRequestError{Err: err}
+			}
+		}
+	default:
+		return nil, &BadRequestError{Err: fmt.Errorf("need group or key")}
+	}
+	exp, err := analyst.Explain(p, req.K, req.Options)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	return &ExplainResponse{
+		Dataset:     req.Dataset,
+		Group:       analyst.Format(p),
+		K:           req.K,
+		Explanation: exp,
+	}, nil
+}
+
+// bindAnalyst resolves a dataset and builds an analyst over it.
+func (s *Service) bindAnalyst(datasetID string, spec RankerSpec) (*rankfair.Analyst, error) {
+	table, _, ok := s.registry.Get(datasetID)
+	if !ok {
+		return nil, &NotFoundError{Resource: "dataset", ID: datasetID}
+	}
+	ranker, err := spec.Build()
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	analyst, err := rankfair.New(table, ranker)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	return analyst, nil
+}
+
+// NotFoundError marks a missing resource; handlers map it to 404.
+type NotFoundError struct {
+	Resource string
+	ID       string
+}
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("no %s %q", e.Resource, e.ID) }
+
+// BadRequestError marks an invalid request; handlers map it to 400.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }

@@ -312,6 +312,42 @@ func (a *Analyst) DetectGlobalUpperMostGeneral(params GlobalUpperParams) (*Repor
 	return (&Report{Result: res, analyst: a}).attachGlobalUpper(params), nil
 }
 
+// Detect dispatches a measure-tagged AuditParams to the matching typed
+// detection entry point. It is the single entry the rankfaird audit
+// service drives; library callers with static measure choices should
+// prefer the typed methods.
+func (a *Analyst) Detect(params AuditParams) (*Report, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	switch params.Measure {
+	case MeasureGlobal:
+		gp := GlobalParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Lower: params.Lower}
+		if params.Baseline {
+			return a.DetectGlobalBaseline(gp)
+		}
+		return a.DetectGlobal(gp)
+	case MeasureProp:
+		pp := PropParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Alpha: params.Alpha}
+		if params.Baseline {
+			return a.DetectProportionalBaseline(pp)
+		}
+		return a.DetectProportional(pp)
+	case MeasureGlobalUpper:
+		return a.DetectGlobalUpper(GlobalUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Upper: params.Upper})
+	case MeasurePropUpper:
+		return a.DetectProportionalUpper(PropUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Beta: params.Beta})
+	case MeasureExposure:
+		ep := ExposureParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Alpha: params.Alpha}
+		if params.Baseline {
+			return a.DetectExposureBaseline(ep)
+		}
+		return a.DetectExposure(ep)
+	default:
+		return nil, fmt.Errorf("rankfair: unknown measure %q", params.Measure)
+	}
+}
+
 // Explain runs the Section V pipeline on a detected group: it trains a
 // regression surrogate of the ranker, aggregates Shapley values over the
 // group's tuples, and compares the top attribute's value distribution

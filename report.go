@@ -96,6 +96,11 @@ func (r *Report) InfoAt(k int) []GroupInfo {
 	return infos
 }
 
+// Measure returns the report's measure name as serialized in ReportJSON
+// (e.g. "proportional-lower"). It identifies which bound the report's
+// groups violate without exposing the parameter structs.
+func (r *Report) Measure() string { return r.measureName() }
+
 // Describe renders one enriched group as a human-readable line, e.g.
 //
 //	{sex=F, address=R}: 61 tuples, 2 of top-20 (bound 4.9, bias 2.9)

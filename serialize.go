@@ -4,9 +4,131 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"rankfair/internal/pattern"
 )
+
+// Measure names for AuditParams.Measure, matching the biasdetect CLI
+// vocabulary and the rankfaird audit API.
+const (
+	MeasureGlobal      = "global"
+	MeasureProp        = "prop"
+	MeasureGlobalUpper = "global-upper"
+	MeasurePropUpper   = "prop-upper"
+	MeasureExposure    = "exposure"
+)
+
+// Measures lists every measure name accepted by AuditParams, in a stable
+// order.
+func Measures() []string {
+	return []string{MeasureGlobal, MeasureProp, MeasureGlobalUpper, MeasurePropUpper, MeasureExposure}
+}
+
+// AuditParams is the measure-tagged, JSON-serializable union of the five
+// detection parameter sets. It is the wire format shared by the rankfaird
+// audit service and any tooling that persists or replays detection
+// requests; Analyst.Detect dispatches it to the matching typed entry point.
+type AuditParams struct {
+	// Measure selects the fairness measure: one of Measures().
+	Measure string `json:"measure"`
+	// MinSize is the size threshold τs on s_D(p).
+	MinSize int `json:"min_size"`
+	// KMin, KMax delimit the inclusive range of k values.
+	KMin int `json:"kmin"`
+	KMax int `json:"kmax"`
+	// Alpha is the proportional lower slack (prop, exposure).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Beta is the proportional upper slack (prop-upper).
+	Beta float64 `json:"beta,omitempty"`
+	// Lower holds L_k per k, indexed k-KMin (global).
+	Lower []int `json:"lower,omitempty"`
+	// Upper holds U_k per k, indexed k-KMin (global-upper).
+	Upper []int `json:"upper,omitempty"`
+	// Baseline selects the ITERTD baseline over the optimized algorithm
+	// where both exist (global, prop, exposure).
+	Baseline bool `json:"baseline,omitempty"`
+}
+
+// Validate checks the parameter set for structural errors without touching
+// a dataset, so servers can reject bad requests before queueing work.
+func (p *AuditParams) Validate() error {
+	if p.KMin < 1 || p.KMax < p.KMin {
+		return fmt.Errorf("rankfair: invalid k range [%d,%d]", p.KMin, p.KMax)
+	}
+	if p.MinSize < 0 {
+		return fmt.Errorf("rankfair: negative size threshold %d", p.MinSize)
+	}
+	switch p.Measure {
+	case MeasureGlobal:
+		if len(p.Lower) != p.KMax-p.KMin+1 {
+			return fmt.Errorf("rankfair: %d lower bounds for k range [%d,%d]", len(p.Lower), p.KMin, p.KMax)
+		}
+	case MeasureGlobalUpper:
+		if len(p.Upper) != p.KMax-p.KMin+1 {
+			return fmt.Errorf("rankfair: %d upper bounds for k range [%d,%d]", len(p.Upper), p.KMin, p.KMax)
+		}
+		if p.Baseline {
+			return fmt.Errorf("rankfair: measure %q has no baseline variant", p.Measure)
+		}
+	case MeasureProp, MeasureExposure:
+		if p.Alpha <= 0 {
+			return fmt.Errorf("rankfair: alpha must be positive, got %v", p.Alpha)
+		}
+	case MeasurePropUpper:
+		if p.Beta <= 0 {
+			return fmt.Errorf("rankfair: beta must be positive, got %v", p.Beta)
+		}
+		if p.Baseline {
+			return fmt.Errorf("rankfair: measure %q has no baseline variant", p.Measure)
+		}
+	default:
+		return fmt.Errorf("rankfair: unknown measure %q (want %s)", p.Measure, strings.Join(Measures(), "|"))
+	}
+	return nil
+}
+
+// CacheKey renders the parameter set as a canonical string: equal keys iff
+// the parameters select the same computation. Result caches combine it
+// with a dataset content hash and a ranker key.
+func (p *AuditParams) CacheKey() string {
+	var b strings.Builder
+	b.WriteString(p.Measure)
+	b.WriteString("|ts=")
+	b.WriteString(strconv.Itoa(p.MinSize))
+	b.WriteString("|k=")
+	b.WriteString(strconv.Itoa(p.KMin))
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(p.KMax))
+	switch p.Measure {
+	case MeasureProp, MeasureExposure:
+		b.WriteString("|a=")
+		b.WriteString(strconv.FormatFloat(p.Alpha, 'g', -1, 64))
+	case MeasurePropUpper:
+		b.WriteString("|b=")
+		b.WriteString(strconv.FormatFloat(p.Beta, 'g', -1, 64))
+	case MeasureGlobal:
+		b.WriteString("|L=")
+		writeIntSeq(&b, p.Lower)
+	case MeasureGlobalUpper:
+		b.WriteString("|U=")
+		writeIntSeq(&b, p.Upper)
+	}
+	if p.Baseline {
+		b.WriteString("|base")
+	}
+	return b.String()
+}
+
+func writeIntSeq(b *strings.Builder, xs []int) {
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+}
 
 // ReportJSON is the serialized form of a detection report, suitable for
 // dashboards and downstream tooling. Groups carry both machine-readable

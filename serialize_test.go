@@ -83,6 +83,85 @@ func TestReportJSONAllMeasures(t *testing.T) {
 	}
 }
 
+func TestAuditParamsJSONRoundTrip(t *testing.T) {
+	in := rankfair.AuditParams{
+		Measure: rankfair.MeasureGlobal, MinSize: 4, KMin: 4, KMax: 5, Lower: []int{2, 2}, Baseline: true,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out rankfair.AuditParams
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Measure != in.Measure || out.MinSize != in.MinSize || len(out.Lower) != 2 || !out.Baseline {
+		t.Errorf("round trip lost fields: %+v", out)
+	}
+	if in.CacheKey() != out.CacheKey() {
+		t.Errorf("cache keys differ after round trip: %q vs %q", in.CacheKey(), out.CacheKey())
+	}
+}
+
+func TestAuditParamsValidate(t *testing.T) {
+	bad := []rankfair.AuditParams{
+		{Measure: "bogus", MinSize: 1, KMin: 1, KMax: 2},
+		{Measure: rankfair.MeasureProp, MinSize: 1, KMin: 1, KMax: 2},                                         // no alpha
+		{Measure: rankfair.MeasurePropUpper, MinSize: 1, KMin: 1, KMax: 2},                                    // no beta
+		{Measure: rankfair.MeasureGlobal, MinSize: 1, KMin: 1, KMax: 2},                                       // no bounds
+		{Measure: rankfair.MeasureGlobalUpper, MinSize: 1, KMin: 1, KMax: 2},                                  // no bounds
+		{Measure: rankfair.MeasureGlobal, MinSize: 1, KMin: 3, KMax: 2},                                       // bad range
+		{Measure: rankfair.MeasureProp, MinSize: -1, KMin: 1, KMax: 2, Alpha: 0.8},                            // bad tau
+		{Measure: rankfair.MeasureGlobal, MinSize: 1, KMin: 1, KMax: 2, Lower: []int{1}},                      // short bounds
+		{Measure: rankfair.MeasureGlobalUpper, MinSize: 1, KMin: 1, KMax: 1, Upper: []int{2}, Baseline: true}, // no baseline variant
+		{Measure: rankfair.MeasurePropUpper, MinSize: 1, KMin: 1, KMax: 2, Beta: 1.2, Baseline: true},         // no baseline variant
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted invalid params", i, p)
+		}
+	}
+	good := rankfair.AuditParams{Measure: rankfair.MeasureExposure, MinSize: 0, KMin: 2, KMax: 5, Alpha: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// TestDetectDispatchMatchesTyped checks the measure-tagged entry point
+// agrees with the typed methods it routes to.
+func TestDetectDispatchMatchesTyped(t *testing.T) {
+	a := runningAnalyst(t)
+	typed, err := a.DetectProportional(rankfair.PropParams{MinSize: 5, KMin: 4, KMax: 5, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatched, err := a.Detect(rankfair.AuditParams{
+		Measure: rankfair.MeasureProp, MinSize: 5, KMin: 4, KMax: 5, Alpha: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, _ := json.Marshal(typed.ToJSON())
+	dj, _ := json.Marshal(dispatched.ToJSON())
+	if !bytes.Equal(tj, dj) {
+		t.Errorf("Detect(prop) report differs from DetectProportional:\n%s\nvs\n%s", dj, tj)
+	}
+	if dispatched.Measure() != "proportional-lower" {
+		t.Errorf("Measure() = %q", dispatched.Measure())
+	}
+
+	for _, m := range rankfair.Measures() {
+		p := rankfair.AuditParams{Measure: m, MinSize: 4, KMin: 4, KMax: 5, Alpha: 0.8, Beta: 1.25,
+			Lower: []int{2, 2}, Upper: []int{3, 3}}
+		if _, err := a.Detect(p); err != nil {
+			t.Errorf("Detect(%s): %v", m, err)
+		}
+	}
+	if _, err := a.Detect(rankfair.AuditParams{Measure: "bogus", KMin: 1, KMax: 1}); err == nil {
+		t.Error("Detect should reject unknown measures")
+	}
+}
+
 func TestParseGroupKeyErrors(t *testing.T) {
 	a := runningAnalyst(t)
 	if _, err := a.ParseGroupKey("not-a-key"); err == nil {

@@ -10,6 +10,7 @@ package rankfair_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -305,6 +306,49 @@ func BenchmarkExtensionUpper(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkLatticeParallel measures the intra-search worker fan-out of the
+// optimized algorithms at 1/2/4/8 workers on two workloads: the german
+// staircase sweep (the paper's hardest real-dataset point, τs=10) and the
+// Theorem 3.3 worst-case construction, whose C(n, n/2) mutually
+// incomparable result groups make the domination filter the dominant cost.
+// Serial and parallel runs return byte-identical results (see
+// TestQuickParallelMatchesSerial), so the only difference is wall clock.
+func BenchmarkLatticeParallel(b *testing.B) {
+	ctx := context.Background()
+	german := benchInput(b, "german", benchAttrs)
+	gp := core.GlobalParams{MinSize: 10, KMin: 10, KMax: 49, Lower: core.StaircaseBounds(10, 49, 10, 10, 10)}
+	pp := core.PropParams{MinSize: 10, KMin: 10, KMax: 49, Alpha: 0.8}
+	const wcN = 15
+	worst, err := synth.WorstCase(wcN).Input()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wp := core.GlobalParams{MinSize: 2, KMin: wcN, KMax: wcN, Lower: []int{wcN/2 + 1}}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("german-global/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GlobalBoundsCtx(ctx, german, gp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("german-prop/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PropBoundsCtx(ctx, german, pp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("worstcase/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GlobalBoundsCtx(ctx, worst, wp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkExtensionParallelBaseline measures the per-k fan-out of the

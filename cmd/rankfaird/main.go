@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -34,6 +35,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
+		auditW      = flag.Int("audit-workers", envInt("RANKFAIRD_WORKERS", 1), "lattice search goroutines per audit when the request leaves workers unset (1 = serial; default from RANKFAIRD_WORKERS)")
 		queue       = flag.Int("queue", 64, "pending audit queue depth")
 		cacheSize   = flag.Int("cache", 128, "result cache entries")
 		maxDatasets = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
@@ -44,6 +46,7 @@ func main() {
 
 	cfg := service.Config{
 		Workers:        *workers,
+		AuditWorkers:   *auditW,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
 		MaxDatasets:    *maxDatasets,
@@ -53,6 +56,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rankfaird:", err)
 		os.Exit(1)
 	}
+}
+
+// envInt reads an integer environment variable, falling back to def when
+// the variable is unset or malformed.
+func envInt(name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
 }
 
 // run serves until SIGINT/SIGTERM, then drains in-flight requests and
@@ -70,8 +87,8 @@ func run(addr string, cfg service.Config, drain time.Duration) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rankfaird listening on %s (workers=%d, queue=%d, cache=%d)",
-			addr, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+		log.Printf("rankfaird listening on %s (workers=%d, audit-workers=%d, queue=%d, cache=%d)",
+			addr, cfg.Workers, cfg.AuditWorkers, cfg.QueueDepth, cfg.CacheEntries)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// cancelStride is how many node expansions pass between context polls in
+// the search loops. Polling a context takes a mutex, so checking on every
+// node would tax the hot path; once per stride bounds both the overhead
+// and the cancellation latency (a canceled search stops within at most
+// cancelStride further expansions per worker).
+const cancelStride = 256
+
+// CanceledError is the partial-work error returned when a detection run is
+// canceled mid-lattice: the traversal stopped early, the partial result was
+// discarded, and NodesExamined records how much work was done before the
+// cancellation was observed. It unwraps to the context's error, so
+// errors.Is(err, context.Canceled) works.
+type CanceledError struct {
+	// NodesExamined counts the pattern nodes examined before the search
+	// observed the cancellation and stopped.
+	NodesExamined int64
+	// Cause is the context's error (context.Canceled or DeadlineExceeded).
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: search canceled after %d node expansions: %v", e.NodesExamined, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// canceler polls a context once every cancelStride node expansions. Each
+// worker goroutine owns one (no synchronization); a nil context disables
+// polling entirely.
+type canceler struct {
+	ctx    context.Context
+	tick   int
+	halted bool
+}
+
+// stopped reports whether the search should abandon its traversal. It is
+// called once per node expansion; most calls only bump a counter.
+func (c *canceler) stopped() bool {
+	if c.halted {
+		return true
+	}
+	if c.ctx == nil {
+		return false
+	}
+	if c.tick++; c.tick >= cancelStride {
+		c.tick = 0
+		c.halted = c.ctx.Err() != nil
+	}
+	return c.halted
+}
+
+// preflight rejects an already-canceled context before any work happens.
+func preflight(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CanceledError{Cause: err}
+	}
+	return nil
+}
+
+// canceledErr builds the partial-work error for a search halted after
+// nodes expansions.
+func canceledErr(ctx context.Context, nodes int64) error {
+	cause := context.Canceled
+	if ctx != nil && ctx.Err() != nil {
+		cause = ctx.Err()
+	}
+	return &CanceledError{NodesExamined: nodes, Cause: cause}
+}

@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -253,6 +255,90 @@ func TestQuickUpperPropMatchesOracle(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, quickCfg(17)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelMatchesSerial checks the tentpole invariant of the
+// worker fan-out: for every measure, both baseline and optimized, the
+// parallel lattice search returns results byte-identical to the serial
+// path — same per-k groups in the same order, same Stats — across random
+// inputs and k ranges.
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng)
+		n := len(in.Rows)
+		kMin := 1 + rng.Intn(5)
+		kMax := kMin + rng.Intn(15)
+		if kMax > n {
+			kMax = n
+		}
+		minSize := 1 + rng.Intn(5)
+		lower := make([]int, kMax-kMin+1)
+		l := 1 + rng.Intn(3)
+		for i := range lower {
+			if rng.Intn(4) == 0 {
+				l += rng.Intn(2)
+			}
+			lower[i] = l
+		}
+		upper := make([]int, kMax-kMin+1)
+		for i := range upper {
+			upper[i] = 1 + rng.Intn(4)
+		}
+		gp := core.GlobalParams{MinSize: minSize, KMin: kMin, KMax: kMax, Lower: lower}
+		pp := core.PropParams{MinSize: minSize, KMin: kMin, KMax: kMax, Alpha: 0.2 + rng.Float64()}
+		ep := core.ExposureParams{MinSize: minSize, KMin: kMin, KMax: kMax, Alpha: 0.2 + rng.Float64()}
+		gup := core.GlobalUpperParams{MinSize: minSize, KMin: kMin, KMax: kMax, Upper: upper}
+		pup := core.PropUpperParams{MinSize: minSize, KMin: kMin, KMax: kMax, Beta: 1.0 + rng.Float64()}
+		runs := []struct {
+			name string
+			f    func(w int) (*core.Result, error)
+		}{
+			{"GlobalBounds", func(w int) (*core.Result, error) { return core.GlobalBoundsCtx(ctx, in, gp, w) }},
+			{"IterTDGlobal", func(w int) (*core.Result, error) { return core.IterTDGlobalCtx(ctx, in, gp, w) }},
+			{"PropBounds", func(w int) (*core.Result, error) { return core.PropBoundsCtx(ctx, in, pp, w) }},
+			{"IterTDProp", func(w int) (*core.Result, error) { return core.IterTDPropCtx(ctx, in, pp, w) }},
+			{"ExposureBounds", func(w int) (*core.Result, error) { return core.ExposureBoundsCtx(ctx, in, ep, w) }},
+			{"IterTDExposure", func(w int) (*core.Result, error) { return core.IterTDExposureCtx(ctx, in, ep, w) }},
+			{"GlobalUpperBounds", func(w int) (*core.Result, error) { return core.GlobalUpperBoundsCtx(ctx, in, gup, w) }},
+			{"IterTDGlobalUpper", func(w int) (*core.Result, error) { return core.IterTDGlobalUpperCtx(ctx, in, gup, w) }},
+			{"IterTDPropUpper", func(w int) (*core.Result, error) { return core.IterTDPropUpperCtx(ctx, in, pup, w) }},
+			{"IterTDGlobalUpperMostGeneral", func(w int) (*core.Result, error) {
+				return core.IterTDGlobalUpperMostGeneralCtx(ctx, in, gup, w)
+			}},
+			{"IterTDGlobalLowerMostSpecific", func(w int) (*core.Result, error) {
+				return core.IterTDGlobalLowerMostSpecificCtx(ctx, in, gp, w)
+			}},
+		}
+		for _, run := range runs {
+			serial, err := run.f(1)
+			if err != nil {
+				t.Logf("seed %d %s serial: %v", seed, run.name, err)
+				return false
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, err := run.f(workers)
+				if err != nil {
+					t.Logf("seed %d %s workers=%d: %v", seed, run.name, workers, err)
+					return false
+				}
+				if !reflect.DeepEqual(serial.Groups, par.Groups) {
+					t.Logf("seed %d %s workers=%d: groups diverge from serial", seed, run.name, workers)
+					return false
+				}
+				if serial.Stats != par.Stats {
+					t.Logf("seed %d %s workers=%d: stats diverge: serial %+v parallel %+v",
+						seed, run.name, workers, serial.Stats, par.Stats)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(23)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -72,15 +73,22 @@ func PatternExposure(in *Input, p Pattern, k int) float64 {
 // pattern graph, so children of unbiased patterns are explored and biased
 // patterns close their subtrees (their descendants cannot be most general).
 func IterTDExposure(in *Input, params ExposureParams) (*Result, error) {
+	return IterTDExposureCtx(context.Background(), in, params, 1)
+}
+
+// IterTDExposureCtx is IterTDExposure with cancellation and per-k fan-out:
+// ctx aborts the search mid-lattice with a CanceledError, and the
+// independent per-k searches spread over workers goroutines (<= 0 means
+// GOMAXPROCS, 1 is serial). Results are identical for every worker count.
+func IterTDExposureCtx(ctx context.Context, in *Input, params ExposureParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	n := in.Space.NumAttrs()
 	nf := float64(len(in.Rows))
 
 	// weightOf[row] is the exposure of the row's position (0 beyond k; the
-	// prefix sum gives E(k)).
+	// prefix sum gives E(k)). Both are read-only under the fan-out.
 	weightOf := make([]float64, len(in.Rows))
 	totalExposure := make([]float64, params.KMax+1)
 	for i := 0; i < params.KMax; i++ {
@@ -89,8 +97,8 @@ func IterTDExposure(in *Input, params ExposureParams) (*Result, error) {
 		totalExposure[i+1] = totalExposure[i] + w
 	}
 
-	for k := params.KMin; k <= params.KMax; k++ {
-		res.Stats.FullSearches++
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+		st.FullSearches++
 		ek := totalExposure[k]
 		all := make([]int32, len(in.Rows))
 		for i := range all {
@@ -104,9 +112,12 @@ func IterTDExposure(in *Input, params ExposureParams) (*Result, error) {
 		queue := make([]searchEntry, 0, 64)
 		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
 		for head := 0; head < len(queue); head++ {
+			if cn.stopped() {
+				return nil
+			}
 			e := queue[head]
 			queue[head] = searchEntry{}
-			res.Stats.NodesExamined++
+			st.NodesExamined++
 			sD := len(e.matchAll)
 			if sD < params.MinSize {
 				continue
@@ -124,7 +135,6 @@ func IterTDExposure(in *Input, params ExposureParams) (*Result, error) {
 			queue = appendChildren(queue, in, e)
 		}
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"rankfair/internal/pattern"
@@ -18,7 +19,19 @@ import (
 // unbiased (position weights decay with k), so flips are re-checked rather
 // than assumed.
 func ExposureBounds(in *Input, params ExposureParams) (*Result, error) {
+	return ExposureBoundsCtx(context.Background(), in, params, 1)
+}
+
+// ExposureBoundsCtx is ExposureBounds with cancellation and intra-search
+// fan-out (see PropBoundsCtx): subtree builds and resumed expansions
+// spread over workers goroutines with deterministic sink merge, a canceled
+// ctx aborts mid-lattice with a CanceledError, and results are
+// byte-identical to the serial path for every worker count.
+func ExposureBoundsCtx(ctx context.Context, in *Input, params ExposureParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	if err := preflight(ctx); err != nil {
 		return nil, err
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
@@ -27,6 +40,8 @@ func ExposureBounds(in *Input, params ExposureParams) (*Result, error) {
 		pr:        &params,
 		stats:     &res.Stats,
 		n:         float64(len(in.Rows)),
+		ctx:       ctx,
+		workers:   normWorkers(workers),
 		biasedSet: make(map[*enode]struct{}),
 		buckets:   make([][]*enode, params.KMax+2),
 		weightOf:  make([]float64, len(in.Rows)),
@@ -37,11 +52,22 @@ func ExposureBounds(in *Input, params ExposureParams) (*Result, error) {
 		st.weightOf[in.Ranking[i]] = w
 		st.totalExp[i+1] = st.totalExp[i] + w
 	}
-	st.fullBuild(params.KMin)
-	res.Groups[0] = st.snapshot()
+	if !st.fullBuild(params.KMin) {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
+	groups, ok := st.snapshot()
+	if !ok {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
+	res.Groups[0] = groups
 	for k := params.KMin + 1; k <= params.KMax; k++ {
-		st.step(k)
-		res.Groups[k-params.KMin] = st.snapshot()
+		if !st.step(k) {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		if groups, ok = st.snapshot(); !ok {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		res.Groups[k-params.KMin] = groups
 	}
 	return res, nil
 }
@@ -57,11 +83,21 @@ type enode struct {
 	ktilde   int
 }
 
+// esink mirrors psink for the exposure measure.
+type esink struct {
+	cn     canceler
+	stats  Stats
+	biased []*enode
+	sched  []*enode
+}
+
 type exposureState struct {
-	in    *Input
-	pr    *ExposureParams
-	stats *Stats
-	n     float64
+	in      *Input
+	pr      *ExposureParams
+	stats   *Stats
+	n       float64
+	ctx     context.Context
+	workers int
 
 	roots     []*enode
 	biasedSet map[*enode]struct{}
@@ -104,14 +140,34 @@ func (s *exposureState) computeKtilde(sD int, exposure float64) int {
 	return kt
 }
 
-func (s *exposureState) schedule(nd *enode) {
+// scheduleInto records the node's k̃ and queues it on the sink (bucket
+// insert at merge time; see propState.scheduleInto for why deferring is
+// safe).
+func (s *exposureState) scheduleInto(nd *enode, sk *esink) {
 	nd.ktilde = s.computeKtilde(nd.sD, nd.exposure)
 	if nd.ktilde <= s.pr.KMax {
+		sk.sched = append(sk.sched, nd)
+	}
+}
+
+// merge folds a sink into the shared state.
+func (s *exposureState) merge(sk *esink) {
+	s.stats.add(sk.stats)
+	for _, nd := range sk.biased {
+		s.biasedSet[nd] = struct{}{}
+	}
+	if len(sk.biased) > 0 {
+		s.dirt = true
+	}
+	for _, nd := range sk.sched {
 		s.buckets[nd.ktilde] = append(s.buckets[nd.ktilde], nd)
 	}
 }
 
-func (s *exposureState) fullBuild(k int) {
+// fullBuild mirrors propState.fullBuild: independent root subtrees build
+// on the worker pool, sinks merge in subtree order. It reports false when
+// the build was abandoned because the context was canceled.
+func (s *exposureState) fullBuild(k int) bool {
 	s.stats.FullSearches++
 	n := s.in.Space.NumAttrs()
 	all := make([]int32, len(s.in.Rows))
@@ -122,12 +178,42 @@ func (s *exposureState) fullBuild(k int) {
 	for i := 0; i < k; i++ {
 		top[i] = int32(s.in.Ranking[i])
 	}
-	root := &enode{p: pattern.Empty(n), sD: len(all), exposure: s.totalExp[k], expanded: true}
-	s.roots = s.buildChildren(root, all, top, k)
+	units := childUnits(s.in, pattern.Empty(n), all, top)
+	sinks := make([]esink, len(units))
+	children := make([]*enode, len(units))
+	fanOut(s.workers, len(units), func(i int) {
+		u := &units[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		sk.stats.NodesExamined++
+		sD := len(u.matchAll)
+		if sD < s.pr.MinSize {
+			return
+		}
+		child := &enode{p: u.p, sD: sD, exposure: s.sumWeights(u.matchTop)}
+		children[i] = child
+		if s.biasedAt(sD, child.exposure, k) {
+			child.biased = true
+			sk.biased = append(sk.biased, child)
+			return
+		}
+		s.scheduleInto(child, sk)
+		child.expanded = true
+		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, k, sk)
+	})
+	halted := false
+	for i := range units {
+		if children[i] != nil {
+			s.roots = append(s.roots, children[i])
+		}
+		s.merge(&sinks[i])
+		halted = halted || sinks[i].cn.halted
+	}
 	s.dirt = true
+	return !halted
 }
 
-func (s *exposureState) buildChildren(parent *enode, matchAll, matchTop []int32, k int) []*enode {
+func (s *exposureState) buildChildrenInto(parent *enode, matchAll, matchTop []int32, k int, sk *esink) []*enode {
 	var kids []*enode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
@@ -135,7 +221,10 @@ func (s *exposureState) buildChildren(parent *enode, matchAll, matchTop []int32,
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return kids
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.pr.MinSize {
 				continue
@@ -144,12 +233,12 @@ func (s *exposureState) buildChildren(parent *enode, matchAll, matchTop []int32,
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
+				sk.biased = append(sk.biased, child)
 				continue
 			}
-			s.schedule(child)
+			s.scheduleInto(child, sk)
 			child.expanded = true
-			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], k)
+			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], k, sk)
 		}
 	}
 	parent.children = kids
@@ -164,23 +253,26 @@ func (s *exposureState) sumWeights(rows []int32) float64 {
 	return total
 }
 
-func (s *exposureState) step(k int) {
+// step advances the state from k-1 to k. It reports false when the step
+// was abandoned because the context was canceled.
+func (s *exposureState) step(k int) bool {
 	newRow := s.in.Rows[s.in.Ranking[k-1]]
 	w := s.weightOf[s.in.Ranking[k-1]]
 
+	ser := &esink{cn: canceler{ctx: s.ctx}}
 	var freed []*enode
 	var walk func(nd *enode)
 	walk = func(nd *enode) {
-		if !nd.p.Matches(newRow) {
+		if ser.cn.stopped() || !nd.p.Matches(newRow) {
 			return
 		}
-		s.stats.NodesExamined++
+		ser.stats.NodesExamined++
 		nd.exposure += w
 		if nd.biased {
 			if !s.biasedAt(nd.sD, nd.exposure, k) {
 				nd.biased = false
 				delete(s.biasedSet, nd)
-				s.schedule(nd)
+				s.scheduleInto(nd, ser)
 				freed = append(freed, nd)
 				s.dirt = true
 			}
@@ -191,7 +283,7 @@ func (s *exposureState) step(k int) {
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
-			s.schedule(nd)
+			s.scheduleInto(nd, ser)
 		}
 		for _, c := range nd.children {
 			walk(c)
@@ -202,38 +294,63 @@ func (s *exposureState) step(k int) {
 	}
 
 	for _, nd := range s.buckets[k] {
+		if ser.cn.stopped() {
+			break
+		}
 		if nd.biased || nd.ktilde != k {
 			continue
 		}
-		s.stats.NodesExamined++
+		ser.stats.NodesExamined++
 		if s.biasedAt(nd.sD, nd.exposure, k) {
 			nd.biased = true
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
-			s.schedule(nd)
+			s.scheduleInto(nd, ser)
 		}
 	}
 	s.buckets[k] = nil
+	if ser.cn.halted {
+		s.merge(ser)
+		return false
+	}
 
+	var resumed []*enode
 	for _, nd := range freed {
 		if !nd.expanded {
 			nd.expanded = true
-			matchAll := matchingRows(s.in.Rows, nd.p, nil)
-			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-			s.expandWith(nd, matchAll, matchTop, k)
+			resumed = append(resumed, nd)
 		}
 	}
+	sinks := make([]esink, len(resumed))
+	fanOut(s.workers, len(resumed), func(i int) {
+		nd := resumed[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		matchAll := matchingRows(s.in.Rows, nd.p, nil)
+		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+		s.expandWithInto(nd, matchAll, matchTop, k, sk)
+	})
+	s.merge(ser)
+	halted := false
+	for i := range sinks {
+		s.merge(&sinks[i])
+		halted = halted || sinks[i].cn.halted
+	}
+	return !halted
 }
 
-func (s *exposureState) expandWith(nd *enode, matchAll, matchTop []int32, k int) {
+func (s *exposureState) expandWithInto(nd *enode, matchAll, matchTop []int32, k int, sk *esink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.pr.MinSize {
 				continue
@@ -242,22 +359,23 @@ func (s *exposureState) expandWith(nd *enode, matchAll, matchTop []int32, k int)
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
-				s.dirt = true
+				sk.biased = append(sk.biased, child)
 				continue
 			}
-			s.schedule(child)
+			s.scheduleInto(child, sk)
 			child.expanded = true
-			s.expandWith(child, allBuckets[v], topBuckets[v], k)
+			s.expandWithInto(child, allBuckets[v], topBuckets[v], k, sk)
 		}
 	}
 }
 
-func (s *exposureState) snapshot() []Pattern {
+// snapshot returns the most general biased patterns (see
+// propState.snapshot); the domination filter fans out on the worker pool
+// and ok is false when it was abandoned because the context was canceled.
+func (s *exposureState) snapshot() (groups []Pattern, ok bool) {
 	if !s.dirt {
-		return s.res
+		return s.res, true
 	}
-	s.dirt = false
 	nodes := make([]*enode, 0, len(s.biasedSet))
 	for nd := range s.biasedSet {
 		nodes = append(nodes, nd)
@@ -269,19 +387,21 @@ func (s *exposureState) snapshot() []Pattern {
 		}
 		return nodes[i].p.Key() < nodes[j].p.Key()
 	})
-	res := make([]Pattern, 0, len(nodes))
-	for _, nd := range nodes {
-		dominated := false
-		for _, q := range res {
-			if q.ProperSubsetOf(nd.p) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			res = append(res, nd.p)
+	ps := make([]pattern.Pattern, len(nodes))
+	for i, nd := range nodes {
+		ps[i] = nd.p
+	}
+	dominated, halted := markDominated(s.ctx, ps, s.workers)
+	if halted {
+		return nil, false
+	}
+	s.dirt = false
+	res := make([]Pattern, 0, len(ps))
+	for i, p := range ps {
+		if !dominated[i] {
+			res = append(res, p)
 		}
 	}
 	s.res = res
-	return res
+	return res, true
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,11 +19,23 @@ type gnode struct {
 	children []*gnode // explored children with sD >= minSize
 }
 
+// gsink collects the side effects of one subtree build: the biased
+// frontier nodes it reached and the work it did. Every worker of a fan-out
+// owns one; the sinks are merged into the shared state in deterministic
+// order after the fan-out completes.
+type gsink struct {
+	cn     canceler
+	stats  Stats
+	biased []*gnode
+}
+
 // globalState holds the incremental search state of Algorithm 2.
 type globalState struct {
-	in     *Input
-	params *GlobalParams
-	stats  *Stats
+	in      *Input
+	params  *GlobalParams
+	stats   *Stats
+	ctx     context.Context
+	workers int
 
 	roots []*gnode
 	// biasedSet is the biased frontier: Res ∪ DRes of the paper.
@@ -42,6 +55,19 @@ type globalState struct {
 // (searchFromNode). When L_k increases, a fresh top-down search is performed
 // (the paper's rule; it requires a non-decreasing bound sequence).
 func GlobalBounds(in *Input, params GlobalParams) (*Result, error) {
+	return GlobalBoundsCtx(context.Background(), in, params, 1)
+}
+
+// GlobalBoundsCtx is GlobalBounds with cancellation and intra-search
+// fan-out. The incremental algorithm is sequential in k, so unlike the
+// ITERTD baselines the parallelism lives inside one step: the independent
+// subtrees of a full build, the resumed subtrees of freed frontier nodes,
+// and the per-pattern domination filter spread over workers goroutines
+// (<= 0 means GOMAXPROCS, 1 is serial). Per-worker sinks are merged in
+// deterministic order, so results are byte-identical to the serial path.
+// A canceled ctx stops the traversal within a bounded number of node
+// expansions and returns a CanceledError.
+func GlobalBoundsCtx(ctx context.Context, in *Input, params GlobalParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
@@ -51,18 +77,29 @@ func GlobalBounds(in *Input, params GlobalParams) (*Result, error) {
 				params.Lower[i], params.Lower[i-1])
 		}
 	}
+	if err := preflight(ctx); err != nil {
+		return nil, err
+	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	st := &globalState{in: in, params: &params, stats: &res.Stats}
+	st := &globalState{in: in, params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
 
-	st.fullBuild(params.KMin)
+	if !st.fullBuild(params.KMin) {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
 	res.Groups[0] = st.snapshot()
 	for k := params.KMin + 1; k <= params.KMax; k++ {
 		if params.lowerAt(k) > params.lowerAt(k-1) {
-			st.fullBuild(k)
+			if !st.fullBuild(k) {
+				return nil, canceledErr(ctx, res.Stats.NodesExamined)
+			}
 			res.Groups[k-params.KMin] = st.snapshot()
 			continue
 		}
-		if st.step(k) {
+		changed, ok := st.step(k)
+		if !ok {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		if changed {
 			res.Groups[k-params.KMin] = st.snapshot()
 		} else {
 			res.Groups[k-params.KMin] = res.Groups[k-params.KMin-1]
@@ -72,8 +109,11 @@ func GlobalBounds(in *Input, params GlobalParams) (*Result, error) {
 }
 
 // fullBuild runs a complete top-down search at k, building the persistent
-// node tree (the paper's TopDownSearch with DRes maintenance).
-func (s *globalState) fullBuild(k int) {
+// node tree (the paper's TopDownSearch with DRes maintenance). The root's
+// subtrees are independent, so they build on the worker pool, each into its
+// own sink; the merge walks the sinks in subtree order. It reports false
+// when the build was abandoned because the context was canceled.
+func (s *globalState) fullBuild(k int) bool {
 	s.stats.FullSearches++
 	s.roots = nil
 	s.biasedSet = make(map[*gnode]struct{})
@@ -90,14 +130,50 @@ func (s *globalState) fullBuild(k int) {
 	for i := 0; i < k; i++ {
 		top[i] = int32(s.in.Ranking[i])
 	}
-	root := &gnode{p: pattern.Empty(n), sD: len(all), cnt: k, expanded: true}
-	s.roots = s.buildChildren(root, all, top, L)
-	s.normalize()
+	units := childUnits(s.in, pattern.Empty(n), all, top)
+	sinks := make([]gsink, len(units))
+	children := make([]*gnode, len(units))
+	fanOut(s.workers, len(units), func(i int) {
+		u := &units[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		sk.stats.NodesExamined++
+		sD := len(u.matchAll)
+		if sD < s.params.MinSize {
+			return
+		}
+		child := &gnode{p: u.p, sD: sD, cnt: len(u.matchTop)}
+		children[i] = child
+		if child.cnt < L {
+			child.biased = true
+			sk.biased = append(sk.biased, child)
+			return
+		}
+		child.expanded = true
+		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, L, sk)
+	})
+	halted := false
+	for i := range units {
+		if children[i] != nil {
+			s.roots = append(s.roots, children[i])
+		}
+		s.stats.add(sinks[i].stats)
+		for _, nd := range sinks[i].biased {
+			s.biasedSet[nd] = struct{}{}
+		}
+		halted = halted || sinks[i].cn.halted
+	}
+	if halted {
+		return false
+	}
+	return s.normalize()
 }
 
-// buildChildren recursively materializes the explored subtree below parent
-// given its match lists, returning the explored children.
-func (s *globalState) buildChildren(parent *gnode, matchAll, matchTop []int32, L int) []*gnode {
+// buildChildrenInto recursively materializes the explored subtree below
+// parent given its match lists, returning the explored children. All side
+// effects (stats, biased frontier) go to the caller's sink, so concurrent
+// builds of disjoint subtrees never touch shared state.
+func (s *globalState) buildChildrenInto(parent *gnode, matchAll, matchTop []int32, L int, sk *gsink) []*gnode {
 	var kids []*gnode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
@@ -105,7 +181,10 @@ func (s *globalState) buildChildren(parent *gnode, matchAll, matchTop []int32, L
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return kids
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.params.MinSize {
 				continue
@@ -114,11 +193,11 @@ func (s *globalState) buildChildren(parent *gnode, matchAll, matchTop []int32, L
 			kids = append(kids, child)
 			if child.cnt < L {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
+				sk.biased = append(sk.biased, child)
 				continue
 			}
 			child.expanded = true
-			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], L)
+			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], L, sk)
 		}
 	}
 	parent.children = kids
@@ -126,15 +205,17 @@ func (s *globalState) buildChildren(parent *gnode, matchAll, matchTop []int32, L
 }
 
 // step advances the state from k-1 to k with an unchanged bound. It returns
-// whether the result set changed.
-func (s *globalState) step(k int) bool {
+// whether the result set changed, and false in ok when the step was
+// abandoned mid-traversal because the context was canceled.
+func (s *globalState) step(k int) (changed, ok bool) {
 	L := s.params.lowerAt(k)
 	newRow := s.in.Rows[s.in.Ranking[k-1]]
 
+	cn := canceler{ctx: s.ctx}
 	var freed []*gnode
 	var walk func(nd *gnode)
 	walk = func(nd *gnode) {
-		if !nd.p.Matches(newRow) {
+		if cn.stopped() || !nd.p.Matches(newRow) {
 			return
 		}
 		s.stats.NodesExamined++
@@ -150,8 +231,11 @@ func (s *globalState) step(k int) bool {
 	for _, r := range s.roots {
 		walk(r)
 	}
+	if cn.halted {
+		return false, false
+	}
 	if len(freed) == 0 {
-		return false
+		return false, true
 	}
 
 	for _, nd := range freed {
@@ -160,38 +244,58 @@ func (s *globalState) step(k int) bool {
 		delete(s.dres, nd)
 	}
 	// searchFromNode: resume the search in the unexplored subtrees of the
-	// freed frontier nodes.
-	for _, nd := range freed {
-		s.expand(nd, k, L)
+	// freed frontier nodes. Freed nodes were frontier nodes, so their
+	// subtrees are disjoint and expand independently on the worker pool.
+	sinks := make([]gsink, len(freed))
+	fanOut(s.workers, len(freed), func(i int) {
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		s.expandInto(freed[i], k, L, sk)
+	})
+	halted := false
+	for i := range sinks {
+		s.stats.add(sinks[i].stats)
+		for _, nd := range sinks[i].biased {
+			s.biasedSet[nd] = struct{}{}
+		}
+		halted = halted || sinks[i].cn.halted
+	}
+	if halted {
+		return false, false
 	}
 	// Freed nodes can promote their dominated descendants into Res, and
 	// concurrent expansions can discover biased patterns in any order, so
 	// the Res/DRes split is recomputed from the updated frontier.
-	s.normalize()
-	return true
+	if !s.normalize() {
+		return false, false
+	}
+	return true, true
 }
 
-// expand resumes the top-down search below a node whose count rose to the
-// bound. Newly reached biased descendants join the frontier; unbiased ones
+// expandInto resumes the top-down search below a node whose count rose to
+// the bound. Newly reached biased descendants join the sink; unbiased ones
 // are expanded further.
-func (s *globalState) expand(nd *gnode, k, L int) {
+func (s *globalState) expandInto(nd *gnode, k, L int, sk *gsink) {
 	if nd.expanded {
 		return
 	}
 	nd.expanded = true
 	matchAll := matchingRows(s.in.Rows, nd.p, nil)
 	matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-	s.expandWith(nd, matchAll, matchTop, L)
+	s.expandWithInto(nd, matchAll, matchTop, L, sk)
 }
 
-func (s *globalState) expandWith(nd *gnode, matchAll, matchTop []int32, L int) {
+func (s *globalState) expandWithInto(nd *gnode, matchAll, matchTop []int32, L int, sk *gsink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.params.MinSize {
 				continue
@@ -200,42 +304,45 @@ func (s *globalState) expandWith(nd *gnode, matchAll, matchTop []int32, L int) {
 			nd.children = append(nd.children, child)
 			if child.cnt < L {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
+				sk.biased = append(sk.biased, child)
 				continue
 			}
 			child.expanded = true
-			s.expandWith(child, allBuckets[v], topBuckets[v], L)
+			s.expandWithInto(child, allBuckets[v], topBuckets[v], L, sk)
 		}
 	}
-}
-
-// hasResAncestor reports whether some Res member is a proper subset of p.
-func (s *globalState) hasResAncestor(p pattern.Pattern) bool {
-	for nd := range s.res {
-		if nd.p.ProperSubsetOf(p) {
-			return true
-		}
-	}
-	return false
 }
 
 // normalize recomputes the Res/DRes split of the biased frontier from
 // scratch: Res is the set of biased patterns with no biased proper subset.
-func (s *globalState) normalize() {
+// The per-pattern subset checks run level-synchronized on the worker pool
+// (markDominated); on adversarial inputs with huge incomparable result
+// sets this filter, not the tree walk, is the dominant cost. It reports
+// false when the filter was abandoned because the context was canceled.
+func (s *globalState) normalize() bool {
 	nodes := make([]*gnode, 0, len(s.biasedSet))
 	for nd := range s.biasedSet {
 		nodes = append(nodes, nd)
 	}
 	sortNodes(nodes)
+	ps := make([]pattern.Pattern, len(nodes))
+	for i, nd := range nodes {
+		ps[i] = nd.p
+	}
+	dominated, halted := markDominated(s.ctx, ps, s.workers)
+	if halted {
+		return false
+	}
 	s.res = make(map[*gnode]struct{}, len(nodes))
 	s.dres = make(map[*gnode]struct{})
-	for _, nd := range nodes {
-		if s.hasResAncestor(nd.p) {
+	for i, nd := range nodes {
+		if dominated[i] {
 			s.dres[nd] = struct{}{}
 		} else {
 			s.res[nd] = struct{}{}
 		}
 	}
+	return true
 }
 
 // snapshot renders the current Res as a sorted pattern slice.

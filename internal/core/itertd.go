@@ -1,40 +1,53 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // IterTDGlobal is the ITERTD baseline of Section IV-A for global bounds
 // (Problem 3.1): it re-runs the top-down search of Algorithm 1 from scratch
 // for every k in [KMin, KMax]. Unlike GLOBALBOUNDS it accepts arbitrary
 // (including non-monotone) lower-bound sequences.
 func IterTDGlobal(in *Input, params GlobalParams) (*Result, error) {
+	return IterTDGlobalCtx(context.Background(), in, params, 1)
+}
+
+// IterTDGlobalCtx is IterTDGlobal with cancellation and per-k fan-out: ctx
+// aborts the search mid-lattice with a CanceledError, and the independent
+// per-k searches spread over workers goroutines (<= 0 means GOMAXPROCS,
+// 1 is serial). Results are identical for every worker count.
+func IterTDGlobalCtx(ctx context.Context, in *Input, params GlobalParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	meas := globalMeasure{params: &params}
-	for k := params.KMin; k <= params.KMax; k++ {
-		groups, _ := topDownSearch(in, params.MinSize, k, meas, &res.Stats)
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+		groups, _ := topDownSearch(cn, in, params.MinSize, k, meas, st)
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // IterTDProp is the ITERTD baseline for proportional representation
 // (Problem 3.2): Algorithm 1 with the proportional lower bound, re-run from
 // scratch for every k in [KMin, KMax].
 func IterTDProp(in *Input, params PropParams) (*Result, error) {
+	return IterTDPropCtx(context.Background(), in, params, 1)
+}
+
+// IterTDPropCtx is IterTDProp with cancellation and per-k fan-out (see
+// IterTDGlobalCtx).
+func IterTDPropCtx(ctx context.Context, in *Input, params PropParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
-	for k := params.KMin; k <= params.KMax; k++ {
-		groups, _ := topDownSearch(in, params.MinSize, k, meas, &res.Stats)
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+		groups, _ := topDownSearch(cn, in, params.MinSize, k, meas, st)
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // prepare validates the input and parameter combination shared by all

@@ -1,69 +1,223 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"rankfair/internal/pattern"
 )
 
-// The per-k searches of the ITERTD baseline are independent, so they
-// parallelize trivially across k. The incremental algorithms are inherently
-// sequential in k (each step consumes the previous frontier), which is why
-// the paper's optimized algorithms and this parallel baseline are
-// complementary: on many-core machines the parallel baseline narrows the
-// gap for small k ranges, while GLOBALBOUNDS/PROPBOUNDS win on long ones.
+// Two independent axes of parallelism coexist in this package:
+//
+//   - Across k: the per-k searches of the ITERTD baselines are independent,
+//     so runPerK fans the k values out over workers (the historical
+//     IterTD*Parallel entry points).
+//   - Inside one search: the incremental algorithms are inherently
+//     sequential in k (each step consumes the previous frontier), but the
+//     subtrees below the root of one build — and the resumed subtrees of
+//     one step — are independent, as is the per-pattern domination filter.
+//     fanOut and markDominated cover those; per-worker sinks collect side
+//     effects which are merged in deterministic order, so parallel results
+//     are byte-identical to the serial path.
+
+// normWorkers maps the public workers knob onto a concrete fan-out width:
+// <= 0 selects GOMAXPROCS, anything positive is used as given.
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// fanOut invokes run(i) for every i in [0, n), spreading the calls over at
+// most workers goroutines. With workers <= 1 (or a single job) the calls
+// run inline, so the serial and parallel paths share one code route. run
+// must only write to per-i state; fanOut returns after every call finished.
+func fanOut(workers, n int, run func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runPerK runs one independent search per k in [kMin, kMax] on up to
+// workers goroutines, assembling the per-k group sets into a Result. Each
+// worker owns a Stats and a canceler; group slices land in distinct per-k
+// slots and the stats sum is order-independent, so the assembled result is
+// identical to a serial run. When the context is canceled the workers stop
+// mid-traversal and the partial result is discarded.
+func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *canceler, st *Stats, k int) []Pattern) (*Result, error) {
+	if err := preflight(ctx); err != nil {
+		return nil, err
+	}
+	workers = normWorkers(workers)
+	span := kMax - kMin + 1
+	if workers > span {
+		workers = span
+	}
+	res := &Result{KMin: kMin, KMax: kMax, Groups: make([][]Pattern, span)}
+	statsPer := make([]Stats, workers)
+	var next atomic.Int64
+	next.Store(int64(kMin) - 1)
+	work := func(w int) bool {
+		cn := canceler{ctx: ctx}
+		for !cn.halted {
+			k := int(next.Add(1))
+			if k > kMax {
+				break
+			}
+			groups := body(&cn, &statsPer[w], k)
+			if cn.halted {
+				break // partial per-k result: discard
+			}
+			res.Groups[k-kMin] = groups
+		}
+		return cn.halted
+	}
+	halted := false
+	if workers <= 1 {
+		halted = work(0)
+	} else {
+		haltedPer := make([]bool, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				haltedPer[w] = work(w)
+			}(w)
+		}
+		wg.Wait()
+		for _, h := range haltedPer {
+			halted = halted || h
+		}
+	}
+	for _, s := range statsPer {
+		res.Stats.add(s)
+	}
+	if halted {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
+	return res, nil
+}
+
+// unit is one independent subtree-build work item: a search-tree child of
+// some node together with its match lists. The incremental algorithms cut
+// their builds into units at the expansion root and fan the units out.
+type unit struct {
+	p        pattern.Pattern
+	matchAll []int32
+	matchTop []int32
+}
+
+// childUnits materializes the search-tree children of p as work units,
+// partitioning the match lists per attribute in one pass (the same child
+// generation rule as appendChildren, Definition 4.1).
+func childUnits(in *Input, p pattern.Pattern, matchAll, matchTop []int32) []unit {
+	var units []unit
+	n := in.Space.NumAttrs()
+	for a := p.MaxAttrIdx() + 1; a < n; a++ {
+		card := in.Space.Cards[a]
+		allBuckets := partitionByValue(in.Rows, matchAll, a, card)
+		topBuckets := partitionByValue(in.Rows, matchTop, a, card)
+		for v := 0; v < card; v++ {
+			units = append(units, unit{p: p.With(a, int32(v)), matchAll: allBuckets[v], matchTop: topBuckets[v]})
+		}
+	}
+	return units
+}
+
+// markDominated computes, over patterns sorted by (NumAttrs, Key), which
+// ones have a proper subset among the most general members of the same
+// slice: mask[i] is true iff some non-dominated earlier pattern is a proper
+// subset of ps[i]. Because a proper subset always has strictly fewer bound
+// attributes, patterns within one generality level cannot dominate each
+// other, so each level is checked against the accepted prefix concurrently.
+// This filter is the quadratic hot spot on adversarial workloads (the
+// Theorem 3.3 construction yields C(n, n/2) mutually incomparable groups),
+// which is why it fans out alongside the tree build — and why it polls ctx
+// (per level, then every 64 scans and every 4096 subset checks): the
+// cancellation-latency bound must cover the dominant cost, not just the
+// tree traversal. When canceled it reports halted=true and the partial
+// mask is meaningless.
+func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask []bool, halted bool) {
+	mask = make([]bool, len(ps))
+	var stop atomic.Bool
+	var res []pattern.Pattern
+	for start := 0; start < len(ps); {
+		if ctx != nil && ctx.Err() != nil {
+			return mask, true
+		}
+		end := start
+		lvl := ps[start].NumAttrs()
+		for end < len(ps) && ps[end].NumAttrs() == lvl {
+			end++
+		}
+		fanOut(workers, end-start, func(i int) {
+			if stop.Load() {
+				return
+			}
+			if i&63 == 0 && ctx != nil && ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			p := ps[start+i]
+			for j, q := range res {
+				if j&4095 == 4095 && stop.Load() {
+					return
+				}
+				if q.ProperSubsetOf(p) {
+					mask[start+i] = true
+					return
+				}
+			}
+		})
+		if stop.Load() {
+			return mask, true
+		}
+		for i := start; i < end; i++ {
+			if !mask[i] {
+				res = append(res, ps[i])
+			}
+		}
+		start = end
+	}
+	return mask, false
+}
 
 // IterTDGlobalParallel is IterTDGlobal with the per-k searches fanned out
 // over workers goroutines (<= 0 means GOMAXPROCS). Results are identical to
 // the sequential baseline; Stats are summed across workers.
 func IterTDGlobalParallel(in *Input, params GlobalParams, workers int) (*Result, error) {
-	if err := prepare(in, params.KMax, params.validate()); err != nil {
-		return nil, err
-	}
-	meas := globalMeasure{params: &params}
-	return parallelPerK(in, params.MinSize, params.KMin, params.KMax, workers, meas), nil
+	return IterTDGlobalCtx(context.Background(), in, params, workers)
 }
 
 // IterTDPropParallel is IterTDProp with the per-k searches fanned out over
 // workers goroutines (<= 0 means GOMAXPROCS).
 func IterTDPropParallel(in *Input, params PropParams, workers int) (*Result, error) {
-	if err := prepare(in, params.KMax, params.validate()); err != nil {
-		return nil, err
-	}
-	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
-	return parallelPerK(in, params.MinSize, params.KMin, params.KMax, workers, meas), nil
-}
-
-// parallelPerK runs one top-down search per k on a bounded worker pool.
-func parallelPerK(in *Input, minSize, kMin, kMax, workers int, meas measure) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if span := kMax - kMin + 1; workers > span {
-		workers = span
-	}
-	res := &Result{KMin: kMin, KMax: kMax, Groups: make([][]Pattern, kMax-kMin+1)}
-
-	ks := make(chan int)
-	statsPer := make([]Stats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for k := range ks {
-				groups, _ := topDownSearch(in, minSize, k, meas, &statsPer[w])
-				sortPatterns(groups)
-				res.Groups[k-kMin] = groups // distinct slot per k: no race
-			}
-		}(w)
-	}
-	for k := kMin; k <= kMax; k++ {
-		ks <- k
-	}
-	close(ks)
-	wg.Wait()
-	for _, s := range statsPer {
-		res.Stats.add(s)
-	}
-	return res
+	return IterTDPropCtx(context.Background(), in, params, workers)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"rankfair/internal/pattern"
@@ -23,12 +24,26 @@ type pnode struct {
 	ktilde int
 }
 
+// psink collects the side effects of one subtree build or one serial step
+// phase: biased frontier nodes, nodes scheduled for re-examination (their
+// ktilde is already computed; the bucket insert happens at merge time), and
+// work accounting. Sinks merge into the shared state in deterministic
+// order, which keeps the parallel build byte-identical to the serial one.
+type psink struct {
+	cn     canceler
+	stats  Stats
+	biased []*pnode
+	sched  []*pnode
+}
+
 // propState holds the incremental search state of Algorithm 3.
 type propState struct {
-	in    *Input
-	pr    *PropParams
-	stats *Stats
-	n     int // |D|
+	in      *Input
+	pr      *PropParams
+	stats   *Stats
+	n       int // |D|
+	ctx     context.Context
+	workers int
 
 	roots     []*pnode
 	biasedSet map[*pnode]struct{}
@@ -50,7 +65,20 @@ type propState struct {
 // catches up with its growing bound is expanded (selectiveTD resumes the
 // search below it).
 func PropBounds(in *Input, params PropParams) (*Result, error) {
+	return PropBoundsCtx(context.Background(), in, params, 1)
+}
+
+// PropBoundsCtx is PropBounds with cancellation and intra-search fan-out:
+// the independent subtrees of the initial build and of resumed frontier
+// expansions spread over workers goroutines (<= 0 means GOMAXPROCS, 1 is
+// serial), with per-worker sinks merged deterministically so results are
+// byte-identical to the serial path. A canceled ctx stops the traversal
+// within a bounded number of node expansions and returns a CanceledError.
+func PropBoundsCtx(ctx context.Context, in *Input, params PropParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
+		return nil, err
+	}
+	if err := preflight(ctx); err != nil {
 		return nil, err
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
@@ -59,14 +87,27 @@ func PropBounds(in *Input, params PropParams) (*Result, error) {
 		pr:        &params,
 		stats:     &res.Stats,
 		n:         len(in.Rows),
+		ctx:       ctx,
+		workers:   normWorkers(workers),
 		biasedSet: make(map[*pnode]struct{}),
 		buckets:   make([][]*pnode, params.KMax+2),
 	}
-	st.fullBuild(params.KMin)
-	res.Groups[0] = st.snapshot()
+	if !st.fullBuild(params.KMin) {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
+	groups, ok := st.snapshot()
+	if !ok {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
+	res.Groups[0] = groups
 	for k := params.KMin + 1; k <= params.KMax; k++ {
-		st.step(k)
-		res.Groups[k-params.KMin] = st.snapshot()
+		if !st.step(k) {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		if groups, ok = st.snapshot(); !ok {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		res.Groups[k-params.KMin] = groups
 	}
 	return res, nil
 }
@@ -101,17 +142,37 @@ func (s *propState) computeKtilde(sD, cnt int) int {
 	return kt
 }
 
-// schedule records the node's k̃ and enqueues it for re-examination.
-func (s *propState) schedule(nd *pnode) {
+// scheduleInto records the node's k̃ and queues it on the sink; the bucket
+// insert happens when the sink merges. Deferring the insert is safe within
+// a step: a node scheduled at step k is unbiased at k, so its k̃ is > k and
+// the entry cannot be due before the merge runs.
+func (s *propState) scheduleInto(nd *pnode, sk *psink) {
 	nd.ktilde = s.computeKtilde(nd.sD, nd.cnt)
 	if nd.ktilde <= s.pr.KMax {
+		sk.sched = append(sk.sched, nd)
+	}
+}
+
+// merge folds a sink into the shared state.
+func (s *propState) merge(sk *psink) {
+	s.stats.add(sk.stats)
+	for _, nd := range sk.biased {
+		s.biasedSet[nd] = struct{}{}
+	}
+	if len(sk.biased) > 0 {
+		s.dirt = true
+	}
+	for _, nd := range sk.sched {
 		s.buckets[nd.ktilde] = append(s.buckets[nd.ktilde], nd)
 	}
 }
 
 // fullBuild runs the complete top-down search at kMin, materializing the
-// explored tree, the biased frontier, and the schedule K.
-func (s *propState) fullBuild(k int) {
+// explored tree, the biased frontier, and the schedule K. The root's
+// subtrees build independently on the worker pool; sink merge order is the
+// subtree order, matching the serial traversal. It reports false when the
+// build was abandoned because the context was canceled.
+func (s *propState) fullBuild(k int) bool {
 	s.stats.FullSearches++
 	n := s.in.Space.NumAttrs()
 	all := make([]int32, len(s.in.Rows))
@@ -122,12 +183,42 @@ func (s *propState) fullBuild(k int) {
 	for i := 0; i < k; i++ {
 		top[i] = int32(s.in.Ranking[i])
 	}
-	root := &pnode{p: pattern.Empty(n), sD: len(all), cnt: k, expanded: true}
-	s.roots = s.buildChildren(root, all, top, k)
+	units := childUnits(s.in, pattern.Empty(n), all, top)
+	sinks := make([]psink, len(units))
+	children := make([]*pnode, len(units))
+	fanOut(s.workers, len(units), func(i int) {
+		u := &units[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		sk.stats.NodesExamined++
+		sD := len(u.matchAll)
+		if sD < s.pr.MinSize {
+			return
+		}
+		child := &pnode{p: u.p, sD: sD, cnt: len(u.matchTop)}
+		children[i] = child
+		if s.biasedAt(sD, child.cnt, k) {
+			child.biased = true
+			sk.biased = append(sk.biased, child)
+			return
+		}
+		s.scheduleInto(child, sk)
+		child.expanded = true
+		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, k, sk)
+	})
+	halted := false
+	for i := range units {
+		if children[i] != nil {
+			s.roots = append(s.roots, children[i])
+		}
+		s.merge(&sinks[i])
+		halted = halted || sinks[i].cn.halted
+	}
 	s.dirt = true
+	return !halted
 }
 
-func (s *propState) buildChildren(parent *pnode, matchAll, matchTop []int32, k int) []*pnode {
+func (s *propState) buildChildrenInto(parent *pnode, matchAll, matchTop []int32, k int, sk *psink) []*pnode {
 	var kids []*pnode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
@@ -135,7 +226,10 @@ func (s *propState) buildChildren(parent *pnode, matchAll, matchTop []int32, k i
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return kids
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.pr.MinSize {
 				continue
@@ -144,21 +238,26 @@ func (s *propState) buildChildren(parent *pnode, matchAll, matchTop []int32, k i
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
+				sk.biased = append(sk.biased, child)
 				continue
 			}
-			s.schedule(child)
+			s.scheduleInto(child, sk)
 			child.expanded = true
-			child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], k)
+			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], k, sk)
 		}
 	}
 	parent.children = kids
 	return kids
 }
 
-// step advances the state from k-1 to k.
-func (s *propState) step(k int) {
+// step advances the state from k-1 to k. It reports false when the step
+// was abandoned because the context was canceled.
+func (s *propState) step(k int) bool {
 	newRow := s.in.Rows[s.in.Ranking[k-1]]
+
+	// Serial phases use one sink for stats and deferred schedule inserts;
+	// biased-set membership changes apply directly (no concurrency here).
+	ser := &psink{cn: canceler{ctx: s.ctx}}
 
 	// Phase 1 (selectiveTD): walk only explored nodes the new tuple
 	// satisfies; their counts grow by one. Orphan subtrees below biased
@@ -166,16 +265,16 @@ func (s *propState) step(k int) {
 	var freed []*pnode
 	var walk func(nd *pnode)
 	walk = func(nd *pnode) {
-		if !nd.p.Matches(newRow) {
+		if ser.cn.stopped() || !nd.p.Matches(newRow) {
 			return
 		}
-		s.stats.NodesExamined++
+		ser.stats.NodesExamined++
 		nd.cnt++
 		if nd.biased {
 			if !s.biasedAt(nd.sD, nd.cnt, k) {
 				nd.biased = false
 				delete(s.biasedSet, nd)
-				s.schedule(nd)
+				s.scheduleInto(nd, ser)
 				freed = append(freed, nd)
 				s.dirt = true
 			}
@@ -186,7 +285,7 @@ func (s *propState) step(k int) {
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
-			s.schedule(nd)
+			s.scheduleInto(nd, ser)
 		}
 		for _, c := range nd.children {
 			walk(c)
@@ -200,40 +299,66 @@ func (s *propState) step(k int) {
 	// their count was bumped meanwhile (stale entries are skipped via the
 	// ktilde guard).
 	for _, nd := range s.buckets[k] {
+		if ser.cn.stopped() {
+			break
+		}
 		if nd.biased || nd.ktilde != k {
 			continue
 		}
-		s.stats.NodesExamined++
+		ser.stats.NodesExamined++
 		if s.biasedAt(nd.sD, nd.cnt, k) {
 			nd.biased = true
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
-			s.schedule(nd)
+			s.scheduleInto(nd, ser)
 		}
 	}
 	s.buckets[k] = nil
+	if ser.cn.halted {
+		s.merge(ser)
+		return false
+	}
 
-	// Phase 3: resume the search below frontier nodes that became
-	// unbiased and had no explored children yet.
+	// Phase 3: resume the search below frontier nodes that became unbiased
+	// and had no explored children yet. Those subtrees are disjoint, so
+	// they expand on the worker pool, one sink each.
+	var resumed []*pnode
 	for _, nd := range freed {
 		if !nd.expanded {
 			nd.expanded = true
-			matchAll := matchingRows(s.in.Rows, nd.p, nil)
-			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-			s.expandWith(nd, matchAll, matchTop, k)
+			resumed = append(resumed, nd)
 		}
 	}
+	sinks := make([]psink, len(resumed))
+	fanOut(s.workers, len(resumed), func(i int) {
+		nd := resumed[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		matchAll := matchingRows(s.in.Rows, nd.p, nil)
+		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+		s.expandWithInto(nd, matchAll, matchTop, k, sk)
+	})
+	s.merge(ser)
+	halted := false
+	for i := range sinks {
+		s.merge(&sinks[i])
+		halted = halted || sinks[i].cn.halted
+	}
+	return !halted
 }
 
-func (s *propState) expandWith(nd *pnode, matchAll, matchTop []int32, k int) {
+func (s *propState) expandWithInto(nd *pnode, matchAll, matchTop []int32, k int, sk *psink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.pr.MinSize {
 				continue
@@ -242,13 +367,12 @@ func (s *propState) expandWith(nd *pnode, matchAll, matchTop []int32, k int) {
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
-				s.biasedSet[child] = struct{}{}
-				s.dirt = true
+				sk.biased = append(sk.biased, child)
 				continue
 			}
-			s.schedule(child)
+			s.scheduleInto(child, sk)
 			child.expanded = true
-			s.expandWith(child, allBuckets[v], topBuckets[v], k)
+			s.expandWithInto(child, allBuckets[v], topBuckets[v], k, sk)
 		}
 	}
 }
@@ -256,12 +380,13 @@ func (s *propState) expandWith(nd *pnode, matchAll, matchTop []int32, k int) {
 // snapshot returns the most general biased patterns. Because biased nodes
 // can appear and disappear anywhere in the explored tree (including
 // interior nodes with explored descendants), Res is recomputed from the
-// biased frontier whenever it changed.
-func (s *propState) snapshot() []Pattern {
+// biased frontier whenever it changed. The domination filter fans out on
+// the worker pool (markDominated); ok is false when it was abandoned
+// because the context was canceled (the state stays dirty).
+func (s *propState) snapshot() (groups []Pattern, ok bool) {
 	if !s.dirt {
-		return s.res
+		return s.res, true
 	}
-	s.dirt = false
 	nodes := make([]*pnode, 0, len(s.biasedSet))
 	for nd := range s.biasedSet {
 		nodes = append(nodes, nd)
@@ -273,19 +398,21 @@ func (s *propState) snapshot() []Pattern {
 		}
 		return nodes[i].p.Key() < nodes[j].p.Key()
 	})
-	res := make([]Pattern, 0, len(nodes))
-	for _, nd := range nodes {
-		dominated := false
-		for _, q := range res {
-			if q.ProperSubsetOf(nd.p) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			res = append(res, nd.p)
+	ps := make([]pattern.Pattern, len(nodes))
+	for i, nd := range nodes {
+		ps[i] = nd.p
+	}
+	dominated, halted := markDominated(s.ctx, ps, s.workers)
+	if halted {
+		return nil, false
+	}
+	s.dirt = false
+	res := make([]Pattern, 0, len(ps))
+	for i, p := range ps {
+		if !dominated[i] {
+			res = append(res, p)
 		}
 	}
 	s.res = res
-	return res
+	return res, true
 }

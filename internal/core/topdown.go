@@ -40,11 +40,13 @@ type searchEntry struct {
 // topDownSearch is Algorithm 1: a single top-down traversal of the search
 // tree for one value of k, returning the most general biased patterns (Res)
 // and the dominated biased patterns reached during the search (DRes).
+// The traversal polls cn once per node and abandons the search when the
+// caller's context is canceled (the partial result is then meaningless).
 //
 // The traversal is FIFO (level order), so when a biased pattern is reached,
 // every more general biased pattern has already been classified; the
 // update() check of the paper therefore only needs to scan Res.
-func topDownSearch(in *Input, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
+func topDownSearch(cn *canceler, in *Input, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
 	stats.FullSearches++
 	n := in.Space.NumAttrs()
 
@@ -65,6 +67,9 @@ func topDownSearch(in *Input, minSize, k int, meas measure, stats *Stats) (res, 
 	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
 
 	for head := 0; head < len(queue); head++ {
+		if cn.stopped() {
+			return nil, nil
+		}
 		e := queue[head]
 		queue[head] = searchEntry{} // release row lists of consumed entries
 		stats.NodesExamined++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rankfair/internal/pattern"
@@ -48,21 +49,27 @@ func (p *GlobalUpperParams) validate() error {
 // subtrees whose root no longer exceeds, and maximality reduces to having
 // no exceeding pattern-graph child.
 func IterTDGlobalUpper(in *Input, params GlobalUpperParams) (*Result, error) {
+	return IterTDGlobalUpperCtx(context.Background(), in, params, 1)
+}
+
+// IterTDGlobalUpperCtx is IterTDGlobalUpper with cancellation and per-k
+// fan-out: ctx aborts the search mid-lattice with a CanceledError, and the
+// independent per-k searches spread over workers goroutines (<= 0 means
+// GOMAXPROCS, 1 is serial). Results are identical for every worker count.
+func IterTDGlobalUpperCtx(ctx context.Context, in *Input, params GlobalUpperParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	for k := params.KMin; k <= params.KMax; k++ {
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c // prune when not exceeding: children have count <= cnt
 		})
 		groups := mostSpecificByChildLookup(in.Space, cands)
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // PropUpperParams parameterizes upper-bound detection for the proportional
@@ -96,28 +103,33 @@ func (p *PropUpperParams) validate() error {
 // every descendant's count below every descendant's bound) and maximality
 // uses a full superset check.
 func IterTDPropUpper(in *Input, params PropUpperParams) (*Result, error) {
+	return IterTDPropUpperCtx(context.Background(), in, params, 1)
+}
+
+// IterTDPropUpperCtx is IterTDPropUpper with cancellation and per-k
+// fan-out (see IterTDGlobalUpperCtx).
+func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
 	n := float64(len(in.Rows))
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	for k := params.KMin; k <= params.KMax; k++ {
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		floor := params.Beta * float64(params.MinSize) * float64(k) / n
-		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := float64(cnt) > params.Beta*float64(sD)*float64(k)/n
 			return c, float64(cnt) > floor
 		})
 		groups := pattern.MostSpecific(cands)
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // collectExceeding runs a top-down search that prunes on the size threshold
 // and on the classify callback's descend decision, returning every pattern
-// classified as a candidate.
-func collectExceeding(in *Input, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
+// classified as a candidate. The search polls cn once per node and returns
+// early when the caller's context is canceled.
+func collectExceeding(cn *canceler, in *Input, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
 	stats.FullSearches++
 	n := in.Space.NumAttrs()
 	all := make([]int32, len(in.Rows))
@@ -132,6 +144,9 @@ func collectExceeding(in *Input, minSize, k int, stats *Stats, classify func(sD,
 	queue := make([]searchEntry, 0, 64)
 	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
 	for head := 0; head < len(queue); head++ {
+		if cn.stopped() {
+			return nil
+		}
 		e := queue[head]
 		queue[head] = searchEntry{}
 		stats.NodesExamined++

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"rankfair/internal/pattern"
 )
 
@@ -15,21 +17,43 @@ import (
 // its pattern-graph parents. When U_k changes, a fresh search runs (the
 // analogue of the paper's rebuild on bound change).
 func GlobalUpperBounds(in *Input, params GlobalUpperParams) (*Result, error) {
+	return GlobalUpperBoundsCtx(context.Background(), in, params, 1)
+}
+
+// GlobalUpperBoundsCtx is GlobalUpperBounds with cancellation and
+// intra-search fan-out: independent subtrees build on workers goroutines
+// (<= 0 means GOMAXPROCS, 1 is serial), each collecting its candidates in
+// traversal order into a sink; the merge admits them in the serial order,
+// so the maximality bookkeeping — and therefore the result — is
+// byte-identical to the serial path. A canceled ctx aborts mid-lattice
+// with a CanceledError.
+func GlobalUpperBoundsCtx(ctx context.Context, in *Input, params GlobalUpperParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
+	if err := preflight(ctx); err != nil {
+		return nil, err
+	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	st := &upperState{in: in, params: &params, stats: &res.Stats}
+	st := &upperState{in: in, params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
 
-	st.fullBuild(params.KMin)
+	if !st.fullBuild(params.KMin) {
+		return nil, canceledErr(ctx, res.Stats.NodesExamined)
+	}
 	res.Groups[0] = st.snapshot()
 	for k := params.KMin + 1; k <= params.KMax; k++ {
 		if params.Upper[k-params.KMin] != params.Upper[k-params.KMin-1] {
-			st.fullBuild(k)
+			if !st.fullBuild(k) {
+				return nil, canceledErr(ctx, res.Stats.NodesExamined)
+			}
 			res.Groups[k-params.KMin] = st.snapshot()
 			continue
 		}
-		if st.step(k) {
+		changed, ok := st.step(k)
+		if !ok {
+			return nil, canceledErr(ctx, res.Stats.NodesExamined)
+		}
+		if changed {
 			res.Groups[k-params.KMin] = st.snapshot()
 		} else {
 			res.Groups[k-params.KMin] = res.Groups[k-params.KMin-1]
@@ -48,10 +72,21 @@ type unode struct {
 	children  []*unode
 }
 
+// usink collects one subtree build's candidates (in traversal order) and
+// work accounting; candidates are admitted at merge time so the maximality
+// maps are only touched serially.
+type usink struct {
+	cn    canceler
+	stats Stats
+	cands []*unode
+}
+
 type upperState struct {
-	in     *Input
-	params *GlobalUpperParams
-	stats  *Stats
+	in      *Input
+	params  *GlobalUpperParams
+	stats   *Stats
+	ctx     context.Context
+	workers int
 
 	roots []*unode
 	// candidates maps pattern keys of all current candidates; maximal
@@ -63,8 +98,11 @@ type upperState struct {
 func (s *upperState) upperAt(k int) int { return s.params.Upper[k-s.params.KMin] }
 
 // fullBuild runs a complete search at k: candidates are explored, frontier
-// nodes (substantial, not exceeding) stop the descent.
-func (s *upperState) fullBuild(k int) {
+// nodes (substantial, not exceeding) stop the descent. Root subtrees build
+// independently on the worker pool; the merge admits candidates in subtree
+// order, reproducing the serial admission sequence. It reports false when
+// the build was abandoned because the context was canceled.
+func (s *upperState) fullBuild(k int) bool {
 	s.stats.FullSearches++
 	s.roots = nil
 	s.candidates = make(map[string]*unode)
@@ -80,11 +118,41 @@ func (s *upperState) fullBuild(k int) {
 	for i := 0; i < k; i++ {
 		top[i] = int32(s.in.Ranking[i])
 	}
-	root := &unode{p: pattern.Empty(n), sD: len(all), cnt: k, candidate: true, expanded: true}
-	s.roots = s.buildChildren(root, all, top, u)
+	units := childUnits(s.in, pattern.Empty(n), all, top)
+	sinks := make([]usink, len(units))
+	children := make([]*unode, len(units))
+	fanOut(s.workers, len(units), func(i int) {
+		un := &units[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		sk.stats.NodesExamined++
+		sD := len(un.matchAll)
+		if sD < s.params.MinSize {
+			return
+		}
+		child := &unode{p: un.p, sD: sD, cnt: len(un.matchTop)}
+		children[i] = child
+		if child.cnt > u {
+			sk.cands = append(sk.cands, child)
+			child.expanded = true
+			child.children = s.buildChildrenInto(child, un.matchAll, un.matchTop, u, sk)
+		}
+	})
+	halted := false
+	for i := range units {
+		if children[i] != nil {
+			s.roots = append(s.roots, children[i])
+		}
+		s.stats.add(sinks[i].stats)
+		for _, nd := range sinks[i].cands {
+			s.admit(nd)
+		}
+		halted = halted || sinks[i].cn.halted
+	}
+	return !halted
 }
 
-func (s *upperState) buildChildren(parent *unode, matchAll, matchTop []int32, u int) []*unode {
+func (s *upperState) buildChildrenInto(parent *unode, matchAll, matchTop []int32, u int, sk *usink) []*unode {
 	var kids []*unode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
@@ -92,7 +160,10 @@ func (s *upperState) buildChildren(parent *unode, matchAll, matchTop []int32, u 
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return kids
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.params.MinSize {
 				continue
@@ -100,9 +171,9 @@ func (s *upperState) buildChildren(parent *unode, matchAll, matchTop []int32, u 
 			child := &unode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
 			kids = append(kids, child)
 			if child.cnt > u {
-				s.admit(child)
+				sk.cands = append(sk.cands, child)
 				child.expanded = true
-				child.children = s.buildChildren(child, allBuckets[v], topBuckets[v], u)
+				child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], u, sk)
 			}
 		}
 	}
@@ -143,15 +214,17 @@ scan:
 	}
 }
 
-// step advances from k-1 to k with an unchanged bound. Returns whether the
-// candidate set changed.
-func (s *upperState) step(k int) bool {
+// step advances from k-1 to k with an unchanged bound. It returns whether
+// the candidate set changed, and false in ok when the step was abandoned
+// because the context was canceled.
+func (s *upperState) step(k int) (changed, ok bool) {
 	u := s.upperAt(k)
 	newRow := s.in.Rows[s.in.Ranking[k-1]]
+	cn := canceler{ctx: s.ctx}
 	var crossed []*unode
 	var walk func(nd *unode)
 	walk = func(nd *unode) {
-		if !nd.p.Matches(newRow) {
+		if cn.stopped() || !nd.p.Matches(newRow) {
 			return
 		}
 		s.stats.NodesExamined++
@@ -166,8 +239,11 @@ func (s *upperState) step(k int) bool {
 	for _, r := range s.roots {
 		walk(r)
 	}
+	if cn.halted {
+		return false, false
+	}
 	if len(crossed) == 0 {
-		return false
+		return false, true
 	}
 	// Admit in generality order so graph-parent bookkeeping sees parents
 	// before children (a crossing node's crossing parent must already be
@@ -176,39 +252,65 @@ func (s *upperState) step(k int) bool {
 	for _, nd := range crossed {
 		s.admit(nd)
 	}
-	// Resume the search below the newly admitted candidates.
+	// Resume the search below the newly admitted candidates. Crossed nodes
+	// were unexplored frontier nodes, so their subtrees are disjoint and
+	// expand independently; each sink's candidates are admitted at merge,
+	// in the same order the serial expansion would have produced.
+	var resumed []*unode
 	for _, nd := range crossed {
 		if !nd.expanded {
 			nd.expanded = true
-			matchAll := matchingRows(s.in.Rows, nd.p, nil)
-			matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-			s.expandWith(nd, matchAll, matchTop, u)
+			resumed = append(resumed, nd)
 		}
 	}
-	return true
+	sinks := make([]usink, len(resumed))
+	fanOut(s.workers, len(resumed), func(i int) {
+		nd := resumed[i]
+		sk := &sinks[i]
+		sk.cn = canceler{ctx: s.ctx}
+		matchAll := matchingRows(s.in.Rows, nd.p, nil)
+		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
+		nd.children = append(nd.children, s.expandWithInto(nd, matchAll, matchTop, u, sk)...)
+	})
+	halted := false
+	for i := range sinks {
+		s.stats.add(sinks[i].stats)
+		for _, nd := range sinks[i].cands {
+			s.admit(nd)
+		}
+		halted = halted || sinks[i].cn.halted
+	}
+	return true, !halted
 }
 
-func (s *upperState) expandWith(nd *unode, matchAll, matchTop []int32, u int) {
+// expandWithInto mirrors buildChildrenInto for step-time expansion,
+// returning the new children of nd.
+func (s *upperState) expandWithInto(nd *unode, matchAll, matchTop []int32, u int, sk *usink) []*unode {
+	var kids []*unode
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
 		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
 		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
 		for v := 0; v < card; v++ {
-			s.stats.NodesExamined++
+			if sk.cn.stopped() {
+				return kids
+			}
+			sk.stats.NodesExamined++
 			sD := len(allBuckets[v])
 			if sD < s.params.MinSize {
 				continue
 			}
 			child := &unode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
-			nd.children = append(nd.children, child)
+			kids = append(kids, child)
 			if child.cnt > u {
-				s.admit(child)
+				sk.cands = append(sk.cands, child)
 				child.expanded = true
-				s.expandWith(child, allBuckets[v], topBuckets[v], u)
+				child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], u, sk)
 			}
 		}
 	}
+	return kids
 }
 
 func (s *upperState) snapshot() []Pattern {

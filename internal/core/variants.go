@@ -1,6 +1,10 @@
 package core
 
-import "rankfair/internal/pattern"
+import (
+	"context"
+
+	"rankfair/internal/pattern"
+)
 
 // Section III sketches two further report semantics beyond the ones the
 // paper's body develops ("our solutions can be adjusted to support such
@@ -24,21 +28,25 @@ import "rankfair/internal/pattern"
 // the downward-closed candidate set, filter to its most general members) so
 // it stays correct for any future measure plugged into the same skeleton.
 func IterTDGlobalUpperMostGeneral(in *Input, params GlobalUpperParams) (*Result, error) {
+	return IterTDGlobalUpperMostGeneralCtx(context.Background(), in, params, 1)
+}
+
+// IterTDGlobalUpperMostGeneralCtx is IterTDGlobalUpperMostGeneral with
+// cancellation and per-k fan-out (see IterTDGlobalCtx).
+func IterTDGlobalUpperMostGeneralCtx(ctx context.Context, in *Input, params GlobalUpperParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	for k := params.KMin; k <= params.KMax; k++ {
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(in, params.MinSize, k, &res.Stats, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c
 		})
 		groups := pattern.MostGeneral(cands)
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // IterTDGlobalLowerMostSpecific reports, for each k, the most specific
@@ -47,18 +55,23 @@ func IterTDGlobalUpperMostGeneral(in *Input, params GlobalUpperParams) (*Result,
 // (any substantial child is automatically below as well, by count
 // monotonicity, so it would always dominate p).
 func IterTDGlobalLowerMostSpecific(in *Input, params GlobalParams) (*Result, error) {
+	return IterTDGlobalLowerMostSpecificCtx(context.Background(), in, params, 1)
+}
+
+// IterTDGlobalLowerMostSpecificCtx is IterTDGlobalLowerMostSpecific with
+// cancellation and per-k fan-out (see IterTDGlobalCtx).
+func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params GlobalParams, workers int) (*Result, error) {
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	for k := params.KMin; k <= params.KMax; k++ {
+	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		l := params.lowerAt(k)
 		// Traverse every substantial pattern: below-ness is not prunable
 		// top-down (an above-bound parent can have below children), so
 		// only the size threshold prunes.
 		substantial := make(map[string]bool)
 		var below []Pattern
-		res.Stats.FullSearches++
+		st.FullSearches++
 		n := in.Space.NumAttrs()
 		all := make([]int32, len(in.Rows))
 		for i := range all {
@@ -71,9 +84,12 @@ func IterTDGlobalLowerMostSpecific(in *Input, params GlobalParams) (*Result, err
 		queue := make([]searchEntry, 0, 64)
 		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
 		for head := 0; head < len(queue); head++ {
+			if cn.stopped() {
+				return nil
+			}
 			e := queue[head]
 			queue[head] = searchEntry{}
-			res.Stats.NodesExamined++
+			st.NodesExamined++
 			if len(e.matchAll) < params.MinSize {
 				continue
 			}
@@ -90,9 +106,8 @@ func IterTDGlobalLowerMostSpecific(in *Input, params GlobalParams) (*Result, err
 			}
 		}
 		sortPatterns(groups)
-		res.Groups[k-params.KMin] = groups
-	}
-	return res, nil
+		return groups
+	})
 }
 
 // hasSubstantialChild reports whether any pattern-graph child of p (one

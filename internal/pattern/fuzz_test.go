@@ -15,6 +15,7 @@ func FuzzParseKey(f *testing.F) {
 	f.Add("")
 	f.Add("-1|2")
 	f.Add("x|y")
+	f.Add("0000000007000000000") // int32 overflow regression
 	f.Fuzz(func(t *testing.T, key string) {
 		p, err := ParseKey(key)
 		if err != nil {

@@ -183,7 +183,9 @@ func ParseKey(key string) (Pattern, error) {
 			p[i] = Unbound
 			continue
 		}
-		v, err := strconv.Atoi(s)
+		// ParseInt with bitSize 32 rejects values that would silently
+		// overflow the int32 code (found by FuzzParseKey).
+		v, err := strconv.ParseInt(s, 10, 32)
 		if err != nil || v < 0 {
 			return nil, fmt.Errorf("pattern: invalid key segment %q", s)
 		}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rankfair"
+	"rankfair/internal/synth"
+)
+
+// TestCancelRunningAuditStopsSearch is the regression test for the job
+// manager passing its job context into the lattice search: before the fix,
+// Cancel only flipped a flag checked between phases, so a running audit
+// burned a full traversal before the cancellation took effect. The audit
+// below runs on the Theorem 3.3 worst-case construction (seconds of serial
+// search); a cancel issued while it runs must surface as a canceled job
+// long before the full traversal could have finished.
+func TestCancelRunningAuditStopsSearch(t *testing.T) {
+	const n = 17 // full serial search takes several seconds
+	bundle := synth.WorstCase(n)
+	var csv bytes.Buffer
+	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Workers: 1, QueueDepth: 4})
+	t.Cleanup(func() { svc.Shutdown(context.Background()) })
+	info, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, n+1)
+	for i := range perm {
+		perm[i] = i
+	}
+	view, err := svc.SubmitAudit(AuditRequest{
+		Dataset: info.ID,
+		Ranker:  RankerSpec{Ranking: perm},
+		Params: rankfair.AuditParams{
+			Measure: rankfair.MeasureGlobal, MinSize: 2, KMin: n, KMax: n, Lower: []int{n/2 + 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the job to actually start, then cancel it mid-search.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, ok := svc.Jobs().Get(view.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", view.ID)
+		}
+		if cur.Status == JobRunning {
+			break
+		}
+		if cur.Status != JobQueued {
+			t.Fatalf("job %s reached %s before it could be canceled", view.ID, cur.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started", view.ID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	canceledAt := time.Now()
+	if !svc.Jobs().Cancel(view.ID) {
+		t.Fatalf("Cancel(%s) reported missing job", view.ID)
+	}
+
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := svc.Jobs().Wait(waitCtx, view.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.Status != JobCanceled {
+		t.Fatalf("job ended %s (err=%q), want canceled", final.Status, final.Error)
+	}
+	// The search must have stopped mid-lattice: with cancellation checked
+	// every few hundred node expansions the job ends in well under the
+	// seconds the full worst-case traversal needs.
+	if waited := time.Since(canceledAt); waited > 5*time.Second {
+		t.Errorf("cancellation took %v; the search likely ran to completion", waited)
+	}
+}
+
+// TestAuditWorkersDefaultApplied checks the per-job override chain: a
+// request that leaves workers unset inherits the service default, while an
+// explicit value wins.
+func TestAuditWorkersDefaultApplied(t *testing.T) {
+	bundle := synth.WorstCase(4)
+	var csv bytes.Buffer
+	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Workers: 1, AuditWorkers: 3})
+	t.Cleanup(func() { svc.Shutdown(context.Background()) })
+	info, err := svc.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{0, 1, 2, 3, 4}
+	req := AuditRequest{
+		Dataset: info.ID,
+		Ranker:  RankerSpec{Ranking: perm},
+		Params: rankfair.AuditParams{
+			Measure: rankfair.MeasureGlobal, MinSize: 1, KMin: 2, KMax: 4, Lower: []int{1, 1, 1},
+		},
+	}
+	view, err := svc.SubmitAudit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Params.Workers != 3 {
+		t.Errorf("default audit workers not applied: got %d, want 3", view.Params.Workers)
+	}
+	req.Params.Workers = 2
+	view, err = svc.SubmitAudit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Params.Workers != 2 {
+		t.Errorf("explicit workers overridden: got %d, want 2", view.Params.Workers)
+	}
+	req.Params.Workers = rankfair.MaxWorkers + 1
+	if _, err := svc.SubmitAudit(req); err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("out-of-range workers accepted: %v", err)
+	}
+
+	// An oversized operator default is clamped, not allowed to fail every
+	// workers-unset audit at run time.
+	svc2 := New(Config{Workers: 1, AuditWorkers: rankfair.MaxWorkers + 100})
+	t.Cleanup(func() { svc2.Shutdown(context.Background()) })
+	info2, err := svc2.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Params.Workers = 0
+	req.Dataset = info2.ID
+	view, err = svc2.SubmitAudit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Params.Workers != rankfair.MaxWorkers {
+		t.Errorf("oversized default not clamped: got %d, want %d", view.Params.Workers, rankfair.MaxWorkers)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := svc2.Jobs().Wait(waitCtx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone {
+		t.Errorf("clamped-default audit ended %s: %s", final.Status, final.Error)
+	}
+}
+
+// TestCancelDoesNotPoisonJoinedAudit: canceling a job must not fail an
+// identical concurrent job that joined its in-flight computation — the
+// survivor re-runs the search as the new owner.
+func TestCancelDoesNotPoisonJoinedAudit(t *testing.T) {
+	const n = 16 // sub-second-scale serial search: keeps the cancel-while-running window wide
+	bundle := synth.WorstCase(n)
+	var csv bytes.Buffer
+	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Workers: 2, QueueDepth: 4})
+	t.Cleanup(func() { svc.Shutdown(context.Background()) })
+	info, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, n+1)
+	for i := range perm {
+		perm[i] = i
+	}
+	req := AuditRequest{
+		Dataset: info.ID,
+		Ranker:  RankerSpec{Ranking: perm},
+		Params: rankfair.AuditParams{
+			Measure: rankfair.MeasureGlobal, MinSize: 2, KMin: n, KMax: n, Lower: []int{n/2 + 1},
+		},
+	}
+	owner, err := svc.SubmitAudit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			cur, ok := svc.Jobs().Get(id)
+			if !ok {
+				t.Fatalf("job %s vanished", id)
+			}
+			if cur.Status == JobRunning {
+				return
+			}
+			if cur.Status != JobQueued || time.Now().After(deadline) {
+				t.Fatalf("job %s is %s, want running", id, cur.Status)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitRunning(owner.ID)
+	joiner, err := svc.SubmitAudit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(joiner.ID) // blocked inside the owner's flight
+	if !svc.Jobs().Cancel(owner.ID) {
+		t.Fatalf("Cancel(%s) reported missing job", owner.ID)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := svc.Jobs().Wait(waitCtx, joiner.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone {
+		t.Fatalf("joined audit ended %s (err=%q), want done despite the owner's cancellation",
+			final.Status, final.Error)
+	}
+	ownerFinal, _ := svc.Jobs().Get(owner.ID)
+	if ownerFinal.Status != JobCanceled {
+		t.Errorf("owner ended %s, want canceled", ownerFinal.Status)
+	}
+}

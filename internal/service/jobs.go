@@ -212,8 +212,10 @@ func (m *Manager) execute(j *Job) {
 	j.finished = m.clock()
 	switch {
 	case ctx.Err() != nil:
-		// Canceled mid-run: the lattice search is not interruptible once
-		// inside internal/core, so the result (if any) is discarded.
+		// Canceled mid-run: the job context flows into the lattice search
+		// (Analyst.DetectCtx), which aborts within a bounded number of
+		// node expansions and returns a partial-work error; whatever the
+		// run produced is discarded.
 		j.status = JobCanceled
 		m.canceled++
 	case err != nil:
@@ -258,8 +260,9 @@ func (m *Manager) pruneLocked() {
 }
 
 // Cancel cancels a queued or running job; it reports whether the job
-// exists. A queued job never starts; a running job's context is canceled
-// and its result discarded when the current phase finishes.
+// exists. A queued job never starts; a running job's context is canceled,
+// which stops the in-core lattice search mid-traversal (within a bounded
+// number of node expansions) and discards the partial result.
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
 	j, ok := m.jobs[id]

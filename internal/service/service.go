@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -23,6 +24,10 @@ type Config struct {
 	MaxDatasets int
 	// MaxUploadBytes bounds one CSV upload; <= 0 means 32 MiB.
 	MaxUploadBytes int64
+	// AuditWorkers is the per-audit lattice fan-out substituted when a
+	// request leaves params.workers at 0; <= 0 means 1 (serial). It is
+	// independent of Workers, which sizes the pool of concurrent audits.
+	AuditWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +45,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 32 << 20
+	}
+	if c.AuditWorkers <= 0 {
+		c.AuditWorkers = 1
+	}
+	// Clamp rather than error: the substituted default bypasses the
+	// request-level Validate (which ran with workers=0), so an oversized
+	// operator setting would otherwise fail every audit at run time.
+	if c.AuditWorkers > rankfair.MaxWorkers {
+		c.AuditWorkers = rankfair.MaxWorkers
 	}
 	return c
 }
@@ -168,26 +182,44 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 		return JobView{}, &BadRequestError{Err: err}
 	}
 
+	// The cache key ignores Workers (fan-out never changes results), so
+	// audits differing only in worker count still share one computation.
 	key := info.Hash + "|" + req.Ranker.CacheKey() + "|" + req.Params.CacheKey()
 	params := req.Params
-	run := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
-		val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
-			analyst, err := rankfair.New(table, ranker)
-			if err != nil {
-				return nil, err
-			}
-			report, err := analyst.Detect(params)
-			if err != nil {
-				return nil, err
-			}
-			return report.ToJSON(), nil
-		})
-		if err != nil {
-			return nil, false, err
-		}
-		return val.(*rankfair.ReportJSON), hit, nil
+	if params.Workers == 0 {
+		params.Workers = s.cfg.AuditWorkers
 	}
-	view, err := s.jobs.Submit(req.Dataset, req.Params, run)
+	run := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
+		for {
+			val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
+				analyst, err := rankfair.New(table, ranker)
+				if err != nil {
+					return nil, err
+				}
+				// The job's context flows into the lattice search, so a
+				// canceled job stops mid-traversal instead of completing
+				// a doomed audit and discarding it.
+				report, err := analyst.DetectCtx(ctx, params)
+				if err != nil {
+					return nil, err
+				}
+				return report.ToJSON(), nil
+			})
+			if err != nil {
+				// A canceled compute owner hands its CanceledError to
+				// every job that joined its flight. If *this* job is
+				// still live, the cancellation belonged to someone else:
+				// retry, electing ourselves the new compute owner.
+				var cerr *rankfair.CanceledError
+				if errors.As(err, &cerr) && ctx.Err() == nil {
+					continue
+				}
+				return nil, false, err
+			}
+			return val.(*rankfair.ReportJSON), hit, nil
+		}
+	}
+	view, err := s.jobs.Submit(req.Dataset, params, run)
 	if err != nil {
 		return JobView{}, err
 	}

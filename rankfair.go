@@ -22,6 +22,7 @@
 package rankfair
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -72,6 +73,9 @@ type (
 	ExposureParams = core.ExposureParams
 	// Result holds per-k result sets and work statistics.
 	Result = core.Result
+	// CanceledError is the partial-work error a detection run returns when
+	// its context is canceled mid-lattice; it unwraps to the context error.
+	CanceledError = core.CanceledError
 
 	// ExplainOptions tunes the Shapley explanation pipeline (Section V).
 	ExplainOptions = explain.Options
@@ -317,32 +321,79 @@ func (a *Analyst) DetectGlobalUpperMostGeneral(params GlobalUpperParams) (*Repor
 // service drives; library callers with static measure choices should
 // prefer the typed methods.
 func (a *Analyst) Detect(params AuditParams) (*Report, error) {
+	return a.DetectCtx(context.Background(), params)
+}
+
+// DetectCtx is Detect with cross-cutting execution controls. Canceling ctx
+// stops the lattice search mid-traversal: the run discards its partial
+// work and returns an error unwrapping to ctx.Err() (core.CanceledError),
+// within a bounded number of node expansions of the cancellation. A
+// params.Workers above 1 fans the search out over that many goroutines;
+// results are byte-identical to the serial run for every worker count
+// (params.Workers of 0 runs serially here — the rankfaird service
+// substitutes its own default before calling).
+func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
+	}
+	w := params.Workers
+	if w == 0 {
+		w = 1
 	}
 	switch params.Measure {
 	case MeasureGlobal:
 		gp := GlobalParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Lower: params.Lower}
+		var res *Result
+		var err error
 		if params.Baseline {
-			return a.DetectGlobalBaseline(gp)
+			res, err = core.IterTDGlobalCtx(ctx, a.in, gp, w)
+		} else {
+			res, err = core.GlobalBoundsCtx(ctx, a.in, gp, w)
 		}
-		return a.DetectGlobal(gp)
+		if err != nil {
+			return nil, err
+		}
+		return (&Report{Result: res, analyst: a}).attachGlobal(gp), nil
 	case MeasureProp:
 		pp := PropParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Alpha: params.Alpha}
+		var res *Result
+		var err error
 		if params.Baseline {
-			return a.DetectProportionalBaseline(pp)
+			res, err = core.IterTDPropCtx(ctx, a.in, pp, w)
+		} else {
+			res, err = core.PropBoundsCtx(ctx, a.in, pp, w)
 		}
-		return a.DetectProportional(pp)
+		if err != nil {
+			return nil, err
+		}
+		return (&Report{Result: res, analyst: a}).attachProp(pp), nil
 	case MeasureGlobalUpper:
-		return a.DetectGlobalUpper(GlobalUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Upper: params.Upper})
+		up := GlobalUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Upper: params.Upper}
+		res, err := core.IterTDGlobalUpperCtx(ctx, a.in, up, w)
+		if err != nil {
+			return nil, err
+		}
+		return (&Report{Result: res, analyst: a}).attachGlobalUpper(up), nil
 	case MeasurePropUpper:
-		return a.DetectProportionalUpper(PropUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Beta: params.Beta})
+		up := PropUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Beta: params.Beta}
+		res, err := core.IterTDPropUpperCtx(ctx, a.in, up, w)
+		if err != nil {
+			return nil, err
+		}
+		return (&Report{Result: res, analyst: a}).attachPropUpper(up), nil
 	case MeasureExposure:
 		ep := ExposureParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Alpha: params.Alpha}
+		var res *Result
+		var err error
 		if params.Baseline {
-			return a.DetectExposureBaseline(ep)
+			res, err = core.IterTDExposureCtx(ctx, a.in, ep, w)
+		} else {
+			res, err = core.ExposureBoundsCtx(ctx, a.in, ep, w)
 		}
-		return a.DetectExposure(ep)
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Result: res, analyst: a, kind: kindExposure, eParams: ep}, nil
 	default:
 		return nil, fmt.Errorf("rankfair: unknown measure %q", params.Measure)
 	}

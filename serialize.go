@@ -49,7 +49,19 @@ type AuditParams struct {
 	// Baseline selects the ITERTD baseline over the optimized algorithm
 	// where both exist (global, prop, exposure).
 	Baseline bool `json:"baseline,omitempty"`
+	// Workers caps the goroutines one detection run may fan its lattice
+	// search out over: 0 defers to the caller's default (rankfaird
+	// substitutes its configured per-audit default; direct library calls
+	// run serially), 1 forces the serial path, and larger values enable
+	// the parallel search, whose results are byte-identical to serial.
+	// Because it never changes results — only wall clock — Workers is
+	// deliberately excluded from CacheKey.
+	Workers int `json:"workers,omitempty"`
 }
+
+// MaxWorkers bounds AuditParams.Workers; it exists so a malformed request
+// cannot make the daemon spawn an absurd number of goroutines.
+const MaxWorkers = 256
 
 // Validate checks the parameter set for structural errors without touching
 // a dataset, so servers can reject bad requests before queueing work.
@@ -59,6 +71,9 @@ func (p *AuditParams) Validate() error {
 	}
 	if p.MinSize < 0 {
 		return fmt.Errorf("rankfair: negative size threshold %d", p.MinSize)
+	}
+	if p.Workers < 0 || p.Workers > MaxWorkers {
+		return fmt.Errorf("rankfair: workers must be in [0,%d], got %d", MaxWorkers, p.Workers)
 	}
 	switch p.Measure {
 	case MeasureGlobal:
@@ -91,7 +106,9 @@ func (p *AuditParams) Validate() error {
 
 // CacheKey renders the parameter set as a canonical string: equal keys iff
 // the parameters select the same computation. Result caches combine it
-// with a dataset content hash and a ranker key.
+// with a dataset content hash and a ranker key. Workers is intentionally
+// absent: the parallel search returns byte-identical results, so audits
+// differing only in fan-out must share one cache entry.
 func (p *AuditParams) CacheKey() string {
 	var b strings.Builder
 	b.WriteString(p.Measure)

@@ -2,7 +2,9 @@ package rankfair_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"rankfair"
@@ -172,5 +174,82 @@ func TestParseGroupKeyErrors(t *testing.T) {
 	}
 	if _, err := a.ParseGroupKey("9|*|*|*"); err == nil {
 		t.Error("out-of-domain value should fail")
+	}
+}
+
+func TestAuditParamsWorkers(t *testing.T) {
+	p := rankfair.AuditParams{
+		Measure: rankfair.MeasureProp, MinSize: 5, KMin: 2, KMax: 4, Alpha: 0.8, Workers: 4,
+	}
+	raw, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"workers":4`)) {
+		t.Errorf("workers missing from JSON: %s", raw)
+	}
+	var back rankfair.AuditParams
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != 4 {
+		t.Errorf("workers did not round-trip: got %d", back.Workers)
+	}
+
+	// Workers changes only wall clock, never results, so it must not
+	// fragment the result cache.
+	q := p
+	q.Workers = 0
+	if p.CacheKey() != q.CacheKey() {
+		t.Errorf("CacheKey varies with workers: %q vs %q", p.CacheKey(), q.CacheKey())
+	}
+
+	for _, w := range []int{-1, rankfair.MaxWorkers + 1} {
+		bad := p
+		bad.Workers = w
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted workers=%d", w)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate rejected workers=4: %v", err)
+	}
+}
+
+func TestDetectCtxParallelMatchesSerial(t *testing.T) {
+	a := runningAnalyst(t)
+	for _, m := range rankfair.Measures() {
+		p := rankfair.AuditParams{Measure: m, MinSize: 4, KMin: 4, KMax: 5, Alpha: 0.8, Beta: 1.25,
+			Lower: []int{2, 2}, Upper: []int{3, 3}}
+		serial, err := a.Detect(p)
+		if err != nil {
+			t.Fatalf("Detect(%s): %v", m, err)
+		}
+		p.Workers = 8
+		parallel, err := a.DetectCtx(context.Background(), p)
+		if err != nil {
+			t.Fatalf("DetectCtx(%s, workers=8): %v", m, err)
+		}
+		sj, _ := json.Marshal(serial.ToJSON())
+		pj, _ := json.Marshal(parallel.ToJSON())
+		if !bytes.Equal(sj, pj) {
+			t.Errorf("measure %s: parallel report differs from serial:\n%s\nvs\n%s", m, pj, sj)
+		}
+	}
+}
+
+func TestDetectCtxCanceled(t *testing.T) {
+	a := runningAnalyst(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.DetectCtx(ctx, rankfair.AuditParams{
+		Measure: rankfair.MeasureProp, MinSize: 4, KMin: 4, KMax: 5, Alpha: 0.8,
+	})
+	var cerr *rankfair.CanceledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want CanceledError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("error does not unwrap to context.Canceled")
 	}
 }

@@ -373,11 +373,15 @@ func BenchmarkExtensionParallelBaseline(b *testing.B) {
 }
 
 // BenchmarkServiceAudit measures one audit through the rankfaird serving
-// layer (submit → worker → report), cold versus cached: "cold" defeats
-// the result cache with a fresh parameter set per iteration, "cached"
-// repeats one audit so every iteration after the first is a cache hit.
-// The gap between the two is the speedup the cache buys the repeated-
-// audit dashboard workload.
+// layer (submit → worker → report) at three cache temperatures:
+//
+//   - cold: fresh parameters per iteration AND the analyst cache disabled,
+//     so every audit re-ranks, re-indexes and re-searches — the pre-reuse
+//     behavior.
+//   - warm-analyst: fresh parameters per iteration (result-cache miss) but
+//     the analyst cache on, so audits sharing a ranker skip re-ranking and
+//     reuse the counting index; the gap to cold is what Analyst reuse buys.
+//   - cached: one repeated audit, served from the result cache.
 func BenchmarkServiceAudit(b *testing.B) {
 	bundle := benchBundles()["german"]
 	var csv bytes.Buffer
@@ -385,9 +389,12 @@ func BenchmarkServiceAudit(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	newService := func(b *testing.B) (*service.Service, service.DatasetInfo) {
+	newService := func(b *testing.B, analystEntries int) (*service.Service, service.DatasetInfo) {
 		b.Helper()
-		svc := service.New(service.Config{Workers: 2, QueueDepth: 256, CacheEntries: 1024})
+		svc := service.New(service.Config{
+			Workers: 2, QueueDepth: 256, CacheEntries: 1024,
+			AnalystCacheEntries: analystEntries,
+		})
 		b.Cleanup(func() { svc.Shutdown(context.Background()) })
 		info, err := svc.Registry().Add("german", csv.Bytes(), rankfair.CSVOptions{})
 		if err != nil {
@@ -401,6 +408,18 @@ func BenchmarkServiceAudit(b *testing.B) {
 			Ranker:  service.RankerSpec{Columns: []service.ColumnKeySpec{{Column: "credit_score", Descending: true}}},
 			Params: rankfair.AuditParams{
 				Measure: rankfair.MeasureProp, MinSize: 50, KMin: 10, KMax: 49, Alpha: alpha,
+			},
+		}
+	}
+	// lightReq keeps the lattice search tiny (narrow k range, high
+	// threshold), so the re-rank + re-index cost the analyst cache saves
+	// is a visible fraction of the audit.
+	lightReq := func(id string, alpha float64) service.AuditRequest {
+		return service.AuditRequest{
+			Dataset: id,
+			Ranker:  service.RankerSpec{Columns: []service.ColumnKeySpec{{Column: "credit_score", Descending: true}}},
+			Params: rankfair.AuditParams{
+				Measure: rankfair.MeasureProp, MinSize: 200, KMin: 10, KMax: 12, Alpha: alpha,
 			},
 		}
 	}
@@ -420,19 +439,41 @@ func BenchmarkServiceAudit(b *testing.B) {
 	}
 
 	b.Run("cold", func(b *testing.B) {
-		svc, info := newService(b)
+		svc, info := newService(b, -1)
 		for i := 0; i < b.N; i++ {
 			// A unique alpha per iteration gives every audit a distinct
 			// cache key, forcing the full lattice search.
 			runAudit(b, svc, auditReq(info.ID, 0.8+float64(i)*1e-9))
 		}
 	})
+	b.Run("warm-analyst", func(b *testing.B) {
+		svc, info := newService(b, 32)
+		runAudit(b, svc, auditReq(info.ID, 0.8)) // build + cache the analyst
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runAudit(b, svc, auditReq(info.ID, 0.8+float64(i+1)*1e-9))
+		}
+	})
 	b.Run("cached", func(b *testing.B) {
-		svc, info := newService(b)
+		svc, info := newService(b, 32)
 		runAudit(b, svc, auditReq(info.ID, 0.8)) // warm the cache
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			runAudit(b, svc, auditReq(info.ID, 0.8))
+		}
+	})
+	b.Run("light/cold", func(b *testing.B) {
+		svc, info := newService(b, -1)
+		for i := 0; i < b.N; i++ {
+			runAudit(b, svc, lightReq(info.ID, 0.8+float64(i)*1e-9))
+		}
+	})
+	b.Run("light/warm-analyst", func(b *testing.B) {
+		svc, info := newService(b, 32)
+		runAudit(b, svc, lightReq(info.ID, 0.8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runAudit(b, svc, lightReq(info.ID, 0.8+float64(i+1)*1e-9))
 		}
 	})
 }

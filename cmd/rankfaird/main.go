@@ -38,6 +38,7 @@ func main() {
 		auditW      = flag.Int("audit-workers", envInt("RANKFAIRD_WORKERS", 1), "lattice search goroutines per audit when the request leaves workers unset (1 = serial; default from RANKFAIRD_WORKERS)")
 		queue       = flag.Int("queue", 64, "pending audit queue depth")
 		cacheSize   = flag.Int("cache", 128, "result cache entries")
+		analystSize = flag.Int("analyst-cache", 32, "built-analyst cache entries per (dataset, ranker); 0 selects the default (32), negative disables analyst reuse")
 		maxDatasets = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
 		maxUpload   = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
@@ -45,12 +46,13 @@ func main() {
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:        *workers,
-		AuditWorkers:   *auditW,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheSize,
-		MaxDatasets:    *maxDatasets,
-		MaxUploadBytes: *maxUpload,
+		Workers:             *workers,
+		AuditWorkers:        *auditW,
+		QueueDepth:          *queue,
+		CacheEntries:        *cacheSize,
+		AnalystCacheEntries: *analystSize,
+		MaxDatasets:         *maxDatasets,
+		MaxUploadBytes:      *maxUpload,
 	}
 	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rankfaird:", err)

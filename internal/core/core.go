@@ -21,7 +21,8 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"rankfair/internal/pattern"
 )
@@ -212,13 +213,30 @@ func ConstantBounds(kMin, kMax, l int) []int {
 }
 
 // sortPatterns orders a result set by (number of bound attributes, key) so
-// outputs are deterministic across runs and algorithms.
+// outputs are deterministic across runs and algorithms. Keys are built once
+// per pattern up front: the comparator used to call Pattern.Key() — a
+// string build plus allocation — O(m log m) times, which dominated
+// serialization on wide result sets.
 func sortPatterns(ps []pattern.Pattern) {
-	sort.Slice(ps, func(i, j int) bool {
-		ni, nj := ps[i].NumAttrs(), ps[j].NumAttrs()
-		if ni != nj {
-			return ni < nj
+	if len(ps) < 2 {
+		return
+	}
+	type keyed struct {
+		p     pattern.Pattern
+		attrs int
+		key   string
+	}
+	items := make([]keyed, len(ps))
+	for i, p := range ps {
+		items[i] = keyed{p: p, attrs: p.NumAttrs(), key: p.Key()}
+	}
+	slices.SortFunc(items, func(a, b keyed) int {
+		if a.attrs != b.attrs {
+			return a.attrs - b.attrs
 		}
-		return ps[i].Key() < ps[j].Key()
+		return strings.Compare(a.key, b.key)
 	})
+	for i := range items {
+		ps[i] = items[i].p
+	}
 }

@@ -1,0 +1,274 @@
+// Package count is the shared counting engine behind every layer that asks
+// "how large is group p, and how much of it sits in the top k?". The two
+// primitives — s_D(p) and s_{R_k(D)}(p) of Definition 2.3 — are what report
+// serialization, repair, Shapley explanations and the divergence comparator
+// all previously answered with full dataset scans, O(n·attrs) per query.
+//
+// The engine replaces the scans with a rank-indexed inverted index: for each
+// (attribute, value) pair a posting list of *rank positions* (0-based
+// positions in the black-box ranking, ascending). Because the ranking is a
+// permutation of all rows, one structure answers both primitives:
+//
+//   - s_D(p) for a single-attribute pattern is a list length;
+//   - s_{R_k(D)}(p) for a single-attribute pattern is a binary search
+//     (entries with rank < k form a prefix of the sorted list);
+//   - multi-attribute patterns probe the shortest bound posting list and
+//     verify the remaining bound attributes per candidate, O(shortest·attrs)
+//     instead of O(n·attrs) — in practice a tiny fraction of the dataset.
+//
+// CountsOver and ExposuresOver are the per-report materialization
+// primitives: one pass over a pattern's match ranks yields its full per-k
+// count (or exposure) vector for an entire [KMin, KMax] range, so counts at
+// k+1 derive from counts at k instead of being recomputed from scratch.
+package count
+
+import (
+	"sort"
+
+	"rankfair/internal/pattern"
+)
+
+// Index is the rank-ordered posting-list index over one (rows, ranking)
+// pair. It is immutable after Build and safe for concurrent readers, which
+// is what lets one index hang off a cached Analyst and serve every report,
+// repair, explanation and divergence query against that dataset.
+type Index struct {
+	rows    [][]int32
+	ranking []int
+	space   *pattern.Space
+	// rankOf[row] is the 0-based position of row in the ranking.
+	rankOf []int32
+	// postings[a][v] holds the rank positions of rows with row[a] == v,
+	// ascending. The per-(a,v) lists partition [0, n).
+	postings [][][]int32
+}
+
+// Build constructs the index in one O(n·attrs) pass. ranking must be a
+// permutation of row indices, best first (core.Input.Validate enforces
+// this upstream).
+func Build(rows [][]int32, space *pattern.Space, ranking []int) *Index {
+	ix := &Index{
+		rows:     rows,
+		ranking:  ranking,
+		space:    space,
+		rankOf:   make([]int32, len(rows)),
+		postings: make([][][]int32, space.NumAttrs()),
+	}
+	// Size the posting lists exactly before filling them, so Build does no
+	// append-regrowth copying.
+	counts := make([][]int32, space.NumAttrs())
+	for a, card := range space.Cards {
+		counts[a] = make([]int32, card)
+	}
+	for _, row := range rows {
+		for a, v := range row {
+			counts[a][v]++
+		}
+	}
+	for a, card := range space.Cards {
+		ix.postings[a] = make([][]int32, card)
+		for v := 0; v < card; v++ {
+			ix.postings[a][v] = make([]int32, 0, counts[a][v])
+		}
+	}
+	for rank, ri := range ranking {
+		ix.rankOf[ri] = int32(rank)
+		for a, v := range rows[ri] {
+			ix.postings[a][v] = append(ix.postings[a][v], int32(rank))
+		}
+	}
+	return ix
+}
+
+// NumRows returns the number of indexed rows.
+func (ix *Index) NumRows() int { return len(ix.rows) }
+
+// RankOf returns the 0-based rank position of a row.
+func (ix *Index) RankOf(row int) int { return int(ix.rankOf[row]) }
+
+// Postings returns the posting list of (attr, value): the ascending rank
+// positions of the rows holding that value. Callers must not mutate it.
+func (ix *Index) Postings(attr int, val int32) []int32 { return ix.postings[attr][val] }
+
+// upperBound returns the number of entries of ranks strictly below k.
+// Because ranks is ascending, that is the index of the first entry >= k.
+func upperBound(ranks []int32, k int) int {
+	// Fast paths: the whole list is inside (or outside) the prefix.
+	if m := len(ranks); m == 0 || int(ranks[m-1]) < k {
+		return m
+	}
+	if int(ranks[0]) >= k {
+		return 0
+	}
+	return sort.Search(len(ranks), func(i int) bool { return int(ranks[i]) >= k })
+}
+
+// PrefixCount returns the number of entries of an ascending rank list that
+// fall strictly below k — s_{R_k(D)} for any materialized match list.
+func PrefixCount(ranks []int32, k int) int { return upperBound(ranks, k) }
+
+// shortestBound returns the bound attribute of p with the shortest posting
+// list, and whether p binds any attribute at all. empty reports that p
+// binds a value outside its attribute's domain: such a pattern matches no
+// row (the naive scan compares codes and never finds it), so callers must
+// answer 0 / nil rather than index a posting list that does not exist.
+func (ix *Index) shortestBound(p pattern.Pattern) (attr int, empty, bound bool) {
+	best, bestLen := -1, -1
+	for a, v := range p {
+		if v == pattern.Unbound {
+			continue
+		}
+		if v < 0 || int(v) >= len(ix.postings[a]) {
+			return 0, true, true
+		}
+		if l := len(ix.postings[a][v]); best < 0 || l < bestLen {
+			best, bestLen = a, l
+		}
+	}
+	return best, false, best >= 0
+}
+
+// matchesExcept reports whether row satisfies every bound attribute of p
+// other than skip (already known to match via the posting list probed).
+func matchesExcept(p pattern.Pattern, row []int32, skip int) bool {
+	for a, v := range p {
+		if a != skip && v != pattern.Unbound && row[a] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns s_D(p), the number of rows matching p.
+func (ix *Index) Count(p pattern.Pattern) int {
+	probe, empty, ok := ix.shortestBound(p)
+	if !ok {
+		return len(ix.rows)
+	}
+	if empty {
+		return 0
+	}
+	list := ix.postings[probe][p[probe]]
+	if p.NumAttrs() == 1 {
+		return len(list)
+	}
+	n := 0
+	for _, rk := range list {
+		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountTopK returns s_{R_k(D)}(p), the number of rows among the top k of
+// the ranking that match p. k beyond the dataset size is clamped.
+func (ix *Index) CountTopK(p pattern.Pattern, k int) int {
+	if k > len(ix.rows) {
+		k = len(ix.rows)
+	}
+	if k <= 0 {
+		return 0
+	}
+	probe, empty, ok := ix.shortestBound(p)
+	if !ok {
+		return k
+	}
+	if empty {
+		return 0
+	}
+	list := ix.postings[probe][p[probe]]
+	cut := upperBound(list, k)
+	if p.NumAttrs() == 1 {
+		return cut
+	}
+	n := 0
+	for _, rk := range list[:cut] {
+		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchRanks returns the ascending rank positions of every row matching p.
+// Single-attribute patterns alias the posting list directly; callers must
+// treat the result as read-only.
+func (ix *Index) MatchRanks(p pattern.Pattern) []int32 {
+	probe, empty, ok := ix.shortestBound(p)
+	if !ok {
+		all := make([]int32, len(ix.rows))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	if empty {
+		return nil
+	}
+	list := ix.postings[probe][p[probe]]
+	if p.NumAttrs() == 1 {
+		return list
+	}
+	out := make([]int32, 0, len(list))
+	for _, rk := range list {
+		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+			out = append(out, rk)
+		}
+	}
+	return out
+}
+
+// MatchRows returns the row indices matching p in ascending row order —
+// the iteration order of a naive dataset scan, preserved so downstream
+// consumers (e.g. seeded Shapley sampling) stay byte-identical with the
+// scanning implementation they replace.
+func (ix *Index) MatchRows(p pattern.Pattern) []int {
+	ranks := ix.MatchRanks(p)
+	out := make([]int, len(ranks))
+	for i, rk := range ranks {
+		out[i] = ix.ranking[rk]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CountsOver materializes a pattern's per-k count vector: out[k-kMin] is
+// the number of entries of ranks strictly below k, for every k in
+// [kMin, kMax]. One pass over ranks: the count at k+1 derives from the
+// count at k by advancing a cursor, never rescanning.
+func CountsOver(ranks []int32, kMin, kMax int) []int32 {
+	out := make([]int32, kMax-kMin+1)
+	cur := upperBound(ranks, kMin)
+	out[0] = int32(cur)
+	for k := kMin + 1; k <= kMax; k++ {
+		// Ranks equal to k-1 enter the prefix at k.
+		for cur < len(ranks) && int(ranks[cur]) < k {
+			cur++
+		}
+		out[k-kMin] = int32(cur)
+	}
+	return out
+}
+
+// ExposuresOver materializes a pattern's per-k exposure vector: out[k-kMin]
+// is the sum of w[r] over entries r of ranks strictly below k. Weights are
+// accumulated in ascending rank order — the same float summation order as a
+// naive prefix scan, so results are bit-identical to it.
+func ExposuresOver(ranks []int32, w []float64, kMin, kMax int) []float64 {
+	out := make([]float64, kMax-kMin+1)
+	cur, sum := 0, 0.0
+	for cur < len(ranks) && int(ranks[cur]) < kMin {
+		sum += w[ranks[cur]]
+		cur++
+	}
+	out[0] = sum
+	for k := kMin + 1; k <= kMax; k++ {
+		for cur < len(ranks) && int(ranks[cur]) < k {
+			sum += w[ranks[cur]]
+			cur++
+		}
+		out[k-kMin] = sum
+	}
+	return out
+}

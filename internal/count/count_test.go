@@ -1,0 +1,220 @@
+package count
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankfair/internal/pattern"
+)
+
+// randInput builds a random space, row matrix and ranking permutation.
+func randInput(rng *rand.Rand, nRows, nAttrs, maxCard int) ([][]int32, *pattern.Space, []int) {
+	space := &pattern.Space{
+		Names: make([]string, nAttrs),
+		Cards: make([]int, nAttrs),
+	}
+	for a := 0; a < nAttrs; a++ {
+		space.Names[a] = string(rune('A' + a))
+		space.Cards[a] = 1 + rng.Intn(maxCard)
+	}
+	rows := make([][]int32, nRows)
+	for i := range rows {
+		rows[i] = make([]int32, nAttrs)
+		for a := 0; a < nAttrs; a++ {
+			rows[i][a] = int32(rng.Intn(space.Cards[a]))
+		}
+	}
+	return rows, space, rng.Perm(nRows)
+}
+
+// randPattern draws a pattern binding each attribute with probability pBind.
+func randPattern(rng *rand.Rand, space *pattern.Space, pBind float64) pattern.Pattern {
+	p := pattern.Empty(space.NumAttrs())
+	for a := 0; a < space.NumAttrs(); a++ {
+		if rng.Float64() < pBind {
+			p[a] = int32(rng.Intn(space.Cards[a]))
+		}
+	}
+	return p
+}
+
+// TestIndexMatchesNaive is the differential test the tentpole rests on:
+// indexed Count/CountTopK/MatchRanks must equal the naive scans on random
+// spaces, rows and rankings, for patterns of every arity.
+func TestIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nRows := 1 + rng.Intn(120)
+		nAttrs := 1 + rng.Intn(5)
+		rows, space, ranking := randInput(rng, nRows, nAttrs, 4)
+		ix := Build(rows, space, ranking)
+
+		for pi := 0; pi < 40; pi++ {
+			p := randPattern(rng, space, 0.5)
+			if got, want := ix.Count(p), p.Count(rows); got != want {
+				t.Fatalf("trial %d: Count(%v) = %d, naive %d", trial, p, got, want)
+			}
+			for _, k := range []int{0, 1, nRows / 2, nRows, nRows + 5} {
+				got := ix.CountTopK(p, k)
+				want := p.CountTopK(rows, ranking, max(k, 0))
+				if k <= 0 {
+					want = 0
+				}
+				if got != want {
+					t.Fatalf("trial %d: CountTopK(%v, %d) = %d, naive %d", trial, p, k, got, want)
+				}
+			}
+			// MatchRanks must be ascending and consistent with CountTopK at
+			// every cut.
+			ranks := ix.MatchRanks(p)
+			for i := 1; i < len(ranks); i++ {
+				if ranks[i] <= ranks[i-1] {
+					t.Fatalf("trial %d: MatchRanks(%v) not strictly ascending: %v", trial, p, ranks)
+				}
+			}
+			if len(ranks) != ix.Count(p) {
+				t.Fatalf("trial %d: MatchRanks length %d != Count %d", trial, len(ranks), ix.Count(p))
+			}
+			for _, rk := range ranks {
+				if !p.Matches(rows[ranking[rk]]) {
+					t.Fatalf("trial %d: MatchRanks(%v) includes non-matching rank %d", trial, p, rk)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchRowsOrder proves MatchRows reproduces the iteration order of a
+// naive dataset scan (ascending row index).
+func TestMatchRowsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows, space, ranking := randInput(rng, 80, 4, 3)
+	ix := Build(rows, space, ranking)
+	for trial := 0; trial < 30; trial++ {
+		p := randPattern(rng, space, 0.5)
+		var want []int
+		for i, row := range rows {
+			if p.Matches(row) {
+				want = append(want, i)
+			}
+		}
+		got := ix.MatchRows(p)
+		if len(got) != len(want) {
+			t.Fatalf("MatchRows(%v) length %d, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MatchRows(%v) = %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+// TestCountsOver checks the one-pass per-k materialization against per-k
+// binary searches.
+func TestCountsOver(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, space, ranking := randInput(rng, 100, 3, 3)
+	ix := Build(rows, space, ranking)
+	for trial := 0; trial < 30; trial++ {
+		p := randPattern(rng, space, 0.6)
+		ranks := ix.MatchRanks(p)
+		kMin, kMax := 1+rng.Intn(50), 0
+		kMax = kMin + rng.Intn(100-kMin)
+		vec := CountsOver(ranks, kMin, kMax)
+		for k := kMin; k <= kMax; k++ {
+			if got, want := int(vec[k-kMin]), ix.CountTopK(p, k); got != want {
+				t.Fatalf("CountsOver(%v)[k=%d] = %d, want %d", p, k, got, want)
+			}
+		}
+	}
+}
+
+// TestExposuresOver checks the one-pass exposure materialization against a
+// naive weighted prefix scan, requiring exact float equality (same
+// summation order).
+func TestExposuresOver(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows, space, ranking := randInput(rng, 90, 3, 3)
+	ix := Build(rows, space, ranking)
+	w := make([]float64, len(rows))
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	for trial := 0; trial < 20; trial++ {
+		p := randPattern(rng, space, 0.6)
+		ranks := ix.MatchRanks(p)
+		kMin, kMax := 1+rng.Intn(40), 0
+		kMax = kMin + rng.Intn(90-kMin)
+		vec := ExposuresOver(ranks, w, kMin, kMax)
+		for k := kMin; k <= kMax; k++ {
+			want := 0.0
+			for i := 0; i < k; i++ {
+				if p.Matches(rows[ranking[i]]) {
+					want += w[i]
+				}
+			}
+			if got := vec[k-kMin]; got != want {
+				t.Fatalf("ExposuresOver(%v)[k=%d] = %v, want %v", p, k, got, want)
+			}
+		}
+	}
+}
+
+// TestEmptyPattern covers the no-bound fast paths.
+func TestEmptyPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows, space, ranking := randInput(rng, 40, 3, 3)
+	ix := Build(rows, space, ranking)
+	p := pattern.Empty(space.NumAttrs())
+	if got := ix.Count(p); got != 40 {
+		t.Fatalf("Count(empty) = %d", got)
+	}
+	if got := ix.CountTopK(p, 17); got != 17 {
+		t.Fatalf("CountTopK(empty, 17) = %d", got)
+	}
+	if got := ix.CountTopK(p, 99); got != 40 {
+		t.Fatalf("CountTopK(empty, 99) = %d", got)
+	}
+	if got := len(ix.MatchRanks(p)); got != 40 {
+		t.Fatalf("MatchRanks(empty) length %d", got)
+	}
+}
+
+// TestOutOfDomainValues pins the naive-scan semantics for patterns that
+// bind values outside an attribute's dictionary: they match nothing (and
+// must not panic on a posting-list lookup that does not exist).
+func TestOutOfDomainValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows, space, ranking := randInput(rng, 40, 3, 3)
+	ix := Build(rows, space, ranking)
+	for _, bad := range []int32{int32(space.Cards[0]), 99, -2} {
+		p := pattern.Empty(space.NumAttrs()).With(0, bad)
+		if got, want := ix.Count(p), p.Count(rows); got != 0 || got != want {
+			t.Fatalf("Count(v=%d) = %d, naive %d", bad, got, want)
+		}
+		if got, want := ix.CountTopK(p, 20), p.CountTopK(rows, ranking, 20); got != 0 || got != want {
+			t.Fatalf("CountTopK(v=%d) = %d, naive %d", bad, got, want)
+		}
+		if got := ix.MatchRanks(p); got != nil {
+			t.Fatalf("MatchRanks(v=%d) = %v, want nil", bad, got)
+		}
+		// Mixed with an in-domain binding on another attribute.
+		q := p.With(1, 0)
+		if got := ix.Count(q); got != 0 {
+			t.Fatalf("Count(mixed out-of-domain) = %d", got)
+		}
+	}
+}
+
+// TestRankOf checks the inverse permutation.
+func TestRankOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows, space, ranking := randInput(rng, 50, 2, 3)
+	ix := Build(rows, space, ranking)
+	for rank, ri := range ranking {
+		if got := ix.RankOf(ri); got != rank {
+			t.Fatalf("RankOf(%d) = %d, want %d", ri, got, rank)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package count
+
+import (
+	"testing"
+
+	"rankfair/internal/pattern"
+)
+
+// FuzzIndexedCounts decodes an arbitrary byte string into a small space,
+// row matrix, ranking and pattern, and asserts the indexed counts equal the
+// naive scans — the coverage-guided twin of TestIndexMatchesNaive.
+func FuzzIndexedCounts(f *testing.F) {
+	f.Add([]byte{3, 2, 3, 4, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{1, 1, 0, 0, 0})
+	f.Add([]byte{2, 4, 4, 7, 3, 1, 0, 2, 6, 5, 4, 3, 2, 1, 9, 8, 7, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		nAttrs := 1 + int(data[0]%4)
+		if len(data) < 1+nAttrs {
+			t.Skip()
+		}
+		space := &pattern.Space{
+			Names: make([]string, nAttrs),
+			Cards: make([]int, nAttrs),
+		}
+		for a := 0; a < nAttrs; a++ {
+			space.Names[a] = string(rune('A' + a))
+			space.Cards[a] = 1 + int(data[1+a]%5)
+		}
+		body := data[1+nAttrs:]
+		nRows := len(body) / (nAttrs + 1)
+		if nRows == 0 {
+			t.Skip()
+		}
+		if nRows > 64 {
+			nRows = 64
+		}
+		rows := make([][]int32, nRows)
+		for i := range rows {
+			rows[i] = make([]int32, nAttrs)
+			for a := 0; a < nAttrs; a++ {
+				rows[i][a] = int32(int(body[i*(nAttrs+1)+a]) % space.Cards[a])
+			}
+		}
+		// Derive a permutation from the leftover byte per row: a stable
+		// sort key ensures a valid ranking regardless of input bytes.
+		ranking := make([]int, nRows)
+		for i := range ranking {
+			ranking[i] = i
+		}
+		for i := range ranking {
+			j := int(body[i*(nAttrs+1)+nAttrs]) % nRows
+			ranking[i], ranking[j] = ranking[j], ranking[i]
+		}
+		ix := Build(rows, space, ranking)
+
+		// Derive patterns of every arity from the data tail and compare.
+		for arity := 0; arity <= nAttrs; arity++ {
+			p := pattern.Empty(nAttrs)
+			for a := 0; a < arity; a++ {
+				p[a] = int32(int(data[(a+arity)%len(data)]) % space.Cards[a])
+			}
+			if got, want := ix.Count(p), p.Count(rows); got != want {
+				t.Fatalf("Count(%v) = %d, naive %d", p, got, want)
+			}
+			for _, k := range []int{1, nRows / 2, nRows} {
+				if k < 1 {
+					continue
+				}
+				if got, want := ix.CountTopK(p, k), p.CountTopK(rows, ranking, k); got != want {
+					t.Fatalf("CountTopK(%v, %d) = %d, naive %d", p, k, got, want)
+				}
+			}
+		}
+	})
+}

@@ -55,29 +55,68 @@ type Result struct {
 	DatasetOutcome float64
 }
 
-// Find enumerates all patterns with support >= MinSupport and computes
-// their divergence. Support pruning makes the frequent-pattern search
-// tractable: a pattern below the support threshold has no frequent
-// descendant.
-func Find(in *core.Input, params Params) (*Result, error) {
+// checkParams validates the input and derives the absolute support
+// threshold (ceil of MinSupport·n, at least 1) and the dataset outcome
+// o(D). Shared by Find and FindIndexed so the two searches cannot drift.
+func checkParams(in *core.Input, params Params) (minSize int, oD float64, err error) {
 	if err := in.Validate(); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	if params.MinSupport < 0 || params.MinSupport > 1 {
-		return nil, fmt.Errorf("divergence: support %v outside [0,1]", params.MinSupport)
+		return 0, 0, fmt.Errorf("divergence: support %v outside [0,1]", params.MinSupport)
 	}
 	if params.K < 1 || params.K > len(in.Rows) {
-		return nil, fmt.Errorf("divergence: k=%d outside [1,%d]", params.K, len(in.Rows))
+		return 0, 0, fmt.Errorf("divergence: k=%d outside [1,%d]", params.K, len(in.Rows))
 	}
 	n := len(in.Rows)
-	minSize := int(params.MinSupport * float64(n))
+	minSize = int(params.MinSupport * float64(n))
 	if float64(minSize) < params.MinSupport*float64(n) {
 		minSize++ // ceil
 	}
 	if minSize < 1 {
 		minSize = 1
 	}
-	oD := float64(params.K) / float64(n)
+	return minSize, float64(params.K) / float64(n), nil
+}
+
+// newGroup assembles one reported subgroup from its size and top-k hits.
+func newGroup(p pattern.Pattern, size, hits, n, k int, oD float64) Group {
+	oG := float64(hits) / float64(size)
+	return Group{
+		Pattern:    p,
+		Size:       size,
+		Support:    float64(size) / float64(n),
+		Outcome:    oG,
+		Divergence: oG - oD,
+		TStat:      welchT(hits, size, k-hits, n-size),
+	}
+}
+
+// sortGroups orders a report deterministically: divergence descending,
+// ties by generality then key.
+func sortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Divergence != groups[j].Divergence {
+			return groups[i].Divergence > groups[j].Divergence
+		}
+		ni, nj := groups[i].Pattern.NumAttrs(), groups[j].Pattern.NumAttrs()
+		if ni != nj {
+			return ni < nj
+		}
+		return groups[i].Pattern.Key() < groups[j].Pattern.Key()
+	})
+}
+
+// Find enumerates all patterns with support >= MinSupport and computes
+// their divergence. Support pruning makes the frequent-pattern search
+// tractable: a pattern below the support threshold has no frequent
+// descendant.
+func Find(in *core.Input, params Params) (*Result, error) {
+	minSize, oD, err := checkParams(in, params)
+	if err != nil {
+		return nil, err
+	}
+	n := len(in.Rows)
 
 	inTop := make([]bool, n)
 	for _, ri := range in.Ranking[:params.K] {
@@ -104,15 +143,7 @@ func Find(in *core.Input, params Params) (*Result, error) {
 					hits++
 				}
 			}
-			oG := float64(hits) / float64(len(e.match))
-			groups = append(groups, Group{
-				Pattern:    e.p,
-				Size:       len(e.match),
-				Support:    float64(len(e.match)) / float64(n),
-				Outcome:    oG,
-				Divergence: oG - oD,
-				TStat:      welchT(hits, len(e.match), params.K-hits, n-len(e.match)),
-			})
+			groups = append(groups, newGroup(e.p, len(e.match), hits, n, params.K, oD))
 		}
 		// Generate frequent children along the search tree.
 		for a := e.p.MaxAttrIdx() + 1; a < in.Space.NumAttrs(); a++ {
@@ -130,16 +161,7 @@ func Find(in *core.Input, params Params) (*Result, error) {
 			}
 		}
 	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].Divergence != groups[j].Divergence {
-			return groups[i].Divergence > groups[j].Divergence
-		}
-		ni, nj := groups[i].Pattern.NumAttrs(), groups[j].Pattern.NumAttrs()
-		if ni != nj {
-			return ni < nj
-		}
-		return groups[i].Pattern.Key() < groups[j].Pattern.Key()
-	})
+	sortGroups(groups)
 	return &Result{Groups: groups, DatasetOutcome: oD}, nil
 }
 

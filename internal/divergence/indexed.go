@@ -1,0 +1,64 @@
+package divergence
+
+import (
+	"rankfair/internal/core"
+	"rankfair/internal/count"
+	"rankfair/internal/pattern"
+)
+
+// FindIndexed is Find accelerated by the shared counting index: the
+// frequent-subgroup search runs in rank space, where root match lists come
+// straight from posting lists (no initial dataset scan per attribute
+// value) and a subgroup's top-k hit count is a binary search on its
+// rank-sorted match list instead of a membership scan. The report is
+// identical to Find's — same groups, sizes, outcomes, divergences and
+// order — which TestFindIndexedMatchesNaive asserts.
+func FindIndexed(in *core.Input, ix *count.Index, params Params) (*Result, error) {
+	minSize, oD, err := checkParams(in, params)
+	if err != nil {
+		return nil, err
+	}
+	n := len(in.Rows)
+
+	var groups []Group
+	type entry struct {
+		p pattern.Pattern
+		// match holds the subgroup's rank positions, ascending. Entries
+		// seeded from posting lists alias the index and are read-only.
+		match []int32
+	}
+	nAttrs := in.Space.NumAttrs()
+	queue := make([]entry, 0, 64)
+	// Root children come straight from the posting lists: the index already
+	// partitioned the dataset by (attribute, value) in rank order.
+	for a := 0; a < nAttrs; a++ {
+		for v := 0; v < in.Space.Cards[a]; v++ {
+			if list := ix.Postings(a, int32(v)); len(list) >= minSize {
+				queue = append(queue, entry{p: pattern.Empty(nAttrs).With(a, int32(v)), match: list})
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		queue[head] = entry{}
+		hits := count.PrefixCount(e.match, params.K)
+		groups = append(groups, newGroup(e.p, len(e.match), hits, n, params.K, oD))
+		// Generate frequent children along the search tree by filtering the
+		// parent's match list (rank order is preserved).
+		for a := e.p.MaxAttrIdx() + 1; a < nAttrs; a++ {
+			for v := 0; v < in.Space.Cards[a]; v++ {
+				var match []int32
+				for _, rk := range e.match {
+					if in.Rows[in.Ranking[rk]][a] == int32(v) {
+						match = append(match, rk)
+					}
+				}
+				if len(match) >= minSize {
+					queue = append(queue, entry{p: e.p.With(a, int32(v)), match: match})
+				}
+			}
+		}
+	}
+	sortGroups(groups)
+	return &Result{Groups: groups, DatasetOutcome: oD}, nil
+}

@@ -1,0 +1,82 @@
+package divergence
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankfair/internal/core"
+	"rankfair/internal/count"
+	"rankfair/internal/pattern"
+)
+
+// randInput builds a random space, row matrix and ranking.
+func randInput(rng *rand.Rand, nRows, nAttrs, maxCard int) *core.Input {
+	space := &pattern.Space{
+		Names: make([]string, nAttrs),
+		Cards: make([]int, nAttrs),
+	}
+	for a := 0; a < nAttrs; a++ {
+		space.Names[a] = string(rune('A' + a))
+		space.Cards[a] = 1 + rng.Intn(maxCard)
+	}
+	rows := make([][]int32, nRows)
+	for i := range rows {
+		rows[i] = make([]int32, nAttrs)
+		for a := 0; a < nAttrs; a++ {
+			rows[i][a] = int32(rng.Intn(space.Cards[a]))
+		}
+	}
+	return &core.Input{Rows: rows, Space: space, Ranking: rng.Perm(nRows)}
+}
+
+// TestFindIndexedMatchesNaive proves the rank-space search returns the
+// exact report of the scanning implementation: same groups in the same
+// order with identical sizes, outcomes, divergences and t statistics.
+func TestFindIndexedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		in := randInput(rng, 30+rng.Intn(120), 1+rng.Intn(4), 4)
+		ix := count.Build(in.Rows, in.Space, in.Ranking)
+		params := Params{
+			MinSupport: []float64{0, 0.05, 0.13, 0.3}[rng.Intn(4)],
+			K:          1 + rng.Intn(len(in.Rows)),
+		}
+		want, err := Find(in, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FindIndexed(in, ix, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DatasetOutcome != want.DatasetOutcome {
+			t.Fatalf("trial %d: dataset outcome %v != %v", trial, got.DatasetOutcome, want.DatasetOutcome)
+		}
+		if len(got.Groups) != len(want.Groups) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got.Groups), len(want.Groups))
+		}
+		for i := range want.Groups {
+			g, w := got.Groups[i], want.Groups[i]
+			if !g.Pattern.Equal(w.Pattern) || g.Size != w.Size || g.Support != w.Support ||
+				g.Outcome != w.Outcome || g.Divergence != w.Divergence || g.TStat != w.TStat {
+				t.Fatalf("trial %d group %d: %+v != %+v", trial, i, g, w)
+			}
+		}
+	}
+}
+
+// TestFindIndexedValidation mirrors Find's input validation.
+func TestFindIndexedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randInput(rng, 20, 2, 3)
+	ix := count.Build(in.Rows, in.Space, in.Ranking)
+	if _, err := FindIndexed(in, ix, Params{MinSupport: -0.1, K: 5}); err == nil {
+		t.Error("negative support should fail")
+	}
+	if _, err := FindIndexed(in, ix, Params{MinSupport: 0.1, K: 0}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := FindIndexed(in, ix, Params{MinSupport: 0.1, K: 21}); err == nil {
+		t.Error("k beyond dataset should fail")
+	}
+}

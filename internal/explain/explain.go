@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"rankfair/internal/core"
+	"rankfair/internal/count"
 	"rankfair/internal/pattern"
 	"rankfair/internal/rank"
 	"rankfair/internal/regress"
@@ -118,6 +119,15 @@ type Fidelity struct {
 // length k. dicts optionally supplies the value labels of each attribute
 // (from dataset.Table.CatDicts) for the distribution report.
 func Explain(in *core.Input, dicts [][]string, p pattern.Pattern, k int, opts Options) (*Explanation, error) {
+	return ExplainIndexed(in, nil, dicts, p, k, opts)
+}
+
+// ExplainIndexed is Explain with group membership answered by a shared
+// counting index instead of dataset scans; ix may be nil, restoring the
+// scanning path. Both paths gather members in dataset row order, so the
+// seeded Shapley sampling — and therefore the whole explanation — is
+// identical between them.
+func ExplainIndexed(in *core.Input, ix *count.Index, dicts [][]string, p pattern.Pattern, k int, opts Options) (*Explanation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -147,12 +157,13 @@ func Explain(in *core.Input, dicts [][]string, p pattern.Pattern, k int, opts Op
 	if err != nil {
 		return nil, err
 	}
+	members := groupMembers(in, ix, p)
 	var agg []float64
 	var size int
 	if o.Exact {
-		agg, size, err = ex.AggregateGroupExact(in.Rows, p)
+		agg, size, err = ex.AggregateRowsExact(members, p)
 	} else {
-		agg, size, err = ex.AggregateGroup(in.Rows, p, o.Permutations, rng)
+		agg, size, err = ex.AggregateRows(members, p, o.Permutations, rng)
 	}
 	if err != nil {
 		return nil, err
@@ -181,11 +192,31 @@ func Explain(in *core.Input, dicts [][]string, p pattern.Pattern, k int, opts Op
 		Shapley:    all[:top],
 		AllShapley: all,
 	}
-	expl.Comparison = CompareDistributions(in, dicts, p, k, all[0].Attr)
+	expl.Comparison = compareMembers(in, dicts, members, k, all[0].Attr)
 	if expl.Fidelity, err = surrogateFidelity(in, model, enc); err != nil {
 		return nil, err
 	}
 	return expl, nil
+}
+
+// groupMembers gathers the tuples satisfying p in dataset row order, via
+// the counting index when one is available.
+func groupMembers(in *core.Input, ix *count.Index, p pattern.Pattern) [][]int32 {
+	if ix == nil {
+		var members [][]int32
+		for _, row := range in.Rows {
+			if p.Matches(row) {
+				members = append(members, row)
+			}
+		}
+		return members
+	}
+	rowIdx := ix.MatchRows(p)
+	members := make([][]int32, len(rowIdx))
+	for i, ri := range rowIdx {
+		members[i] = in.Rows[ri]
+	}
+	return members
 }
 
 // surrogateFidelity measures the surrogate against the true ranking: R² of
@@ -257,6 +288,11 @@ func FitSurrogate(in *core.Input, opts Options) (regress.Model, *regress.Encoder
 // CompareDistributions builds the Figure 10d-10f comparison of attribute
 // attr between the top-k tuples and the tuples satisfying p.
 func CompareDistributions(in *core.Input, dicts [][]string, p pattern.Pattern, k, attr int) *stats.Comparison {
+	return compareMembers(in, dicts, groupMembers(in, nil, p), k, attr)
+}
+
+// compareMembers is CompareDistributions over a pre-gathered member list.
+func compareMembers(in *core.Input, dicts [][]string, members [][]int32, k, attr int) *stats.Comparison {
 	card := in.Space.Cards[attr]
 	var labels []string
 	if dicts != nil && attr < len(dicts) {
@@ -266,11 +302,9 @@ func CompareDistributions(in *core.Input, dicts [][]string, p pattern.Pattern, k
 	for _, ri := range in.Ranking[:k] {
 		topCodes = append(topCodes, in.Rows[ri][attr])
 	}
-	var groupCodes []int32
-	for _, row := range in.Rows {
-		if p.Matches(row) {
-			groupCodes = append(groupCodes, row[attr])
-		}
+	groupCodes := make([]int32, len(members))
+	for i, row := range members {
+		groupCodes[i] = row[attr]
 	}
 	return &stats.Comparison{
 		Attribute: in.Space.Names[attr],

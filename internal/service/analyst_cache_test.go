@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rankfair"
+)
+
+// auditParams builds a distinct proportional audit per alpha.
+func analystTestAudit(dataset string, alpha float64) AuditRequest {
+	return AuditRequest{
+		Dataset: dataset,
+		Ranker:  RankerSpec{Columns: []ColumnKeySpec{{Column: "score", Descending: true}}},
+		Params: rankfair.AuditParams{
+			Measure: rankfair.MeasureProp, MinSize: 4, KMin: 4, KMax: 10, Alpha: alpha,
+		},
+	}
+}
+
+func waitDone(t *testing.T, svc *Service, id string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := svc.Jobs().Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone {
+		t.Fatalf("job ended %s: %s", final.Status, final.Error)
+	}
+}
+
+// TestAnalystReuse proves the ROADMAP "Analyst reuse" item: audits with
+// distinct parameters but a shared (dataset, ranker) miss the result cache
+// yet reuse one built analyst — the dataset is ranked and indexed once.
+func TestAnalystReuse(t *testing.T) {
+	svc, _ := testServer(t)
+	info, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := []float64{0.5, 0.6, 0.7, 0.8}
+	for _, alpha := range alphas {
+		view, err := svc.SubmitAudit(analystTestAudit(info.ID, alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, svc, view.ID)
+	}
+	rs := svc.Cache().Stats()
+	if rs.Misses != int64(len(alphas)) {
+		t.Fatalf("result cache misses = %d, want %d (distinct params)", rs.Misses, len(alphas))
+	}
+	as := svc.AnalystCacheStats()
+	if as.Misses != 1 {
+		t.Fatalf("analyst cache misses = %d, want 1 (one build per (dataset, ranker))", as.Misses)
+	}
+	if as.Hits+as.Shared != int64(len(alphas)-1) {
+		t.Fatalf("analyst cache hits+shared = %d, want %d", as.Hits+as.Shared, len(alphas)-1)
+	}
+
+	// Repair and explain share the same analyst entry instead of
+	// re-ranking.
+	if _, err := svc.Repair(context.Background(), RepairRequest{
+		Dataset: info.ID,
+		Ranker:  RankerSpec{Columns: []ColumnKeySpec{{Column: "score", Descending: true}}},
+		Attr:    "sex", K: 8,
+		Constraints: map[string]rankfair.FairTopKConstraint{"F": {Lower: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.AnalystCacheStats()
+	if after.Misses != 1 {
+		t.Fatalf("repair rebuilt the analyst: misses = %d", after.Misses)
+	}
+	if after.Hits+after.Shared != as.Hits+as.Shared+1 {
+		t.Fatalf("repair did not reuse the analyst: hits+shared = %d", after.Hits+after.Shared)
+	}
+}
+
+// TestAnalystEvictedWithDataset proves registry eviction releases the
+// dataset's cached analyst (ranking + counting index) instead of pinning
+// it until the analyst LRU turns over — the MaxDatasets memory bound must
+// hold for derived state too.
+func TestAnalystEvictedWithDataset(t *testing.T) {
+	svc, _ := testServer(t)
+	info, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := svc.SubmitAudit(analystTestAudit(info.ID, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, view.ID)
+	if got := svc.AnalystCacheStats().Entries; got != 1 {
+		t.Fatalf("analyst entries = %d, want 1", got)
+	}
+	if !svc.Registry().Evict(info.ID) {
+		t.Fatal("evict failed")
+	}
+	if got := svc.AnalystCacheStats().Entries; got != 0 {
+		t.Fatalf("analyst entries after dataset eviction = %d, want 0", got)
+	}
+
+	// LRU eviction (capacity overflow) must fire the hook too.
+	small := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4, MaxDatasets: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		small.Shutdown(ctx)
+	})
+	first, err := small.Registry().Add("a", biasedCSV(32), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := small.SubmitAudit(analystTestAudit(first.ID, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, small, v.ID)
+	if _, err := small.Registry().Add("b", biasedCSV(48), rankfair.CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.AnalystCacheStats().Entries; got != 0 {
+		t.Fatalf("analyst entries after LRU dataset eviction = %d, want 0", got)
+	}
+}
+
+// TestAnalystCacheDisabled pins the negative-entries escape hatch: every
+// audit builds a fresh analyst and the stats stay zero.
+func TestAnalystCacheDisabled(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 8, CacheEntries: 8, MaxDatasets: 4, AnalystCacheEntries: -1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	info, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.5, 0.6} {
+		view, err := svc.SubmitAudit(analystTestAudit(info.ID, alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, svc, view.ID)
+	}
+	if got := svc.AnalystCacheStats(); got != (CacheStats{}) {
+		t.Fatalf("disabled analyst cache reported stats %+v", got)
+	}
+}
+
+// TestMetricsAnalystCounters checks the new /metrics lines exist alongside
+// the result-cache ones.
+func TestMetricsAnalystCounters(t *testing.T) {
+	svc, ts := testServer(t)
+	info, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := svc.SubmitAudit(analystTestAudit(info.ID, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, view.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"rankfaird_analyst_cache_hits_total",
+		"rankfaird_analyst_cache_misses_total 1",
+		"rankfaird_analyst_cache_evictions_total",
+		"rankfaird_analyst_cache_entries 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

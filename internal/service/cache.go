@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"strings"
 	"sync"
 )
 
@@ -134,6 +135,24 @@ func (c *Cache) insertLocked(key string, val any) {
 		delete(c.items, last.Value.(*cacheItem).key)
 		c.evictions++
 	}
+}
+
+// RemovePrefix drops every completed entry whose key starts with prefix,
+// returning the number removed. In-flight computations are untouched:
+// they complete and insert, bounded by the cache's own LRU. The service
+// uses this to release analysts whose dataset left the registry.
+func (c *Cache) RemovePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			removed++
+		}
+	}
+	return removed
 }
 
 // Stats snapshots the counters.

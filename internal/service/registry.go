@@ -57,6 +57,23 @@ type Registry struct {
 	used  map[string]time.Time
 	cap   int
 	clock func() time.Time
+	// onEvict, when set, is called with each evicted record — the hook
+	// the service uses to drop derived state such as cached analysts, so
+	// an eviction actually releases the dataset's memory instead of
+	// leaving it pinned elsewhere. It runs under the registry lock, which
+	// closes the race where a concurrent re-Add of the same content
+	// completes between the eviction and a deferred hook, and the stale
+	// hook then purges the re-added dataset's fresh analysts. Hooks must
+	// therefore not call back into the registry.
+	onEvict func(DatasetInfo)
+}
+
+// SetEvictHook registers the eviction callback. Call before serving; the
+// hook runs under the registry lock and must not re-enter the registry.
+func (r *Registry) SetEvictHook(fn func(DatasetInfo)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onEvict = fn
 }
 
 // NewRegistry returns a registry evicting beyond maxDatasets entries
@@ -134,13 +151,16 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 	r.byID[id] = &regEntry{info: info, table: table}
 	r.used[id] = info.Created
 	for len(r.byID) > r.cap {
-		r.evictOldestLocked()
+		if !r.evictOldestLocked() {
+			break
+		}
 	}
 	return info, nil
 }
 
-// evictOldestLocked drops the least recently used dataset.
-func (r *Registry) evictOldestLocked() {
+// evictOldestLocked drops the least recently used dataset and fires the
+// eviction hook; it reports whether anything was evicted.
+func (r *Registry) evictOldestLocked() bool {
 	oldestID := ""
 	var oldest time.Time
 	for id, at := range r.used {
@@ -148,10 +168,16 @@ func (r *Registry) evictOldestLocked() {
 			oldestID, oldest = id, at
 		}
 	}
-	if oldestID != "" {
-		delete(r.byID, oldestID)
-		delete(r.used, oldestID)
+	if oldestID == "" {
+		return false
 	}
+	info := r.byID[oldestID].info
+	delete(r.byID, oldestID)
+	delete(r.used, oldestID)
+	if r.onEvict != nil {
+		r.onEvict(info)
+	}
+	return true
 }
 
 // Get returns the decoded table and its record, marking the dataset used.
@@ -189,11 +215,15 @@ func (r *Registry) List() []DatasetInfo {
 func (r *Registry) Evict(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.byID[id]; !ok {
+	e, ok := r.byID[id]
+	if !ok {
 		return false
 	}
 	delete(r.byID, id)
 	delete(r.used, id)
+	if r.onEvict != nil {
+		r.onEvict(e.info)
+	}
 	return true
 }
 

@@ -226,7 +226,7 @@ func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	resp, err := s.Repair(req)
+	resp, err := s.Repair(r.Context(), req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -240,7 +240,7 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	resp, err := s.Explain(req)
+	resp, err := s.Explain(r.Context(), req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -282,6 +282,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("rankfaird_cache_misses_total", "Audits that ran the lattice search.", cs.Misses)
 	writeMetric("rankfaird_cache_evictions_total", "Result cache LRU evictions.", cs.Evictions)
 	writeMetric("rankfaird_cache_entries", "Result cache entries resident.", int64(cs.Entries))
+	as := s.AnalystCacheStats()
+	writeMetric("rankfaird_analyst_cache_hits_total", "Audits, repairs and explanations that reused a built analyst (completed entries plus joined in-flight builds).", as.Hits+as.Shared)
+	writeMetric("rankfaird_analyst_cache_entry_hits_total", "Analyst reuses served from a completed cache entry.", as.Hits)
+	writeMetric("rankfaird_analyst_cache_inflight_shared_total", "Analyst requests that joined an identical in-flight build.", as.Shared)
+	writeMetric("rankfaird_analyst_cache_misses_total", "Analyst builds: dataset ranked and counting index constructed.", as.Misses)
+	writeMetric("rankfaird_analyst_cache_evictions_total", "Analyst cache LRU evictions.", as.Evictions)
+	writeMetric("rankfaird_analyst_cache_entries", "Built analysts resident.", int64(as.Entries))
 	_, _ = io.WriteString(w, b.String())
 }
 

@@ -28,6 +28,14 @@ type Config struct {
 	// request leaves params.workers at 0; <= 0 means 1 (serial). It is
 	// independent of Workers, which sizes the pool of concurrent audits.
 	AuditWorkers int
+	// AnalystCacheEntries bounds the built-Analyst cache, keyed by
+	// (dataset content hash, ranker key): a hit skips re-ranking the
+	// dataset and reuses the rank-indexed counting engine hanging off the
+	// analyst, so cache-miss audits sharing a ranker pay only the lattice
+	// search. 0 means 32; negative disables the cache (every request
+	// builds a fresh analyst — the pre-reuse behavior, kept for
+	// benchmarking true cold audits).
+	AnalystCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.AuditWorkers > rankfair.MaxWorkers {
 		c.AuditWorkers = rankfair.MaxWorkers
 	}
+	if c.AnalystCacheEntries == 0 {
+		c.AnalystCacheEntries = 32
+	}
 	return c
 }
 
@@ -64,6 +75,7 @@ type Service struct {
 	cfg      Config
 	registry *Registry
 	cache    *Cache
+	analysts *Cache // nil when Config.AnalystCacheEntries < 0
 	jobs     *Manager
 	metrics  *metrics
 }
@@ -71,13 +83,25 @@ type Service struct {
 // New builds a started service; callers must Shutdown it.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		registry: NewRegistry(cfg.MaxDatasets),
 		cache:    NewCache(cfg.CacheEntries),
 		jobs:     NewManager(cfg.Workers, cfg.QueueDepth),
 		metrics:  &metrics{},
 	}
+	if cfg.AnalystCacheEntries > 0 {
+		s.analysts = NewCache(cfg.AnalystCacheEntries)
+		// Without this hook, analysts for registry-evicted datasets would
+		// pin their materialized rows + counting index until the analyst
+		// LRU pushed them out, defeating the MaxDatasets memory bound.
+		// Result-cache entries survive by design (small JSON, validity
+		// pinned by the content hash), analysts do not.
+		s.registry.SetEvictHook(func(info DatasetInfo) {
+			s.analysts.RemovePrefix(analystKeyPrefix(info.Hash))
+		})
+	}
+	return s
 }
 
 // Registry exposes the dataset registry.
@@ -189,10 +213,15 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 	if params.Workers == 0 {
 		params.Workers = s.cfg.AuditWorkers
 	}
+	// The analyst key is (dataset content hash, ranker key): the built
+	// analyst depends on nothing else, so cache-miss audits that share a
+	// ranker skip re-ranking the dataset and reuse the rank-indexed
+	// counting engine already hanging off the cached analyst.
+	analystKey := analystCacheKey(info.Hash, &req.Ranker)
 	run := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
 		for {
 			val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
-				analyst, err := rankfair.New(table, ranker)
+				analyst, err := s.analystFor(ctx, analystKey, table, ranker)
 				if err != nil {
 					return nil, err
 				}
@@ -206,12 +235,17 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 				return report.ToJSON(), nil
 			})
 			if err != nil {
-				// A canceled compute owner hands its CanceledError to
-				// every job that joined its flight. If *this* job is
-				// still live, the cancellation belonged to someone else:
-				// retry, electing ourselves the new compute owner.
+				// A canceled compute owner hands its error to every job
+				// that joined its flight: a CanceledError from the lattice
+				// search, or a plain context error when the owner was
+				// canceled while waiting on the analyst-cache flight
+				// inside its closure. If *this* job is still live, the
+				// cancellation belonged to someone else: retry, electing
+				// ourselves the new compute owner.
 				var cerr *rankfair.CanceledError
-				if errors.As(err, &cerr) && ctx.Err() == nil {
+				canceledShape := errors.As(err, &cerr) ||
+					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+				if canceledShape && ctx.Err() == nil {
 					continue
 				}
 				return nil, false, err
@@ -249,9 +283,11 @@ type RepairResponse struct {
 }
 
 // Repair runs the constrained top-k selection synchronously (it is a
-// greedy pass over the ranking, cheap next to a lattice search).
-func (s *Service) Repair(req RepairRequest) (*RepairResponse, error) {
-	analyst, err := s.bindAnalyst(req.Dataset, req.Ranker)
+// greedy pass over the ranking, cheap next to a lattice search). ctx
+// bounds any wait on an in-flight analyst build for the same
+// (dataset, ranker).
+func (s *Service) Repair(ctx context.Context, req RepairRequest) (*RepairResponse, error) {
+	analyst, err := s.bindAnalyst(ctx, req.Dataset, req.Ranker)
 	if err != nil {
 		return nil, err
 	}
@@ -285,9 +321,10 @@ type ExplainResponse struct {
 	*rankfair.Explanation
 }
 
-// Explain runs the explanation pipeline synchronously.
-func (s *Service) Explain(req ExplainRequest) (*ExplainResponse, error) {
-	analyst, err := s.bindAnalyst(req.Dataset, req.Ranker)
+// Explain runs the explanation pipeline synchronously; ctx bounds any
+// wait on an in-flight analyst build.
+func (s *Service) Explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) {
+	analyst, err := s.bindAnalyst(ctx, req.Dataset, req.Ranker)
 	if err != nil {
 		return nil, err
 	}
@@ -323,9 +360,12 @@ func (s *Service) Explain(req ExplainRequest) (*ExplainResponse, error) {
 	}, nil
 }
 
-// bindAnalyst resolves a dataset and builds an analyst over it.
-func (s *Service) bindAnalyst(datasetID string, spec RankerSpec) (*rankfair.Analyst, error) {
-	table, _, ok := s.registry.Get(datasetID)
+// bindAnalyst resolves a dataset and builds (or reuses) an analyst over
+// it; ctx (the caller's request context) bounds a wait on another
+// request's in-flight build, so a disconnected client does not leave a
+// handler goroutine blocked behind a slow build it no longer wants.
+func (s *Service) bindAnalyst(ctx context.Context, datasetID string, spec RankerSpec) (*rankfair.Analyst, error) {
+	table, info, ok := s.registry.Get(datasetID)
 	if !ok {
 		return nil, &NotFoundError{Resource: "dataset", ID: datasetID}
 	}
@@ -333,11 +373,53 @@ func (s *Service) bindAnalyst(datasetID string, spec RankerSpec) (*rankfair.Anal
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
-	analyst, err := rankfair.New(table, ranker)
+	analyst, err := s.analystFor(ctx, analystCacheKey(info.Hash, &spec), table, ranker)
 	if err != nil {
+		// A canceled wait on an in-flight build is the caller hanging up,
+		// not bad input — don't misclassify it as a 400.
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, &BadRequestError{Err: err}
 	}
 	return analyst, nil
+}
+
+// analystKeyPrefix is the analyst-cache key prefix covering every ranker
+// over one dataset; the registry evict hook purges by it, so the key
+// scheme must only ever change here and in analystCacheKey together.
+func analystKeyPrefix(hash string) string { return hash + "|" }
+
+// analystCacheKey addresses one built analyst: the dataset content hash
+// plus the ranker's canonical key.
+func analystCacheKey(hash string, spec *RankerSpec) string {
+	return analystKeyPrefix(hash) + spec.CacheKey()
+}
+
+// analystFor returns the built analyst for (dataset hash, ranker key),
+// going through the analyst cache when it is enabled. The analyst — and
+// the counting index that builds lazily on it — is immutable, so sharing
+// one instance across concurrent audits, repairs and explanations is safe.
+func (s *Service) analystFor(ctx context.Context, key string, table *rankfair.Dataset, ranker rankfair.Ranker) (*rankfair.Analyst, error) {
+	if s.analysts == nil {
+		return rankfair.New(table, ranker)
+	}
+	val, _, err := s.analysts.Do(ctx, key, func() (any, error) {
+		return rankfair.New(table, ranker)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*rankfair.Analyst), nil
+}
+
+// AnalystCacheStats snapshots the analyst-cache counters; the zero value
+// is returned when the cache is disabled.
+func (s *Service) AnalystCacheStats() CacheStats {
+	if s.analysts == nil {
+		return CacheStats{}
+	}
+	return s.analysts.Stats()
 }
 
 // NotFoundError marks a missing resource; handlers map it to 404.

@@ -143,13 +143,19 @@ func (e *Explainer) Sampled(row []int32, perms int, rng *rand.Rand) ([]float64, 
 // that satisfies p, using the sampling estimator with perms permutations
 // per tuple. It returns the aggregate and the group size.
 func (e *Explainer) AggregateGroup(rows [][]int32, p pattern.Pattern, perms int, rng *rand.Rand) ([]float64, int, error) {
+	return e.AggregateRows(groupMembers(rows, p), p, perms, rng)
+}
+
+// AggregateRows is AggregateGroup over a pre-gathered member list (e.g.
+// from a counting index), avoiding the full-dataset membership scan.
+// members must be in dataset row order: the sampling estimator draws one
+// permutation stream from rng across the whole group, so member order
+// determines which draws land on which tuple. p is used only for error
+// reporting.
+func (e *Explainer) AggregateRows(members [][]int32, p pattern.Pattern, perms int, rng *rand.Rand) ([]float64, int, error) {
 	n := e.enc.NumAttrs()
 	agg := make([]float64, n)
-	count := 0
-	for _, row := range rows {
-		if !p.Matches(row) {
-			continue
-		}
+	for _, row := range members {
 		phi, err := e.Sampled(row, perms, rng)
 		if err != nil {
 			return nil, 0, err
@@ -157,28 +163,29 @@ func (e *Explainer) AggregateGroup(rows [][]int32, p pattern.Pattern, perms int,
 		for a := range agg {
 			agg[a] += phi[a]
 		}
-		count++
 	}
-	if count == 0 {
+	if len(members) == 0 {
 		return nil, 0, fmt.Errorf("shapley: no tuple satisfies %v", p)
 	}
 	for a := range agg {
-		agg[a] /= float64(count)
+		agg[a] /= float64(len(members))
 	}
-	return agg, count, nil
+	return agg, len(members), nil
 }
 
 // AggregateGroupExact is AggregateGroup with the exact estimator: the mean
 // of exact per-tuple Shapley vectors over the group. It inherits Exact's
 // attribute-count limit.
 func (e *Explainer) AggregateGroupExact(rows [][]int32, p pattern.Pattern) ([]float64, int, error) {
+	return e.AggregateRowsExact(groupMembers(rows, p), p)
+}
+
+// AggregateRowsExact is AggregateGroupExact over a pre-gathered member
+// list; see AggregateRows for the contract.
+func (e *Explainer) AggregateRowsExact(members [][]int32, p pattern.Pattern) ([]float64, int, error) {
 	n := e.enc.NumAttrs()
 	agg := make([]float64, n)
-	count := 0
-	for _, row := range rows {
-		if !p.Matches(row) {
-			continue
-		}
+	for _, row := range members {
 		phi, err := e.Exact(row)
 		if err != nil {
 			return nil, 0, err
@@ -186,15 +193,25 @@ func (e *Explainer) AggregateGroupExact(rows [][]int32, p pattern.Pattern) ([]fl
 		for a := range agg {
 			agg[a] += phi[a]
 		}
-		count++
 	}
-	if count == 0 {
+	if len(members) == 0 {
 		return nil, 0, fmt.Errorf("shapley: no tuple satisfies %v", p)
 	}
 	for a := range agg {
-		agg[a] /= float64(count)
+		agg[a] /= float64(len(members))
 	}
-	return agg, count, nil
+	return agg, len(members), nil
+}
+
+// groupMembers scans rows for the tuples satisfying p, in row order.
+func groupMembers(rows [][]int32, p pattern.Pattern) [][]int32 {
+	var members [][]int32
+	for _, row := range rows {
+		if p.Matches(row) {
+			members = append(members, row)
+		}
+	}
+	return members
 }
 
 func popcount(x int) int {

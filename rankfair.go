@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"rankfair/internal/core"
+	"rankfair/internal/count"
 	"rankfair/internal/dataset"
 	"rankfair/internal/divergence"
 	"rankfair/internal/explain"
@@ -125,7 +127,33 @@ type Analyst struct {
 	table *Dataset
 	in    *core.Input
 	dicts [][]string
+
+	// idx is the shared rank-indexed counting engine (internal/count),
+	// built lazily on first use and reused by every report, repair,
+	// explanation and divergence query against this analyst. It is
+	// immutable after construction, so a cached Analyst can serve
+	// concurrent audits.
+	idxOnce sync.Once
+	idx     *count.Index
 }
+
+// index returns the analyst's counting index, building it on first use.
+func (a *Analyst) index() *count.Index {
+	a.idxOnce.Do(func() {
+		a.idx = count.Build(a.in.Rows, a.in.Space, a.in.Ranking)
+	})
+	return a.idx
+}
+
+// Count returns s_D(p), the number of tuples matching p, answered from the
+// shared posting-list index (O(bound attrs · shortest list) instead of a
+// full dataset scan).
+func (a *Analyst) Count(p Pattern) int { return a.index().Count(p) }
+
+// CountTopK returns s_{R_k(D)}(p), the number of tuples among the top k of
+// the ranking matching p: a binary search on rank positions for
+// single-attribute groups, a bounded probe for multi-attribute ones.
+func (a *Analyst) CountTopK(p Pattern, k int) int { return a.index().CountTopK(p, k) }
 
 // New builds an Analyst: it materializes the categorical view of the table
 // and invokes the black-box ranker once.
@@ -206,6 +234,19 @@ type Report struct {
 	guParams core.GlobalUpperParams
 	puParams core.PropUpperParams
 	eParams  core.ExposureParams
+
+	// Materialization state (see materialized / exposurePrefixLocked):
+	// per-level (key, count-vector) slices aligned with Result.Groups,
+	// and the cumulative position-exposure table. Built lazily, guarded
+	// by matMu.
+	matMu      sync.Mutex
+	levels     [][]levelEntry
+	expWeights []float64
+	expPrefix  []float64
+
+	// naiveCounts forces the pre-index scan path in InfoAt; it exists so
+	// differential tests and benchmarks can compare the two pipelines.
+	naiveCounts bool
 }
 
 // Format renders a group with attribute names and value labels.
@@ -402,14 +443,18 @@ func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, e
 // Explain runs the Section V pipeline on a detected group: it trains a
 // regression surrogate of the ranker, aggregates Shapley values over the
 // group's tuples, and compares the top attribute's value distribution
-// between the top-k and the group.
+// between the top-k and the group. Group membership comes from the shared
+// counting index; results are identical to the scanning pipeline.
 func (a *Analyst) Explain(p Pattern, k int, opts ExplainOptions) (*Explanation, error) {
-	return explain.Explain(a.in, a.dicts, p, k, opts)
+	return explain.ExplainIndexed(a.in, a.index(), a.dicts, p, k, opts)
 }
 
 // Divergence runs the comparator of Pastor et al. [27] (Section VI-D):
 // every subgroup above the support threshold, ranked by the divergence of
-// its binary top-k outcome.
+// its binary top-k outcome. The frequent-subgroup search runs in rank
+// space over the shared counting index — posting lists seed the root match
+// lists and top-k hit counting is a binary search — returning the same
+// report as the scanning implementation.
 func (a *Analyst) Divergence(params DivergenceParams) (*DivergenceResult, error) {
-	return divergence.Find(a.in, params)
+	return divergence.FindIndexed(a.in, a.index(), params)
 }

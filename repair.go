@@ -75,7 +75,10 @@ func (a *Analyst) RepairTopK(attr string, k int, constraints map[string]FairTopK
 		groupOf[i] = int(row[attrIdx])
 	}
 	// The black box only exposes an order; positions serve as scores so
-	// the repair is the minimally perturbed prefix.
+	// the repair is the minimally perturbed prefix. Repair needs only
+	// this O(n) inverse permutation, so it deliberately does not force
+	// the analyst's counting index to build — repair shares the engine
+	// at the service layer, where the cached Analyst skips re-ranking.
 	scores := make([]float64, len(a.in.Rows))
 	for pos, ri := range a.in.Ranking {
 		scores[ri] = -float64(pos)

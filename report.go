@@ -2,9 +2,12 @@ package rankfair
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"rankfair/internal/core"
+	"rankfair/internal/count"
 )
 
 // GroupInfo enriches a detected group with the quantities behind its
@@ -38,8 +41,97 @@ const (
 	kindExposure
 )
 
+// groupCounts is one distinct group's materialized count vector: its size
+// in the dataset plus, for every k in the report's range, its top-k count
+// (and, for exposure reports, its top-k exposure). Built in one pass per
+// group from the rank-indexed match list — counts at k+1 derive from
+// counts at k — instead of a dataset scan per (group, k).
+type groupCounts struct {
+	sD     int
+	counts []int32   // counts[k-KMin] = s_{R_k(D)}(p)
+	exps   []float64 // exposure kind only: exps[k-KMin] = exposure_k(p)
+}
+
+// levelEntry pairs one group of a k-level result set with its canonical
+// key and count vectors, aligned index-for-index with Result.Groups so
+// InfoAt never rebuilds keys or re-probes the map per (group, k).
+type levelEntry struct {
+	key string
+	gc  *groupCounts
+}
+
+// exposurePrefixLocked returns the cumulative exposure table E with
+// E[k] = sum_{i=1..k} PositionExposure(i), building it on first use.
+// Report.bound previously re-summed the series on every call, making
+// serialization O(K²) in the exposure weights alone. Callers hold matMu.
+func (r *Report) exposurePrefixLocked() []float64 {
+	if r.expPrefix == nil {
+		w := make([]float64, r.KMax)
+		pre := make([]float64, r.KMax+1)
+		for i := 0; i < r.KMax; i++ {
+			w[i] = core.PositionExposure(i + 1)
+			pre[i+1] = pre[i] + w[i]
+		}
+		r.expWeights, r.expPrefix = w, pre
+	}
+	return r.expPrefix
+}
+
+func (r *Report) exposurePrefix() []float64 {
+	r.matMu.Lock()
+	defer r.matMu.Unlock()
+	return r.exposurePrefixLocked()
+}
+
+// materialized returns the per-level (key, counts) slices for the whole
+// report, building them on first use: one index probe per distinct group
+// covers the whole [KMin, KMax] range, so InfoAt and ToJSON are
+// incremental across k instead of rescanning the dataset per (group, k),
+// and every group's key string is built exactly once per report.
+func (r *Report) materialized() [][]levelEntry {
+	r.matMu.Lock()
+	defer r.matMu.Unlock()
+	if r.levels != nil {
+		return r.levels
+	}
+	ix := r.analyst.index()
+	var w []float64
+	if r.kind == kindExposure {
+		r.exposurePrefixLocked()
+		w = r.expWeights
+	}
+	mat := make(map[string]*groupCounts)
+	levels := make([][]levelEntry, len(r.Groups))
+	for li, ks := range r.Groups {
+		if len(ks) == 0 {
+			continue
+		}
+		level := make([]levelEntry, len(ks))
+		for gi, g := range ks {
+			key := g.Key()
+			gc, ok := mat[key]
+			if !ok {
+				ranks := ix.MatchRanks(g)
+				gc = &groupCounts{sD: len(ranks), counts: count.CountsOver(ranks, r.KMin, r.KMax)}
+				if r.kind == kindExposure {
+					gc.exps = count.ExposuresOver(ranks, w, r.KMin, r.KMax)
+				}
+				mat[key] = gc
+			}
+			level[gi] = levelEntry{key: key, gc: gc}
+		}
+		levels[li] = level
+	}
+	r.levels = levels
+	return r.levels
+}
+
 // bound computes the violated bound for a pattern of size sD at prefix k.
-func (r *Report) bound(sD, k int) float64 {
+// expPrefix is the cumulative exposure table, consulted only by
+// exposure-kind reports; callers fetch it once per batch (exposurePrefix)
+// rather than per (group, k), keeping the hot serialization loop free of
+// lock round-trips.
+func (r *Report) bound(sD, k int, expPrefix []float64) float64 {
 	n := float64(len(r.analyst.in.Rows))
 	switch r.kind {
 	case kindGlobalLower:
@@ -49,20 +141,93 @@ func (r *Report) bound(sD, k int) float64 {
 	case kindGlobalUpper:
 		return float64(r.guParams.Upper[k-r.guParams.KMin])
 	case kindExposure:
-		ek := 0.0
-		for i := 1; i <= k; i++ {
-			ek += core.PositionExposure(i)
-		}
-		return r.eParams.Alpha * float64(sD) * ek / n
+		return r.eParams.Alpha * float64(sD) * expPrefix[k] / n
 	default:
 		return r.puParams.Beta * float64(sD) * float64(k) / n
 	}
 }
 
+// boundNaive is the pre-index bound computation, kept as the differential
+// and benchmark baseline: for exposure reports it re-sums the position
+// series on every call (O(k) per call, O(K²) per report).
+func (r *Report) boundNaive(sD, k int) float64 {
+	if r.kind != kindExposure {
+		return r.bound(sD, k, nil)
+	}
+	n := float64(len(r.analyst.in.Rows))
+	ek := 0.0
+	for i := 1; i <= k; i++ {
+		ek += core.PositionExposure(i)
+	}
+	return r.eParams.Alpha * float64(sD) * ek / n
+}
+
 // InfoAt returns the result set at k enriched with sizes, bounds and bias
 // magnitudes, sorted by descending bias (ties: larger groups first, then
-// deterministic key order).
+// deterministic key order). Counts come from the report's materialized
+// per-group vectors (see materialized); outputs are byte-identical to the
+// naive dataset scans they replaced.
 func (r *Report) InfoAt(k int) []GroupInfo {
+	groups := r.At(k)
+	if groups == nil {
+		return nil
+	}
+	if r.naiveCounts {
+		return r.infoAtNaive(k)
+	}
+	level := r.materialized()[k-r.KMin]
+	var expPrefix []float64
+	if r.kind == kindExposure {
+		expPrefix = r.exposurePrefix()
+	}
+	type keyedInfo struct {
+		info GroupInfo
+		key  string
+	}
+	items := make([]keyedInfo, len(groups))
+	for i, g := range groups {
+		le := level[i]
+		sD := le.gc.sD
+		cnt := int(le.gc.counts[k-r.KMin])
+		req := r.bound(sD, k, expPrefix)
+		var bias float64
+		switch r.kind {
+		case kindGlobalUpper, kindPropUpper:
+			bias = float64(cnt) - req
+		case kindExposure:
+			bias = req - le.gc.exps[k-r.KMin]
+		default:
+			bias = req - float64(cnt)
+		}
+		items[i] = keyedInfo{
+			info: GroupInfo{Pattern: g, Size: sD, TopK: cnt, Required: req, Bias: bias},
+			key:  le.key,
+		}
+	}
+	slices.SortFunc(items, func(a, b keyedInfo) int {
+		if a.info.Bias != b.info.Bias {
+			if a.info.Bias > b.info.Bias {
+				return -1
+			}
+			return 1
+		}
+		if a.info.Size != b.info.Size {
+			return b.info.Size - a.info.Size
+		}
+		return strings.Compare(a.key, b.key)
+	})
+	infos := make([]GroupInfo, len(items))
+	for i := range items {
+		infos[i] = items[i].info
+	}
+	return infos
+}
+
+// infoAtNaive is the pre-index InfoAt, preserved verbatim as the
+// differential-test and benchmark baseline: one full dataset scan per
+// group for s_D(p), one top-k scan per group for s_{R_k(D)}(p), and key
+// rebuilding inside the sort comparator.
+func (r *Report) infoAtNaive(k int) []GroupInfo {
 	groups := r.At(k)
 	if groups == nil {
 		return nil
@@ -72,7 +237,7 @@ func (r *Report) InfoAt(k int) []GroupInfo {
 	for i, g := range groups {
 		sD := g.Count(in.Rows)
 		cnt := g.CountTopK(in.Rows, in.Ranking, k)
-		req := r.bound(sD, k)
+		req := r.boundNaive(sD, k)
 		var bias float64
 		switch r.kind {
 		case kindGlobalUpper, kindPropUpper:

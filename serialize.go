@@ -224,7 +224,7 @@ func (r *Report) ToJSON() *ReportJSON {
 		for i, info := range infos {
 			assigns := make(map[string]string, info.Pattern.NumAttrs())
 			for _, a := range info.Pattern.Attrs() {
-				label := fmt.Sprintf("%d", info.Pattern[a])
+				label := strconv.Itoa(int(info.Pattern[a]))
 				if r.analyst.dicts != nil && a < len(r.analyst.dicts) && int(info.Pattern[a]) < len(r.analyst.dicts[a]) {
 					label = r.analyst.dicts[a][info.Pattern[a]]
 				}

@@ -1,0 +1,271 @@
+package rankfair
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Hand-rolled indented JSON encoder for ReportJSON. encoding/json walks
+// the struct reflectively and grows a fresh buffer per call; report
+// serialization is hot enough on the serving path (one encode per audit
+// response) that the encoder here writes the fixed shape directly into a
+// pooled buffer instead. The output is byte-for-byte what
+// json.Encoder.SetIndent("", "  ") produces — same field order, sorted map
+// keys, HTML escaping and float formatting — enforced by differential
+// tests against encoding/json.
+
+// encBuf pools encode buffers across WriteJSON calls.
+var encBuf = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const encHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal with encoding/json's
+// escaping rules (escapeHTML variant): control characters, quotes and
+// backslashes per RFC 8259, plus <, > and & as \u00XX, U+2028/U+2029
+// escaped, and invalid UTF-8 replaced by U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', encHex[c>>4], encHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', encHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f with encoding/json's float formatting: the
+// shortest representation, 'f' form except for very small or very large
+// magnitudes, and exponents without a leading zero.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// indents holds precomputed "\n" + indentation runs for the fixed nesting
+// depths of ReportJSON.
+var indents = [...]string{
+	"\n", "\n  ", "\n    ", "\n      ", "\n        ", "\n          ", "\n            ",
+}
+
+func nl(b []byte, depth int) []byte { return append(b, indents[depth]...) }
+
+// appendReportJSON renders rj exactly as json.MarshalIndent(rj, "", "  ")
+// would.
+func appendReportJSON(b []byte, rj *ReportJSON) []byte {
+	b = append(b, '{')
+	b = nl(b, 1)
+	b = append(b, `"measure": `...)
+	b = appendJSONString(b, rj.Measure)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"kmin": `...)
+	b = strconv.AppendInt(b, int64(rj.KMin), 10)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"kmax": `...)
+	b = strconv.AppendInt(b, int64(rj.KMax), 10)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"attributes": `...)
+	b = appendStringArray(b, rj.Attributes, 1)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"nodes_examined": `...)
+	b = strconv.AppendInt(b, rj.NodesExamined, 10)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"full_searches": `...)
+	b = strconv.AppendInt(b, int64(rj.FullSearches), 10)
+	b = append(b, ',')
+	b = nl(b, 1)
+	b = append(b, `"results": `...)
+	b = appendResults(b, rj.Results, 1)
+	b = nl(b, 0)
+	return append(b, '}')
+}
+
+// appendStringArray renders a []string at the given depth (nil → null,
+// empty → []).
+func appendStringArray(b []byte, ss []string, depth int) []byte {
+	if ss == nil {
+		return append(b, "null"...)
+	}
+	if len(ss) == 0 {
+		return append(b, "[]"...)
+	}
+	b = append(b, '[')
+	for i, s := range ss {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = nl(b, depth+1)
+		b = appendJSONString(b, s)
+	}
+	b = nl(b, depth)
+	return append(b, ']')
+}
+
+func appendResults(b []byte, results []KGroupsJSON, depth int) []byte {
+	if results == nil {
+		return append(b, "null"...)
+	}
+	if len(results) == 0 {
+		return append(b, "[]"...)
+	}
+	b = append(b, '[')
+	for i := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = nl(b, depth+1)
+		b = appendKGroups(b, &results[i], depth+1)
+	}
+	b = nl(b, depth)
+	return append(b, ']')
+}
+
+func appendKGroups(b []byte, kg *KGroupsJSON, depth int) []byte {
+	b = append(b, '{')
+	b = nl(b, depth+1)
+	b = append(b, `"k": `...)
+	b = strconv.AppendInt(b, int64(kg.K), 10)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"groups": `...)
+	if kg.Groups == nil {
+		b = append(b, "null"...)
+	} else if len(kg.Groups) == 0 {
+		b = append(b, "[]"...)
+	} else {
+		b = append(b, '[')
+		for i := range kg.Groups {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = nl(b, depth+2)
+			b = appendGroup(b, &kg.Groups[i], depth+2)
+		}
+		b = nl(b, depth+1)
+		b = append(b, ']')
+	}
+	b = nl(b, depth)
+	return append(b, '}')
+}
+
+func appendGroup(b []byte, g *GroupJSON, depth int) []byte {
+	b = append(b, '{')
+	b = nl(b, depth+1)
+	b = append(b, `"pattern": `...)
+	b = appendLabelMap(b, g.Pattern, depth+1)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"key": `...)
+	b = appendJSONString(b, g.Key)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"size": `...)
+	b = strconv.AppendInt(b, int64(g.Size), 10)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"top_k": `...)
+	b = strconv.AppendInt(b, int64(g.TopK), 10)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"required": `...)
+	b = appendJSONFloat(b, g.Required)
+	b = append(b, ',')
+	b = nl(b, depth+1)
+	b = append(b, `"bias": `...)
+	b = appendJSONFloat(b, g.Bias)
+	b = nl(b, depth)
+	return append(b, '}')
+}
+
+// appendLabelMap renders a map[string]string with keys in ascending byte
+// order, exactly as encoding/json sorts map keys. Maps here hold one entry
+// per bound attribute, so the insertion sort over a small stack-backed
+// slice beats allocating and sorting a key slice per call.
+func appendLabelMap(b []byte, m map[string]string, depth int) []byte {
+	if m == nil {
+		return append(b, "null"...)
+	}
+	if len(m) == 0 {
+		return append(b, "{}"...)
+	}
+	var stack [16]string
+	keys := stack[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = nl(b, depth+1)
+		b = appendJSONString(b, k)
+		b = append(b, `: `...)
+		b = appendJSONString(b, m[k])
+	}
+	b = nl(b, depth)
+	return append(b, '}')
+}

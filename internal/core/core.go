@@ -24,6 +24,7 @@ import (
 	"slices"
 	"strings"
 
+	"rankfair/internal/count"
 	"rankfair/internal/pattern"
 )
 
@@ -41,12 +42,41 @@ type Input struct {
 	// Ranking is a permutation of row indices, best first, produced by the
 	// black-box ranking algorithm R.
 	Ranking []int
+	// Index is an optional pre-built rank index over (Rows, Space, Ranking).
+	// When attached — the Analyst threads its lazily built counting engine
+	// here — the rank-space search strategy starts with zero setup scans;
+	// the caller is responsible for the index actually describing this
+	// input (only the row count is validated).
+	Index *count.Index
+	// Strategy selects the match-set engine of the lattice search; see the
+	// Strategy constants. The default StrategyAuto applies a cost model.
+	// Results are byte-identical across strategies.
+	Strategy Strategy
+
+	// validated memoizes a successful Validate: repeated searches over one
+	// input (the Analyst serving path runs many audits against one dataset)
+	// skip the O(n·attrs) re-validation, which otherwise dominates light
+	// searches. The flag is set before any fan-out — validate an input once
+	// before sharing it across goroutines (the Analyst constructor does) —
+	// and callers must not mutate a validated input's rows or ranking.
+	validated bool
 }
 
-// Validate checks structural consistency of the input.
+// Validate checks structural consistency of the input. A successful
+// validation is memoized on the input, so the per-search re-check is one
+// flag read.
 func (in *Input) Validate() error {
 	if in == nil {
 		return errors.New("core: nil input")
+	}
+	// The index consistency check is O(1), so it stays ahead of the memo:
+	// an index attached (or swapped) after a successful validation is still
+	// caught rather than silently driving the rank-space search.
+	if in.Index != nil && in.Index.NumRows() != len(in.Rows) {
+		return fmt.Errorf("core: attached index covers %d rows, input has %d", in.Index.NumRows(), len(in.Rows))
+	}
+	if in.validated {
+		return nil
 	}
 	if in.Space == nil {
 		return errors.New("core: nil space")
@@ -83,6 +113,7 @@ func (in *Input) Validate() error {
 		}
 		seen[ri] = true
 	}
+	in.validated = true
 	return nil
 }
 

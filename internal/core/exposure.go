@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-
-	"rankfair/internal/pattern"
 )
 
 // The paper's conclusion lists "the extension of the framework to support
@@ -84,56 +82,51 @@ func IterTDExposureCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
-	n := in.Space.NumAttrs()
 	nf := float64(len(in.Rows))
 
 	// weightOf[row] is the exposure of the row's position (0 beyond k; the
-	// prefix sum gives E(k)). Both are read-only under the fan-out.
+	// prefix sum gives E(k)). Both are read-only under the fan-out, as is
+	// the engine with its per-rank weight view.
 	weightOf := make([]float64, len(in.Rows))
+	wByRank := make([]float64, params.KMax)
 	totalExposure := make([]float64, params.KMax+1)
 	for i := 0; i < params.KMax; i++ {
 		w := PositionExposure(i + 1)
 		weightOf[in.Ranking[i]] = w
+		wByRank[i] = w
 		totalExposure[i+1] = totalExposure[i] + w
 	}
+	eng := newEngine(in)
+	eng.weightByRow = weightOf
+	eng.weightByRank = wByRank
 
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		st.FullSearches++
 		ek := totalExposure[k]
-		all := make([]int32, len(in.Rows))
-		for i := range all {
-			all[i] = int32(i)
-		}
-		top := make([]int32, k)
-		for i := 0; i < k; i++ {
-			top[i] = int32(in.Ranking[i])
-		}
-		var groups []Pattern
-		queue := make([]searchEntry, 0, 64)
-		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+		var filt subsetFilter
+		queue := make([]unit, 0, 64)
+		queue = append(queue, eng.rootUnits(k)...)
 		for head := 0; head < len(queue); head++ {
 			if cn.stopped() {
 				return nil
 			}
 			e := queue[head]
-			queue[head] = searchEntry{}
+			queue[head] = unit{}
 			st.NodesExamined++
-			sD := len(e.matchAll)
+			sD := len(e.m.all)
 			if sD < params.MinSize {
 				continue
 			}
-			exp := 0.0
-			for _, ri := range e.matchTop {
-				exp += weightOf[ri]
-			}
+			exp := eng.exposureOf(e.m, k)
 			if exp < params.Alpha*float64(sD)*ek/nf {
-				if !hasProperSubset(groups, e.p) {
-					groups = append(groups, e.p)
+				if !filt.dominated(e.p) {
+					filt.add(e.p)
 				}
 				continue
 			}
-			queue = appendChildren(queue, in, e)
+			queue = eng.appendChildren(queue, e)
 		}
+		groups := filt.res
 		sortPatterns(groups)
 		return groups
 	})

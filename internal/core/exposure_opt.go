@@ -37,6 +37,7 @@ func ExposureBoundsCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &exposureState{
 		in:        in,
+		eng:       newEngine(in),
 		pr:        &params,
 		stats:     &res.Stats,
 		n:         float64(len(in.Rows)),
@@ -47,11 +48,18 @@ func ExposureBoundsCtx(ctx context.Context, in *Input, params ExposureParams, wo
 		weightOf:  make([]float64, len(in.Rows)),
 		totalExp:  make([]float64, params.KMax+1),
 	}
+	wByRank := make([]float64, params.KMax)
 	for i := 0; i < params.KMax; i++ {
 		w := PositionExposure(i + 1)
 		st.weightOf[in.Ranking[i]] = w
+		wByRank[i] = w
 		st.totalExp[i+1] = st.totalExp[i] + w
 	}
+	// Wire the weights into the engine under both addressings: by row for
+	// the lists engine, by rank position for the rank-space engine. Both
+	// sum in ascending rank order, so exposures are bit-identical.
+	st.eng.weightByRow = st.weightOf
+	st.eng.weightByRank = wByRank
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
 	}
@@ -86,6 +94,7 @@ type enode struct {
 // esink mirrors psink for the exposure measure.
 type esink struct {
 	cn     canceler
+	sr     searcher
 	stats  Stats
 	biased []*enode
 	sched  []*enode
@@ -93,6 +102,7 @@ type esink struct {
 
 type exposureState struct {
 	in      *Input
+	eng     *engine
 	pr      *ExposureParams
 	stats   *Stats
 	n       float64
@@ -169,28 +179,21 @@ func (s *exposureState) merge(sk *esink) {
 // the build was abandoned because the context was canceled.
 func (s *exposureState) fullBuild(k int) bool {
 	s.stats.FullSearches++
-	n := s.in.Space.NumAttrs()
-	all := make([]int32, len(s.in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	top := make([]int32, k)
-	for i := 0; i < k; i++ {
-		top[i] = int32(s.in.Ranking[i])
-	}
-	units := childUnits(s.in, pattern.Empty(n), all, top)
+	units := s.eng.rootUnits(k)
 	sinks := make([]esink, len(units))
 	children := make([]*enode, len(units))
 	fanOut(s.workers, len(units), func(i int) {
 		u := &units[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
 		sk.stats.NodesExamined++
-		sD := len(u.matchAll)
+		sD := len(u.m.all)
 		if sD < s.pr.MinSize {
 			return
 		}
-		child := &enode{p: u.p, sD: sD, exposure: s.sumWeights(u.matchTop)}
+		child := &enode{p: u.p, sD: sD, exposure: s.eng.exposureOf(u.m, k)}
 		children[i] = child
 		if s.biasedAt(sD, child.exposure, k) {
 			child.biased = true
@@ -199,7 +202,7 @@ func (s *exposureState) fullBuild(k int) bool {
 		}
 		s.scheduleInto(child, sk)
 		child.expanded = true
-		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, k, sk)
+		child.children = s.buildChildrenInto(child, u.m, k, sk)
 	})
 	halted := false
 	for i := range units {
@@ -213,23 +216,23 @@ func (s *exposureState) fullBuild(k int) bool {
 	return !halted
 }
 
-func (s *exposureState) buildChildrenInto(parent *enode, matchAll, matchTop []int32, k int, sk *esink) []*enode {
+func (s *exposureState) buildChildrenInto(parent *enode, m matchSet, k int, sk *esink) []*enode {
 	var kids []*enode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, true)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return kids
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.pr.MinSize {
 				continue
 			}
-			child := &enode{p: parent.p.With(a, int32(v)), sD: sD, exposure: s.sumWeights(topBuckets[v])}
+			child := &enode{p: parent.p.With(a, int32(v)), sD: sD, exposure: cs.exposure(v)}
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
@@ -238,19 +241,12 @@ func (s *exposureState) buildChildrenInto(parent *enode, matchAll, matchTop []in
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
-			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], k, sk)
+			child.children = s.buildChildrenInto(child, cs.at(v), k, sk)
 		}
+		sk.sr.release(mk)
 	}
 	parent.children = kids
 	return kids
-}
-
-func (s *exposureState) sumWeights(rows []int32) float64 {
-	total := 0.0
-	for _, ri := range rows {
-		total += s.weightOf[ri]
-	}
-	return total
 }
 
 // step advances the state from k-1 to k. It reports false when the step
@@ -327,9 +323,12 @@ func (s *exposureState) step(k int) bool {
 		nd := resumed[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
-		matchAll := matchingRows(s.in.Rows, nd.p, nil)
-		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-		s.expandWithInto(nd, matchAll, matchTop, k, sk)
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
+		mk := sk.sr.mark()
+		m := sk.sr.materialize(nd.p, k)
+		s.expandWithInto(nd, m, k, sk)
+		sk.sr.release(mk)
 	})
 	s.merge(ser)
 	halted := false
@@ -340,22 +339,22 @@ func (s *exposureState) step(k int) bool {
 	return !halted
 }
 
-func (s *exposureState) expandWithInto(nd *enode, matchAll, matchTop []int32, k int, sk *esink) {
+func (s *exposureState) expandWithInto(nd *enode, m matchSet, k int, sk *esink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, true)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.pr.MinSize {
 				continue
 			}
-			child := &enode{p: nd.p.With(a, int32(v)), sD: sD, exposure: s.sumWeights(topBuckets[v])}
+			child := &enode{p: nd.p.With(a, int32(v)), sD: sD, exposure: cs.exposure(v)}
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
@@ -364,8 +363,9 @@ func (s *exposureState) expandWithInto(nd *enode, matchAll, matchTop []int32, k 
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
-			s.expandWithInto(child, allBuckets[v], topBuckets[v], k, sk)
+			s.expandWithInto(child, cs.at(v), k, sk)
 		}
+		sk.sr.release(mk)
 	}
 }
 

@@ -21,10 +21,12 @@ type gnode struct {
 
 // gsink collects the side effects of one subtree build: the biased
 // frontier nodes it reached and the work it did. Every worker of a fan-out
-// owns one; the sinks are merged into the shared state in deterministic
-// order after the fan-out completes.
+// owns one — including a searcher with its pooled partition scratch; the
+// sinks are merged into the shared state in deterministic order after the
+// fan-out completes.
 type gsink struct {
 	cn     canceler
+	sr     searcher
 	stats  Stats
 	biased []*gnode
 }
@@ -32,6 +34,7 @@ type gsink struct {
 // globalState holds the incremental search state of Algorithm 2.
 type globalState struct {
 	in      *Input
+	eng     *engine
 	params  *GlobalParams
 	stats   *Stats
 	ctx     context.Context
@@ -81,7 +84,7 @@ func GlobalBoundsCtx(ctx context.Context, in *Input, params GlobalParams, worker
 		return nil, err
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	st := &globalState{in: in, params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
+	st := &globalState{in: in, eng: newEngine(in), params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
 
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
@@ -111,7 +114,9 @@ func GlobalBoundsCtx(ctx context.Context, in *Input, params GlobalParams, worker
 // fullBuild runs a complete top-down search at k, building the persistent
 // node tree (the paper's TopDownSearch with DRes maintenance). The root's
 // subtrees are independent, so they build on the worker pool, each into its
-// own sink; the merge walks the sinks in subtree order. It reports false
+// own sink; the merge walks the sinks in subtree order. On the rank-space
+// engine the root units alias the counting index's posting lists, so a
+// warm index starts the build with zero dataset scans. It reports false
 // when the build was abandoned because the context was canceled.
 func (s *globalState) fullBuild(k int) bool {
 	s.stats.FullSearches++
@@ -121,28 +126,21 @@ func (s *globalState) fullBuild(k int) bool {
 	s.dres = make(map[*gnode]struct{})
 
 	L := s.params.lowerAt(k)
-	n := s.in.Space.NumAttrs()
-	all := make([]int32, len(s.in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	top := make([]int32, k)
-	for i := 0; i < k; i++ {
-		top[i] = int32(s.in.Ranking[i])
-	}
-	units := childUnits(s.in, pattern.Empty(n), all, top)
+	units := s.eng.rootUnits(k)
 	sinks := make([]gsink, len(units))
 	children := make([]*gnode, len(units))
 	fanOut(s.workers, len(units), func(i int) {
 		u := &units[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
 		sk.stats.NodesExamined++
-		sD := len(u.matchAll)
+		sD := len(u.m.all)
 		if sD < s.params.MinSize {
 			return
 		}
-		child := &gnode{p: u.p, sD: sD, cnt: len(u.matchTop)}
+		child := &gnode{p: u.p, sD: sD, cnt: s.eng.topCount(u.m, k)}
 		children[i] = child
 		if child.cnt < L {
 			child.biased = true
@@ -150,7 +148,7 @@ func (s *globalState) fullBuild(k int) bool {
 			return
 		}
 		child.expanded = true
-		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, L, sk)
+		child.children = s.buildChildrenInto(child, u.m, k, L, sk)
 	})
 	halted := false
 	for i := range units {
@@ -170,26 +168,27 @@ func (s *globalState) fullBuild(k int) bool {
 }
 
 // buildChildrenInto recursively materializes the explored subtree below
-// parent given its match lists, returning the explored children. All side
+// parent given its match set, returning the explored children. All side
 // effects (stats, biased frontier) go to the caller's sink, so concurrent
-// builds of disjoint subtrees never touch shared state.
-func (s *globalState) buildChildrenInto(parent *gnode, matchAll, matchTop []int32, L int, sk *gsink) []*gnode {
+// builds of disjoint subtrees never touch shared state; partitions live in
+// the sink's arena, released per attribute as the recursion unwinds.
+func (s *globalState) buildChildrenInto(parent *gnode, m matchSet, k, L int, sk *gsink) []*gnode {
 	var kids []*gnode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return kids
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.params.MinSize {
 				continue
 			}
-			child := &gnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &gnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt < L {
 				child.biased = true
@@ -197,8 +196,9 @@ func (s *globalState) buildChildrenInto(parent *gnode, matchAll, matchTop []int3
 				continue
 			}
 			child.expanded = true
-			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], L, sk)
+			child.children = s.buildChildrenInto(child, cs.at(v), k, L, sk)
 		}
+		sk.sr.release(mk)
 	}
 	parent.children = kids
 	return kids
@@ -250,6 +250,8 @@ func (s *globalState) step(k int) (changed, ok bool) {
 	fanOut(s.workers, len(freed), func(i int) {
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
 		s.expandInto(freed[i], k, L, sk)
 	})
 	halted := false
@@ -273,34 +275,36 @@ func (s *globalState) step(k int) (changed, ok bool) {
 }
 
 // expandInto resumes the top-down search below a node whose count rose to
-// the bound. Newly reached biased descendants join the sink; unbiased ones
-// are expanded further.
+// the bound: the node's match set is re-materialized — a galloping
+// posting-list intersection on the rank-space engine, dataset scans on the
+// lists engine — and its subtree explored from there.
 func (s *globalState) expandInto(nd *gnode, k, L int, sk *gsink) {
 	if nd.expanded {
 		return
 	}
 	nd.expanded = true
-	matchAll := matchingRows(s.in.Rows, nd.p, nil)
-	matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-	s.expandWithInto(nd, matchAll, matchTop, L, sk)
+	mk := sk.sr.mark()
+	m := sk.sr.materialize(nd.p, k)
+	s.expandWithInto(nd, m, k, L, sk)
+	sk.sr.release(mk)
 }
 
-func (s *globalState) expandWithInto(nd *gnode, matchAll, matchTop []int32, L int, sk *gsink) {
+func (s *globalState) expandWithInto(nd *gnode, m matchSet, k, L int, sk *gsink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.params.MinSize {
 				continue
 			}
-			child := &gnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &gnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			nd.children = append(nd.children, child)
 			if child.cnt < L {
 				child.biased = true
@@ -308,8 +312,9 @@ func (s *globalState) expandWithInto(nd *gnode, matchAll, matchTop []int32, L in
 				continue
 			}
 			child.expanded = true
-			s.expandWithInto(child, allBuckets[v], topBuckets[v], L, sk)
+			s.expandWithInto(child, cs.at(v), k, L, sk)
 		}
+		sk.sr.release(mk)
 	}
 }
 

@@ -22,8 +22,9 @@ func IterTDGlobalCtx(ctx context.Context, in *Input, params GlobalParams, worker
 		return nil, err
 	}
 	meas := globalMeasure{params: &params}
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
-		groups, _ := topDownSearch(cn, in, params.MinSize, k, meas, st)
+		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st)
 		sortPatterns(groups)
 		return groups
 	})
@@ -43,8 +44,9 @@ func IterTDPropCtx(ctx context.Context, in *Input, params PropParams, workers in
 		return nil, err
 	}
 	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
-		groups, _ := topDownSearch(cn, in, params.MinSize, k, meas, st)
+		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st)
 		sortPatterns(groups)
 		return groups
 	})

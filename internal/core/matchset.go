@@ -1,0 +1,585 @@
+package core
+
+import (
+	"sync"
+
+	"rankfair/internal/count"
+	"rankfair/internal/pattern"
+)
+
+// This file is the match-set engine behind every lattice search in the
+// package. All detection algorithms share one traversal structure — examine
+// a node, read s_D(p) and its top-k count (or exposure), descend — and
+// differ only in how a node's match set is represented. Two strategies
+// implement that representation behind a common interface, so the
+// traversals are written once and are byte-identical across strategies:
+//
+//   - StrategyLists (the original implementation) carries two materialized
+//     row-index lists per node, matchAll and matchTop; children are built
+//     by partitioning both lists per attribute, and every full build first
+//     scans the dataset to seed the root lists.
+//
+//   - StrategyIndex works in rank space over the shared count.Index: a
+//     node's match set is the ascending list of *rank positions* matching
+//     its pattern — the intersection of its bound attributes' posting
+//     lists. s_D(p) is the list length, the count at any k is one binary
+//     search (count.PrefixCount), root nodes alias the posting lists
+//     outright (a warm index starts a search with zero setup scans), and
+//     step-time re-materialization is a galloping posting-list
+//     intersection instead of a dataset scan. Child generation partitions
+//     one list instead of two, and the partitions live in per-worker
+//     scratch arenas instead of per-node allocations.
+
+// Strategy selects the match-set representation of the lattice search.
+// Both strategies return byte-identical results (same groups, same order,
+// same Stats); only the wall clock and allocation profile differ, which is
+// why the knob is absent from every cache key.
+type Strategy int
+
+const (
+	// StrategyAuto lets the cost model below pick the engine.
+	StrategyAuto Strategy = iota
+	// StrategyLists forces the materialized row-list engine. It is the
+	// differential baseline for the rank-space path and the better choice
+	// on tiny inputs, where the index build cannot amortize.
+	StrategyLists
+	// StrategyIndex forces the rank-space posting-list engine, building an
+	// index first when Input.Index is nil.
+	StrategyIndex
+)
+
+// useIndex resolves StrategyAuto with a small cost model. The rank-space
+// engine saves the O(n·attrs) root scans of every full build, halves the
+// partition traffic below the root, and turns step-time re-materialization
+// into posting-list intersections — but must first build the index, itself
+// one O(n·attrs) pass, when none is attached. A pre-built index makes the
+// engine free to start, so it always wins; otherwise the build only
+// amortizes on inputs large enough (the savings scale with rows) and
+// lattices deep enough (the savings scale with explored nodes).
+func (in *Input) useIndex() bool {
+	switch in.Strategy {
+	case StrategyLists:
+		return false
+	case StrategyIndex:
+		return true
+	}
+	if in.Index != nil {
+		return true
+	}
+	n := len(in.Rows)
+	if n < 1024 {
+		return false // tiny input: the index build outweighs the savings
+	}
+	if in.Space.NumAttrs() <= 2 && n < 8192 {
+		return false // flat lattice: the root scans are most of the search
+	}
+	return true
+}
+
+// matchSet is one node's match representation. On the lists engine, all
+// holds the matching row indices in D and top the matching rows among the
+// top-k (in ranking order); on the rank-space engine, all holds the
+// ascending rank positions matching the pattern and top is nil.
+type matchSet struct {
+	all []int32
+	top []int32
+}
+
+// unit pairs a search-tree pattern with its match set: a frontier element
+// of the breadth-first baselines and an independent work item of the
+// incremental algorithms' fan-outs.
+type unit struct {
+	p pattern.Pattern
+	m matchSet
+}
+
+// engine binds one search run to its match-set strategy. It is read-only
+// during the search and shared by every worker; the mutable scratch lives
+// in per-worker searchers.
+type engine struct {
+	in *Input
+	ix *count.Index // nil → materialized-list engine
+	// rowAt is ix.RowsByRank(): the rank-major row view the rank-space
+	// partition reads attribute values through.
+	rowAt [][]int32
+	// weightByRow / weightByRank are set by the exposure searches:
+	// position-exposure weights addressed by row index (lists engine) and
+	// by rank position (rank-space engine). Both sum in ascending rank
+	// order, so the float results are bit-identical across engines.
+	weightByRow  []float64
+	weightByRank []float64
+}
+
+// newEngine resolves the input's strategy and builds the index when the
+// rank-space engine needs one and none is attached.
+func newEngine(in *Input) *engine {
+	if !in.useIndex() {
+		return &engine{in: in}
+	}
+	ix := in.Index
+	if ix == nil {
+		ix = count.Build(in.Rows, in.Space, in.Ranking)
+	}
+	return &engine{in: in, ix: ix, rowAt: ix.RowsByRank()}
+}
+
+// topCount returns the node's size in the top-k: a slice length on the
+// lists engine, one binary search on the rank-space engine.
+func (e *engine) topCount(m matchSet, k int) int {
+	if e.ix != nil {
+		return count.PrefixCount(m.all, k)
+	}
+	return len(m.top)
+}
+
+// exposureOf returns the node's exposure in the top-k. Both branches sum
+// the same weights in ascending rank order.
+func (e *engine) exposureOf(m matchSet, k int) float64 {
+	total := 0.0
+	if e.ix != nil {
+		cut := count.PrefixCount(m.all, k)
+		for _, r := range m.all[:cut] {
+			total += e.weightByRank[r]
+		}
+		return total
+	}
+	for _, ri := range m.top {
+		total += e.weightByRow[ri]
+	}
+	return total
+}
+
+// rootUnits returns the search-tree children of the empty pattern — the
+// starting frontier of every full build. The rank-space engine aliases the
+// posting lists (zero scans, zero allocations beyond the unit headers);
+// the lists engine seeds and partitions the full row and top-k lists.
+func (e *engine) rootUnits(k int) []unit {
+	space := e.in.Space
+	n := space.NumAttrs()
+	if e.ix != nil {
+		total := 0
+		for _, card := range space.Cards {
+			total += card
+		}
+		units := make([]unit, 0, total)
+		empty := pattern.Empty(n)
+		for a := 0; a < n; a++ {
+			for v := 0; v < space.Cards[a]; v++ {
+				units = append(units, unit{p: empty.With(a, int32(v)), m: matchSet{all: e.ix.Postings(a, int32(v))}})
+			}
+		}
+		return units
+	}
+	all := make([]int32, len(e.in.Rows))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if k > len(e.in.Ranking) {
+		k = len(e.in.Ranking)
+	}
+	top := make([]int32, k)
+	for i := 0; i < k; i++ {
+		top[i] = int32(e.in.Ranking[i])
+	}
+	var units []unit
+	empty := pattern.Empty(n)
+	for a := 0; a < n; a++ {
+		card := space.Cards[a]
+		allBuckets := partitionByValue(e.in.Rows, all, a, card)
+		topBuckets := partitionByValue(e.in.Rows, top, a, card)
+		for v := 0; v < card; v++ {
+			units = append(units, unit{p: empty.With(a, int32(v)), m: matchSet{all: allBuckets[v], top: topBuckets[v]}})
+		}
+	}
+	return units
+}
+
+// appendChildren pushes the search-tree children (Definition 4.1) of u
+// onto the queue, partitioning the parent's match set per attribute in a
+// single pass per attribute. Children are heap-allocated (no arena): the
+// breadth-first baselines keep frontier entries alive until consumption,
+// so their lifetimes are not stack-shaped.
+func (e *engine) appendChildren(queue []unit, u unit) []unit {
+	n := e.in.Space.NumAttrs()
+	for a := u.p.MaxAttrIdx() + 1; a < n; a++ {
+		card := e.in.Space.Cards[a]
+		if e.ix != nil {
+			buckets := partitionRanks(e.rowAt, u.m.all, a, card)
+			for v := 0; v < card; v++ {
+				queue = append(queue, unit{p: u.p.With(a, int32(v)), m: matchSet{all: buckets[v]}})
+			}
+			continue
+		}
+		allBuckets := partitionByValue(e.in.Rows, u.m.all, a, card)
+		topBuckets := partitionByValue(e.in.Rows, u.m.top, a, card)
+		for v := 0; v < card; v++ {
+			queue = append(queue, unit{p: u.p.With(a, int32(v)), m: matchSet{all: allBuckets[v], top: topBuckets[v]}})
+		}
+	}
+	return queue
+}
+
+// partitionRanks splits an ascending rank list by the value of attribute a,
+// preserving order (each bucket stays ascending).
+func partitionRanks(rowAt [][]int32, ranks []int32, a, card int) [][]int32 {
+	counts := make([]int, card)
+	for _, r := range ranks {
+		counts[rowAt[r][a]]++
+	}
+	flat := make([]int32, len(ranks))
+	buckets := make([][]int32, card)
+	off := 0
+	for v := 0; v < card; v++ {
+		buckets[v] = flat[off : off : off+counts[v]]
+		off += counts[v]
+	}
+	for _, r := range ranks {
+		buckets[rowAt[r][a]] = append(buckets[rowAt[r][a]], r)
+	}
+	return buckets
+}
+
+// searcher is an engine handle plus per-worker scratch. The incremental
+// algorithms' recursive subtree builds have stack-shaped match-set
+// lifetimes, so each worker partitions into a pooled arena with per-node
+// mark/release instead of allocating per node.
+type searcher struct {
+	*engine
+	scr *scratch
+}
+
+func (e *engine) acquire() searcher {
+	return searcher{engine: e, scr: getScratch()}
+}
+
+func (sr searcher) close() { putScratch(sr.scr) }
+
+// parts is one attribute's partition of a node's match set: child v's
+// match set is the offs[v]:offs[v+1] window of the flat block(s).
+type parts struct {
+	allFlat, allOffs []int32
+	topFlat, topOffs []int32
+}
+
+func (pt parts) at(v int) matchSet {
+	m := matchSet{all: pt.allFlat[pt.allOffs[v]:pt.allOffs[v+1]]}
+	if pt.topOffs != nil {
+		m.top = pt.topFlat[pt.topOffs[v]:pt.topOffs[v+1]]
+	}
+	return m
+}
+
+// childStats is one attribute's per-value child statistics. On the
+// rank-space engine the sizes, counts and exposures come from count-only
+// passes over the parent's rank list — s_D per value from the full list,
+// the top-k quantities from its length-≤k prefix — and the actual child
+// rank lists are scattered lazily, only when the search descends into at
+// least one child. Fully pruned or all-frontier levels (the common case
+// under a size threshold) never materialize a single child list. The lists
+// engine has no count-only shortcut — materializing both row lists is how
+// it knows the counts at all — so it partitions eagerly as before.
+type childStats struct {
+	sr         searcher
+	m          matchSet
+	a, card, k int
+	// Rank-space per-value tallies (arena-backed).
+	sD   []int32
+	cnt  []int32
+	wsum []float64
+	// Materialized partitions: eager on the lists engine, scattered on the
+	// first at() call on the rank-space engine.
+	prt       parts
+	scattered bool
+}
+
+// childStats computes the per-value statistics of splitting m at attribute
+// a. wantExposure additionally accumulates per-value exposure over the
+// top-k prefix (exposure searches only).
+func (sr searcher) childStats(m matchSet, a, card, k int, wantExposure bool) childStats {
+	cs := childStats{sr: sr, m: m, a: a, card: card, k: k}
+	if sr.ix == nil {
+		allFlat, allOffs := sr.part(m.all, a, card, false)
+		topFlat, topOffs := sr.part(m.top, a, card, false)
+		cs.prt = parts{allFlat: allFlat, allOffs: allOffs, topFlat: topFlat, topOffs: topOffs}
+		cs.scattered = true
+		return cs
+	}
+	rowAt := sr.rowAt
+	cs.sD = sr.scr.ints.allocZero(card)
+	cs.cnt = sr.scr.ints.allocZero(card)
+	for _, r := range m.all {
+		cs.sD[rowAt[r][a]]++
+	}
+	cut := count.PrefixCount(m.all, k)
+	if wantExposure {
+		cs.wsum = sr.scr.floats.allocZero(card)
+		w := sr.weightByRank
+		for _, r := range m.all[:cut] {
+			v := rowAt[r][a]
+			cs.cnt[v]++
+			cs.wsum[v] += w[r]
+		}
+	} else {
+		for _, r := range m.all[:cut] {
+			cs.cnt[rowAt[r][a]]++
+		}
+	}
+	return cs
+}
+
+// size returns s_D of child v.
+func (cs *childStats) size(v int) int {
+	if cs.sD != nil {
+		return int(cs.sD[v])
+	}
+	return int(cs.prt.allOffs[v+1] - cs.prt.allOffs[v])
+}
+
+// count returns the top-k count of child v.
+func (cs *childStats) count(v int) int {
+	if cs.cnt != nil {
+		return int(cs.cnt[v])
+	}
+	return int(cs.prt.topOffs[v+1] - cs.prt.topOffs[v])
+}
+
+// exposure returns the top-k exposure of child v. Both engines accumulate
+// the same weights in ascending rank order, so results are bit-identical.
+func (cs *childStats) exposure(v int) float64 {
+	if cs.wsum != nil {
+		return cs.wsum[v]
+	}
+	total := 0.0
+	for _, ri := range cs.prt.at(v).top {
+		total += cs.sr.weightByRow[ri]
+	}
+	return total
+}
+
+// at returns child v's match set, scattering the parent into all child
+// lists on first use (rank-space engine); the scatter reuses the already
+// computed per-value sizes as offsets.
+func (cs *childStats) at(v int) matchSet {
+	if !cs.scattered {
+		offs := cs.sr.scr.ints.alloc(cs.card + 1)
+		off := int32(0)
+		for w := 0; w < cs.card; w++ {
+			offs[w] = off
+			off += cs.sD[w]
+		}
+		offs[cs.card] = off
+		flat := cs.sr.scr.ints.alloc(len(cs.m.all))
+		cur := cs.sr.scr.cursors(cs.card)
+		copy(cur, offs[:cs.card])
+		rowAt := cs.sr.rowAt
+		for _, r := range cs.m.all {
+			val := rowAt[r][cs.a]
+			flat[cur[val]] = r
+			cur[val]++
+		}
+		cs.prt = parts{allFlat: flat, allOffs: offs}
+		cs.scattered = true
+	}
+	return cs.prt.at(v)
+}
+
+// part is the lists engine's counting-sort partition: count values, carve
+// offsets and a flat block out of the arena, scatter.
+func (sr searcher) part(idxs []int32, a, card int, byRank bool) (flat, offs []int32) {
+	counts := sr.scr.counts(card)
+	if byRank {
+		rowAt := sr.rowAt
+		for _, r := range idxs {
+			counts[rowAt[r][a]]++
+		}
+	} else {
+		rows := sr.in.Rows
+		for _, ri := range idxs {
+			counts[rows[ri][a]]++
+		}
+	}
+	offs = sr.scr.ints.alloc(card + 1)
+	off := int32(0)
+	for v := 0; v < card; v++ {
+		offs[v] = off
+		off += counts[v]
+	}
+	offs[card] = off
+	flat = sr.scr.ints.alloc(len(idxs))
+	cur := sr.scr.cursors(card)
+	copy(cur, offs[:card])
+	if byRank {
+		rowAt := sr.rowAt
+		for _, r := range idxs {
+			v := rowAt[r][a]
+			flat[cur[v]] = r
+			cur[v]++
+		}
+	} else {
+		rows := sr.in.Rows
+		for _, ri := range idxs {
+			v := rows[ri][a]
+			flat[cur[v]] = ri
+			cur[v]++
+		}
+	}
+	return flat, offs
+}
+
+// mark/release bracket a node's arena allocations; release at subtree exit
+// returns the partitions and tallies to the worker's pool.
+func (sr searcher) mark() arenaMark {
+	return arenaMark{i: sr.scr.ints.mark(), f: sr.scr.floats.mark()}
+}
+
+func (sr searcher) release(mk arenaMark) {
+	sr.scr.ints.release(mk.i)
+	sr.scr.floats.release(mk.f)
+}
+
+type arenaMark struct{ i, f arenaPos }
+
+// materialize rebuilds a node's match set from scratch — the step-time
+// re-derivation when an unexplored frontier node resumes its subtree. The
+// lists engine scans the dataset and the top-k prefix; the rank-space
+// engine intersects the pattern's bound posting lists with galloping
+// search, shortest pair first, into the worker's arena (the caller's
+// mark/release owns the result's lifetime).
+func (sr searcher) materialize(p pattern.Pattern, k int) matchSet {
+	if sr.ix == nil {
+		return matchSet{
+			all: matchingRows(sr.in.Rows, p, nil),
+			top: matchingTopK(sr.in.Rows, sr.in.Ranking, p, k),
+		}
+	}
+	lists := sr.scr.lists[:0]
+	for a, v := range p {
+		if v != pattern.Unbound {
+			lists = append(lists, sr.ix.Postings(a, v))
+		}
+	}
+	sr.scr.lists = lists[:0] // retain the backing array for reuse
+	switch len(lists) {
+	case 0:
+		all := sr.scr.ints.alloc(len(sr.in.Rows))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return matchSet{all: all}
+	case 1:
+		return matchSet{all: lists[0]}
+	}
+	// Shortest pair first: every step's output is bounded by its shortest
+	// input, so later intersections only get cheaper.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	res := count.IntersectInto(sr.scr.ints.alloc(len(lists[0]))[:0], lists[0], lists[1])
+	for _, b := range lists[2:] {
+		if len(res) == 0 {
+			break
+		}
+		res = count.IntersectInto(sr.scr.ints.alloc(len(res))[:0], res, b)
+	}
+	return matchSet{all: res}
+}
+
+// scratch is the per-worker allocation pool: counting-sort scratch, the
+// partition arenas, and a reusable posting-list header slice.
+type scratch struct {
+	cnt    []int32
+	cur    []int32
+	lists  [][]int32
+	ints   arena[int32]
+	floats arena[float64]
+}
+
+// counts returns a zeroed count buffer of the given width.
+func (s *scratch) counts(card int) []int32 {
+	if cap(s.cnt) < card {
+		s.cnt = make([]int32, card)
+	}
+	s.cnt = s.cnt[:card]
+	for i := range s.cnt {
+		s.cnt[i] = 0
+	}
+	return s.cnt
+}
+
+// cursors returns an uninitialized cursor buffer of the given width.
+func (s *scratch) cursors(card int) []int32 {
+	if cap(s.cur) < card {
+		s.cur = make([]int32, card)
+	}
+	return s.cur[:card]
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch() *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.ints.reset()
+	s.floats.reset()
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// arena is a chunked stack allocator. Blocks are never reallocated, so
+// outstanding slices stay valid across later allocations; mark/release
+// rewinds in LIFO order, matching the recursion structure of the subtree
+// builds. A cancellation unwind may skip releases — reset at the next
+// acquire reclaims everything.
+type arena[T any] struct {
+	blocks [][]T
+	bi     int // current block index
+	off    int // next free offset in blocks[bi]
+}
+
+// arenaBlock is the minimum block size in elements; single allocations
+// larger than this get a dedicated block.
+const arenaBlock = 1 << 14
+
+// arenaPos is a rewind point inside one arena.
+type arenaPos struct{ bi, off int }
+
+func (ar *arena[T]) mark() arenaPos { return arenaPos{bi: ar.bi, off: ar.off} }
+
+func (ar *arena[T]) release(mk arenaPos) { ar.bi, ar.off = mk.bi, mk.off }
+
+func (ar *arena[T]) reset() { ar.bi, ar.off = 0, 0 }
+
+func (ar *arena[T]) alloc(n int) []T {
+	for {
+		if ar.bi < len(ar.blocks) {
+			if b := ar.blocks[ar.bi]; ar.off+n <= len(b) {
+				out := b[ar.off : ar.off+n]
+				ar.off += n
+				return out
+			}
+			// No room in this block: advance. The skipped tail is
+			// reclaimed by release/reset, never handed out twice.
+			ar.bi++
+			ar.off = 0
+			continue
+		}
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		ar.blocks = append(ar.blocks, make([]T, size))
+	}
+}
+
+// allocZero returns a zeroed block (arena memory is reused, so tallies
+// must clear before accumulating).
+func (ar *arena[T]) allocZero(n int) []T {
+	out := ar.alloc(n)
+	var zero T
+	for i := range out {
+		out[i] = zero
+	}
+	return out
+}

@@ -125,32 +125,6 @@ func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *cancele
 	return res, nil
 }
 
-// unit is one independent subtree-build work item: a search-tree child of
-// some node together with its match lists. The incremental algorithms cut
-// their builds into units at the expansion root and fan the units out.
-type unit struct {
-	p        pattern.Pattern
-	matchAll []int32
-	matchTop []int32
-}
-
-// childUnits materializes the search-tree children of p as work units,
-// partitioning the match lists per attribute in one pass (the same child
-// generation rule as appendChildren, Definition 4.1).
-func childUnits(in *Input, p pattern.Pattern, matchAll, matchTop []int32) []unit {
-	var units []unit
-	n := in.Space.NumAttrs()
-	for a := p.MaxAttrIdx() + 1; a < n; a++ {
-		card := in.Space.Cards[a]
-		allBuckets := partitionByValue(in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(in.Rows, matchTop, a, card)
-		for v := 0; v < card; v++ {
-			units = append(units, unit{p: p.With(a, int32(v)), matchAll: allBuckets[v], matchTop: topBuckets[v]})
-		}
-	}
-	return units
-}
-
 // markDominated computes, over patterns sorted by (NumAttrs, Key), which
 // ones have a proper subset among the most general members of the same
 // slice: mask[i] is true iff some non-dominated earlier pattern is a proper

@@ -27,10 +27,12 @@ type pnode struct {
 // psink collects the side effects of one subtree build or one serial step
 // phase: biased frontier nodes, nodes scheduled for re-examination (their
 // ktilde is already computed; the bucket insert happens at merge time), and
-// work accounting. Sinks merge into the shared state in deterministic
+// work accounting. Each fan-out sink also owns a searcher with its pooled
+// partition scratch. Sinks merge into the shared state in deterministic
 // order, which keeps the parallel build byte-identical to the serial one.
 type psink struct {
 	cn     canceler
+	sr     searcher
 	stats  Stats
 	biased []*pnode
 	sched  []*pnode
@@ -39,6 +41,7 @@ type psink struct {
 // propState holds the incremental search state of Algorithm 3.
 type propState struct {
 	in      *Input
+	eng     *engine
 	pr      *PropParams
 	stats   *Stats
 	n       int // |D|
@@ -84,6 +87,7 @@ func PropBoundsCtx(ctx context.Context, in *Input, params PropParams, workers in
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &propState{
 		in:        in,
+		eng:       newEngine(in),
 		pr:        &params,
 		stats:     &res.Stats,
 		n:         len(in.Rows),
@@ -170,32 +174,27 @@ func (s *propState) merge(sk *psink) {
 // fullBuild runs the complete top-down search at kMin, materializing the
 // explored tree, the biased frontier, and the schedule K. The root's
 // subtrees build independently on the worker pool; sink merge order is the
-// subtree order, matching the serial traversal. It reports false when the
-// build was abandoned because the context was canceled.
+// subtree order, matching the serial traversal. On the rank-space engine
+// the root units alias the counting index's posting lists (zero setup
+// scans on a warm index). It reports false when the build was abandoned
+// because the context was canceled.
 func (s *propState) fullBuild(k int) bool {
 	s.stats.FullSearches++
-	n := s.in.Space.NumAttrs()
-	all := make([]int32, len(s.in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	top := make([]int32, k)
-	for i := 0; i < k; i++ {
-		top[i] = int32(s.in.Ranking[i])
-	}
-	units := childUnits(s.in, pattern.Empty(n), all, top)
+	units := s.eng.rootUnits(k)
 	sinks := make([]psink, len(units))
 	children := make([]*pnode, len(units))
 	fanOut(s.workers, len(units), func(i int) {
 		u := &units[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
 		sk.stats.NodesExamined++
-		sD := len(u.matchAll)
+		sD := len(u.m.all)
 		if sD < s.pr.MinSize {
 			return
 		}
-		child := &pnode{p: u.p, sD: sD, cnt: len(u.matchTop)}
+		child := &pnode{p: u.p, sD: sD, cnt: s.eng.topCount(u.m, k)}
 		children[i] = child
 		if s.biasedAt(sD, child.cnt, k) {
 			child.biased = true
@@ -204,7 +203,7 @@ func (s *propState) fullBuild(k int) bool {
 		}
 		s.scheduleInto(child, sk)
 		child.expanded = true
-		child.children = s.buildChildrenInto(child, u.matchAll, u.matchTop, k, sk)
+		child.children = s.buildChildrenInto(child, u.m, k, sk)
 	})
 	halted := false
 	for i := range units {
@@ -218,23 +217,23 @@ func (s *propState) fullBuild(k int) bool {
 	return !halted
 }
 
-func (s *propState) buildChildrenInto(parent *pnode, matchAll, matchTop []int32, k int, sk *psink) []*pnode {
+func (s *propState) buildChildrenInto(parent *pnode, m matchSet, k int, sk *psink) []*pnode {
 	var kids []*pnode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return kids
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.pr.MinSize {
 				continue
 			}
-			child := &pnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &pnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
@@ -243,8 +242,9 @@ func (s *propState) buildChildrenInto(parent *pnode, matchAll, matchTop []int32,
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
-			child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], k, sk)
+			child.children = s.buildChildrenInto(child, cs.at(v), k, sk)
 		}
+		sk.sr.release(mk)
 	}
 	parent.children = kids
 	return kids
@@ -322,7 +322,9 @@ func (s *propState) step(k int) bool {
 
 	// Phase 3: resume the search below frontier nodes that became unbiased
 	// and had no explored children yet. Those subtrees are disjoint, so
-	// they expand on the worker pool, one sink each.
+	// they expand on the worker pool, one sink each; the node's match set
+	// is re-materialized (a posting-list intersection on the rank-space
+	// engine) rather than re-scanned.
 	var resumed []*pnode
 	for _, nd := range freed {
 		if !nd.expanded {
@@ -335,9 +337,12 @@ func (s *propState) step(k int) bool {
 		nd := resumed[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
-		matchAll := matchingRows(s.in.Rows, nd.p, nil)
-		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-		s.expandWithInto(nd, matchAll, matchTop, k, sk)
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
+		mk := sk.sr.mark()
+		m := sk.sr.materialize(nd.p, k)
+		s.expandWithInto(nd, m, k, sk)
+		sk.sr.release(mk)
 	})
 	s.merge(ser)
 	halted := false
@@ -348,22 +353,22 @@ func (s *propState) step(k int) bool {
 	return !halted
 }
 
-func (s *propState) expandWithInto(nd *pnode, matchAll, matchTop []int32, k int, sk *psink) {
+func (s *propState) expandWithInto(nd *pnode, m matchSet, k int, sk *psink) {
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.pr.MinSize {
 				continue
 			}
-			child := &pnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &pnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
@@ -372,8 +377,9 @@ func (s *propState) expandWithInto(nd *pnode, matchAll, matchTop []int32, k int,
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
-			s.expandWithInto(child, allBuckets[v], topBuckets[v], k, sk)
+			s.expandWithInto(child, cs.at(v), k, sk)
 		}
+		sk.sr.release(mk)
 	}
 }
 

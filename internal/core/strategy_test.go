@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rankfair/internal/count"
+	"rankfair/internal/pattern"
+)
+
+// strategyInput builds a random dataset + ranking, mirroring the
+// equivalence-suite generator but available inside the package so the
+// strategy tests can force engines and reuse the cancellation harness.
+func strategyInput(rng *rand.Rand) *Input {
+	nAttrs := 2 + rng.Intn(4) // 2..5
+	cards := make([]int, nAttrs)
+	names := make([]string, nAttrs)
+	for i := range cards {
+		cards[i] = 2 + rng.Intn(3) // 2..4
+		names[i] = string(rune('A' + i))
+	}
+	nRows := 20 + rng.Intn(60)
+	rows := make([][]int32, nRows)
+	for i := range rows {
+		r := make([]int32, nAttrs)
+		for j := range r {
+			r[j] = int32(rng.Intn(cards[j]))
+		}
+		rows[i] = r
+	}
+	return &Input{
+		Rows:    rows,
+		Space:   &pattern.Space{Names: names, Cards: cards},
+		Ranking: rng.Perm(nRows),
+	}
+}
+
+// strategyEntryPoints drives every detection entry point over one input
+// with randomized parameters, so the two match-set engines can be compared
+// wholesale.
+func strategyEntryPoints(in *Input, rng *rand.Rand) map[string]func(ctx context.Context, workers int) (*Result, error) {
+	n := len(in.Rows)
+	kMin := 1 + rng.Intn(5)
+	kMax := kMin + rng.Intn(15)
+	if kMax > n {
+		kMax = n
+	}
+	minSize := rng.Intn(5)
+	lower := make([]int, kMax-kMin+1)
+	l := 1 + rng.Intn(3)
+	for i := range lower {
+		if rng.Intn(4) == 0 {
+			l += rng.Intn(2)
+		}
+		lower[i] = l
+	}
+	upper := make([]int, kMax-kMin+1)
+	for i := range upper {
+		upper[i] = 1 + rng.Intn(4)
+	}
+	gp := GlobalParams{MinSize: minSize, KMin: kMin, KMax: kMax, Lower: lower}
+	pp := PropParams{MinSize: minSize, KMin: kMin, KMax: kMax, Alpha: 0.2 + rng.Float64()}
+	ep := ExposureParams{MinSize: minSize, KMin: kMin, KMax: kMax, Alpha: 0.2 + rng.Float64()}
+	gup := GlobalUpperParams{MinSize: minSize, KMin: kMin, KMax: kMax, Upper: upper}
+	pup := PropUpperParams{MinSize: minSize, KMin: kMin, KMax: kMax, Beta: 1.0 + rng.Float64()}
+	return map[string]func(ctx context.Context, workers int) (*Result, error){
+		"GlobalBounds": func(ctx context.Context, w int) (*Result, error) { return GlobalBoundsCtx(ctx, in, gp, w) },
+		"IterTDGlobal": func(ctx context.Context, w int) (*Result, error) { return IterTDGlobalCtx(ctx, in, gp, w) },
+		"PropBounds":   func(ctx context.Context, w int) (*Result, error) { return PropBoundsCtx(ctx, in, pp, w) },
+		"IterTDProp":   func(ctx context.Context, w int) (*Result, error) { return IterTDPropCtx(ctx, in, pp, w) },
+		"ExposureBounds": func(ctx context.Context, w int) (*Result, error) {
+			return ExposureBoundsCtx(ctx, in, ep, w)
+		},
+		"IterTDExposure": func(ctx context.Context, w int) (*Result, error) {
+			return IterTDExposureCtx(ctx, in, ep, w)
+		},
+		"GlobalUpperBounds": func(ctx context.Context, w int) (*Result, error) {
+			return GlobalUpperBoundsCtx(ctx, in, gup, w)
+		},
+		"IterTDGlobalUpper": func(ctx context.Context, w int) (*Result, error) {
+			return IterTDGlobalUpperCtx(ctx, in, gup, w)
+		},
+		"IterTDPropUpper": func(ctx context.Context, w int) (*Result, error) {
+			return IterTDPropUpperCtx(ctx, in, pup, w)
+		},
+		"IterTDGlobalUpperMostGeneral": func(ctx context.Context, w int) (*Result, error) {
+			return IterTDGlobalUpperMostGeneralCtx(ctx, in, gup, w)
+		},
+		"IterTDGlobalLowerMostSpecific": func(ctx context.Context, w int) (*Result, error) {
+			return IterTDGlobalLowerMostSpecificCtx(ctx, in, gp, w)
+		},
+	}
+}
+
+// withStrategy returns a shallow copy of in forced onto one engine. The
+// rank-space copy alternates between building its own index and reusing a
+// pre-built one, covering both the cold and warm entry conditions.
+func withStrategy(in *Input, s Strategy, ix *count.Index) *Input {
+	cp := *in
+	cp.Strategy = s
+	cp.Index = ix
+	return &cp
+}
+
+// TestQuickStrategyIndexMatchesLists is the tentpole differential: for
+// every entry point, the rank-space engine (cold and warm index, serial
+// and fanned out) returns Groups and Stats byte-identical to the
+// materialized-list engine.
+func TestQuickStrategyIndexMatchesLists(t *testing.T) {
+	ctx := context.Background()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := strategyInput(rng)
+		prebuilt := count.Build(base.Rows, base.Space, base.Ranking)
+		variants := []struct {
+			name string
+			in   *Input
+		}{
+			{"index-cold", withStrategy(base, StrategyIndex, nil)},
+			{"index-warm", withStrategy(base, StrategyIndex, prebuilt)},
+			{"auto-warm", withStrategy(base, StrategyAuto, prebuilt)},
+		}
+		// One parameter draw shared by the lists run and every variant.
+		prng := rand.New(rand.NewSource(seed + 1))
+		lists := strategyEntryPoints(withStrategy(base, StrategyLists, nil), prng)
+		for _, vr := range variants {
+			vrng := rand.New(rand.NewSource(seed + 1))
+			runs := strategyEntryPoints(vr.in, vrng)
+			for name, run := range runs {
+				want, err := lists[name](ctx, 1)
+				if err != nil {
+					t.Logf("seed %d %s lists: %v", seed, name, err)
+					return false
+				}
+				for _, workers := range []int{1, 3} {
+					got, err := run(ctx, workers)
+					if err != nil {
+						t.Logf("seed %d %s %s workers=%d: %v", seed, name, vr.name, workers, err)
+						return false
+					}
+					if !reflect.DeepEqual(want.Groups, got.Groups) {
+						t.Logf("seed %d %s %s workers=%d: groups diverge from lists engine", seed, name, vr.name, workers)
+						return false
+					}
+					if want.Stats != got.Stats {
+						t.Logf("seed %d %s %s workers=%d: stats diverge: lists %+v index %+v",
+							seed, name, vr.name, workers, want.Stats, got.Stats)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrategyCanceledRunsAgree drives both engines into the same
+// deterministic cancellation (a poll-budget context, serial workers) and
+// asserts they abandon the search at the same point: both report a
+// CanceledError carrying the same partial-work count.
+func TestStrategyCanceledRunsAgree(t *testing.T) {
+	base := denseCancelInput(12, 1500)
+	listsIn := withStrategy(base, StrategyLists, nil)
+	indexIn := withStrategy(base, StrategyIndex, nil)
+	listsRuns := strategyEntryPoints(listsIn, rand.New(rand.NewSource(31)))
+	for name, indexRun := range strategyEntryPoints(indexIn, rand.New(rand.NewSource(31))) {
+		listsRun := listsRuns[name]
+		for _, budget := range []int64{1, 5} {
+			lres, lerr := listsRun(newBudgetCtx(budget), 1)
+			ires, ierr := indexRun(newBudgetCtx(budget), 1)
+			if lres != nil || ires != nil {
+				t.Errorf("%s budget=%d: canceled run returned a result (lists=%v index=%v)", name, budget, lres != nil, ires != nil)
+				continue
+			}
+			var lc, ic *CanceledError
+			if !errors.As(lerr, &lc) || !errors.As(ierr, &ic) {
+				t.Errorf("%s budget=%d: want CanceledError on both engines, got lists=%v index=%v", name, budget, lerr, ierr)
+				continue
+			}
+			if lc.NodesExamined != ic.NodesExamined {
+				t.Errorf("%s budget=%d: partial work diverges: lists examined %d nodes, index %d",
+					name, budget, lc.NodesExamined, ic.NodesExamined)
+			}
+		}
+	}
+}
+
+// TestAutoStrategyCostModel pins the cost model's contract: tiny inputs
+// stay on the lists engine, an attached index always selects rank space,
+// and the explicit knobs override everything.
+func TestAutoStrategyCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tiny := strategyInput(rng)
+	if tiny.useIndex() {
+		t.Errorf("auto strategy picked the index engine for %d rows", len(tiny.Rows))
+	}
+	warm := withStrategy(tiny, StrategyAuto, count.Build(tiny.Rows, tiny.Space, tiny.Ranking))
+	if !warm.useIndex() {
+		t.Error("auto strategy ignored a pre-built index")
+	}
+	big := denseCancelInput(8, 4096)
+	if !big.useIndex() {
+		t.Errorf("auto strategy picked the lists engine for %d rows x %d attrs", len(big.Rows), big.Space.NumAttrs())
+	}
+	forced := withStrategy(tiny, StrategyIndex, nil)
+	if !forced.useIndex() {
+		t.Error("StrategyIndex not honored")
+	}
+	forcedLists := withStrategy(big, StrategyLists, nil)
+	if forcedLists.useIndex() {
+		t.Error("StrategyLists not honored")
+	}
+}
+
+// TestValidateRejectsMismatchedIndex guards the one consistency check the
+// input performs on an attached index.
+func TestValidateRejectsMismatchedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	in := strategyInput(rng)
+	other := strategyInput(rng)
+	if len(other.Rows) == len(in.Rows) {
+		other.Rows = other.Rows[:len(other.Rows)-1]
+		other.Ranking = nil // irrelevant: row-count check fires first
+	}
+	bad := count.Build(other.Rows, other.Space, make([]int, len(other.Rows)))
+	in.Index = bad
+	if err := in.Validate(); err == nil {
+		t.Error("Validate accepted an index over a different row count")
+	}
+	// The check must also fire on an already-validated input: attaching a
+	// mismatched index later cannot hide behind the validation memo.
+	in.Index = nil
+	if err := in.Validate(); err != nil {
+		t.Fatalf("clean input rejected: %v", err)
+	}
+	in.Index = bad
+	if err := in.Validate(); err == nil {
+		t.Error("memoized Validate accepted a mismatched index attached after validation")
+	}
+}

@@ -26,17 +26,6 @@ func (m propMeasure) biased(sD, cnt, k int) bool {
 	return float64(cnt) < m.alpha*float64(sD)*float64(k)/float64(m.n)
 }
 
-// searchEntry is a frontier element of the breadth-first top-down search of
-// Algorithm 1. matchAll and matchTop hold the row indices (into in.Rows)
-// matching the pattern in D and in the top-k respectively, so children
-// sizes are computed by filtering the parent's lists rather than rescanning
-// the dataset.
-type searchEntry struct {
-	p        pattern.Pattern
-	matchAll []int32
-	matchTop []int32
-}
-
 // topDownSearch is Algorithm 1: a single top-down traversal of the search
 // tree for one value of k, returning the most general biased patterns (Res)
 // and the dominated biased patterns reached during the search (DRes).
@@ -45,70 +34,39 @@ type searchEntry struct {
 //
 // The traversal is FIFO (level order), so when a biased pattern is reached,
 // every more general biased pattern has already been classified; the
-// update() check of the paper therefore only needs to scan Res.
-func topDownSearch(cn *canceler, in *Input, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
+// update() check of the paper therefore only needs to scan Res — through a
+// subsetFilter, whose attribute bitmasks skip patterns over disjoint
+// attribute sets without comparing values.
+func topDownSearch(cn *canceler, eng *engine, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
 	stats.FullSearches++
-	n := in.Space.NumAttrs()
 
-	all := make([]int32, len(in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	kk := k
-	if kk > len(in.Ranking) {
-		kk = len(in.Ranking)
-	}
-	top := make([]int32, kk)
-	for i := 0; i < kk; i++ {
-		top[i] = int32(in.Ranking[i])
-	}
-
-	queue := make([]searchEntry, 0, 64)
-	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+	queue := make([]unit, 0, 64)
+	queue = append(queue, eng.rootUnits(k)...)
+	var filt subsetFilter
 
 	for head := 0; head < len(queue); head++ {
 		if cn.stopped() {
 			return nil, nil
 		}
 		e := queue[head]
-		queue[head] = searchEntry{} // release row lists of consumed entries
+		queue[head] = unit{} // release match sets of consumed entries
 		stats.NodesExamined++
-		sD := len(e.matchAll)
+		sD := len(e.m.all)
 		if sD < minSize {
 			continue
 		}
-		cnt := len(e.matchTop)
+		cnt := eng.topCount(e.m, k)
 		if meas.biased(sD, cnt, k) {
-			if hasProperSubset(res, e.p) {
+			if filt.dominated(e.p) {
 				dres = append(dres, e.p)
 			} else {
-				res = append(res, e.p)
+				filt.add(e.p)
 			}
 			continue
 		}
-		queue = appendChildren(queue, in, e)
+		queue = eng.appendChildren(queue, e)
 	}
-	return res, dres
-}
-
-// appendChildren pushes the search-tree children (Definition 4.1) of e onto
-// the queue, partitioning the parent's match lists per attribute value in a
-// single pass per attribute.
-func appendChildren(queue []searchEntry, in *Input, e searchEntry) []searchEntry {
-	n := in.Space.NumAttrs()
-	for a := e.p.MaxAttrIdx() + 1; a < n; a++ {
-		card := in.Space.Cards[a]
-		allBuckets := partitionByValue(in.Rows, e.matchAll, a, card)
-		topBuckets := partitionByValue(in.Rows, e.matchTop, a, card)
-		for v := 0; v < card; v++ {
-			queue = append(queue, searchEntry{
-				p:        e.p.With(a, int32(v)),
-				matchAll: allBuckets[v],
-				matchTop: topBuckets[v],
-			})
-		}
-	}
-	return queue
+	return filt.res, dres
 }
 
 // partitionByValue splits idxs by the value of attribute attr.
@@ -131,7 +89,52 @@ func partitionByValue(rows [][]int32, idxs []int32, attr, card int) [][]int32 {
 	return buckets
 }
 
-// hasProperSubset reports whether any member of set is a proper subset of p.
+// attrMask folds a pattern's bound-attribute set into a 64-bit mask (bit
+// a mod 64). q ⊆ p requires attrs(q) ⊆ attrs(p); on the folded masks a bit
+// set for q but clear for p proves some attribute bound in q is unbound in
+// every attribute of p's residue class — so qMask &^ pMask != 0 soundly
+// rules the subset out for any attribute count, and the full comparison
+// only runs on mask-compatible pairs.
+func attrMask(p pattern.Pattern) uint64 {
+	var m uint64
+	for a, v := range p {
+		if v != pattern.Unbound {
+			m |= 1 << (uint(a) & 63)
+		}
+	}
+	return m
+}
+
+// subsetFilter maintains a result set of mutually incomparable patterns
+// with an attribute-bitmask prefilter over the proper-subset scan: the
+// linear pass over Res compares one uint64 per candidate and only falls
+// through to ProperSubsetOf when the attribute sets can nest.
+type subsetFilter struct {
+	res   []pattern.Pattern
+	masks []uint64
+}
+
+// dominated reports whether any member of the filter is a proper subset
+// of p.
+func (f *subsetFilter) dominated(p pattern.Pattern) bool {
+	pm := attrMask(p)
+	for i, qm := range f.masks {
+		if qm&^pm == 0 && f.res[i].ProperSubsetOf(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// add admits p into the result set.
+func (f *subsetFilter) add(p pattern.Pattern) {
+	f.res = append(f.res, p)
+	f.masks = append(f.masks, attrMask(p))
+}
+
+// hasProperSubset reports whether any member of set is a proper subset of
+// p — the unfiltered scan, kept for small ad-hoc sets and as the oracle
+// for subsetFilter.
 func hasProperSubset(set []pattern.Pattern, p pattern.Pattern) bool {
 	for _, q := range set {
 		if q.ProperSubsetOf(p) {

@@ -60,9 +60,10 @@ func IterTDGlobalUpperCtx(ctx context.Context, in *Input, params GlobalUpperPara
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c // prune when not exceeding: children have count <= cnt
 		})
@@ -113,9 +114,10 @@ func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, 
 		return nil, err
 	}
 	n := float64(len(in.Rows))
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		floor := params.Beta * float64(params.MinSize) * float64(k) / n
-		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := float64(cnt) > params.Beta*float64(sD)*float64(k)/n
 			return c, float64(cnt) > floor
 		})
@@ -129,37 +131,28 @@ func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, 
 // and on the classify callback's descend decision, returning every pattern
 // classified as a candidate. The search polls cn once per node and returns
 // early when the caller's context is canceled.
-func collectExceeding(cn *canceler, in *Input, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
+func collectExceeding(cn *canceler, eng *engine, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
 	stats.FullSearches++
-	n := in.Space.NumAttrs()
-	all := make([]int32, len(in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	top := make([]int32, k)
-	for i := 0; i < k; i++ {
-		top[i] = int32(in.Ranking[i])
-	}
 	var cands []Pattern
-	queue := make([]searchEntry, 0, 64)
-	queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+	queue := make([]unit, 0, 64)
+	queue = append(queue, eng.rootUnits(k)...)
 	for head := 0; head < len(queue); head++ {
 		if cn.stopped() {
 			return nil
 		}
 		e := queue[head]
-		queue[head] = searchEntry{}
+		queue[head] = unit{}
 		stats.NodesExamined++
-		sD := len(e.matchAll)
+		sD := len(e.m.all)
 		if sD < minSize {
 			continue
 		}
-		candidate, descend := classify(sD, len(e.matchTop))
+		candidate, descend := classify(sD, eng.topCount(e.m, k))
 		if candidate {
 			cands = append(cands, e.p)
 		}
 		if descend {
-			queue = appendChildren(queue, in, e)
+			queue = eng.appendChildren(queue, e)
 		}
 	}
 	return cands

@@ -35,7 +35,7 @@ func GlobalUpperBoundsCtx(ctx context.Context, in *Input, params GlobalUpperPara
 		return nil, err
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
-	st := &upperState{in: in, params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
+	st := &upperState{in: in, eng: newEngine(in), params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
 
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
@@ -77,12 +77,14 @@ type unode struct {
 // maps are only touched serially.
 type usink struct {
 	cn    canceler
+	sr    searcher
 	stats Stats
 	cands []*unode
 }
 
 type upperState struct {
 	in      *Input
+	eng     *engine
 	params  *GlobalUpperParams
 	stats   *Stats
 	ctx     context.Context
@@ -109,33 +111,26 @@ func (s *upperState) fullBuild(k int) bool {
 	s.maximal = make(map[*unode]struct{})
 
 	u := s.upperAt(k)
-	n := s.in.Space.NumAttrs()
-	all := make([]int32, len(s.in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	top := make([]int32, k)
-	for i := 0; i < k; i++ {
-		top[i] = int32(s.in.Ranking[i])
-	}
-	units := childUnits(s.in, pattern.Empty(n), all, top)
+	units := s.eng.rootUnits(k)
 	sinks := make([]usink, len(units))
 	children := make([]*unode, len(units))
 	fanOut(s.workers, len(units), func(i int) {
 		un := &units[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
 		sk.stats.NodesExamined++
-		sD := len(un.matchAll)
+		sD := len(un.m.all)
 		if sD < s.params.MinSize {
 			return
 		}
-		child := &unode{p: un.p, sD: sD, cnt: len(un.matchTop)}
+		child := &unode{p: un.p, sD: sD, cnt: s.eng.topCount(un.m, k)}
 		children[i] = child
 		if child.cnt > u {
 			sk.cands = append(sk.cands, child)
 			child.expanded = true
-			child.children = s.buildChildrenInto(child, un.matchAll, un.matchTop, u, sk)
+			child.children = s.buildChildrenInto(child, un.m, k, u, sk)
 		}
 	})
 	halted := false
@@ -152,30 +147,31 @@ func (s *upperState) fullBuild(k int) bool {
 	return !halted
 }
 
-func (s *upperState) buildChildrenInto(parent *unode, matchAll, matchTop []int32, u int, sk *usink) []*unode {
+func (s *upperState) buildChildrenInto(parent *unode, m matchSet, k, u int, sk *usink) []*unode {
 	var kids []*unode
 	n := s.in.Space.NumAttrs()
 	for a := parent.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return kids
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.params.MinSize {
 				continue
 			}
-			child := &unode{p: parent.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &unode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt > u {
 				sk.cands = append(sk.cands, child)
 				child.expanded = true
-				child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], u, sk)
+				child.children = s.buildChildrenInto(child, cs.at(v), k, u, sk)
 			}
 		}
+		sk.sr.release(mk)
 	}
 	parent.children = kids
 	return kids
@@ -268,9 +264,12 @@ func (s *upperState) step(k int) (changed, ok bool) {
 		nd := resumed[i]
 		sk := &sinks[i]
 		sk.cn = canceler{ctx: s.ctx}
-		matchAll := matchingRows(s.in.Rows, nd.p, nil)
-		matchTop := matchingTopK(s.in.Rows, s.in.Ranking, nd.p, k)
-		nd.children = append(nd.children, s.expandWithInto(nd, matchAll, matchTop, u, sk)...)
+		sk.sr = s.eng.acquire()
+		defer sk.sr.close()
+		mk := sk.sr.mark()
+		m := sk.sr.materialize(nd.p, k)
+		nd.children = append(nd.children, s.expandWithInto(nd, m, k, u, sk)...)
+		sk.sr.release(mk)
 	})
 	halted := false
 	for i := range sinks {
@@ -285,30 +284,31 @@ func (s *upperState) step(k int) (changed, ok bool) {
 
 // expandWithInto mirrors buildChildrenInto for step-time expansion,
 // returning the new children of nd.
-func (s *upperState) expandWithInto(nd *unode, matchAll, matchTop []int32, u int, sk *usink) []*unode {
+func (s *upperState) expandWithInto(nd *unode, m matchSet, k, u int, sk *usink) []*unode {
 	var kids []*unode
 	n := s.in.Space.NumAttrs()
 	for a := nd.p.MaxAttrIdx() + 1; a < n; a++ {
 		card := s.in.Space.Cards[a]
-		allBuckets := partitionByValue(s.in.Rows, matchAll, a, card)
-		topBuckets := partitionByValue(s.in.Rows, matchTop, a, card)
+		mk := sk.sr.mark()
+		cs := sk.sr.childStats(m, a, card, k, false)
 		for v := 0; v < card; v++ {
 			if sk.cn.stopped() {
 				return kids
 			}
 			sk.stats.NodesExamined++
-			sD := len(allBuckets[v])
+			sD := cs.size(v)
 			if sD < s.params.MinSize {
 				continue
 			}
-			child := &unode{p: nd.p.With(a, int32(v)), sD: sD, cnt: len(topBuckets[v])}
+			child := &unode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt > u {
 				sk.cands = append(sk.cands, child)
 				child.expanded = true
-				child.children = s.buildChildrenInto(child, allBuckets[v], topBuckets[v], u, sk)
+				child.children = s.buildChildrenInto(child, cs.at(v), k, u, sk)
 			}
 		}
+		sk.sr.release(mk)
 	}
 	return kids
 }

@@ -37,9 +37,10 @@ func IterTDGlobalUpperMostGeneralCtx(ctx context.Context, in *Input, params Glob
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(cn, in, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c
 		})
@@ -64,6 +65,7 @@ func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params Glo
 	if err := prepare(in, params.KMax, params.validate()); err != nil {
 		return nil, err
 	}
+	eng := newEngine(in)
 	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
 		l := params.lowerAt(k)
 		// Traverse every substantial pattern: below-ness is not prunable
@@ -72,32 +74,23 @@ func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params Glo
 		substantial := make(map[string]bool)
 		var below []Pattern
 		st.FullSearches++
-		n := in.Space.NumAttrs()
-		all := make([]int32, len(in.Rows))
-		for i := range all {
-			all[i] = int32(i)
-		}
-		top := make([]int32, k)
-		for i := 0; i < k; i++ {
-			top[i] = int32(in.Ranking[i])
-		}
-		queue := make([]searchEntry, 0, 64)
-		queue = appendChildren(queue, in, searchEntry{p: pattern.Empty(n), matchAll: all, matchTop: top})
+		queue := make([]unit, 0, 64)
+		queue = append(queue, eng.rootUnits(k)...)
 		for head := 0; head < len(queue); head++ {
 			if cn.stopped() {
 				return nil
 			}
 			e := queue[head]
-			queue[head] = searchEntry{}
+			queue[head] = unit{}
 			st.NodesExamined++
-			if len(e.matchAll) < params.MinSize {
+			if len(e.m.all) < params.MinSize {
 				continue
 			}
 			substantial[e.p.Key()] = true
-			if len(e.matchTop) < l {
+			if eng.topCount(e.m, k) < l {
 				below = append(below, e.p)
 			}
-			queue = appendChildren(queue, in, e)
+			queue = eng.appendChildren(queue, e)
 		}
 		var groups []Pattern
 		for _, p := range below {

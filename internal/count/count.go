@@ -38,6 +38,12 @@ type Index struct {
 	space   *pattern.Space
 	// rankOf[row] is the 0-based position of row in the ranking.
 	rankOf []int32
+	// rowAt[rank] is the encoded row at that rank position — the rank-major
+	// view of the dataset. Consumers that walk rank lists (the rank-space
+	// lattice search, the multi-attribute probes below) read attribute
+	// values as rowAt[r][a], one indirection instead of the
+	// rows[ranking[r]] double hop.
+	rowAt [][]int32
 	// postings[a][v] holds the rank positions of rows with row[a] == v,
 	// ascending. The per-(a,v) lists partition [0, n).
 	postings [][][]int32
@@ -52,6 +58,7 @@ func Build(rows [][]int32, space *pattern.Space, ranking []int) *Index {
 		ranking:  ranking,
 		space:    space,
 		rankOf:   make([]int32, len(rows)),
+		rowAt:    make([][]int32, len(rows)),
 		postings: make([][][]int32, space.NumAttrs()),
 	}
 	// Size the posting lists exactly before filling them, so Build does no
@@ -73,6 +80,7 @@ func Build(rows [][]int32, space *pattern.Space, ranking []int) *Index {
 	}
 	for rank, ri := range ranking {
 		ix.rankOf[ri] = int32(rank)
+		ix.rowAt[rank] = rows[ri]
 		for a, v := range rows[ri] {
 			ix.postings[a][v] = append(ix.postings[a][v], int32(rank))
 		}
@@ -85,6 +93,11 @@ func (ix *Index) NumRows() int { return len(ix.rows) }
 
 // RankOf returns the 0-based rank position of a row.
 func (ix *Index) RankOf(row int) int { return int(ix.rankOf[row]) }
+
+// RowsByRank exposes the rank-major row view: element r is the encoded row
+// at rank position r. Callers must not mutate it. The rank-space lattice
+// search partitions posting lists by attribute value through this view.
+func (ix *Index) RowsByRank() [][]int32 { return ix.rowAt }
 
 // Postings returns the posting list of (attr, value): the ascending rank
 // positions of the rows holding that value. Callers must not mutate it.
@@ -154,7 +167,7 @@ func (ix *Index) Count(p pattern.Pattern) int {
 	}
 	n := 0
 	for _, rk := range list {
-		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+		if matchesExcept(p, ix.rowAt[rk], probe) {
 			n++
 		}
 	}
@@ -184,7 +197,7 @@ func (ix *Index) CountTopK(p pattern.Pattern, k int) int {
 	}
 	n := 0
 	for _, rk := range list[:cut] {
-		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+		if matchesExcept(p, ix.rowAt[rk], probe) {
 			n++
 		}
 	}
@@ -212,7 +225,7 @@ func (ix *Index) MatchRanks(p pattern.Pattern) []int32 {
 	}
 	out := make([]int32, 0, len(list))
 	for _, rk := range list {
-		if matchesExcept(p, ix.rows[ix.ranking[rk]], probe) {
+		if matchesExcept(p, ix.rowAt[rk], probe) {
 			out = append(out, rk)
 		}
 	}

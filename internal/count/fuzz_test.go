@@ -1,6 +1,7 @@
 package count
 
 import (
+	"sort"
 	"testing"
 
 	"rankfair/internal/pattern"
@@ -71,6 +72,101 @@ func FuzzIndexedCounts(f *testing.F) {
 				}
 				if got, want := ix.CountTopK(p, k), p.CountTopK(rows, ranking, k); got != want {
 					t.Fatalf("CountTopK(%v, %d) = %d, naive %d", p, k, got, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzIntersect decodes an arbitrary byte string into two ascending rank
+// lists plus a small indexed dataset, and asserts the posting-list
+// intersection primitives match naive list filtering: IntersectInto against
+// a mark-and-sweep set intersection, and IntersectPostings against a row
+// scan through pattern.Matches. It is the coverage-guided twin of
+// TestIntersectMatchesNaive for the rank-space search engine.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 3, 4, 9, 8, 7, 6, 5, 0, 1, 2})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{16, 255, 0, 255, 0, 128, 64, 32, 16, 8, 4, 2, 1, 9, 9, 9, 9, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		// Lists: split the tail in two, dedup+sort each into rank lists.
+		// A skewed split exercises the galloping path.
+		split := 1 + int(data[0])%(len(data)-1)
+		toList := func(bs []byte) []int32 {
+			seen := make(map[int32]bool, len(bs))
+			for i, b := range bs {
+				// Spread values so runs of equal bytes still produce
+				// diverse gaps between entries.
+				seen[int32(b)+int32(i%3)*256] = true
+			}
+			out := make([]int32, 0, len(seen))
+			for v := range seen {
+				out = append(out, v)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		a, b := toList(data[1:split]), toList(data[split:])
+		got := IntersectInto(nil, a, b)
+		inB := make(map[int32]bool, len(b))
+		for _, x := range b {
+			inB[x] = true
+		}
+		var want []int32
+		for _, x := range a {
+			if inB[x] {
+				want = append(want, x)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("IntersectInto(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("IntersectInto(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+
+		// Index-level: a tiny two-attribute dataset from the same bytes;
+		// IntersectPostings must match the naive filter over every
+		// two-attribute pattern.
+		nRows := len(data)
+		if nRows > 48 {
+			nRows = 48
+		}
+		const cardA, cardB = 3, 4
+		space := &pattern.Space{Names: []string{"A", "B"}, Cards: []int{cardA, cardB}}
+		rows := make([][]int32, nRows)
+		ranking := make([]int, nRows)
+		for i := 0; i < nRows; i++ {
+			rows[i] = []int32{int32(data[i]) % cardA, int32(data[i]>>3) % cardB}
+			ranking[i] = i
+		}
+		for i := range ranking { // derive a permutation from the bytes
+			j := int(data[(i*7)%len(data)]) % nRows
+			ranking[i], ranking[j] = ranking[j], ranking[i]
+		}
+		ix := Build(rows, space, ranking)
+		for va := int32(0); va < cardA; va++ {
+			for vb := int32(0); vb < cardB; vb++ {
+				p := pattern.Pattern{va, vb}
+				ranks := ix.IntersectPostings(p)
+				var naive []int32
+				for r := 0; r < nRows; r++ {
+					if p.Matches(rows[ranking[r]]) {
+						naive = append(naive, int32(r))
+					}
+				}
+				if len(ranks) != len(naive) {
+					t.Fatalf("IntersectPostings(%v) = %v, naive filter %v", p, ranks, naive)
+				}
+				for i := range ranks {
+					if ranks[i] != naive[i] {
+						t.Fatalf("IntersectPostings(%v) = %v, naive filter %v", p, ranks, naive)
+					}
 				}
 			}
 		}

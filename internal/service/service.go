@@ -400,12 +400,20 @@ func analystCacheKey(hash string, spec *RankerSpec) string {
 // going through the analyst cache when it is enabled. The analyst — and
 // the counting index that builds lazily on it — is immutable, so sharing
 // one instance across concurrent audits, repairs and explanations is safe.
+// Cached analysts are admitted pre-warmed (Analyst.Warm builds the rank
+// index inside the singleflight), so every audit they serve — including
+// the admitting one — runs its lattice search in rank space over the
+// posting lists with zero setup scans.
 func (s *Service) analystFor(ctx context.Context, key string, table *rankfair.Dataset, ranker rankfair.Ranker) (*rankfair.Analyst, error) {
 	if s.analysts == nil {
 		return rankfair.New(table, ranker)
 	}
 	val, _, err := s.analysts.Do(ctx, key, func() (any, error) {
-		return rankfair.New(table, ranker)
+		a, err := rankfair.New(table, ranker)
+		if err == nil {
+			a.Warm()
+		}
+		return a, err
 	})
 	if err != nil {
 		return nil, err

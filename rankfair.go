@@ -137,13 +137,26 @@ type Analyst struct {
 	idx     *count.Index
 }
 
-// index returns the analyst's counting index, building it on first use.
+// index returns the analyst's counting index, building it on first use and
+// threading it into the algorithm-level input: every detection run after
+// this point starts its lattice search in rank space over the posting
+// lists with zero setup scans (core.StrategyAuto always prefers an
+// attached index). Callers reach the input only through methods that call
+// index() first, so the write is safely published by the Once.
 func (a *Analyst) index() *count.Index {
 	a.idxOnce.Do(func() {
 		a.idx = count.Build(a.in.Rows, a.in.Space, a.in.Ranking)
+		a.in.Index = a.idx
 	})
 	return a.idx
 }
+
+// Warm pre-builds the analyst's rank-indexed counting engine so the first
+// detection, report or explanation against this analyst starts warm. The
+// rankfaird service calls it when admitting an analyst into its cache;
+// library callers that build an Analyst ahead of serving traffic can do
+// the same.
+func (a *Analyst) Warm() { a.index() }
 
 // Count returns s_D(p), the number of tuples matching p, answered from the
 // shared posting-list index (O(bound attrs · shortest list) instead of a
@@ -191,6 +204,16 @@ func NewFromInput(in *Input, dicts [][]string) (*Analyst, error) {
 
 // Input exposes the algorithm-level view (rows, space, ranking).
 func (a *Analyst) Input() *Input { return a.in }
+
+// searchInput returns the algorithm-level input with the counting index
+// attached (built on first use): every facade detection entry point runs
+// its lattice search through this, so a warm Analyst — the service layer
+// caches them per (dataset hash, ranker key) — starts each search in rank
+// space over the posting lists with zero setup scans.
+func (a *Analyst) searchInput() *core.Input {
+	a.index()
+	return a.in
+}
 
 // Space exposes the categorical attribute universe.
 func (a *Analyst) Space() *Space { return a.in.Space }
@@ -255,7 +278,7 @@ func (r *Report) Format(p Pattern) string { return r.analyst.Format(p) }
 // DetectGlobal runs GLOBALBOUNDS (Algorithm 2): most general groups whose
 // top-k count falls below L_k, for every k in range.
 func (a *Analyst) DetectGlobal(params GlobalParams) (*Report, error) {
-	res, err := core.GlobalBounds(a.in, params)
+	res, err := core.GlobalBounds(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +288,7 @@ func (a *Analyst) DetectGlobal(params GlobalParams) (*Report, error) {
 // DetectGlobalBaseline runs the ITERTD baseline for global bounds. Unlike
 // DetectGlobal it accepts non-monotone bound sequences.
 func (a *Analyst) DetectGlobalBaseline(params GlobalParams) (*Report, error) {
-	res, err := core.IterTDGlobal(a.in, params)
+	res, err := core.IterTDGlobal(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +298,7 @@ func (a *Analyst) DetectGlobalBaseline(params GlobalParams) (*Report, error) {
 // DetectProportional runs PROPBOUNDS (Algorithm 3): most general groups
 // whose top-k count falls below α·s_D(p)·k/|D|, for every k in range.
 func (a *Analyst) DetectProportional(params PropParams) (*Report, error) {
-	res, err := core.PropBounds(a.in, params)
+	res, err := core.PropBounds(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +308,7 @@ func (a *Analyst) DetectProportional(params PropParams) (*Report, error) {
 // DetectProportionalBaseline runs the ITERTD baseline for proportional
 // representation.
 func (a *Analyst) DetectProportionalBaseline(params PropParams) (*Report, error) {
-	res, err := core.IterTDProp(a.in, params)
+	res, err := core.IterTDProp(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +318,7 @@ func (a *Analyst) DetectProportionalBaseline(params PropParams) (*Report, error)
 // DetectGlobalUpper finds the most specific substantial groups exceeding
 // the upper bounds U_k (Section III, "Upper bounds").
 func (a *Analyst) DetectGlobalUpper(params GlobalUpperParams) (*Report, error) {
-	res, err := core.IterTDGlobalUpper(a.in, params)
+	res, err := core.IterTDGlobalUpper(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +328,7 @@ func (a *Analyst) DetectGlobalUpper(params GlobalUpperParams) (*Report, error) {
 // DetectProportionalUpper finds the most specific substantial groups
 // exceeding β·s_D(p)·k/|D|.
 func (a *Analyst) DetectProportionalUpper(params PropUpperParams) (*Report, error) {
-	res, err := core.IterTDPropUpper(a.in, params)
+	res, err := core.IterTDPropUpper(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +342,7 @@ func (a *Analyst) DetectProportionalUpper(params PropUpperParams) (*Report, erro
 // the fairness-in-ranking literature the paper builds on). It runs the
 // incremental ExposureBounds algorithm.
 func (a *Analyst) DetectExposure(params ExposureParams) (*Report, error) {
-	res, err := core.ExposureBounds(a.in, params)
+	res, err := core.ExposureBounds(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +351,7 @@ func (a *Analyst) DetectExposure(params ExposureParams) (*Report, error) {
 
 // DetectExposureBaseline runs the per-k baseline for the exposure measure.
 func (a *Analyst) DetectExposureBaseline(params ExposureParams) (*Report, error) {
-	res, err := core.IterTDExposure(a.in, params)
+	res, err := core.IterTDExposure(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +363,7 @@ func (a *Analyst) DetectExposureBaseline(params ExposureParams) (*Report, error)
 // III sketches for analysts who want maximal detail rather than concise
 // descriptions.
 func (a *Analyst) DetectGlobalLowerMostSpecific(params GlobalParams) (*Report, error) {
-	res, err := core.IterTDGlobalLowerMostSpecific(a.in, params)
+	res, err := core.IterTDGlobalLowerMostSpecific(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +373,7 @@ func (a *Analyst) DetectGlobalLowerMostSpecific(params GlobalParams) (*Report, e
 // DetectGlobalUpperMostGeneral reports the most general groups exceeding
 // the upper bounds (by count monotonicity these bind a single attribute).
 func (a *Analyst) DetectGlobalUpperMostGeneral(params GlobalUpperParams) (*Report, error) {
-	res, err := core.IterTDGlobalUpperMostGeneral(a.in, params)
+	res, err := core.IterTDGlobalUpperMostGeneral(a.searchInput(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -387,9 +410,9 @@ func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, e
 		var res *Result
 		var err error
 		if params.Baseline {
-			res, err = core.IterTDGlobalCtx(ctx, a.in, gp, w)
+			res, err = core.IterTDGlobalCtx(ctx, a.searchInput(), gp, w)
 		} else {
-			res, err = core.GlobalBoundsCtx(ctx, a.in, gp, w)
+			res, err = core.GlobalBoundsCtx(ctx, a.searchInput(), gp, w)
 		}
 		if err != nil {
 			return nil, err
@@ -400,9 +423,9 @@ func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, e
 		var res *Result
 		var err error
 		if params.Baseline {
-			res, err = core.IterTDPropCtx(ctx, a.in, pp, w)
+			res, err = core.IterTDPropCtx(ctx, a.searchInput(), pp, w)
 		} else {
-			res, err = core.PropBoundsCtx(ctx, a.in, pp, w)
+			res, err = core.PropBoundsCtx(ctx, a.searchInput(), pp, w)
 		}
 		if err != nil {
 			return nil, err
@@ -410,14 +433,14 @@ func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, e
 		return (&Report{Result: res, analyst: a}).attachProp(pp), nil
 	case MeasureGlobalUpper:
 		up := GlobalUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Upper: params.Upper}
-		res, err := core.IterTDGlobalUpperCtx(ctx, a.in, up, w)
+		res, err := core.IterTDGlobalUpperCtx(ctx, a.searchInput(), up, w)
 		if err != nil {
 			return nil, err
 		}
 		return (&Report{Result: res, analyst: a}).attachGlobalUpper(up), nil
 	case MeasurePropUpper:
 		up := PropUpperParams{MinSize: params.MinSize, KMin: params.KMin, KMax: params.KMax, Beta: params.Beta}
-		res, err := core.IterTDPropUpperCtx(ctx, a.in, up, w)
+		res, err := core.IterTDPropUpperCtx(ctx, a.searchInput(), up, w)
 		if err != nil {
 			return nil, err
 		}
@@ -427,9 +450,9 @@ func (a *Analyst) DetectCtx(ctx context.Context, params AuditParams) (*Report, e
 		var res *Result
 		var err error
 		if params.Baseline {
-			res, err = core.IterTDExposureCtx(ctx, a.in, ep, w)
+			res, err = core.IterTDExposureCtx(ctx, a.searchInput(), ep, w)
 		} else {
-			res, err = core.ExposureBoundsCtx(ctx, a.in, ep, w)
+			res, err = core.ExposureBoundsCtx(ctx, a.searchInput(), ep, w)
 		}
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 
 	"rankfair/internal/core"
@@ -45,11 +46,20 @@ const (
 // in the dataset plus, for every k in the report's range, its top-k count
 // (and, for exposure reports, its top-k exposure). Built in one pass per
 // group from the rank-indexed match list — counts at k+1 derive from
-// counts at k — instead of a dataset scan per (group, k).
+// counts at k — instead of a dataset scan per (group, k). The rendered
+// JSON labels are precomputed here too: a group typically appears at many
+// prefixes, and building its attribute→label map per (group, k) dominated
+// warm-report serialization.
 type groupCounts struct {
 	sD     int
 	counts []int32   // counts[k-KMin] = s_{R_k(D)}(p)
 	exps   []float64 // exposure kind only: exps[k-KMin] = exposure_k(p)
+	// labels maps attribute names to value labels (GroupJSON.Pattern);
+	// shared read-only across every k-level entry of the group. pairs is
+	// the same assignment as sorted key/value pairs, the iteration order
+	// the streaming JSON encoder needs (encoding/json sorts map keys).
+	labels map[string]string
+	pairs  [][2]string
 }
 
 // levelEntry pairs one group of a k-level result set with its canonical
@@ -116,6 +126,7 @@ func (r *Report) materialized() [][]levelEntry {
 				if r.kind == kindExposure {
 					gc.exps = count.ExposuresOver(ranks, w, r.KMin, r.KMax)
 				}
+				gc.labels, gc.pairs = r.groupLabels(g)
 				mat[key] = gc
 			}
 			level[gi] = levelEntry{key: key, gc: gc}
@@ -162,27 +173,49 @@ func (r *Report) boundNaive(sD, k int) float64 {
 	return r.eParams.Alpha * float64(sD) * ek / n
 }
 
-// InfoAt returns the result set at k enriched with sizes, bounds and bias
-// magnitudes, sorted by descending bias (ties: larger groups first, then
-// deterministic key order). Counts come from the report's materialized
-// per-group vectors (see materialized); outputs are byte-identical to the
-// naive dataset scans they replaced.
-func (r *Report) InfoAt(k int) []GroupInfo {
+// groupLabels renders a group's attribute→label assignment once per
+// distinct group: the map feeds GroupJSON.Pattern (shared read-only by
+// every k level the group appears at), the sorted pairs feed the streaming
+// encoder. Duplicate attribute names collapse exactly as they do in the
+// map, so the pair view and the map marshal identically.
+func (r *Report) groupLabels(g Pattern) (map[string]string, [][2]string) {
+	attrs := g.Attrs()
+	labels := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		label := strconv.Itoa(int(g[a]))
+		if r.analyst.dicts != nil && a < len(r.analyst.dicts) && int(g[a]) < len(r.analyst.dicts[a]) {
+			label = r.analyst.dicts[a][g[a]]
+		}
+		labels[r.analyst.in.Space.Names[a]] = label
+	}
+	pairs := make([][2]string, 0, len(labels))
+	for name, label := range labels {
+		pairs = append(pairs, [2]string{name, label})
+	}
+	slices.SortFunc(pairs, func(a, b [2]string) int { return strings.Compare(a[0], b[0]) })
+	return labels, pairs
+}
+
+// keyedInfo pairs one enriched group with its materialized level entry, so
+// serialization reads precomputed keys and label maps instead of
+// rebuilding them per (group, k).
+type keyedInfo struct {
+	info GroupInfo
+	le   levelEntry
+}
+
+// enrichedAt computes the enriched result set at k from the materialized
+// per-group vectors, sorted by descending bias (ties: larger groups first,
+// then deterministic key order). It returns nil when k is out of range.
+func (r *Report) enrichedAt(k int) []keyedInfo {
 	groups := r.At(k)
 	if groups == nil {
 		return nil
-	}
-	if r.naiveCounts {
-		return r.infoAtNaive(k)
 	}
 	level := r.materialized()[k-r.KMin]
 	var expPrefix []float64
 	if r.kind == kindExposure {
 		expPrefix = r.exposurePrefix()
-	}
-	type keyedInfo struct {
-		info GroupInfo
-		key  string
 	}
 	items := make([]keyedInfo, len(groups))
 	for i, g := range groups {
@@ -201,7 +234,7 @@ func (r *Report) InfoAt(k int) []GroupInfo {
 		}
 		items[i] = keyedInfo{
 			info: GroupInfo{Pattern: g, Size: sD, TopK: cnt, Required: req, Bias: bias},
-			key:  le.key,
+			le:   le,
 		}
 	}
 	slices.SortFunc(items, func(a, b keyedInfo) int {
@@ -214,8 +247,27 @@ func (r *Report) InfoAt(k int) []GroupInfo {
 		if a.info.Size != b.info.Size {
 			return b.info.Size - a.info.Size
 		}
-		return strings.Compare(a.key, b.key)
+		return strings.Compare(a.le.key, b.le.key)
 	})
+	return items
+}
+
+// InfoAt returns the result set at k enriched with sizes, bounds and bias
+// magnitudes, sorted by descending bias (ties: larger groups first, then
+// deterministic key order). Counts come from the report's materialized
+// per-group vectors (see materialized); outputs are byte-identical to the
+// naive dataset scans they replaced.
+func (r *Report) InfoAt(k int) []GroupInfo {
+	if r.naiveCounts {
+		if r.At(k) == nil {
+			return nil
+		}
+		return r.infoAtNaive(k)
+	}
+	items := r.enrichedAt(k)
+	if items == nil {
+		return nil
+	}
 	infos := make([]GroupInfo, len(items))
 	for i := range items {
 		infos[i] = items[i].info

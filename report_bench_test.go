@@ -1,6 +1,8 @@
 package rankfair
 
 import (
+	"encoding/json"
+	"io"
 	"sync"
 	"testing"
 
@@ -87,6 +89,31 @@ func BenchmarkReportToJSON(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if out := rep.ToJSON(); len(out.Results) == 0 {
 				b.Fatal("empty report")
+			}
+		}
+	})
+}
+
+// BenchmarkReportWriteJSON isolates the encoding layer on a warm report:
+// the reflective encoding/json encoder (the pre-PR WriteJSON) against the
+// pooled-buffer streaming encoder, whose output is byte-identical
+// (TestWriteJSONMatchesEncodingJSONOnRealReport).
+func BenchmarkReportWriteJSON(b *testing.B) {
+	rep := wideReport(b)
+	rep.ToJSON() // materialize once
+	b.Run("encoding-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc := json.NewEncoder(io.Discard)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep.ToJSON()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := rep.WriteJSON(io.Discard); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

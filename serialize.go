@@ -1,7 +1,6 @@
 package rankfair
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -205,8 +204,35 @@ func (r *Report) measureName() string {
 	}
 }
 
-// ToJSON converts the report to its serializable form.
+// ToJSON converts the report to its serializable form. On the indexed path
+// every per-group constant — canonical key, attribute→label map, size — is
+// precomputed once per distinct group (see groupCounts), so a k level
+// costs struct copies plus the per-k numbers; the naive path rebuilds
+// everything per (group, k) and is kept as the differential baseline.
+// Returned Pattern maps are independent copies, safe for callers to
+// mutate, exactly as before the per-group precomputation.
 func (r *Report) ToJSON() *ReportJSON {
+	out := r.toJSONShared()
+	// Unshare the cached label maps: one clone per (group, k) entry keeps
+	// the public contract (mutating one entry affects nothing else) while
+	// the hot internal path (WriteJSON) keeps the shared maps.
+	for _, kg := range out.Results {
+		for i := range kg.Groups {
+			shared := kg.Groups[i].Pattern
+			cloned := make(map[string]string, len(shared))
+			for k, v := range shared {
+				cloned[k] = v
+			}
+			kg.Groups[i].Pattern = cloned
+		}
+	}
+	return out
+}
+
+// toJSONShared builds the serializable form with GroupJSON.Pattern
+// aliasing the report's cached per-group label maps. Internal consumers
+// (the streaming encoder) only read them.
+func (r *Report) toJSONShared() *ReportJSON {
 	out := &ReportJSON{
 		Measure:       r.measureName(),
 		KMin:          r.KMin,
@@ -216,39 +242,77 @@ func (r *Report) ToJSON() *ReportJSON {
 		FullSearches:  r.Stats.FullSearches,
 	}
 	for k := r.KMin; k <= r.KMax; k++ {
-		infos := r.InfoAt(k)
-		if len(infos) == 0 {
-			continue
-		}
-		kg := KGroupsJSON{K: k, Groups: make([]GroupJSON, len(infos))}
-		for i, info := range infos {
-			assigns := make(map[string]string, info.Pattern.NumAttrs())
-			for _, a := range info.Pattern.Attrs() {
-				label := strconv.Itoa(int(info.Pattern[a]))
-				if r.analyst.dicts != nil && a < len(r.analyst.dicts) && int(info.Pattern[a]) < len(r.analyst.dicts[a]) {
-					label = r.analyst.dicts[a][info.Pattern[a]]
+		var kg KGroupsJSON
+		if r.naiveCounts {
+			kg = r.kGroupsNaive(k)
+		} else {
+			items := r.enrichedAt(k)
+			if len(items) == 0 {
+				continue
+			}
+			kg = KGroupsJSON{K: k, Groups: make([]GroupJSON, len(items))}
+			for i, it := range items {
+				kg.Groups[i] = GroupJSON{
+					Pattern:  it.le.gc.labels,
+					Key:      it.le.key,
+					Size:     it.info.Size,
+					TopK:     it.info.TopK,
+					Required: it.info.Required,
+					Bias:     it.info.Bias,
 				}
-				assigns[r.analyst.in.Space.Names[a]] = label
 			}
-			kg.Groups[i] = GroupJSON{
-				Pattern:  assigns,
-				Key:      info.Pattern.Key(),
-				Size:     info.Size,
-				TopK:     info.TopK,
-				Required: info.Required,
-				Bias:     info.Bias,
-			}
+		}
+		if len(kg.Groups) == 0 {
+			continue
 		}
 		out.Results = append(out.Results, kg)
 	}
 	return out
 }
 
-// WriteJSON writes the report as indented JSON.
+// kGroupsNaive is the pre-index per-k serialization, preserved verbatim as
+// the differential baseline: label maps and keys rebuilt per (group, k).
+func (r *Report) kGroupsNaive(k int) KGroupsJSON {
+	infos := r.InfoAt(k)
+	if len(infos) == 0 {
+		return KGroupsJSON{}
+	}
+	kg := KGroupsJSON{K: k, Groups: make([]GroupJSON, len(infos))}
+	for i, info := range infos {
+		assigns := make(map[string]string, info.Pattern.NumAttrs())
+		for _, a := range info.Pattern.Attrs() {
+			label := strconv.Itoa(int(info.Pattern[a]))
+			if r.analyst.dicts != nil && a < len(r.analyst.dicts) && int(info.Pattern[a]) < len(r.analyst.dicts[a]) {
+				label = r.analyst.dicts[a][info.Pattern[a]]
+			}
+			assigns[r.analyst.in.Space.Names[a]] = label
+		}
+		kg.Groups[i] = GroupJSON{
+			Pattern:  assigns,
+			Key:      info.Pattern.Key(),
+			Size:     info.Size,
+			TopK:     info.TopK,
+			Required: info.Required,
+			Bias:     info.Bias,
+		}
+	}
+	return kg
+}
+
+// WriteJSON writes the report as indented JSON: one pooled buffer, one
+// Write. The hand-rolled encoder (appendReportJSON) produces output
+// byte-identical to encoding/json's indented encoder — including HTML
+// escaping, map-key ordering and float formatting — without reflection or
+// per-call buffer growth; TestAppendReportJSONMatchesEncodingJSON holds it
+// to that contract.
 func (r *Report) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r.ToJSON())
+	buf := encBuf.Get().(*[]byte)
+	out := appendReportJSON((*buf)[:0], r.toJSONShared())
+	out = append(out, '\n') // json.Encoder.Encode terminates with a newline
+	_, err := w.Write(out)
+	*buf = out[:0]
+	encBuf.Put(buf)
+	return err
 }
 
 // ParseGroupKey decodes a GroupJSON key back into a Pattern over the

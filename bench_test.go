@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -413,6 +414,18 @@ func BenchmarkIndexedSearch(b *testing.B) {
 				}
 			}
 		})
+		// The snapshot-dominated workload (PR 5 satellite): a wide k range
+		// at τs=10 makes the per-k Res recomputation — sortNodesInterned +
+		// the mask-prefiltered markDominated — the dominant cost, so this
+		// series tracks the snapshot path itself rather than the tree walk.
+		b.Run(fmt.Sprintf("prop-wide/%s", eng.name), func(b *testing.B) {
+			wide := core.PropParams{MinSize: 10, KMin: 10, KMax: 200, Alpha: 0.8}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PropBoundsCtx(ctx, &in, wide, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -542,6 +555,72 @@ func BenchmarkServiceAudit(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkStreamAppend measures advancing a dataset by one batch, from a
+// warm analyst to a warm analyst for the new generation, on the two append
+// paths of the streaming ingestion subsystem:
+//
+//   - incremental: Dataset.AppendRows (schema-checked column extension) +
+//     Analyst.Append (ranking merge-insert, copy-on-write posting-list
+//     maintenance, aliased row prefix) — what rankfaird does below the
+//     cost model's cut-over.
+//   - rebuild: re-decode the concatenated CSV + rankfair.New + Warm (full
+//     re-rank and index build) — the fallback path, and exactly what a
+//     fresh upload pays.
+//
+// Batch rows are drawn from the same score distribution as the base, so
+// insertions spread across the whole ranking — the copy-on-write path's
+// worst case (bottom-of-ranking appends alias almost every posting list).
+// The cost model (stream.CostModel) governs the crossover; the incremental
+// path must win clearly at small b.
+func BenchmarkStreamAppend(b *testing.B) {
+	const nBase = 20000
+	for _, batch := range []int{1, 16, 256, 4096} {
+		bundle := synth.GermanCredit(nBase+batch, 41)
+		baseCSV, fullCSV, records := splitCSV(b, bundle.Table, nBase)
+		base, err := rankfair.ReadCSV(strings.NewReader(baseCSV), rankfair.CSVOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ranker := &rankfair.ByColumns{Keys: []rankfair.ColumnKey{{Column: "credit_score", Descending: true}}}
+		baseAnalyst, err := rankfair.New(base, ranker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseAnalyst.Warm()
+		b.Run(fmt.Sprintf("incremental/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl, err := base.AppendRows(records)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := baseAnalyst.Append(tbl, ranker)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSinkAnalyst = a
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl, err := rankfair.ReadCSV(strings.NewReader(fullCSV), rankfair.CSVOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := rankfair.New(tbl, ranker)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.Warm()
+				benchSinkAnalyst = a
+			}
+		})
+	}
+}
+
+// benchSinkAnalyst keeps the append results live so the compiler cannot
+// elide the work.
+var benchSinkAnalyst *rankfair.Analyst
 
 // BenchmarkExtensionRepair measures the FairTopK constrained selection.
 func BenchmarkExtensionRepair(b *testing.B) {

@@ -41,18 +41,20 @@ func main() {
 		analystSize = flag.Int("analyst-cache", 32, "built-analyst cache entries per (dataset, ranker); 0 selects the default (32), negative disables analyst reuse")
 		maxDatasets = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
 		maxUpload   = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
+		streamFrac  = flag.Float64("stream-rebuild-fraction", 0, "append batches at or above this fraction of the dataset's rows rebuild instead of applying incrementally (0 = default 0.25, negative disables the incremental path)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:             *workers,
-		AuditWorkers:        *auditW,
-		QueueDepth:          *queue,
-		CacheEntries:        *cacheSize,
-		AnalystCacheEntries: *analystSize,
-		MaxDatasets:         *maxDatasets,
-		MaxUploadBytes:      *maxUpload,
+		Workers:               *workers,
+		AuditWorkers:          *auditW,
+		QueueDepth:            *queue,
+		CacheEntries:          *cacheSize,
+		AnalystCacheEntries:   *analystSize,
+		MaxDatasets:           *maxDatasets,
+		MaxUploadBytes:        *maxUpload,
+		StreamRebuildFraction: *streamFrac,
 	}
 	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rankfaird:", err)

@@ -117,6 +117,67 @@ func (in *Input) Validate() error {
 	return nil
 }
 
+// ValidateAppend validates in as an append extension of an already
+// validated parent input and memoizes the result, in O(n + b·attrs)
+// instead of Validate's O(n·attrs): the shared row prefix is checked by
+// slice identity (the streaming append path aliases the parent's row
+// slices rather than re-encoding them), so only the appended rows' domains
+// and the new ranking permutation need examining. It is the validation
+// step of the streaming ingestion path; anything it cannot prove cheaply
+// it rejects, and the caller falls back to a full Validate via a fresh
+// build.
+func (in *Input) ValidateAppend(parent *Input) error {
+	if in == nil || parent == nil {
+		return errors.New("core: nil input")
+	}
+	if !parent.validated {
+		return errors.New("core: append parent is not validated")
+	}
+	if in.Space == nil || in.Space.NumAttrs() != parent.Space.NumAttrs() {
+		return errors.New("core: append changes the attribute space")
+	}
+	for a, c := range in.Space.Cards {
+		if c != parent.Space.Cards[a] || in.Space.Names[a] != parent.Space.Names[a] {
+			return fmt.Errorf("core: append changes attribute %d", a)
+		}
+	}
+	n := len(parent.Rows)
+	if len(in.Rows) < n {
+		return fmt.Errorf("core: append shrinks the dataset (%d rows, parent has %d)", len(in.Rows), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(parent.Rows[i]) == 0 || len(in.Rows[i]) != len(parent.Rows[i]) || &in.Rows[i][0] != &parent.Rows[i][0] {
+			return fmt.Errorf("core: append row %d does not alias the parent row", i)
+		}
+	}
+	attrs := in.Space.NumAttrs()
+	for i := n; i < len(in.Rows); i++ {
+		if len(in.Rows[i]) != attrs {
+			return fmt.Errorf("core: row %d has %d attributes, want %d", i, len(in.Rows[i]), attrs)
+		}
+		for j, v := range in.Rows[i] {
+			if v < 0 || int(v) >= in.Space.Cards[j] {
+				return fmt.Errorf("core: row %d attribute %d: value %d out of domain [0,%d)", i, j, v, in.Space.Cards[j])
+			}
+		}
+	}
+	if len(in.Ranking) != len(in.Rows) {
+		return fmt.Errorf("core: ranking has %d entries for %d rows", len(in.Ranking), len(in.Rows))
+	}
+	seen := make([]bool, len(in.Rows))
+	for _, ri := range in.Ranking {
+		if ri < 0 || ri >= len(seen) || seen[ri] {
+			return fmt.Errorf("core: ranking is not a permutation (index %d)", ri)
+		}
+		seen[ri] = true
+	}
+	if in.Index != nil && in.Index.NumRows() != len(in.Rows) {
+		return fmt.Errorf("core: attached index covers %d rows, input has %d", in.Index.NumRows(), len(in.Rows))
+	}
+	in.validated = true
+	return nil
+}
+
 // Stats records work accounting used by the experimental study (Section
 // VI-B compares the number of patterns examined by the baseline and the
 // optimized algorithms).
@@ -241,6 +302,42 @@ func ConstantBounds(kMin, kMax, l int) []int {
 		out[i] = l
 	}
 	return out
+}
+
+// sortNodesInterned orders persistent search-tree nodes by (number of
+// bound attributes, canonical key) — the generality order with
+// deterministic ties every snapshot emits — interning each node's key on
+// first use via the key accessor. A persistent node survives across the
+// staircase's per-k snapshots, so its key is built exactly once per node
+// lifetime instead of once per (node, snapshot); on the snapshot-dominated
+// proportional sweep the key building was most of the sort. One generic
+// implementation serves the three node types (gnode, pnode, enode).
+func sortNodesInterned[N any](nodes []*N, pat func(*N) pattern.Pattern, key func(*N) *string) {
+	if len(nodes) < 2 {
+		return
+	}
+	type keyed struct {
+		nd    *N
+		attrs int
+		key   string
+	}
+	items := make([]keyed, len(nodes))
+	for i, nd := range nodes {
+		kp := key(nd)
+		if *kp == "" {
+			*kp = pat(nd).Key()
+		}
+		items[i] = keyed{nd: nd, attrs: pat(nd).NumAttrs(), key: *kp}
+	}
+	slices.SortFunc(items, func(a, b keyed) int {
+		if a.attrs != b.attrs {
+			return a.attrs - b.attrs
+		}
+		return strings.Compare(a.key, b.key)
+	})
+	for i := range items {
+		nodes[i] = items[i].nd
+	}
 }
 
 // sortPatterns orders a result set by (number of bound attributes, key) so

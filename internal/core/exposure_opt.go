@@ -89,6 +89,8 @@ type enode struct {
 	expanded bool
 	children []*enode
 	ktilde   int
+	// key interns p.Key() on first snapshot use (sortNodesInterned).
+	key string
 }
 
 // esink mirrors psink for the exposure measure.
@@ -380,13 +382,9 @@ func (s *exposureState) snapshot() (groups []Pattern, ok bool) {
 	for nd := range s.biasedSet {
 		nodes = append(nodes, nd)
 	}
-	sort.Slice(nodes, func(i, j int) bool {
-		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
-		if ni != nj {
-			return ni < nj
-		}
-		return nodes[i].p.Key() < nodes[j].p.Key()
-	})
+	sortNodesInterned(nodes,
+		func(nd *enode) pattern.Pattern { return nd.p },
+		func(nd *enode) *string { return &nd.key })
 	ps := make([]pattern.Pattern, len(nodes))
 	for i, nd := range nodes {
 		ps[i] = nd.p

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"rankfair/internal/pattern"
 )
@@ -17,6 +16,10 @@ type gnode struct {
 	biased   bool     // cnt < L_k
 	expanded bool     // children have been generated
 	children []*gnode // explored children with sD >= minSize
+	// key interns p.Key() on first snapshot use (sortNodesInterned): the
+	// node persists across the staircase's per-k snapshots, so the
+	// canonical key is built once per node, not once per snapshot.
+	key string
 }
 
 // gsink collects the side effects of one subtree build: the biased
@@ -350,26 +353,27 @@ func (s *globalState) normalize() bool {
 	return true
 }
 
-// snapshot renders the current Res as a sorted pattern slice.
+// snapshot renders the current Res as a sorted pattern slice, sorting by
+// the nodes' interned keys instead of rebuilding keys per snapshot.
 func (s *globalState) snapshot() []Pattern {
-	out := make([]Pattern, 0, len(s.res))
+	nodes := make([]*gnode, 0, len(s.res))
 	for nd := range s.res {
-		out = append(out, nd.p)
+		nodes = append(nodes, nd)
 	}
-	sortPatterns(out)
+	sortNodes(nodes)
+	out := make([]Pattern, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd.p
+	}
 	return out
 }
 
 // sortNodes orders nodes by (number of bound attributes, key): generality
-// order with deterministic ties.
+// order with deterministic ties, through the interned per-node keys.
 func sortNodes(nodes []*gnode) {
-	sort.Slice(nodes, func(i, j int) bool {
-		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
-		if ni != nj {
-			return ni < nj
-		}
-		return nodes[i].p.Key() < nodes[j].p.Key()
-	})
+	sortNodesInterned(nodes,
+		func(nd *gnode) pattern.Pattern { return nd.p },
+		func(nd *gnode) *string { return &nd.key })
 }
 
 // matchingRows returns the indices of rows matching p. If base is non-nil

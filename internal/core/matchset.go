@@ -108,6 +108,16 @@ type engine struct {
 	// order, so the float results are bit-identical across engines.
 	weightByRow  []float64
 	weightByRank []float64
+	// rootAll caches the lists engine's k-independent root partition: the
+	// full dataset bucketed per (attribute, value), which every full build
+	// used to recompute even when only the bound changed (the GLOBALBOUNDS
+	// staircase performs one build per bound increase, the per-k baselines
+	// one per k). The rank-space engine gets this for free by aliasing
+	// posting lists; the Once makes the lazy fill safe under the per-k
+	// baselines' concurrent rootUnits calls. Only the top-k buckets remain
+	// per-call work.
+	rootAllOnce sync.Once
+	rootAll     [][][]int32 // [attr][value] → matching row indices
 }
 
 // newEngine resolves the input's strategy and builds the index when the
@@ -170,10 +180,16 @@ func (e *engine) rootUnits(k int) []unit {
 		}
 		return units
 	}
-	all := make([]int32, len(e.in.Rows))
-	for i := range all {
-		all[i] = int32(i)
-	}
+	e.rootAllOnce.Do(func() {
+		all := make([]int32, len(e.in.Rows))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		e.rootAll = make([][][]int32, n)
+		for a := 0; a < n; a++ {
+			e.rootAll[a] = partitionByValue(e.in.Rows, all, a, space.Cards[a])
+		}
+	})
 	if k > len(e.in.Ranking) {
 		k = len(e.in.Ranking)
 	}
@@ -185,10 +201,9 @@ func (e *engine) rootUnits(k int) []unit {
 	empty := pattern.Empty(n)
 	for a := 0; a < n; a++ {
 		card := space.Cards[a]
-		allBuckets := partitionByValue(e.in.Rows, all, a, card)
 		topBuckets := partitionByValue(e.in.Rows, top, a, card)
 		for v := 0; v < card; v++ {
-			units = append(units, unit{p: empty.With(a, int32(v)), m: matchSet{all: allBuckets[v], top: topBuckets[v]}})
+			units = append(units, unit{p: empty.With(a, int32(v)), m: matchSet{all: e.rootAll[a][v], top: topBuckets[v]}})
 		}
 	}
 	return units

@@ -131,17 +131,27 @@ func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *cancele
 // subset of ps[i]. Because a proper subset always has strictly fewer bound
 // attributes, patterns within one generality level cannot dominate each
 // other, so each level is checked against the accepted prefix concurrently.
-// This filter is the quadratic hot spot on adversarial workloads (the
-// Theorem 3.3 construction yields C(n, n/2) mutually incomparable groups),
-// which is why it fans out alongside the tree build — and why it polls ctx
-// (per level, then every 64 scans and every 4096 subset checks): the
-// cancellation-latency bound must cover the dominant cost, not just the
-// tree traversal. When canceled it reports halted=true and the partial
-// mask is meaningless.
+// The scan reuses the subsetFilter attribute-bitmask prefilter: each
+// pattern's bound-attribute set folds into one uint64 (attrMask), and a
+// candidate only pays a ProperSubsetOf comparison against accepted patterns
+// whose mask can nest inside its own — on the wide biased frontiers of the
+// proportional staircase sweep this skips the vast majority of pairs with
+// one AND-NOT each. This filter is the quadratic hot spot on adversarial
+// workloads (the Theorem 3.3 construction yields C(n, n/2) mutually
+// incomparable groups), which is why it fans out alongside the tree build —
+// and why it polls ctx (per level, then every 64 scans and every 4096
+// subset checks): the cancellation-latency bound must cover the dominant
+// cost, not just the tree traversal. When canceled it reports halted=true
+// and the partial mask is meaningless.
 func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask []bool, halted bool) {
 	mask = make([]bool, len(ps))
+	pms := make([]uint64, len(ps))
+	for i, p := range ps {
+		pms[i] = attrMask(p)
+	}
 	var stop atomic.Bool
 	var res []pattern.Pattern
+	var resMasks []uint64
 	for start := 0; start < len(ps); {
 		if ctx != nil && ctx.Err() != nil {
 			return mask, true
@@ -160,11 +170,12 @@ func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask
 				return
 			}
 			p := ps[start+i]
-			for j, q := range res {
+			pm := pms[start+i]
+			for j, qm := range resMasks {
 				if j&4095 == 4095 && stop.Load() {
 					return
 				}
-				if q.ProperSubsetOf(p) {
+				if qm&^pm == 0 && res[j].ProperSubsetOf(p) {
 					mask[start+i] = true
 					return
 				}
@@ -176,6 +187,7 @@ func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask
 		for i := start; i < end; i++ {
 			if !mask[i] {
 				res = append(res, ps[i])
+				resMasks = append(resMasks, pms[i])
 			}
 		}
 		start = end

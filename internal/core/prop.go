@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sort"
 
 	"rankfair/internal/pattern"
 )
@@ -22,6 +21,8 @@ type pnode struct {
 	// ktilde is, for an unbiased node, the smallest k at which the node
 	// becomes biased if its count stays unchanged (the k̃ of Section IV-C).
 	ktilde int
+	// key interns p.Key() on first snapshot use (sortNodesInterned).
+	key string
 }
 
 // psink collects the side effects of one subtree build or one serial step
@@ -397,13 +398,9 @@ func (s *propState) snapshot() (groups []Pattern, ok bool) {
 	for nd := range s.biasedSet {
 		nodes = append(nodes, nd)
 	}
-	sort.Slice(nodes, func(i, j int) bool {
-		ni, nj := nodes[i].p.NumAttrs(), nodes[j].p.NumAttrs()
-		if ni != nj {
-			return ni < nj
-		}
-		return nodes[i].p.Key() < nodes[j].p.Key()
-	})
+	sortNodesInterned(nodes,
+		func(nd *pnode) pattern.Pattern { return nd.p },
+		func(nd *pnode) *string { return &nd.key })
 	ps := make([]pattern.Pattern, len(nodes))
 	for i, nd := range nodes {
 		ps[i] = nd.p

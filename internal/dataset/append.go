@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrSchemaDrift marks an append batch that is structurally valid but
+// changes the table's decoded schema: a categorical value outside the
+// column's existing dictionary, or a non-numeric value in a numeric column.
+// Re-decoding the concatenated CSV from scratch would produce a different
+// dictionary (or flip the column's kind), so the cheap in-place append
+// cannot be byte-equivalent to a fresh upload — callers detect this
+// sentinel with errors.Is and fall back to the full rebuild path, which
+// handles drift correctly by construction.
+var ErrSchemaDrift = errors.New("dataset: append changes the decoded schema")
+
+// AppendRows returns a new table extending t with the given records (one
+// string per column, in column order — the shape one CSV row decodes to).
+// The receiver is never mutated: column code/float slices are copied with
+// room for the batch, dictionaries are shared (they are immutable by
+// convention and unchanged by a drift-free append). The resulting table is
+// exactly what ReadCSV would decode from the original CSV plus the batch
+// rows — same dictionaries, same codes, same floats — which is what lets
+// the streaming layer maintain rankings and posting-list indexes
+// incrementally instead of rebuilding them; batches that would change the
+// schema return ErrSchemaDrift.
+func (t *Table) AppendRows(records [][]string) (*Table, error) {
+	for i, rec := range records {
+		if len(rec) != t.NumCols() {
+			return nil, fmt.Errorf("dataset: append row %d has %d fields, table has %d columns", i, len(rec), t.NumCols())
+		}
+	}
+	out := New()
+	for j, c := range t.cols {
+		switch c.Kind {
+		case Categorical:
+			codes := make([]int32, len(c.Codes), len(c.Codes)+len(records))
+			copy(codes, c.Codes)
+			for i, rec := range records {
+				code := c.Code(rec[j])
+				if code < 0 {
+					return nil, fmt.Errorf("%w: column %q row %d: new value %q", ErrSchemaDrift, c.Name, i, rec[j])
+				}
+				codes = append(codes, code)
+			}
+			nc := &Column{Name: c.Name, Kind: Categorical, Codes: codes, Dict: c.Dict}
+			if err := out.addColumn(nc, len(codes)); err != nil {
+				return nil, err
+			}
+		case Numeric:
+			vals := make([]float64, len(c.Floats), len(c.Floats)+len(records))
+			copy(vals, c.Floats)
+			for i, rec := range records {
+				f, err := strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: column %q row %d: non-numeric value %q", ErrSchemaDrift, c.Name, i, rec[j])
+				}
+				vals = append(vals, f)
+			}
+			nc := &Column{Name: c.Name, Kind: Numeric, Floats: vals}
+			if err := out.addColumn(nc, len(vals)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("dataset: column %q has invalid kind %d", c.Name, c.Kind)
+		}
+	}
+	return out, nil
+}
+
+// CatRowsFrom materializes the categorical part of rows [from, NumRows) in
+// row-major form, the same layout and attribute order as CatMatrix. The
+// streaming append path uses it to encode only the batch: the prefix rows
+// of an appended table are shared with the parent analyst's already
+// materialized matrix instead of being re-copied.
+func (t *Table) CatRowsFrom(from int) [][]int32 {
+	catCols := t.CategoricalIndices()
+	if from < 0 {
+		from = 0
+	}
+	n := t.rows - from
+	if n < 0 {
+		n = 0
+	}
+	flat := make([]int32, n*len(catCols))
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i], flat = flat[:len(catCols):len(catCols)], flat[len(catCols):]
+	}
+	for j, ci := range catCols {
+		codes := t.cols[ci].Codes
+		for i := 0; i < n; i++ {
+			rows[i][j] = codes[from+i]
+		}
+	}
+	return rows
+}

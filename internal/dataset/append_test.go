@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const appendBaseCSV = "city,score,tier\nparis,1.5,A\nlyon,2,B\nparis,0.25,A\n"
+
+// TestAppendRowsMatchesFreshDecode is the core equivalence the streaming
+// subsystem rests on: appending drift-free rows must produce the exact
+// table a fresh decode of the concatenated CSV produces.
+func TestAppendRowsMatchesFreshDecode(t *testing.T) {
+	base, err := ReadCSV(strings.NewReader(appendBaseCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]string{
+		{"lyon", "3.75", "A"},
+		{"paris", "-2", "B"},
+	}
+	got, err := base.AppendRows(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ReadCSV(strings.NewReader(appendBaseCSV+"lyon,3.75,A\nparis,-2,B\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, got, fresh)
+
+	// The receiver is untouched: same row count, same codes.
+	if base.NumRows() != 3 {
+		t.Fatalf("base mutated: %d rows", base.NumRows())
+	}
+	var bbuf, obuf bytes.Buffer
+	if err := WriteCSV(&bbuf, base); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ReadCSV(strings.NewReader(appendBaseCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&obuf, reread); err != nil {
+		t.Fatal(err)
+	}
+	if bbuf.String() != obuf.String() {
+		t.Fatal("append mutated the parent table")
+	}
+}
+
+// assertTablesEqual compares two tables structurally: columns, kinds,
+// dictionaries, codes and floats.
+func assertTablesEqual(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape: got %dx%d, want %dx%d", got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for j := 0; j < want.NumCols(); j++ {
+		gc, wc := got.Column(j), want.Column(j)
+		if gc.Name != wc.Name || gc.Kind != wc.Kind {
+			t.Fatalf("column %d: got (%s,%s), want (%s,%s)", j, gc.Name, gc.Kind, wc.Name, wc.Kind)
+		}
+		switch wc.Kind {
+		case Categorical:
+			if len(gc.Dict) != len(wc.Dict) {
+				t.Fatalf("column %q: dict size %d vs %d", wc.Name, len(gc.Dict), len(wc.Dict))
+			}
+			for i := range wc.Dict {
+				if gc.Dict[i] != wc.Dict[i] {
+					t.Fatalf("column %q: dict[%d] %q vs %q", wc.Name, i, gc.Dict[i], wc.Dict[i])
+				}
+			}
+			for i := range wc.Codes {
+				if gc.Codes[i] != wc.Codes[i] {
+					t.Fatalf("column %q row %d: code %d vs %d", wc.Name, i, gc.Codes[i], wc.Codes[i])
+				}
+			}
+		case Numeric:
+			for i := range wc.Floats {
+				if gc.Floats[i] != wc.Floats[i] {
+					t.Fatalf("column %q row %d: %v vs %v", wc.Name, i, gc.Floats[i], wc.Floats[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendRowsSchemaDrift(t *testing.T) {
+	base, err := ReadCSV(strings.NewReader(appendBaseCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New categorical label.
+	if _, err := base.AppendRows([][]string{{"nice", "1", "A"}}); !errors.Is(err, ErrSchemaDrift) {
+		t.Fatalf("new label: got %v, want ErrSchemaDrift", err)
+	}
+	// Non-numeric value in a numeric column.
+	if _, err := base.AppendRows([][]string{{"paris", "n/a", "A"}}); !errors.Is(err, ErrSchemaDrift) {
+		t.Fatalf("bad numeric: got %v, want ErrSchemaDrift", err)
+	}
+	// Wrong arity is a hard error, not drift.
+	if _, err := base.AppendRows([][]string{{"paris", "1"}}); err == nil || errors.Is(err, ErrSchemaDrift) {
+		t.Fatalf("arity: got %v, want non-drift error", err)
+	}
+}
+
+func TestCatRowsFrom(t *testing.T) {
+	base, err := ReadCSV(strings.NewReader(appendBaseCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, _ := base.CatMatrix()
+	for _, from := range []int{0, 1, 3, 5, -1} {
+		tail := base.CatRowsFrom(from)
+		start := from
+		if start < 0 {
+			start = 0
+		}
+		wantLen := base.NumRows() - start
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(tail) != wantLen {
+			t.Fatalf("from=%d: %d rows, want %d", from, len(tail), wantLen)
+		}
+		for i, row := range tail {
+			for a := range row {
+				if row[a] != full[start+i][a] {
+					t.Fatalf("from=%d row %d attr %d: %d vs %d", from, i, a, row[a], full[start+i][a])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package rank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rankfair/internal/dataset"
+)
+
+// IncrementalRanker is implemented by rankers that can extend an existing
+// ranking with appended tuples without re-ranking the whole table. The
+// contract is exact, not approximate: RankAppend must return precisely the
+// permutation Rank would return on the full table, or an error when that
+// cannot be guaranteed — callers (the streaming append path) fall back to a
+// full re-rank on error. The streaming subsystem's append-equals-reupload
+// guarantee rests on this equality, which is why it is differential- and
+// fuzz-tested rather than assumed.
+type IncrementalRanker interface {
+	Ranker
+	// RankAppend returns Rank(t) given that the first len(oldRanking) rows
+	// of t were previously ranked as oldRanking and the remaining rows are
+	// newly appended. It must not mutate oldRanking.
+	RankAppend(t *dataset.Table, oldRanking []int) ([]int, error)
+}
+
+// RankAppend implements IncrementalRanker for ByColumns. A ByColumns
+// ranking is a stable lexicographic sort with final ties broken by
+// ascending row index; appended rows carry the largest indices, so the full
+// re-sort necessarily (a) preserves the relative order of previously
+// ranked rows and (b) places each appended row after every equal-key
+// existing row. Both properties together make the ranking reconstructible
+// as a merge: binary-search each appended row's insertion point in the old
+// ranking (strictly-after comparisons, so ties land behind), with equal
+// appended rows ordered among themselves by row index. O((n + b·log n)
+// comparisons instead of a full O(n·log n) re-sort.
+func (r *ByColumns) RankAppend(t *dataset.Table, oldRanking []int) ([]int, error) {
+	if len(r.Keys) == 0 {
+		return nil, errors.New("rank: ByColumns needs at least one key")
+	}
+	n, total := len(oldRanking), t.NumRows()
+	if n > total {
+		return nil, fmt.Errorf("rank: old ranking has %d entries, table has %d rows", n, total)
+	}
+	cols := make([]*dataset.Column, len(r.Keys))
+	for i, k := range r.Keys {
+		c := t.ColumnByName(k.Column)
+		if c == nil {
+			return nil, fmt.Errorf("rank: no column %q", k.Column)
+		}
+		if c.Kind != dataset.Numeric {
+			return nil, fmt.Errorf("rank: column %q is %s, want numeric", k.Column, c.Kind)
+		}
+		// NaN in a key column destroys the strict weak order the merge
+		// rests on: NaN "ties" with everything under the comparator, so
+		// the old ranking is not sorted with respect to before() and the
+		// binary searches below would return arbitrary insertion points —
+		// silently diverging from Rank. Refuse instead; callers fall back
+		// to the full re-sort, which is equality-preserving by
+		// construction whatever order it puts NaN rows in.
+		for _, v := range c.Floats {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("rank: column %q contains NaN; incremental ranking would not match a full re-rank", k.Column)
+			}
+		}
+		cols[i] = c
+	}
+	// before(a, b) is the strict lexicographic key order (ties excluded):
+	// the comparator of Rank without its index tie-break.
+	before := func(a, b int) bool {
+		for i, k := range r.Keys {
+			va, vb := cols[i].Floats[a], cols[i].Floats[b]
+			if va == vb {
+				continue
+			}
+			if k.Descending {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	}
+
+	// Insertion position of each appended row: the first old rank whose row
+	// sorts strictly after it. Equal keys leave the new row behind the old
+	// one (the stable tie-break: new rows have larger indices).
+	appended := make([]int, 0, total-n)
+	for ri := n; ri < total; ri++ {
+		appended = append(appended, ri)
+	}
+	pos := make([]int, len(appended))
+	for i, ri := range appended {
+		pos[i] = sort.Search(n, func(j int) bool { return before(ri, oldRanking[j]) })
+	}
+	// Appended rows are already in ascending index order, the tie-break for
+	// equal keys and equal insertion points; a stable sort by insertion
+	// point (then key order among different-keyed rows sharing a position)
+	// yields their final relative order.
+	order := make([]int, len(appended))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if pos[order[x]] != pos[order[y]] {
+			return pos[order[x]] < pos[order[y]]
+		}
+		return before(appended[order[x]], appended[order[y]])
+	})
+
+	out := make([]int, 0, total)
+	c := 0
+	for j := 0; j <= n; j++ {
+		for c < len(order) && pos[order[c]] == j {
+			out = append(out, appended[order[c]])
+			c++
+		}
+		if j < n {
+			out = append(out, oldRanking[j])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rankfair/internal/dataset"
+)
+
+// buildNumTable builds a table with the given numeric columns drawn from a
+// tiny value domain, so key ties are frequent and the stable tie-break is
+// exercised hard.
+func buildNumTable(t *testing.T, rng *rand.Rand, rows, cols, domain int) *dataset.Table {
+	t.Helper()
+	tb := dataset.New()
+	for c := 0; c < cols; c++ {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(domain))
+		}
+		if err := tb.AddNumeric(fmt.Sprintf("s%d", c), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// appendNumRows returns a new table extending t with extra random rows.
+func appendNumRows(t *testing.T, rng *rand.Rand, tb *dataset.Table, extra, domain int) *dataset.Table {
+	t.Helper()
+	out := dataset.New()
+	for _, c := range tb.Columns() {
+		vals := make([]float64, 0, len(c.Floats)+extra)
+		vals = append(vals, c.Floats...)
+		for i := 0; i < extra; i++ {
+			vals = append(vals, float64(rng.Intn(domain)))
+		}
+		if err := out.AddNumeric(c.Name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestRankAppendMatchesRank is the exactness contract of IncrementalRanker:
+// extending a ranking must yield precisely the permutation a full re-rank
+// produces, including all tie-breaks.
+func TestRankAppendMatchesRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(40)
+		extra := rng.Intn(20)
+		cols := 1 + rng.Intn(3)
+		domain := 1 + rng.Intn(5) // tiny: ties everywhere
+		base := buildNumTable(t, rng, rows, cols, domain)
+		full := appendNumRows(t, rng, base, extra, domain)
+		keys := make([]ColumnKey, cols)
+		for c := range keys {
+			keys[c] = ColumnKey{Column: fmt.Sprintf("s%d", c), Descending: rng.Intn(2) == 0}
+		}
+		r := &ByColumns{Keys: keys}
+		oldRanking, err := r.Rank(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.Rank(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RankAppend(full, oldRanking)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (rows=%d extra=%d domain=%d): rank %d: got row %d, want %d\ngot  %v\nwant %v",
+					trial, rows, extra, domain, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// TestRankAppendRejectsNaN: NaN in a key column breaks the strict weak
+// order the merge-insert relies on (NaN ties with everything), so
+// RankAppend must refuse rather than silently diverge from Rank — callers
+// then fall back to the full re-sort.
+func TestRankAppendRejectsNaN(t *testing.T) {
+	tb := dataset.New()
+	if err := tb.AddNumeric("s0", []float64{3, math.NaN(), 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	r := &ByColumns{Keys: []ColumnKey{{Column: "s0", Descending: true}}}
+	old, err := r.Rank(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := dataset.New()
+	if err := full.AddNumeric("s0", []float64{3, math.NaN(), 1, 2, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RankAppend(full, old); err == nil {
+		t.Fatal("RankAppend accepted a NaN key column")
+	}
+	// NaN only in the appended rows is just as order-breaking.
+	full2 := dataset.New()
+	if err := full2.AddNumeric("s0", []float64{3, 0, 1, 2, math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	clean := dataset.New()
+	if err := clean.AddNumeric("s0", []float64{3, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	old2, err := r.Rank(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RankAppend(full2, old2); err == nil {
+		t.Fatal("RankAppend accepted a NaN appended key value")
+	}
+}
+
+// TestRankAppendErrors covers the defensive paths.
+func TestRankAppendErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := buildNumTable(t, rng, 5, 1, 3)
+	r := &ByColumns{Keys: []ColumnKey{{Column: "s0"}}}
+	if _, err := r.RankAppend(tb, []int{0, 1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("oversized old ranking accepted")
+	}
+	if _, err := (&ByColumns{}).RankAppend(tb, nil); err == nil {
+		t.Fatal("keyless ranker accepted")
+	}
+	if _, err := (&ByColumns{Keys: []ColumnKey{{Column: "nope"}}}).RankAppend(tb, nil); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -135,6 +136,40 @@ func (c *Cache) insertLocked(key string, val any) {
 		delete(c.items, last.Value.(*cacheItem).key)
 		c.evictions++
 	}
+}
+
+// Put stores a value directly, marking it most recently used and evicting
+// beyond capacity. The streaming append path uses it to admit
+// warm-promoted analysts under their new generation's keys without a
+// flight.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val)
+}
+
+// KV is one completed cache entry, as returned by EntriesPrefix.
+type KV struct {
+	Key string
+	Val any
+}
+
+// EntriesPrefix snapshots the completed entries whose keys start with
+// prefix, sorted by key for deterministic iteration. In-flight
+// computations are not included. The streaming append path enumerates a
+// mutated dataset's cached analysts through this to warm-promote them to
+// the new generation.
+func (c *Cache) EntriesPrefix(prefix string) []KV {
+	c.mu.Lock()
+	out := make([]KV, 0, 4)
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, KV{Key: key, Val: el.Value.(*cacheItem).val})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // RemovePrefix drops every completed entry whose key starts with prefix,

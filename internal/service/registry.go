@@ -20,16 +20,32 @@ import (
 	"rankfair/internal/dataset"
 )
 
-// DatasetInfo is the registry's public record of one uploaded table.
+// DatasetInfo is the registry's public record of one dataset generation.
+// A dataset is a living object: row appends advance it through
+// monotonically versioned, content-hash-chained generations. The ID is
+// derived from the *seed* generation's hash and stays stable across
+// appends (it addresses the dataset, not a generation); Hash always names
+// the current generation's content, which is what every cache key embeds —
+// so audits admitted against an older generation keep their own keys and
+// snapshot while new audits see the new content.
 type DatasetInfo struct {
-	// ID addresses the dataset in the API; it is derived from Hash, so
-	// byte-identical uploads land on the same ID.
+	// ID addresses the dataset in the API; it is derived from the seed
+	// generation's Hash, so byte-identical seed uploads land on the same
+	// ID, and it does not change when appends advance the content.
 	ID string `json:"id"`
 	// Name is the optional caller-supplied label.
 	Name string `json:"name,omitempty"`
-	// Hash is the hex SHA-256 of the uploaded CSV bytes; result cache
-	// keys embed it, so cache entries can never serve a stale table.
+	// Hash is the hex SHA-256 of the current generation's CSV bytes —
+	// appending rows then hashing is identical to hashing a fresh upload
+	// of the concatenated CSV, so the two routes share cache keys. Result
+	// cache keys embed it, so cache entries can never serve a stale table.
 	Hash string `json:"hash"`
+	// Version counts generations, starting at 1 for the seed upload and
+	// incrementing once per accepted append batch.
+	Version int `json:"version"`
+	// Parent is the previous generation's content hash (the chain link);
+	// empty for the seed generation.
+	Parent string `json:"parent,omitempty"`
 	// Rows and Columns describe the decoded table.
 	Rows    int `json:"rows"`
 	Columns int `json:"columns"`
@@ -37,15 +53,28 @@ type DatasetInfo struct {
 	Attributes []string `json:"attributes"`
 	// Numeric lists the numeric columns (usable as ranking keys).
 	Numeric []string `json:"numeric,omitempty"`
-	// Bytes is the size of the uploaded CSV.
+	// Bytes is the size of the current generation's CSV.
 	Bytes int64 `json:"bytes"`
-	// Created is the upload time.
+	// Created is the seed upload time.
 	Created time.Time `json:"created"`
 }
 
 type regEntry struct {
 	info  DatasetInfo
 	table *rankfair.Dataset
+	// raw and opts persist the generation's canonical CSV bytes and the
+	// seed upload's decode options: appends extend raw (the chained hash
+	// is a hash of real, re-uploadable bytes) and the rebuild path
+	// re-decodes it with the same options as the seed, which is what makes
+	// append-then-audit equivalent to fresh-upload-then-audit even when a
+	// batch changes the decoded schema.
+	raw  []byte
+	opts rankfair.CSVOptions
+	// appendMu serializes append transactions against this dataset; the
+	// registry lock only guards the commit, so concurrent appends to
+	// *different* datasets proceed in parallel while two appends to one
+	// dataset chain cleanly.
+	appendMu sync.Mutex
 }
 
 // Registry holds decoded datasets in memory, keyed by content-derived IDs.
@@ -130,6 +159,7 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 		ID:         id,
 		Name:       name,
 		Hash:       hash,
+		Version:    1,
 		Rows:       table.NumRows(),
 		Columns:    table.NumCols(),
 		Attributes: table.CategoricalNames(),
@@ -148,7 +178,7 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 		return e.info, nil
 	}
 	info.Created = r.clock()
-	r.byID[id] = &regEntry{info: info, table: table}
+	r.byID[id] = &regEntry{info: info, table: table, raw: raw, opts: opts}
 	r.used[id] = info.Created
 	for len(r.byID) > r.cap {
 		if !r.evictOldestLocked() {
@@ -232,4 +262,56 @@ func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.byID)
+}
+
+// appendState is the generation snapshot an append transaction builds on.
+type appendState struct {
+	table *rankfair.Dataset
+	info  DatasetInfo
+	raw   []byte
+	opts  rankfair.CSVOptions
+}
+
+// lockAppend opens an append transaction on a dataset: it acquires the
+// entry's append gate (serializing concurrent appends to the same dataset)
+// and snapshots the current generation. Callers must unlockAppend the
+// returned entry. The registry lock is not held while the transaction
+// runs, so reads and audits proceed concurrently against the old
+// generation — the copy-on-write derivation never touches it.
+func (r *Registry) lockAppend(id string) (*regEntry, appendState, bool) {
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, appendState{}, false
+	}
+	e.appendMu.Lock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byID[id] != e { // evicted (and possibly re-added) while we waited
+		e.appendMu.Unlock()
+		return nil, appendState{}, false
+	}
+	return e, appendState{table: e.table, info: e.info, raw: e.raw, opts: e.opts}, true
+}
+
+// unlockAppend closes an append transaction without committing.
+func (e *regEntry) unlockAppend() { e.appendMu.Unlock() }
+
+// commitAppend publishes a new generation built by an append transaction.
+// It reports false when the dataset was evicted while the transaction ran
+// (the new generation is then discarded — the eviction decision wins).
+// The old generation's table remains valid for every reader that already
+// holds it; only the registry's pointer advances.
+func (r *Registry) commitAppend(id string, e *regEntry, table *rankfair.Dataset, raw []byte, info DatasetInfo) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byID[id] != e {
+		return false
+	}
+	e.table = table
+	e.raw = raw
+	e.info = info
+	r.used[id] = r.clock()
+	return true
 }

@@ -18,6 +18,15 @@ type metrics struct {
 	requests      atomic.Int64
 	requestErrors atomic.Int64
 	uploads       atomic.Int64
+
+	// Streaming append counters: accepted batches, rows they carried, the
+	// incremental-vs-rebuild path split, and cached analysts warm-promoted
+	// across generations instead of invalidated.
+	streamAppends     atomic.Int64
+	streamRows        atomic.Int64
+	streamIncremental atomic.Int64
+	streamRebuilds    atomic.Int64
+	streamPromoted    atomic.Int64
 }
 
 // Handler returns the daemon's full route table as a stdlib handler.
@@ -27,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
 	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetEvict)
+	mux.HandleFunc("POST /v1/datasets/{id}/rows", s.handleDatasetAppend)
 	mux.HandleFunc("POST /v1/audits", s.handleAuditSubmit)
 	mux.HandleFunc("GET /v1/audits", s.handleAuditList)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleAuditGet)
@@ -159,6 +169,28 @@ func (s *Service) handleDatasetEvict(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleDatasetAppend applies one row batch (CSV rows without a header,
+// or JSON rows — see stream.ParseJSON for the accepted shapes) to a
+// dataset, advancing it to a new versioned generation.
+func (s *Service) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: fmt.Sprintf("reading batch: %v", err)})
+		return
+	}
+	if len(raw) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch"})
+		return
+	}
+	resp, err := s.AppendRows(r.PathValue("id"), r.Header.Get("Content-Type"), raw)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
 	var req AuditRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -270,6 +302,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("rankfaird_request_errors_total", "HTTP responses with status >= 400.", s.metrics.requestErrors.Load())
 	writeMetric("rankfaird_dataset_uploads_total", "Accepted dataset uploads.", s.metrics.uploads.Load())
 	writeMetric("rankfaird_datasets", "Datasets currently registered.", int64(s.registry.Len()))
+	writeMetric("rankfaird_stream_appends_total", "Accepted streaming append batches.", s.metrics.streamAppends.Load())
+	writeMetric("rankfaird_stream_rows_total", "Rows ingested through streaming appends.", s.metrics.streamRows.Load())
+	writeMetric("rankfaird_stream_incremental_total", "Append batches applied incrementally (ranking merge-insert, copy-on-write posting maintenance).", s.metrics.streamIncremental.Load())
+	writeMetric("rankfaird_stream_rebuild_total", "Append batches applied by full re-decode and rebuild (cost model or schema drift).", s.metrics.streamRebuilds.Load())
+	writeMetric("rankfaird_stream_promoted_analysts_total", "Cached analysts warm-promoted to a new dataset generation.", s.metrics.streamPromoted.Load())
 	writeMetric("rankfaird_jobs_submitted_total", "Audit jobs accepted.", js.Submitted)
 	writeMetric("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", js.Completed)
 	writeMetric("rankfaird_jobs_failed_total", "Audit jobs that errored.", js.Failed)

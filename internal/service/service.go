@@ -36,6 +36,13 @@ type Config struct {
 	// builds a fresh analyst — the pre-reuse behavior, kept for
 	// benchmarking true cold audits).
 	AnalystCacheEntries int
+	// StreamRebuildFraction is the append cost model's cut-over: a batch
+	// of b rows against an n-row dataset takes the incremental path
+	// (ranking merge-insert, copy-on-write posting maintenance, warm
+	// analyst promotion) when b < fraction·n, and the full-rebuild path
+	// otherwise. 0 selects stream.DefaultRebuildFraction; negative
+	// disables the incremental path entirely (every append rebuilds).
+	StreamRebuildFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -396,6 +403,16 @@ func analystCacheKey(hash string, spec *RankerSpec) string {
 	return analystKeyPrefix(hash) + spec.CacheKey()
 }
 
+// analystEntry is what the analyst cache stores: the built analyst plus
+// the ranker it was built with. Keeping the ranker is what enables the
+// streaming append path to warm-promote a cached analyst to the next
+// dataset generation (Analyst.Append needs the ranker to place the new
+// rows) instead of merely invalidating it.
+type analystEntry struct {
+	analyst *rankfair.Analyst
+	ranker  rankfair.Ranker
+}
+
 // analystFor returns the built analyst for (dataset hash, ranker key),
 // going through the analyst cache when it is enabled. The analyst — and
 // the counting index that builds lazily on it — is immutable, so sharing
@@ -410,15 +427,16 @@ func (s *Service) analystFor(ctx context.Context, key string, table *rankfair.Da
 	}
 	val, _, err := s.analysts.Do(ctx, key, func() (any, error) {
 		a, err := rankfair.New(table, ranker)
-		if err == nil {
-			a.Warm()
+		if err != nil {
+			return nil, err
 		}
-		return a, err
+		a.Warm()
+		return &analystEntry{analyst: a, ranker: ranker}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return val.(*rankfair.Analyst), nil
+	return val.(*analystEntry).analyst, nil
 }
 
 // AnalystCacheStats snapshots the analyst-cache counters; the zero value

@@ -1,0 +1,433 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rankfair"
+)
+
+// appendBatchCSV builds b rows matching biasedCSV's schema with scores low
+// enough to land at the bottom of the ranking (the common streaming shape).
+func appendBatchCSV(b int) []byte {
+	var buf bytes.Buffer
+	regions := []string{"N", "S", "E", "W"}
+	for i := 0; i < b; i++ {
+		fmt.Fprintf(&buf, "F,%s,%d\n", regions[i%4], 100+i)
+	}
+	return buf.Bytes()
+}
+
+// postAppend posts a batch to the append endpoint.
+func postAppend(t *testing.T, ts *httptest.Server, id, contentType string, body []byte) (AppendResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/rows", contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AppendResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decoding append response %q: %v", raw, err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// streamAuditParams is a small proportional audit over the biasedCSV shape.
+func streamAuditParams() rankfair.AuditParams {
+	return rankfair.AuditParams{Measure: rankfair.MeasureProp, MinSize: 5, KMin: 5, KMax: 20, Alpha: 0.8}
+}
+
+// runAuditReport submits one audit and returns the raw report bytes.
+func runAuditReport(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	var view JobView
+	req := AuditRequest{Dataset: id, Ranker: scoreRanker(), Params: streamAuditParams()}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", req, &view); code != http.StatusAccepted {
+		t.Fatalf("submit audit: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var v JobView
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/audits/"+view.ID, nil, &v); code != http.StatusOK {
+			t.Fatalf("poll audit: status %d", code)
+		}
+		switch v.Status {
+		case JobDone:
+			resp, err := http.Get(ts.URL + "/v1/audits/" + view.ID + "/report")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("report: status %d: %s", resp.StatusCode, raw)
+			}
+			return raw
+		case JobFailed, JobCanceled:
+			t.Fatalf("audit ended %s: %s", v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("audit did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAppendEndToEnd drives the full streaming path over HTTP: a CSV batch
+// appended to a dataset advances its generation, the content hash chain
+// matches a fresh upload of the concatenated CSV, and the post-append
+// audit is byte-identical to the fresh-upload audit.
+func TestAppendEndToEnd(t *testing.T) {
+	base := biasedCSV(60)
+	batch := appendBatchCSV(6)
+
+	_, ts := testServer(t)
+	info := upload(t, ts, base)
+	if info.Version != 1 || info.Parent != "" {
+		t.Fatalf("seed generation: version=%d parent=%q", info.Version, info.Parent)
+	}
+
+	resp, code := postAppend(t, ts, info.ID, "text/csv", batch)
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	if resp.Mode != "incremental" {
+		t.Fatalf("append mode = %q, want incremental", resp.Mode)
+	}
+	if resp.Appended != 6 || resp.Dataset.Rows != 66 {
+		t.Fatalf("appended=%d rows=%d", resp.Appended, resp.Dataset.Rows)
+	}
+	if resp.Dataset.Version != 2 || resp.Dataset.Parent != info.Hash || resp.Dataset.ID != info.ID {
+		t.Fatalf("generation chain broken: %+v", resp.Dataset)
+	}
+
+	// The advanced generation's hash equals a fresh upload of the
+	// concatenated CSV — the two routes literally share cache keys.
+	concatenated := append(append([]byte{}, base...), batch...)
+	_, ts2 := testServer(t)
+	fresh := upload(t, ts2, concatenated)
+	if fresh.Hash != resp.Dataset.Hash {
+		t.Fatalf("appended hash %s != fresh-upload hash %s", resp.Dataset.Hash, fresh.Hash)
+	}
+
+	got := runAuditReport(t, ts, info.ID)
+	want := runAuditReport(t, ts2, fresh.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("append-then-audit differs from fresh-upload-then-audit\nappend: %.300s\nfresh:  %.300s", got, want)
+	}
+
+	// A second append chains onto the new generation.
+	resp2, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(2))
+	if code != http.StatusOK || resp2.Dataset.Version != 3 || resp2.Dataset.Parent != resp.Dataset.Hash {
+		t.Fatalf("second append: status %d, %+v", code, resp2.Dataset)
+	}
+}
+
+// TestAppendJSONBatch: the JSON wire shapes land on the same canonical
+// generation as the equivalent CSV batch.
+func TestAppendJSONBatch(t *testing.T) {
+	base := biasedCSV(40)
+	_, ts := testServer(t)
+	info := upload(t, ts, base)
+	body := []byte(`{"rows": [{"sex": "F", "region": "N", "score": 101}, ["F", "S", 102]]}`)
+	resp, code := postAppend(t, ts, info.ID, "application/json", body)
+	if code != http.StatusOK {
+		t.Fatalf("json append: status %d", code)
+	}
+	if resp.Appended != 2 || resp.Dataset.Rows != 42 {
+		t.Fatalf("json append: %+v", resp)
+	}
+
+	_, ts2 := testServer(t)
+	info2 := upload(t, ts2, base)
+	resp2, code := postAppend(t, ts2, info2.ID, "text/csv", []byte("F,N,101\nF,S,102\n"))
+	if code != http.StatusOK {
+		t.Fatalf("csv append: status %d", code)
+	}
+	if resp.Dataset.Hash != resp2.Dataset.Hash {
+		t.Fatal("JSON and CSV batches produced different generations")
+	}
+}
+
+// TestAppendSchemaDriftRebuilds: a batch introducing a new categorical
+// label cannot apply incrementally; the service falls back to a rebuild
+// and the result still matches a fresh upload exactly.
+func TestAppendSchemaDriftRebuilds(t *testing.T) {
+	base := biasedCSV(40)
+	batch := []byte("F,X,101\nM,X,9999\n") // region X is a new label
+	_, ts := testServer(t)
+	info := upload(t, ts, base)
+	resp, code := postAppend(t, ts, info.ID, "text/csv", batch)
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	if resp.Mode != "rebuild" {
+		t.Fatalf("mode = %q, want rebuild", resp.Mode)
+	}
+
+	concatenated := append(append([]byte{}, base...), batch...)
+	_, ts2 := testServer(t)
+	fresh := upload(t, ts2, concatenated)
+	if fresh.Hash != resp.Dataset.Hash {
+		t.Fatal("rebuild generation hash mismatch")
+	}
+	got := runAuditReport(t, ts, info.ID)
+	want := runAuditReport(t, ts2, fresh.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("rebuild append audit differs from fresh upload audit")
+	}
+}
+
+// TestAppendCostModel: batches at or above the configured fraction of the
+// dataset rebuild even without drift.
+func TestAppendCostModel(t *testing.T) {
+	svc := New(Config{Workers: 1, StreamRebuildFraction: 0.1})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	info := upload(t, ts, biasedCSV(40))
+	resp, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(6)) // 6 >= 0.1*40
+	if code != http.StatusOK || resp.Mode != "rebuild" {
+		t.Fatalf("status %d mode %q, want rebuild", code, resp.Mode)
+	}
+	resp, code = postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(2)) // 2 < 0.1*46
+	if code != http.StatusOK || resp.Mode != "incremental" {
+		t.Fatalf("status %d mode %q, want incremental", code, resp.Mode)
+	}
+}
+
+// TestAppendSnapshotIsolation parks an audit mid-flight on the v1 analyst
+// build, lands an append (v2), then releases the audit: it must complete
+// against the v1 snapshot it was admitted with, byte-identical to a v1
+// audit on an untouched server.
+func TestAppendSnapshotIsolation(t *testing.T) {
+	base := biasedCSV(60)
+	svc, ts := testServer(t)
+	info := upload(t, ts, base)
+
+	// Capture the v1 table now; the append below swaps the registry entry.
+	v1table, _, ok := svc.registry.Get(info.ID)
+	if !ok {
+		t.Fatal("dataset missing")
+	}
+	spec := scoreRanker()
+	ranker, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := analystCacheKey(info.Hash, &spec)
+
+	// Own the analyst flight for (v1 hash, ranker): the audit submitted
+	// next joins it and parks deterministically until we release it.
+	release := make(chan struct{})
+	flightDone := make(chan struct{})
+	go func() {
+		defer close(flightDone)
+		_, _, err := svc.analysts.Do(context.Background(), key, func() (any, error) {
+			<-release
+			a, err := rankfair.New(v1table, ranker)
+			if err != nil {
+				return nil, err
+			}
+			a.Warm()
+			return &analystEntry{analyst: a, ranker: ranker}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { return svc.analysts.Stats().Misses >= 1 })
+
+	var view JobView
+	req := AuditRequest{Dataset: info.ID, Ranker: spec, Params: streamAuditParams()}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/audits", req, &view); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	// The audit is parked once it joins the flight.
+	waitFor(t, func() bool { return svc.analysts.Stats().Shared >= 1 })
+
+	// The append lands while the v1 audit is in flight.
+	resp, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(6))
+	if code != http.StatusOK || resp.Dataset.Version != 2 {
+		t.Fatalf("append during in-flight audit: status %d %+v", code, resp)
+	}
+
+	close(release)
+	<-flightDone
+	got := awaitReport(t, ts, view.ID)
+
+	// Reference: the same audit against a server that only ever saw v1.
+	_, ts2 := testServer(t)
+	info2 := upload(t, ts2, base)
+	want := runAuditReport(t, ts2, info2.ID)
+	var gotBuf bytes.Buffer
+	enc := json.NewEncoder(&gotBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(got); err != nil {
+		t.Fatal(err)
+	}
+	if gotBuf.String() != string(want) {
+		t.Fatalf("in-flight audit saw the appended generation\ngot:  %.300s\nwant: %.300s", gotBuf.String(), want)
+	}
+}
+
+// waitFor polls cond with a deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAppendCacheReconciliation: an append warm-promotes the mutated
+// dataset's cached analysts to the new generation and invalidates its old
+// keys, while other datasets' cached analysts survive untouched.
+func TestAppendCacheReconciliation(t *testing.T) {
+	svc, ts := testServer(t)
+	infoA := upload(t, ts, biasedCSV(60))
+	infoB := upload(t, ts, biasedCSV(44)) // different content, own analyst
+
+	// Warm both analysts.
+	runAuditReport(t, ts, infoA.ID)
+	runAuditReport(t, ts, infoB.ID)
+	baseStats := svc.AnalystCacheStats()
+	if baseStats.Entries != 2 {
+		t.Fatalf("expected 2 cached analysts, have %d", baseStats.Entries)
+	}
+
+	resp, code := postAppend(t, ts, infoA.ID, "text/csv", appendBatchCSV(4))
+	if code != http.StatusOK || resp.Mode != "incremental" {
+		t.Fatalf("append: status %d mode %q", code, resp.Mode)
+	}
+	if resp.PromotedAnalysts != 1 {
+		t.Fatalf("promoted %d analysts, want 1", resp.PromotedAnalysts)
+	}
+	// Old generation's key gone, promoted key in, B untouched → still 2.
+	if got := svc.AnalystCacheStats().Entries; got != 2 {
+		t.Fatalf("after append: %d cached analysts, want 2", got)
+	}
+	spec := scoreRanker()
+	if _, ok := svc.analysts.Get(analystCacheKey(infoA.Hash, &spec)); ok {
+		t.Fatal("old generation analyst key survived the append")
+	}
+	if _, ok := svc.analysts.Get(analystCacheKey(resp.Dataset.Hash, &spec)); !ok {
+		t.Fatal("promoted analyst missing under the new generation key")
+	}
+	if _, ok := svc.analysts.Get(analystCacheKey(infoB.Hash, &spec)); !ok {
+		t.Fatal("append purged another dataset's analyst")
+	}
+
+	// The promoted analyst serves A's next audit as a cache hit: no new
+	// analyst build (Misses unchanged).
+	runAuditReport(t, ts, infoA.ID)
+	after := svc.AnalystCacheStats()
+	if after.Misses != baseStats.Misses {
+		t.Fatalf("post-append audit rebuilt an analyst: misses %d → %d", baseStats.Misses, after.Misses)
+	}
+	if after.Hits <= baseStats.Hits {
+		t.Fatal("post-append audit did not hit the promoted analyst")
+	}
+
+	// Result-cache entries for A's old generation are invalidated; B's
+	// survive. (Keys embed the content hash.)
+	if n := svc.cache.EntriesPrefix(infoA.Hash + "|"); len(n) != 0 {
+		t.Fatalf("%d stale result entries for the old generation", len(n))
+	}
+	if n := svc.cache.EntriesPrefix(infoB.Hash + "|"); len(n) == 0 {
+		t.Fatal("append purged another dataset's results")
+	}
+}
+
+// TestAppendErrors covers the endpoint's failure paths.
+func TestAppendErrors(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxUploadBytes: 2048})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	info := upload(t, ts, biasedCSV(30))
+
+	if _, code := postAppend(t, ts, "ds-missing", "text/csv", []byte("F,N,1\n")); code != http.StatusNotFound {
+		t.Fatalf("missing dataset: status %d", code)
+	}
+	if _, code := postAppend(t, ts, info.ID, "text/csv", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", code)
+	}
+	if _, code := postAppend(t, ts, info.ID, "text/csv", []byte("F,N\n")); code != http.StatusBadRequest {
+		t.Fatalf("short record: status %d", code)
+	}
+	if _, code := postAppend(t, ts, info.ID, "application/xml", []byte("<rows/>")); code != http.StatusBadRequest {
+		t.Fatalf("bad content type: status %d", code)
+	}
+	if _, code := postAppend(t, ts, info.ID, "application/json", []byte(`{"rows": [`)); code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", code)
+	}
+	// A batch that is itself under the limit but pushes the generation's
+	// total raw size past it is rejected: the dataset can never grow past
+	// what a fresh upload could have delivered.
+	big := appendBatchCSV(230) // just under the 2 KiB cap alone, over it with the base
+	if len(big) >= 2048 {
+		t.Fatalf("test batch too large to exercise the total bound: %d bytes", len(big))
+	}
+	if _, code := postAppend(t, ts, info.ID, "text/csv", big); code != http.StatusBadRequest {
+		t.Fatalf("oversized generation: status %d", code)
+	}
+}
+
+// TestAppendMetrics: the stream counters appear on /metrics and advance.
+func TestAppendMetrics(t *testing.T) {
+	_, ts := testServer(t)
+	info := upload(t, ts, biasedCSV(40))
+	if _, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(3)); code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	if _, code := postAppend(t, ts, info.ID, "text/csv", []byte("F,X,1\n")); code != http.StatusOK {
+		t.Fatalf("drift append: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"rankfaird_stream_appends_total 2",
+		"rankfaird_stream_rows_total 4",
+		"rankfaird_stream_incremental_total 1",
+		"rankfaird_stream_rebuild_total 1",
+		"rankfaird_stream_promoted_analysts_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

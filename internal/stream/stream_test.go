@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rankfair/internal/dataset"
+)
+
+func streamTestTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tb, err := dataset.ReadCSV(strings.NewReader("city,score,tier\nparis,1.5,A\nlyon,2,B\n"), dataset.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestParseCSV(t *testing.T) {
+	tb := streamTestTable(t)
+	b, err := ParseCSV([]byte("nice,3,A\nlyon,4.5,B"), tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != 2 || b.Records[0][0] != "nice" || b.Records[1][1] != "4.5" {
+		t.Fatalf("records = %v", b.Records)
+	}
+	if !bytes.HasSuffix(b.Raw, []byte("\n")) {
+		t.Fatal("raw not newline-terminated")
+	}
+	// Arity mismatches are rejected at parse time.
+	if _, err := ParseCSV([]byte("nice,3\n"), tb, 0); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestParseJSONShapes(t *testing.T) {
+	tb := streamTestTable(t)
+	cases := []string{
+		`{"rows": [["nice", 3, "A"], ["lyon", 4.5, "B"]]}`,
+		`[["nice", 3, "A"], ["lyon", 4.5, "B"]]`,
+		`{"rows": [{"city": "nice", "score": 3, "tier": "A"}, {"tier": "B", "city": "lyon", "score": 4.5}]}`,
+	}
+	for _, src := range cases {
+		b, err := ParseJSON([]byte(src), tb, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if b.Rows() != 2 || b.Records[0][0] != "nice" || b.Records[0][1] != "3" || b.Records[1][1] != "4.5" {
+			t.Fatalf("%s → %v", src, b.Records)
+		}
+	}
+	bad := []string{
+		`{"rows": [["nice", 3]]}`,                            // arity
+		`{"rows": [{"city": "nice", "score": 3}]}`,           // missing column
+		`{"rows": [{"city": "nice", "score": 3, "x": "y"}]}`, // unknown column
+		`{"rows": [["nice", 3, null]]}`,                      // null scalar
+		`{"rows": [["nice", 3, {"a": 1}]]}`,                  // nested value
+		`{"other": []}`,                                      // no rows
+		`{"rows": [["nice", 3, "A"]`,                         // truncated
+	}
+	for _, src := range bad {
+		if _, err := ParseJSON([]byte(src), tb, 0); err == nil {
+			t.Fatalf("accepted %s", src)
+		}
+	}
+}
+
+// TestJSONNumberLiteralsSurvive: numbers keep their literal spelling all
+// the way into the canonical CSV, so exponent forms parse to the same
+// float a fresh upload would.
+func TestJSONNumberLiteralsSurvive(t *testing.T) {
+	tb := streamTestTable(t)
+	b, err := ParseJSON([]byte(`[["nice", 1.5e3, "A"]]`), tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Records[0][1] != "1.5e3" {
+		t.Fatalf("literal rewritten to %q", b.Records[0][1])
+	}
+}
+
+// TestRoundTripMatchesConcatenatedDecode: the batch records must equal
+// what a fresh decode of the concatenated CSV yields — including awkward
+// values (quotes, delimiters, newlines inside fields).
+func TestRoundTripMatchesConcatenatedDecode(t *testing.T) {
+	tb := streamTestTable(t)
+	baseCSV := "city,score,tier\nparis,1.5,A\nlyon,2,B"
+	src := `[["st \"tropez\", with, commas", 9, "A\nB"]]`
+	b, err := ParseJSON([]byte(src), tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Concat([]byte(baseCSV), b.Raw)
+	decoded, err := dataset.ReadCSV(bytes.NewReader(full), dataset.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.NumRows() != 3 {
+		t.Fatalf("concatenated decode has %d rows", decoded.NumRows())
+	}
+	lastCity := decoded.Value(2, 0)
+	if lastCity != b.Records[0][0] {
+		t.Fatalf("record %q vs decoded %q", b.Records[0][0], lastCity)
+	}
+	lastTier := decoded.Value(2, 2)
+	if lastTier != b.Records[0][2] {
+		t.Fatalf("record %q vs decoded %q", b.Records[0][2], lastTier)
+	}
+}
+
+func TestConcatNewlineJoin(t *testing.T) {
+	got := Concat([]byte("a,b"), []byte("c,d\n"))
+	if string(got) != "a,b\nc,d\n" {
+		t.Fatalf("got %q", got)
+	}
+	got = Concat([]byte("a,b\n"), []byte("c,d\n"))
+	if string(got) != "a,b\nc,d\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{}
+	if m.Decide(1000, 10) != ModeIncremental {
+		t.Fatal("small batch should be incremental")
+	}
+	if m.Decide(1000, 250) != ModeRebuild {
+		t.Fatal("quarter-size batch should rebuild at the default fraction")
+	}
+	if m.Decide(0, 1) != ModeRebuild {
+		t.Fatal("empty base should rebuild")
+	}
+	if (CostModel{RebuildFraction: -1}).Decide(1000, 1) != ModeRebuild {
+		t.Fatal("negative fraction should disable the incremental path")
+	}
+	if (CostModel{RebuildFraction: 0.5}).Decide(100, 40) != ModeIncremental {
+		t.Fatal("custom fraction ignored")
+	}
+}

@@ -51,6 +51,11 @@ type (
 	Space = pattern.Space
 	// Ranker is the black-box ranking algorithm interface.
 	Ranker = rank.Ranker
+	// IncrementalRanker is a Ranker that can extend an existing ranking
+	// with appended tuples exactly (ByColumns implements it); the
+	// streaming append path takes its fast path only for rankers
+	// satisfying this interface.
+	IncrementalRanker = rank.IncrementalRanker
 	// ByColumns ranks lexicographically by numeric sort keys.
 	ByColumns = rank.ByColumns
 	// ColumnKey is one sort key of ByColumns.
@@ -204,6 +209,107 @@ func NewFromInput(in *Input, dicts [][]string) (*Analyst, error) {
 
 // Input exposes the algorithm-level view (rows, space, ranking).
 func (a *Analyst) Input() *Input { return a.in }
+
+// Append derives an analyst for an extended dataset from this one without
+// re-ranking or re-indexing: the streaming ingestion fast path. table must
+// extend the analyst's dataset — its first NumRows() rows equal to the
+// parent's rows, in order, with unchanged categorical schema (the contract
+// Dataset.AppendRows produces). When the ranker supports incremental
+// extension (rank.IncrementalRanker — ByColumns does), the appended rows'
+// scores are merged into the maintained ranking, the warm posting-list
+// index is extended copy-on-write (count.Index.Extend), and the shared row
+// prefix is aliased rather than re-encoded, so the returned analyst is warm
+// for O(n + b·attrs) work plus a prefix-equality check. The receiver stays
+// fully usable — audits running against it are unaffected (snapshot
+// isolation). Rankers without incremental support, schema mismatches and
+// tables that do not extend this one fall back to New(table, ranker), which
+// is always correct, just cold; either way the result is indistinguishable
+// from an analyst built fresh over table (the append differential suite
+// holds both paths to byte-identical reports).
+func (a *Analyst) Append(table *Dataset, ranker Ranker) (*Analyst, error) {
+	if table == nil {
+		return nil, errors.New("rankfair: nil dataset")
+	}
+	if ranker == nil {
+		return nil, errors.New("rankfair: nil ranker")
+	}
+	inc, ok := ranker.(rank.IncrementalRanker)
+	if !ok || a.table == nil || !a.extendsTable(table) {
+		return New(table, ranker)
+	}
+	newRanking, err := inc.RankAppend(table, a.in.Ranking)
+	if err != nil {
+		return New(table, ranker)
+	}
+	n := a.table.NumRows()
+	tail := table.CatRowsFrom(n)
+	rows := make([][]int32, 0, n+len(tail))
+	rows = append(rows, a.in.Rows...)
+	rows = append(rows, tail...)
+	idx := a.index().Extend(rows, a.in.Space, newRanking)
+	in := &core.Input{
+		Rows:     rows,
+		Space:    a.in.Space,
+		Ranking:  newRanking,
+		Index:    idx,
+		Strategy: a.in.Strategy,
+	}
+	if err := in.ValidateAppend(a.in); err != nil {
+		return nil, fmt.Errorf("rankfair: append: %w", err)
+	}
+	na := &Analyst{table: table, in: in, dicts: table.CatDicts()}
+	na.idxOnce.Do(func() { na.idx = idx })
+	return na, nil
+}
+
+// extendsTable reports whether table extends the analyst's dataset: same
+// columns in the same order with identical kinds, identical categorical
+// dictionaries and code prefixes, and identical numeric prefixes (the
+// ranker's sort keys live there — a re-scored prefix would make the
+// merge-insert binary-search over a ranking the new scores no longer
+// sort). The prefix comparison is one sequential O(n·cols) pass with no
+// allocation — cheap insurance against a caller handing Append an
+// unrelated table, which would otherwise silently produce a wrong ranking
+// or search old codes under new labels. NaN prefix values fail the float
+// equality and force the (always correct) rebuild fallback by design.
+func (a *Analyst) extendsTable(table *Dataset) bool {
+	if table.NumRows() < a.table.NumRows() || table.NumCols() != a.table.NumCols() {
+		return false
+	}
+	n := a.table.NumRows()
+	cat := 0
+	for j, c := range table.Columns() {
+		oc := a.table.Column(j)
+		if c.Name != oc.Name || c.Kind != oc.Kind {
+			return false
+		}
+		if c.Kind != dataset.Categorical {
+			if c.Kind == dataset.Numeric {
+				for i := 0; i < n; i++ {
+					if c.Floats[i] != oc.Floats[i] {
+						return false
+					}
+				}
+			}
+			continue
+		}
+		if c.Cardinality() != oc.Cardinality() {
+			return false
+		}
+		for v := 0; v < oc.Cardinality(); v++ {
+			if c.Dict[v] != oc.Dict[v] {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if c.Codes[i] != a.in.Rows[i][cat] {
+				return false
+			}
+		}
+		cat++
+	}
+	return true
+}
 
 // searchInput returns the algorithm-level input with the counting index
 // attached (built on first use): every facade detection entry point runs

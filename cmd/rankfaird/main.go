@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,8 +45,18 @@ func main() {
 		maxUpload   = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
 		streamFrac  = flag.Float64("stream-rebuild-fraction", 0, "append batches at or above this fraction of the dataset's rows rebuild instead of applying incrementally (0 = default 0.25, negative disables the incremental path)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+		slowAuditMS = flag.Int("slow-audit-ms", 0, "log a warning with the full span tree for audits running at least this long (0 disables)")
+		traceSize   = flag.Int("trace-entries", 0, "finished audit traces retained for GET /v1/audits/{id}/trace (0 = default 256)")
+		verbose     = flag.Bool("v", false, "log every request and job completion (debug level)")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	cfg := service.Config{
 		Workers:               *workers,
@@ -55,10 +67,31 @@ func main() {
 		MaxDatasets:           *maxDatasets,
 		MaxUploadBytes:        *maxUpload,
 		StreamRebuildFraction: *streamFrac,
+		Logger:                logger,
+		SlowAudit:             time.Duration(*slowAuditMS) * time.Millisecond,
+		TraceEntries:          *traceSize,
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
 	}
 	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rankfaird:", err)
 		os.Exit(1)
+	}
+}
+
+// serveDebug exposes the pprof handlers on their own listener, kept off
+// the API mux so profiling endpoints never ride on the public address.
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof server", "err", err)
 	}
 }
 

@@ -134,8 +134,84 @@ func appendReportJSON(b []byte, rj *ReportJSON) []byte {
 	b = nl(b, 1)
 	b = append(b, `"results": `...)
 	b = appendResults(b, rj.Results, 1)
+	if rj.Stats != nil {
+		b = append(b, ',')
+		b = nl(b, 1)
+		b = append(b, `"stats": `...)
+		b = appendSearchStats(b, rj.Stats, 1)
+	}
 	b = nl(b, 0)
 	return append(b, '}')
+}
+
+// appendSearchStats renders the optional stats object; omitempty members
+// (frontier_by_level, phase_ms) are skipped exactly when encoding/json
+// would skip them.
+func appendSearchStats(b []byte, s *SearchStatsJSON, depth int) []byte {
+	b = append(b, '{')
+	b = nl(b, depth+1)
+	b = append(b, `"strategy": `...)
+	b = appendJSONString(b, s.Strategy)
+	for _, f := range [...]struct {
+		name string
+		v    int64
+	}{
+		{"nodes_expanded", s.NodesExpanded},
+		{"pruned_size", s.PrunedSize},
+		{"pruned_bound", s.PrunedBound},
+		{"pruned_dominated", s.PrunedDominated},
+		{"posting_intersections", s.PostingIntersections},
+		{"count_only_passes", s.CountOnlyPasses},
+		{"lazy_scatters", s.LazyScatters},
+	} {
+		b = append(b, ',')
+		b = nl(b, depth+1)
+		b = append(b, '"')
+		b = append(b, f.name...)
+		b = append(b, `": `...)
+		b = strconv.AppendInt(b, f.v, 10)
+	}
+	if len(s.FrontierByLevel) > 0 {
+		b = append(b, ',')
+		b = nl(b, depth+1)
+		b = append(b, `"frontier_by_level": `...)
+		b = appendInt64Array(b, s.FrontierByLevel, depth+1)
+	}
+	if s.PhaseMS != nil {
+		b = append(b, ',')
+		b = nl(b, depth+1)
+		b = append(b, `"phase_ms": `...)
+		b = append(b, '{')
+		b = nl(b, depth+2)
+		b = append(b, `"analyst": `...)
+		b = appendJSONFloat(b, s.PhaseMS.Analyst)
+		b = append(b, ',')
+		b = nl(b, depth+2)
+		b = append(b, `"search": `...)
+		b = appendJSONFloat(b, s.PhaseMS.Search)
+		b = append(b, ',')
+		b = nl(b, depth+2)
+		b = append(b, `"serialize": `...)
+		b = appendJSONFloat(b, s.PhaseMS.Serialize)
+		b = nl(b, depth+1)
+		b = append(b, '}')
+	}
+	b = nl(b, depth)
+	return append(b, '}')
+}
+
+// appendInt64Array renders a non-empty []int64 at the given depth.
+func appendInt64Array(b []byte, xs []int64, depth int) []byte {
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = nl(b, depth+1)
+		b = strconv.AppendInt(b, x, 10)
+	}
+	b = nl(b, depth)
+	return append(b, ']')
 }
 
 // appendStringArray renders a []string at the given depth (nil → null,

@@ -70,6 +70,26 @@ func TestAppendReportJSONMatchesEncodingJSON(t *testing.T) {
 				Bias:     -2.9,
 			}}}},
 		},
+		"stats-full": {
+			Measure: "prop",
+			Results: []KGroupsJSON{{K: 2}},
+			Stats: &SearchStatsJSON{
+				Strategy:             `ind"ex`,
+				NodesExpanded:        math.MaxInt64,
+				PrunedSize:           -1,
+				PrunedBound:          1 << 40,
+				PrunedDominated:      7,
+				PostingIntersections: 0,
+				CountOnlyPasses:      3,
+				LazyScatters:         9,
+				FrontierByLevel:      []int64{1, 0, -5, math.MaxInt64},
+				PhaseMS:              &PhaseTimingsJSON{Analyst: 0.125, Search: 9.9e20, Serialize: 1e-7},
+			},
+		},
+		"stats-minimal": {
+			Measure: "global",
+			Stats:   &SearchStatsJSON{Strategy: "lists", FrontierByLevel: []int64{}},
+		},
 		"float-forms": {Measure: "f", Results: []KGroupsJSON{{K: 1, Groups: []GroupJSON{
 			{Pattern: map[string]string{"a": "b"}, Required: 1e-7, Bias: -1e-7},
 			{Pattern: map[string]string{"a": "b"}, Required: 9.9e20, Bias: 1e21},

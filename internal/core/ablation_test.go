@@ -77,7 +77,7 @@ func TestScanSearchMatchesPartitionedSearch(t *testing.T) {
 		l := 1 + rng.Intn(3)
 		meas := globalMeasure{params: &GlobalParams{KMin: k, KMax: k, Lower: []int{l}, MinSize: minSize}}
 		var s1, s2 Stats
-		res1, dres1 := topDownSearch(&canceler{}, newEngine(in), minSize, k, meas, &s1)
+		res1, dres1 := topDownSearch(&canceler{}, newEngine(in), minSize, k, meas, &s1, nil)
 		res2, dres2 := scanTopDownSearch(in, minSize, k, meas, &s2)
 		return samePatternSet(res1, res2) && samePatternSet(dres1, dres2) &&
 			s1.NodesExamined == s2.NodesExamined
@@ -156,7 +156,7 @@ func BenchmarkAblationCounting(b *testing.B) {
 	b.Run("partitioned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var s Stats
-			topDownSearch(&canceler{}, newEngine(in), 20, 40, meas, &s)
+			topDownSearch(&canceler{}, newEngine(in), 20, 40, meas, &s, nil)
 		}
 	})
 	b.Run("scan", func(b *testing.B) {

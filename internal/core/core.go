@@ -52,6 +52,13 @@ type Input struct {
 	// Strategy constants. The default StrategyAuto applies a cost model.
 	// Results are byte-identical across strategies.
 	Strategy Strategy
+	// DisableStats turns off the per-run SearchStats accounting: searches
+	// leave Result.Search nil and skip every counter increment. Groups and
+	// Stats are byte-identical either way (TestStatsInvariance guards
+	// this); the knob exists for overhead measurement and for callers that
+	// want the last fraction of a percent back. Set it before sharing the
+	// input across goroutines, like every other Input field.
+	DisableStats bool
 
 	// validated memoizes a successful Validate: repeated searches over one
 	// input (the Analyst serving path runs many audits against one dataset)
@@ -203,6 +210,11 @@ type Result struct {
 	Groups [][]pattern.Pattern
 	// Stats accumulates work accounting across the whole run.
 	Stats Stats
+	// Search carries the run's observability counters (expansion/pruning
+	// breakdown, engine shortcuts, strategy, fan-out width). Nil when the
+	// input sets DisableStats. Unlike Stats it is engine-dependent by
+	// design and excluded from cross-engine equivalence comparisons.
+	Search *SearchStats
 }
 
 // At returns the result set for a specific k. It returns nil when k is

@@ -100,7 +100,7 @@ func IterTDExposureCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	eng.weightByRow = weightOf
 	eng.weightByRank = wByRank
 
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		st.FullSearches++
 		ek := totalExposure[k]
 		var filt subsetFilter
@@ -115,15 +115,21 @@ func IterTDExposureCtx(ctx context.Context, in *Input, params ExposureParams, wo
 			st.NodesExamined++
 			sD := len(e.m.all)
 			if sD < params.MinSize {
+				ss.prunedSize()
 				continue
 			}
 			exp := eng.exposureOf(e.m, k)
 			if exp < params.Alpha*float64(sD)*ek/nf {
+				ss.prunedBound()
 				if !filt.dominated(e.p) {
+					ss.frontier(e.p)
 					filt.add(e.p)
+				} else {
+					ss.addDominated(1)
 				}
 				continue
 			}
+			ss.expanded()
 			queue = eng.appendChildren(queue, e)
 		}
 		groups := filt.res

@@ -60,6 +60,8 @@ func ExposureBoundsCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	// sum in ascending rank order, so exposures are bit-identical.
 	st.eng.weightByRow = st.weightOf
 	st.eng.weightByRank = wByRank
+	st.search = st.eng.newSearchStats(st.workers)
+	res.Search = st.search
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
 	}
@@ -98,6 +100,7 @@ type esink struct {
 	cn     canceler
 	sr     searcher
 	stats  Stats
+	search SearchStats
 	biased []*enode
 	sched  []*enode
 }
@@ -110,6 +113,8 @@ type exposureState struct {
 	n       float64
 	ctx     context.Context
 	workers int
+	// search accumulates the run's SearchStats; nil when disabled.
+	search *SearchStats
 
 	roots     []*enode
 	biasedSet map[*enode]struct{}
@@ -165,6 +170,7 @@ func (s *exposureState) scheduleInto(nd *enode, sk *esink) {
 // merge folds a sink into the shared state.
 func (s *exposureState) merge(sk *esink) {
 	s.stats.add(sk.stats)
+	s.search.merge(&sk.search)
 	for _, nd := range sk.biased {
 		s.biasedSet[nd] = struct{}{}
 	}
@@ -190,20 +196,27 @@ func (s *exposureState) fullBuild(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		sk.stats.NodesExamined++
 		sD := len(u.m.all)
 		if sD < s.pr.MinSize {
+			sk.sr.ss.prunedSize()
 			return
 		}
 		child := &enode{p: u.p, sD: sD, exposure: s.eng.exposureOf(u.m, k)}
 		children[i] = child
 		if s.biasedAt(sD, child.exposure, k) {
 			child.biased = true
+			sk.sr.ss.prunedBound()
+			sk.sr.ss.frontier(child.p)
 			sk.biased = append(sk.biased, child)
 			return
 		}
 		s.scheduleInto(child, sk)
 		child.expanded = true
+		sk.sr.ss.expanded()
 		child.children = s.buildChildrenInto(child, u.m, k, sk)
 	})
 	halted := false
@@ -232,17 +245,21 @@ func (s *exposureState) buildChildrenInto(parent *enode, m matchSet, k int, sk *
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.pr.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &enode{p: parent.p.With(a, int32(v)), sD: sD, exposure: cs.exposure(v)}
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
+			sk.sr.ss.expanded()
 			child.children = s.buildChildrenInto(child, cs.at(v), k, sk)
 		}
 		sk.sr.release(mk)
@@ -278,6 +295,8 @@ func (s *exposureState) step(k int) bool {
 			// Late positions carry less weight than the bound's growth,
 			// so a matched unbiased node can still cross into bias.
 			nd.biased = true
+			s.search.prunedBound()
+			s.search.frontier(nd.p)
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
@@ -301,6 +320,8 @@ func (s *exposureState) step(k int) bool {
 		ser.stats.NodesExamined++
 		if s.biasedAt(nd.sD, nd.exposure, k) {
 			nd.biased = true
+			s.search.prunedBound()
+			s.search.frontier(nd.p)
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
@@ -317,6 +338,7 @@ func (s *exposureState) step(k int) bool {
 	for _, nd := range freed {
 		if !nd.expanded {
 			nd.expanded = true
+			s.search.expanded()
 			resumed = append(resumed, nd)
 		}
 	}
@@ -327,6 +349,9 @@ func (s *exposureState) step(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		mk := sk.sr.mark()
 		m := sk.sr.materialize(nd.p, k)
 		s.expandWithInto(nd, m, k, sk)
@@ -354,17 +379,21 @@ func (s *exposureState) expandWithInto(nd *enode, m matchSet, k int, sk *esink) 
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.pr.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &enode{p: nd.p.With(a, int32(v)), sD: sD, exposure: cs.exposure(v)}
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.exposure, k) {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
+			sk.sr.ss.expanded()
 			s.expandWithInto(child, cs.at(v), k, sk)
 		}
 		sk.sr.release(mk)
@@ -393,6 +422,7 @@ func (s *exposureState) snapshot() (groups []Pattern, ok bool) {
 	if halted {
 		return nil, false
 	}
+	s.search.countDominated(dominated)
 	s.dirt = false
 	res := make([]Pattern, 0, len(ps))
 	for i, p := range ps {

@@ -31,6 +31,7 @@ type gsink struct {
 	cn     canceler
 	sr     searcher
 	stats  Stats
+	search SearchStats
 	biased []*gnode
 }
 
@@ -42,6 +43,10 @@ type globalState struct {
 	stats   *Stats
 	ctx     context.Context
 	workers int
+	// search accumulates the run's SearchStats; nil when disabled. Serial
+	// phases count into it directly, fan-out workers into their sink's
+	// local copy, merged at the same points as the sinks' Stats.
+	search *SearchStats
 
 	roots []*gnode
 	// biasedSet is the biased frontier: Res ∪ DRes of the paper.
@@ -88,6 +93,8 @@ func GlobalBoundsCtx(ctx context.Context, in *Input, params GlobalParams, worker
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &globalState{in: in, eng: newEngine(in), params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
+	st.search = st.eng.newSearchStats(st.workers)
+	res.Search = st.search
 
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
@@ -138,19 +145,26 @@ func (s *globalState) fullBuild(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		sk.stats.NodesExamined++
 		sD := len(u.m.all)
 		if sD < s.params.MinSize {
+			sk.sr.ss.prunedSize()
 			return
 		}
 		child := &gnode{p: u.p, sD: sD, cnt: s.eng.topCount(u.m, k)}
 		children[i] = child
 		if child.cnt < L {
 			child.biased = true
+			sk.sr.ss.prunedBound()
+			sk.sr.ss.frontier(child.p)
 			sk.biased = append(sk.biased, child)
 			return
 		}
 		child.expanded = true
+		sk.sr.ss.expanded()
 		child.children = s.buildChildrenInto(child, u.m, k, L, sk)
 	})
 	halted := false
@@ -159,6 +173,7 @@ func (s *globalState) fullBuild(k int) bool {
 			s.roots = append(s.roots, children[i])
 		}
 		s.stats.add(sinks[i].stats)
+		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].biased {
 			s.biasedSet[nd] = struct{}{}
 		}
@@ -189,16 +204,20 @@ func (s *globalState) buildChildrenInto(parent *gnode, m matchSet, k, L int, sk 
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.params.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &gnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt < L {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			child.expanded = true
+			sk.sr.ss.expanded()
 			child.children = s.buildChildrenInto(child, cs.at(v), k, L, sk)
 		}
 		sk.sr.release(mk)
@@ -255,11 +274,15 @@ func (s *globalState) step(k int) (changed, ok bool) {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		s.expandInto(freed[i], k, L, sk)
 	})
 	halted := false
 	for i := range sinks {
 		s.stats.add(sinks[i].stats)
+		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].biased {
 			s.biasedSet[nd] = struct{}{}
 		}
@@ -286,6 +309,7 @@ func (s *globalState) expandInto(nd *gnode, k, L int, sk *gsink) {
 		return
 	}
 	nd.expanded = true
+	sk.sr.ss.expanded()
 	mk := sk.sr.mark()
 	m := sk.sr.materialize(nd.p, k)
 	s.expandWithInto(nd, m, k, L, sk)
@@ -305,16 +329,20 @@ func (s *globalState) expandWithInto(nd *gnode, m matchSet, k, L int, sk *gsink)
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.params.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &gnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			nd.children = append(nd.children, child)
 			if child.cnt < L {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			child.expanded = true
+			sk.sr.ss.expanded()
 			s.expandWithInto(child, cs.at(v), k, L, sk)
 		}
 		sk.sr.release(mk)
@@ -341,6 +369,7 @@ func (s *globalState) normalize() bool {
 	if halted {
 		return false
 	}
+	s.search.countDominated(dominated)
 	s.res = make(map[*gnode]struct{}, len(nodes))
 	s.dres = make(map[*gnode]struct{})
 	for i, nd := range nodes {

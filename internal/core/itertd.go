@@ -23,8 +23,8 @@ func IterTDGlobalCtx(ctx context.Context, in *Input, params GlobalParams, worker
 	}
 	meas := globalMeasure{params: &params}
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
-		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st)
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
+		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st, ss)
 		sortPatterns(groups)
 		return groups
 	})
@@ -45,8 +45,8 @@ func IterTDPropCtx(ctx context.Context, in *Input, params PropParams, workers in
 	}
 	meas := propMeasure{alpha: params.Alpha, n: len(in.Rows)}
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
-		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st)
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
+		groups, _ := topDownSearch(cn, eng, params.MinSize, k, meas, st, ss)
 		sortPatterns(groups)
 		return groups
 	})

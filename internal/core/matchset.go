@@ -108,6 +108,10 @@ type engine struct {
 	// order, so the float results are bit-identical across engines.
 	weightByRow  []float64
 	weightByRank []float64
+	// statsOff mirrors Input.DisableStats at engine construction:
+	// newSearchStats returns nil under it, which disarms every nil-checked
+	// counter increment downstream.
+	statsOff bool
 	// rootAll caches the lists engine's k-independent root partition: the
 	// full dataset bucketed per (attribute, value), which every full build
 	// used to recompute even when only the bound changed (the GLOBALBOUNDS
@@ -124,13 +128,31 @@ type engine struct {
 // rank-space engine needs one and none is attached.
 func newEngine(in *Input) *engine {
 	if !in.useIndex() {
-		return &engine{in: in}
+		return &engine{in: in, statsOff: in.DisableStats}
 	}
 	ix := in.Index
 	if ix == nil {
 		ix = count.Build(in.Rows, in.Space, in.Ranking)
 	}
-	return &engine{in: in, ix: ix, rowAt: ix.RowsByRank()}
+	return &engine{in: in, ix: ix, rowAt: ix.RowsByRank(), statsOff: in.DisableStats}
+}
+
+// strategyName labels the resolved match-set strategy for SearchStats.
+func (e *engine) strategyName() string {
+	if e.ix != nil {
+		return "index"
+	}
+	return "lists"
+}
+
+// newSearchStats returns the run's SearchStats accumulator stamped with
+// the resolved strategy and fan-out width, or nil when the input disabled
+// stats — the nil pointer is what turns every increment into a no-op.
+func (e *engine) newSearchStats(workers int) *SearchStats {
+	if e.statsOff {
+		return nil
+	}
+	return &SearchStats{Strategy: e.strategyName(), Workers: workers}
 }
 
 // topCount returns the node's size in the top-k: a slice length on the
@@ -261,6 +283,10 @@ func partitionRanks(rowAt [][]int32, ranks []int32, a, card int) [][]int32 {
 type searcher struct {
 	*engine
 	scr *scratch
+	// ss receives the engine-shortcut counters (count-only passes, lazy
+	// scatters, posting intersections). Nil when stats are disabled; sinks
+	// point it at their local accumulator after acquire.
+	ss *SearchStats
 }
 
 func (e *engine) acquire() searcher {
@@ -319,6 +345,7 @@ func (sr searcher) childStats(m matchSet, a, card, k int, wantExposure bool) chi
 		cs.scattered = true
 		return cs
 	}
+	sr.ss.countOnlyPass()
 	rowAt := sr.rowAt
 	cs.sD = sr.scr.ints.allocZero(card)
 	cs.cnt = sr.scr.ints.allocZero(card)
@@ -376,6 +403,7 @@ func (cs *childStats) exposure(v int) float64 {
 // computed per-value sizes as offsets.
 func (cs *childStats) at(v int) matchSet {
 	if !cs.scattered {
+		cs.sr.ss.lazyScatter()
 		offs := cs.sr.scr.ints.alloc(cs.card + 1)
 		off := int32(0)
 		for w := 0; w < cs.card; w++ {
@@ -491,11 +519,13 @@ func (sr searcher) materialize(p pattern.Pattern, k int) matchSet {
 			lists[j], lists[j-1] = lists[j-1], lists[j]
 		}
 	}
+	sr.ss.intersection()
 	res := count.IntersectInto(sr.scr.ints.alloc(len(lists[0]))[:0], lists[0], lists[1])
 	for _, b := range lists[2:] {
 		if len(res) == 0 {
 			break
 		}
+		sr.ss.intersection()
 		res = count.IntersectInto(sr.scr.ints.alloc(len(res))[:0], res, b)
 	}
 	return matchSet{all: res}

@@ -70,7 +70,7 @@ func fanOut(workers, n int, run func(i int)) {
 // slots and the stats sum is order-independent, so the assembled result is
 // identical to a serial run. When the context is canceled the workers stop
 // mid-traversal and the partial result is discarded.
-func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *canceler, st *Stats, k int) []Pattern) (*Result, error) {
+func runPerK(ctx context.Context, eng *engine, kMin, kMax, workers int, body func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern) (*Result, error) {
 	if err := preflight(ctx); err != nil {
 		return nil, err
 	}
@@ -81,16 +81,25 @@ func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *cancele
 	}
 	res := &Result{KMin: kMin, KMax: kMax, Groups: make([][]Pattern, span)}
 	statsPer := make([]Stats, workers)
+	var searchPer []SearchStats
+	if eng != nil && !eng.statsOff {
+		res.Search = eng.newSearchStats(workers)
+		searchPer = make([]SearchStats, workers)
+	}
 	var next atomic.Int64
 	next.Store(int64(kMin) - 1)
 	work := func(w int) bool {
 		cn := canceler{ctx: ctx}
+		var ss *SearchStats
+		if searchPer != nil {
+			ss = &searchPer[w]
+		}
 		for !cn.halted {
 			k := int(next.Add(1))
 			if k > kMax {
 				break
 			}
-			groups := body(&cn, &statsPer[w], k)
+			groups := body(&cn, &statsPer[w], ss, k)
 			if cn.halted {
 				break // partial per-k result: discard
 			}
@@ -118,6 +127,9 @@ func runPerK(ctx context.Context, kMin, kMax, workers int, body func(cn *cancele
 	}
 	for _, s := range statsPer {
 		res.Stats.add(s)
+	}
+	for i := range searchPer {
+		res.Search.merge(&searchPer[i])
 	}
 	if halted {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)

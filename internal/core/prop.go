@@ -35,6 +35,7 @@ type psink struct {
 	cn     canceler
 	sr     searcher
 	stats  Stats
+	search SearchStats
 	biased []*pnode
 	sched  []*pnode
 }
@@ -48,6 +49,9 @@ type propState struct {
 	n       int // |D|
 	ctx     context.Context
 	workers int
+	// search accumulates the run's SearchStats; nil when disabled. Serial
+	// phases count into it directly, fan-out workers via their sink.
+	search *SearchStats
 
 	roots     []*pnode
 	biasedSet map[*pnode]struct{}
@@ -97,6 +101,8 @@ func PropBoundsCtx(ctx context.Context, in *Input, params PropParams, workers in
 		biasedSet: make(map[*pnode]struct{}),
 		buckets:   make([][]*pnode, params.KMax+2),
 	}
+	st.search = st.eng.newSearchStats(st.workers)
+	res.Search = st.search
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
 	}
@@ -161,6 +167,7 @@ func (s *propState) scheduleInto(nd *pnode, sk *psink) {
 // merge folds a sink into the shared state.
 func (s *propState) merge(sk *psink) {
 	s.stats.add(sk.stats)
+	s.search.merge(&sk.search)
 	for _, nd := range sk.biased {
 		s.biasedSet[nd] = struct{}{}
 	}
@@ -190,20 +197,27 @@ func (s *propState) fullBuild(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		sk.stats.NodesExamined++
 		sD := len(u.m.all)
 		if sD < s.pr.MinSize {
+			sk.sr.ss.prunedSize()
 			return
 		}
 		child := &pnode{p: u.p, sD: sD, cnt: s.eng.topCount(u.m, k)}
 		children[i] = child
 		if s.biasedAt(sD, child.cnt, k) {
 			child.biased = true
+			sk.sr.ss.prunedBound()
+			sk.sr.ss.frontier(child.p)
 			sk.biased = append(sk.biased, child)
 			return
 		}
 		s.scheduleInto(child, sk)
 		child.expanded = true
+		sk.sr.ss.expanded()
 		child.children = s.buildChildrenInto(child, u.m, k, sk)
 	})
 	halted := false
@@ -232,17 +246,21 @@ func (s *propState) buildChildrenInto(parent *pnode, m matchSet, k int, sk *psin
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.pr.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &pnode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
+			sk.sr.ss.expanded()
 			child.children = s.buildChildrenInto(child, cs.at(v), k, sk)
 		}
 		sk.sr.release(mk)
@@ -283,6 +301,8 @@ func (s *propState) step(k int) bool {
 			// Only reachable when α > 1 lets the bound grow faster than
 			// one per k; handled for completeness.
 			nd.biased = true
+			s.search.prunedBound()
+			s.search.frontier(nd.p)
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
@@ -309,6 +329,8 @@ func (s *propState) step(k int) bool {
 		ser.stats.NodesExamined++
 		if s.biasedAt(nd.sD, nd.cnt, k) {
 			nd.biased = true
+			s.search.prunedBound()
+			s.search.frontier(nd.p)
 			s.biasedSet[nd] = struct{}{}
 			s.dirt = true
 		} else {
@@ -330,6 +352,7 @@ func (s *propState) step(k int) bool {
 	for _, nd := range freed {
 		if !nd.expanded {
 			nd.expanded = true
+			s.search.expanded()
 			resumed = append(resumed, nd)
 		}
 	}
@@ -340,6 +363,9 @@ func (s *propState) step(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		mk := sk.sr.mark()
 		m := sk.sr.materialize(nd.p, k)
 		s.expandWithInto(nd, m, k, sk)
@@ -367,17 +393,21 @@ func (s *propState) expandWithInto(nd *pnode, m matchSet, k int, sk *psink) {
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.pr.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &pnode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			nd.children = append(nd.children, child)
 			if s.biasedAt(sD, child.cnt, k) {
 				child.biased = true
+				sk.sr.ss.prunedBound()
+				sk.sr.ss.frontier(child.p)
 				sk.biased = append(sk.biased, child)
 				continue
 			}
 			s.scheduleInto(child, sk)
 			child.expanded = true
+			sk.sr.ss.expanded()
 			s.expandWithInto(child, cs.at(v), k, sk)
 		}
 		sk.sr.release(mk)
@@ -409,6 +439,7 @@ func (s *propState) snapshot() (groups []Pattern, ok bool) {
 	if halted {
 		return nil, false
 	}
+	s.search.countDominated(dominated)
 	s.dirt = false
 	res := make([]Pattern, 0, len(ps))
 	for i, p := range ps {

@@ -1,0 +1,161 @@
+package core
+
+import "rankfair/internal/pattern"
+
+// SearchStats records per-run observability counters of the lattice
+// search: how much of the lattice was expanded versus pruned and by which
+// rule, how often the rank-space engine's count-only and lazy-scatter
+// shortcuts fired, which match-set strategy the cost model picked and how
+// wide the fan-out ran. Unlike Stats — whose NodesExamined/FullSearches
+// are part of the byte-identity contract across engines and worker counts
+// — SearchStats is engine-dependent by design (posting-list intersections
+// only exist on the rank-space engine) and lives in a separate Result
+// field, excluded from every equivalence comparison.
+//
+// Accumulation is contention-free: every fan-out worker counts into its
+// sink's local SearchStats (one plain increment behind a nil check, no
+// atomics), merged into the run's totals at the existing deterministic
+// sink-merge points. All counter sums are order-independent, so totals are
+// identical for every worker count.
+type SearchStats struct {
+	// Strategy is the match-set engine the run used: "lists" or "index".
+	Strategy string
+	// Workers is the fan-out width the run was clamped to.
+	Workers int
+	// NodesExpanded counts nodes whose children were generated (subtree
+	// descents), including step-time resumptions of frontier nodes.
+	NodesExpanded int64
+	// PrunedSize counts nodes dropped by the size threshold τs.
+	PrunedSize int64
+	// PrunedBound counts subtree descents stopped by the bound test:
+	// biased frontier nodes of the lower-bound searches, non-exceeding
+	// substantial nodes of the upper-bound searches.
+	PrunedBound int64
+	// PrunedDominated counts dominated verdicts returned by the
+	// domination filter (per normalization pass, so a node re-checked at
+	// several k values counts each time).
+	PrunedDominated int64
+	// PostingIntersections counts pairwise posting-list intersections
+	// performed by step-time re-materialization (rank-space engine only).
+	PostingIntersections int64
+	// CountOnlyPasses counts child-statistics computations served by
+	// count-only tallies over the parent's rank list without
+	// materializing any child list (rank-space engine only).
+	CountOnlyPasses int64
+	// LazyScatters counts the count-only passes that later had to
+	// scatter the parent's rank list after all, because the search
+	// descended into at least one child (rank-space engine only).
+	LazyScatters int64
+	// FrontierByLevel[l] counts frontier admissions of patterns binding l
+	// attributes: biased-pattern discoveries on the lower-bound searches,
+	// candidate admissions on the upper-bound ones. Index 0 is unused
+	// (the empty pattern is never a frontier member).
+	FrontierByLevel []int64
+}
+
+// The increment helpers are nil-safe: a disabled run (Input.DisableStats)
+// simply never allocates the struct, and every instrumentation site costs
+// one predictable branch.
+
+func (s *SearchStats) expanded() {
+	if s != nil {
+		s.NodesExpanded++
+	}
+}
+
+func (s *SearchStats) prunedSize() {
+	if s != nil {
+		s.PrunedSize++
+	}
+}
+
+func (s *SearchStats) prunedBound() {
+	if s != nil {
+		s.PrunedBound++
+	}
+}
+
+func (s *SearchStats) addDominated(n int64) {
+	if s != nil {
+		s.PrunedDominated += n
+	}
+}
+
+func (s *SearchStats) intersection() {
+	if s != nil {
+		s.PostingIntersections++
+	}
+}
+
+func (s *SearchStats) countOnlyPass() {
+	if s != nil {
+		s.CountOnlyPasses++
+	}
+}
+
+func (s *SearchStats) lazyScatter() {
+	if s != nil {
+		s.LazyScatters++
+	}
+}
+
+// frontier records a frontier admission at the pattern's lattice level.
+// The NumAttrs scan runs only when stats are enabled.
+func (s *SearchStats) frontier(p pattern.Pattern) {
+	if s == nil {
+		return
+	}
+	lvl := p.NumAttrs()
+	for len(s.FrontierByLevel) <= lvl {
+		s.FrontierByLevel = append(s.FrontierByLevel, 0)
+	}
+	s.FrontierByLevel[lvl]++
+}
+
+// countDominated folds a domination mask into the counter.
+func (s *SearchStats) countDominated(mask []bool) {
+	if s == nil {
+		return
+	}
+	n := int64(0)
+	for _, d := range mask {
+		if d {
+			n++
+		}
+	}
+	s.PrunedDominated += n
+}
+
+// merge folds a per-worker accumulator into the run totals. Nil receivers
+// and nil arguments are no-ops, mirroring the increment helpers.
+func (s *SearchStats) merge(o *SearchStats) {
+	if s == nil || o == nil {
+		return
+	}
+	s.NodesExpanded += o.NodesExpanded
+	s.PrunedSize += o.PrunedSize
+	s.PrunedBound += o.PrunedBound
+	s.PrunedDominated += o.PrunedDominated
+	s.PostingIntersections += o.PostingIntersections
+	s.CountOnlyPasses += o.CountOnlyPasses
+	s.LazyScatters += o.LazyScatters
+	for len(s.FrontierByLevel) < len(o.FrontierByLevel) {
+		s.FrontierByLevel = append(s.FrontierByLevel, 0)
+	}
+	for i, v := range o.FrontierByLevel {
+		s.FrontierByLevel[i] += v
+	}
+}
+
+// Clone returns a deep copy, so serialization layers can snapshot the
+// stats without aliasing the run's slice.
+func (s *SearchStats) Clone() *SearchStats {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if s.FrontierByLevel != nil {
+		out.FrontierByLevel = append([]int64(nil), s.FrontierByLevel...)
+	}
+	return &out
+}

@@ -37,7 +37,7 @@ func (m propMeasure) biased(sD, cnt, k int) bool {
 // update() check of the paper therefore only needs to scan Res — through a
 // subsetFilter, whose attribute bitmasks skip patterns over disjoint
 // attribute sets without comparing values.
-func topDownSearch(cn *canceler, eng *engine, minSize, k int, meas measure, stats *Stats) (res, dres []pattern.Pattern) {
+func topDownSearch(cn *canceler, eng *engine, minSize, k int, meas measure, stats *Stats, ss *SearchStats) (res, dres []pattern.Pattern) {
 	stats.FullSearches++
 
 	queue := make([]unit, 0, 64)
@@ -53,17 +53,22 @@ func topDownSearch(cn *canceler, eng *engine, minSize, k int, meas measure, stat
 		stats.NodesExamined++
 		sD := len(e.m.all)
 		if sD < minSize {
+			ss.prunedSize()
 			continue
 		}
 		cnt := eng.topCount(e.m, k)
 		if meas.biased(sD, cnt, k) {
+			ss.prunedBound()
 			if filt.dominated(e.p) {
+				ss.addDominated(1)
 				dres = append(dres, e.p)
 			} else {
+				ss.frontier(e.p)
 				filt.add(e.p)
 			}
 			continue
 		}
+		ss.expanded()
 		queue = eng.appendChildren(queue, e)
 	}
 	return filt.res, dres

@@ -61,9 +61,9 @@ func IterTDGlobalUpperCtx(ctx context.Context, in *Input, params GlobalUpperPara
 		return nil, err
 	}
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, ss, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c // prune when not exceeding: children have count <= cnt
 		})
@@ -115,9 +115,9 @@ func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, 
 	}
 	n := float64(len(in.Rows))
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		floor := params.Beta * float64(params.MinSize) * float64(k) / n
-		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, ss, func(sD, cnt int) (candidate, descend bool) {
 			c := float64(cnt) > params.Beta*float64(sD)*float64(k)/n
 			return c, float64(cnt) > floor
 		})
@@ -131,7 +131,7 @@ func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, 
 // and on the classify callback's descend decision, returning every pattern
 // classified as a candidate. The search polls cn once per node and returns
 // early when the caller's context is canceled.
-func collectExceeding(cn *canceler, eng *engine, minSize, k int, stats *Stats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
+func collectExceeding(cn *canceler, eng *engine, minSize, k int, stats *Stats, ss *SearchStats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
 	stats.FullSearches++
 	var cands []Pattern
 	queue := make([]unit, 0, 64)
@@ -145,14 +145,19 @@ func collectExceeding(cn *canceler, eng *engine, minSize, k int, stats *Stats, c
 		stats.NodesExamined++
 		sD := len(e.m.all)
 		if sD < minSize {
+			ss.prunedSize()
 			continue
 		}
 		candidate, descend := classify(sD, eng.topCount(e.m, k))
 		if candidate {
+			ss.frontier(e.p)
 			cands = append(cands, e.p)
 		}
 		if descend {
+			ss.expanded()
 			queue = eng.appendChildren(queue, e)
+		} else {
+			ss.prunedBound()
 		}
 	}
 	return cands

@@ -36,6 +36,8 @@ func GlobalUpperBoundsCtx(ctx context.Context, in *Input, params GlobalUpperPara
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &upperState{in: in, eng: newEngine(in), params: &params, stats: &res.Stats, ctx: ctx, workers: normWorkers(workers)}
+	st.search = st.eng.newSearchStats(st.workers)
+	res.Search = st.search
 
 	if !st.fullBuild(params.KMin) {
 		return nil, canceledErr(ctx, res.Stats.NodesExamined)
@@ -76,10 +78,11 @@ type unode struct {
 // work accounting; candidates are admitted at merge time so the maximality
 // maps are only touched serially.
 type usink struct {
-	cn    canceler
-	sr    searcher
-	stats Stats
-	cands []*unode
+	cn     canceler
+	sr     searcher
+	stats  Stats
+	search SearchStats
+	cands  []*unode
 }
 
 type upperState struct {
@@ -89,6 +92,8 @@ type upperState struct {
 	stats   *Stats
 	ctx     context.Context
 	workers int
+	// search accumulates the run's SearchStats; nil when disabled.
+	search *SearchStats
 
 	roots []*unode
 	// candidates maps pattern keys of all current candidates; maximal
@@ -120,17 +125,25 @@ func (s *upperState) fullBuild(k int) bool {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		sk.stats.NodesExamined++
 		sD := len(un.m.all)
 		if sD < s.params.MinSize {
+			sk.sr.ss.prunedSize()
 			return
 		}
 		child := &unode{p: un.p, sD: sD, cnt: s.eng.topCount(un.m, k)}
 		children[i] = child
 		if child.cnt > u {
+			sk.sr.ss.frontier(child.p)
+			sk.sr.ss.expanded()
 			sk.cands = append(sk.cands, child)
 			child.expanded = true
 			child.children = s.buildChildrenInto(child, un.m, k, u, sk)
+		} else {
+			sk.sr.ss.prunedBound()
 		}
 	})
 	halted := false
@@ -139,6 +152,7 @@ func (s *upperState) fullBuild(k int) bool {
 			s.roots = append(s.roots, children[i])
 		}
 		s.stats.add(sinks[i].stats)
+		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].cands {
 			s.admit(nd)
 		}
@@ -161,14 +175,19 @@ func (s *upperState) buildChildrenInto(parent *unode, m matchSet, k, u int, sk *
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.params.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &unode{p: parent.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt > u {
+				sk.sr.ss.frontier(child.p)
+				sk.sr.ss.expanded()
 				sk.cands = append(sk.cands, child)
 				child.expanded = true
 				child.children = s.buildChildrenInto(child, cs.at(v), k, u, sk)
+			} else {
+				sk.sr.ss.prunedBound()
 			}
 		}
 		sk.sr.release(mk)
@@ -226,6 +245,7 @@ func (s *upperState) step(k int) (changed, ok bool) {
 		s.stats.NodesExamined++
 		nd.cnt++
 		if !nd.candidate && nd.cnt > u {
+			s.search.frontier(nd.p)
 			crossed = append(crossed, nd)
 		}
 		for _, c := range nd.children {
@@ -256,6 +276,7 @@ func (s *upperState) step(k int) (changed, ok bool) {
 	for _, nd := range crossed {
 		if !nd.expanded {
 			nd.expanded = true
+			s.search.expanded()
 			resumed = append(resumed, nd)
 		}
 	}
@@ -266,6 +287,9 @@ func (s *upperState) step(k int) (changed, ok bool) {
 		sk.cn = canceler{ctx: s.ctx}
 		sk.sr = s.eng.acquire()
 		defer sk.sr.close()
+		if s.search != nil {
+			sk.sr.ss = &sk.search
+		}
 		mk := sk.sr.mark()
 		m := sk.sr.materialize(nd.p, k)
 		nd.children = append(nd.children, s.expandWithInto(nd, m, k, u, sk)...)
@@ -274,6 +298,7 @@ func (s *upperState) step(k int) (changed, ok bool) {
 	halted := false
 	for i := range sinks {
 		s.stats.add(sinks[i].stats)
+		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].cands {
 			s.admit(nd)
 		}
@@ -298,14 +323,19 @@ func (s *upperState) expandWithInto(nd *unode, m matchSet, k, u int, sk *usink) 
 			sk.stats.NodesExamined++
 			sD := cs.size(v)
 			if sD < s.params.MinSize {
+				sk.sr.ss.prunedSize()
 				continue
 			}
 			child := &unode{p: nd.p.With(a, int32(v)), sD: sD, cnt: cs.count(v)}
 			kids = append(kids, child)
 			if child.cnt > u {
+				sk.sr.ss.frontier(child.p)
+				sk.sr.ss.expanded()
 				sk.cands = append(sk.cands, child)
 				child.expanded = true
 				child.children = s.buildChildrenInto(child, cs.at(v), k, u, sk)
+			} else {
+				sk.sr.ss.prunedBound()
 			}
 		}
 		sk.sr.release(mk)

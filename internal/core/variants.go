@@ -38,9 +38,9 @@ func IterTDGlobalUpperMostGeneralCtx(ctx context.Context, in *Input, params Glob
 		return nil, err
 	}
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		u := params.Upper[k-params.KMin]
-		cands := collectExceeding(cn, eng, params.MinSize, k, st, func(sD, cnt int) (candidate, descend bool) {
+		cands := collectExceeding(cn, eng, params.MinSize, k, st, ss, func(sD, cnt int) (candidate, descend bool) {
 			c := cnt > u
 			return c, c
 		})
@@ -66,7 +66,7 @@ func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params Glo
 		return nil, err
 	}
 	eng := newEngine(in)
-	return runPerK(ctx, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, k int) []Pattern {
+	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		l := params.lowerAt(k)
 		// Traverse every substantial pattern: below-ness is not prunable
 		// top-down (an above-bound parent can have below children), so
@@ -84,12 +84,15 @@ func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params Glo
 			queue[head] = unit{}
 			st.NodesExamined++
 			if len(e.m.all) < params.MinSize {
+				ss.prunedSize()
 				continue
 			}
 			substantial[e.p.Key()] = true
 			if eng.topCount(e.m, k) < l {
+				ss.frontier(e.p)
 				below = append(below, e.p)
 			}
+			ss.expanded()
 			queue = eng.appendChildren(queue, e)
 		}
 		var groups []Pattern

@@ -103,6 +103,24 @@ func (ix *Index) RowsByRank() [][]int32 { return ix.rowAt }
 // positions of the rows holding that value. Callers must not mutate it.
 func (ix *Index) Postings(attr int, val int32) []int32 { return ix.postings[attr][val] }
 
+// SizeBytes estimates the heap footprint of the index's owned structures:
+// the rank map, the rank-major row view headers, and the posting lists
+// (counting capacity, since extended indexes share list backing arrays
+// copy-on-write). Rows and ranking are excluded — the index aliases the
+// caller's slices. The estimate feeds observability gauges; it is not an
+// exact allocator accounting.
+func (ix *Index) SizeBytes() int64 {
+	const sliceHeader = 24
+	size := int64(len(ix.rankOf))*4 + int64(len(ix.rowAt))*sliceHeader
+	for _, lists := range ix.postings {
+		size += int64(len(lists)) * sliceHeader
+		for _, l := range lists {
+			size += int64(cap(l)) * 4
+		}
+	}
+	return size
+}
+
 // upperBound returns the number of entries of ranks strictly below k.
 // Because ranks is ascending, that is the index of the first entry >= k.
 func upperBound(ranks []int32, k int) int {

@@ -1,0 +1,383 @@
+// Package obs is the dependency-free observability core shared by the
+// serving layer: a metrics registry rendering the Prometheus text
+// exposition format (counters, gauges, fixed-bucket histograms, labeled
+// variants), lightweight phase spans carried on context.Context with a
+// bounded in-memory trace ring, and runtime gauges. Everything is built on
+// the standard library only — sync/atomic counters, a CAS loop for the
+// histogram's float sum — so the package can be imported from any layer
+// without pulling a client library into the module.
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency histogram layout in seconds, spanning
+// sub-millisecond cache hits to multi-second cold lattice searches.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families in registration order and renders them as
+// Prometheus text exposition format 0.0.4. Registration happens at service
+// construction; rendering and metric updates are safe concurrently.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]bool
+}
+
+// family is one registered metric family: fixed name/help/type plus a
+// render hook appending its sample lines (without HELP/TYPE headers).
+type family struct {
+	name, help, typ string
+	render          func(b []byte) []byte
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(name, help, typ string, render func(b []byte) []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic("obs: duplicate metric registration: " + name)
+	}
+	r.byName[name] = true
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, render: render})
+}
+
+// WriteTo renders every family in registration order: HELP (escaped per
+// the exposition format), TYPE, then the family's samples.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	b := make([]byte, 0, 4096)
+	for _, f := range fams {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		b = f.render(b)
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// appendEscapedHelp escapes a HELP docstring: backslash and newline, per
+// the Prometheus text format.
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendEscapedLabel escapes a label value: backslash, double quote and
+// newline.
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendFloat renders a sample value; integral floats render without an
+// exponent ("1", "0.005", "2.5").
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the rendered series to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(b []byte) []byte {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, c.Value(), 10)
+		return append(b, '\n')
+	})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters owned by another subsystem (job manager,
+// caches) that already maintains them under its own lock.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, "counter", func(b []byte) []byte {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, fn(), 10)
+		return append(b, '\n')
+	})
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape
+// time. Values are integral (entry counts, bytes, goroutines).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	r.register(name, help, "gauge", func(b []byte) []byte {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, fn(), 10)
+		return append(b, '\n')
+	})
+}
+
+// CounterVec is a family of counters keyed by one label's value, created
+// lazily on first With. Rendering sorts by label value so scrapes are
+// deterministic.
+type CounterVec struct {
+	name, label string
+	mu          sync.Mutex
+	vals        map[string]*Counter
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.vals[value]
+	if !ok {
+		c = &Counter{}
+		v.vals[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) snapshot() ([]string, []*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cs := make([]*Counter, len(keys))
+	for i, k := range keys {
+		cs[i] = v.vals[k]
+	}
+	return keys, cs
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, label: label, vals: make(map[string]*Counter)}
+	r.register(name, help, "counter", func(b []byte) []byte {
+		keys, cs := v.snapshot()
+		for i, k := range keys {
+			b = append(b, name...)
+			b = append(b, '{')
+			b = append(b, label...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, k)
+			b = append(b, '"', '}', ' ')
+			b = strconv.AppendInt(b, cs[i].Value(), 10)
+			b = append(b, '\n')
+		}
+		return b
+	})
+	return v
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic counts,
+// an atomic observation count, and a float64 sum maintained with a CAS
+// loop so concurrent Observe calls never lose updates. Bucket semantics
+// follow Prometheus: bucket i counts observations <= bounds[i], rendered
+// cumulatively with a trailing +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last slot is the +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v: v lands in that bucket (le is inclusive); beyond
+	// every bound it lands in the +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// renderInto appends the bucket/sum/count sample lines. extraLabels is
+// either empty or a pre-rendered `name="value",` prefix for the le label
+// and a `{name="value"}` block on _sum/_count.
+func (h *Histogram) renderInto(b []byte, name, labelPrefix string) []byte {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		b = append(b, labelPrefix...)
+		b = append(b, `le="`...)
+		b = appendFloat(b, bound)
+		b = append(b, `"} `...)
+		b = strconv.AppendInt(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_bucket{"...)
+	b = append(b, labelPrefix...)
+	b = append(b, `le="+Inf"} `...)
+	b = strconv.AppendInt(b, h.Count(), 10)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = appendLabelBlock(b, labelPrefix)
+	b = append(b, ' ')
+	b = appendFloat(b, h.Sum())
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = appendLabelBlock(b, labelPrefix)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, h.Count(), 10)
+	return append(b, '\n')
+}
+
+// appendLabelBlock renders `{labels}` from a `labels,` prefix, or nothing.
+func appendLabelBlock(b []byte, labelPrefix string) []byte {
+	if labelPrefix == "" {
+		return b
+	}
+	b = append(b, '{')
+	b = append(b, labelPrefix[:len(labelPrefix)-1]...) // drop trailing comma
+	return append(b, '}')
+}
+
+// NewHistogram registers and returns a histogram. Nil bounds select
+// DefBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := newHistogram(bounds)
+	r.register(name, help, "histogram", func(b []byte) []byte {
+		return h.renderInto(b, name, "")
+	})
+	return h
+}
+
+// HistogramVec is a family of histograms keyed by one label's value (e.g.
+// per-endpoint request latency), created lazily on first With.
+type HistogramVec struct {
+	name, label string
+	bounds      []float64
+	mu          sync.Mutex
+	vals        map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.vals[value]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.vals[value] = h
+	}
+	return h
+}
+
+// NewHistogramVec registers and returns a labeled histogram family. Nil
+// bounds select DefBuckets.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{name: name, label: label, bounds: cloneBounds(bounds), vals: make(map[string]*Histogram)}
+	r.register(name, help, "histogram", func(b []byte) []byte {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.vals))
+		for k := range v.vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		hs := make([]*Histogram, len(keys))
+		for i, k := range keys {
+			hs[i] = v.vals[k]
+		}
+		v.mu.Unlock()
+		for i, k := range keys {
+			prefix := make([]byte, 0, len(v.label)+len(k)+4)
+			prefix = append(prefix, v.label...)
+			prefix = append(prefix, '=', '"')
+			prefix = appendEscapedLabel(prefix, k)
+			prefix = append(prefix, '"', ',')
+			b = hs[i].renderInto(b, name, string(prefix))
+		}
+		return b
+	})
+	return v
+}
+
+func cloneBounds(bounds []float64) []float64 {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	return bs
+}

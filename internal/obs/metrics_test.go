@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "Things.")
+	c.Inc()
+	c.Add(4)
+	out := render(t, r)
+	want := "# HELP x_total Things.\n# TYPE x_total counter\nx_total 5\n"
+	if out != want {
+		t.Fatalf("render mismatch:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterFunc("esc_total", "line one\nback\\slash", func() int64 { return 1 })
+	out := render(t, r)
+	if !strings.Contains(out, `# HELP esc_total line one\nback\\slash`+"\n") {
+		t.Fatalf("HELP not escaped: %q", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("escaped newline leaked into output: %q", out)
+	}
+}
+
+func TestCounterVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("errs_total", "Errors by class.", "class")
+	v.With("5xx").Add(2)
+	v.With("4xx").Inc()
+	out := render(t, r)
+	// Label values render sorted, so scrapes are deterministic.
+	i4, i5 := strings.Index(out, `errs_total{class="4xx"} 1`), strings.Index(out, `errs_total{class="5xx"} 2`)
+	if i4 < 0 || i5 < 0 || i4 > i5 {
+		t.Fatalf("vec rendering wrong:\n%s", out)
+	}
+	if v.With("4xx") != v.With("4xx") {
+		t.Fatal("With not stable")
+	}
+}
+
+// TestHistogramZeroObservations: an untouched histogram must still render
+// a full, valid family — all buckets 0, sum 0, count 0.
+func TestHistogramZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	out := render(t, r)
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 0`,
+		`lat_seconds_bucket{le="1"} 0`,
+		`lat_seconds_bucket{le="+Inf"} 0`,
+		"lat_seconds_sum 0",
+		"lat_seconds_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBoundaries: a value equal to a bucket bound belongs to that
+// bucket (le is inclusive), and values beyond every bound land only in
+// +Inf.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "H.", []float64{0.1, 1, 10})
+	h.Observe(0.1) // exactly on the first bound: le="0.1" must include it
+	h.Observe(0.5)
+	h.Observe(10) // exactly on the last bound
+	h.Observe(99) // overflow: +Inf only
+	out := render(t, r)
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 2`,
+		`h_seconds_bucket{le="10"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		"h_seconds_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got, want := h.Sum(), 0.1+0.5+10+99; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from 8 goroutines; under
+// -race this doubles as the data-race check for the CAS-maintained sum.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("c_seconds", "C.", []float64{1, 2, 4})
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%5) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	// Each goroutine contributes perWorker*(w%5+0.5); all addends are
+	// exactly representable, so the sum must be exact too.
+	want := 0.0
+	for w := 0; w < workers; w++ {
+		want += perWorker * (float64(w%5) + 0.5)
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("req_seconds", "Req.", "endpoint", []float64{1})
+	v.With("GET /v1/x").Observe(0.5)
+	v.With(`odd"label`).Observe(2)
+	out := render(t, r)
+	if !strings.Contains(out, `req_seconds_bucket{endpoint="GET /v1/x",le="1"} 1`+"\n") {
+		t.Errorf("labeled bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `req_seconds_sum{endpoint="GET /v1/x"} 0.5`+"\n") {
+		t.Errorf("labeled sum missing:\n%s", out)
+	}
+	if !strings.Contains(out, `req_seconds_bucket{endpoint="odd\"label",le="+Inf"} 1`+"\n") {
+		t.Errorf("label escaping missing:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "A.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "B.")
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r, "app_")
+	out := render(t, r)
+	for _, name := range []string{"app_goroutines", "app_heap_alloc_bytes", "app_heap_objects", "app_gc_cycles_total"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("missing runtime gauge %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats: the goroutine/heap/GC
+// gauges all read from one snapshot refreshed at most every interval, so a
+// scrape costs one ReadMemStats instead of one per gauge and the values
+// are mutually consistent.
+type memStatsCache struct {
+	mu       sync.Mutex
+	at       time.Time
+	ms       runtime.MemStats
+	interval time.Duration
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) >= c.interval {
+		runtime.ReadMemStats(&c.ms)
+		c.at = now
+	}
+	return &c.ms
+}
+
+// RegisterRuntime registers goroutine, heap and GC gauges under the given
+// name prefix (e.g. "rankfaird_").
+func RegisterRuntime(r *Registry, prefix string) {
+	cache := &memStatsCache{interval: time.Second}
+	r.NewGaugeFunc(prefix+"goroutines", "Goroutines currently live.", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.NewGaugeFunc(prefix+"heap_alloc_bytes", "Bytes of allocated heap objects.", func() int64 {
+		return int64(cache.get().HeapAlloc)
+	})
+	r.NewGaugeFunc(prefix+"heap_objects", "Allocated heap objects.", func() int64 {
+		return int64(cache.get().HeapObjects)
+	})
+	r.NewCounterFunc(prefix+"gc_cycles_total", "Completed GC cycles.", func() int64 {
+		return int64(cache.get().NumGC)
+	})
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span tree: a root span covering the whole job
+// plus nested phase spans (decode → rank → index → search → serialize).
+// Spans are appended by at most a handful of goroutines per request, so a
+// single trace-level mutex is cheap; the cost per span is one lock and a
+// couple of time.Now calls, far below the phases it brackets.
+type Trace struct {
+	id    string
+	mu    sync.Mutex
+	root  *Span
+	start time.Time
+}
+
+// Span is one timed phase inside a trace. A nil *Span is a valid no-op
+// receiver everywhere, which is how instrumented code paths stay free of
+// "is tracing on" conditionals.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+// NewTrace starts a trace whose root span (named name) opens at start.
+func NewTrace(id, name string, start time.Time) *Trace {
+	t := &Trace{id: id, start: start}
+	t.root = &Span{tr: t, name: name, start: start}
+	return t
+}
+
+// ID returns the trace's correlation ID (the job ID on the audit path).
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// StartChild opens a child span starting now.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.ChildAt(name, time.Now(), time.Time{})
+}
+
+// ChildAt records a child span with explicit endpoints; a zero end leaves
+// the span open for a later Finish.
+func (s *Span) ChildAt(name string, start, end time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: start, end: end}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// Finish closes the span now.
+func (s *Span) Finish() { s.FinishAt(time.Now()) }
+
+// FinishAt closes the span at a caller-provided instant.
+func (s *Span) FinishAt(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.end = t
+	s.tr.mu.Unlock()
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to the context; StartSpan calls below it
+// open children of that span. Attaching a nil span is a no-op carrier.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the context's span, or nil when tracing is off.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying it. Without a span on the context it returns
+// the context unchanged and a nil span — Finish on nil is a no-op, so call
+// sites need no tracing conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// SpanTree is the JSON rendering of one span: offsets are relative to the
+// trace start so a reader can line phases up without absolute timestamps.
+type SpanTree struct {
+	Name       string     `json:"name"`
+	StartMS    float64    `json:"start_ms"`
+	DurationMS float64    `json:"duration_ms"`
+	Children   []SpanTree `json:"children,omitempty"`
+}
+
+// TraceTree is the JSON rendering of a whole trace.
+type TraceTree struct {
+	ID         string   `json:"id"`
+	Start      string   `json:"start"`
+	DurationMS float64  `json:"duration_ms"`
+	Root       SpanTree `json:"root"`
+}
+
+// Tree snapshots the trace as a JSON-renderable span tree. Open spans
+// render with duration 0.
+func (t *Trace) Tree() TraceTree {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.root.treeLocked(t.start)
+	return TraceTree{
+		ID:         t.id,
+		Start:      t.start.UTC().Format(time.RFC3339Nano),
+		DurationMS: root.DurationMS,
+		Root:       root,
+	}
+}
+
+func (s *Span) treeLocked(origin time.Time) SpanTree {
+	out := SpanTree{
+		Name:    s.name,
+		StartMS: float64(s.start.Sub(origin)) / float64(time.Millisecond),
+	}
+	if !s.end.IsZero() {
+		out.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.treeLocked(origin))
+	}
+	return out
+}
+
+// TraceStore is a bounded ring of finished traces keyed by ID: the
+// serving layer records every finished audit's trace here and the trace
+// endpoint reads them back. When the ring is full the oldest trace falls
+// out.
+type TraceStore struct {
+	mu   sync.Mutex
+	m    map[string]*Trace
+	ring []string
+	head int
+	size int
+}
+
+// NewTraceStore returns a store retaining up to capacity traces (<= 0
+// selects 256).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceStore{m: make(map[string]*Trace, capacity), ring: make([]string, capacity)}
+}
+
+// Put records a finished trace, evicting the oldest when full. Re-putting
+// an ID replaces the stored trace without consuming a ring slot.
+func (ts *TraceStore) Put(t *Trace) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.m[t.id]; ok {
+		ts.m[t.id] = t
+		return
+	}
+	if ts.size == len(ts.ring) {
+		delete(ts.m, ts.ring[ts.head])
+	} else {
+		ts.size++
+	}
+	ts.ring[ts.head] = t.id
+	ts.head = (ts.head + 1) % len(ts.ring)
+	ts.m[t.id] = t
+}
+
+// Get returns the trace recorded under id.
+func (ts *TraceStore) Get(id string) (*Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.m[id]
+	return t, ok
+}
+
+// Len returns the number of retained traces.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.size
+}

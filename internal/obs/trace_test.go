@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	tr := NewTrace("job-000001", "audit", base)
+	tr.Root().ChildAt("queue", base, base.Add(5*time.Millisecond))
+	run := tr.Root().ChildAt("run", base.Add(5*time.Millisecond), time.Time{})
+	run.ChildAt("search", base.Add(6*time.Millisecond), base.Add(20*time.Millisecond))
+	run.FinishAt(base.Add(25 * time.Millisecond))
+	tr.Root().FinishAt(base.Add(25 * time.Millisecond))
+
+	tree := tr.Tree()
+	if tree.ID != "job-000001" || tree.Root.Name != "audit" {
+		t.Fatalf("tree header wrong: %+v", tree)
+	}
+	if tree.DurationMS != 25 {
+		t.Errorf("root duration = %v, want 25", tree.DurationMS)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("want 2 children, got %+v", tree.Root.Children)
+	}
+	runT := tree.Root.Children[1]
+	if runT.Name != "run" || runT.StartMS != 5 || runT.DurationMS != 20 {
+		t.Errorf("run span wrong: %+v", runT)
+	}
+	if len(runT.Children) != 1 || runT.Children[0].Name != "search" || runT.Children[0].DurationMS != 14 {
+		t.Errorf("search span wrong: %+v", runT.Children)
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "phase")
+	if sp != nil {
+		t.Fatal("expected nil span without a trace on the context")
+	}
+	sp.Finish() // must not panic
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("no-op StartSpan must not attach a span")
+	}
+}
+
+func TestStartSpanAttachesChildren(t *testing.T) {
+	tr := NewTrace("id", "root", time.Now())
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	ctx2, sp := StartSpan(ctx, "outer")
+	if sp == nil {
+		t.Fatal("expected a live span")
+	}
+	_, inner := StartSpan(ctx2, "inner")
+	inner.Finish()
+	sp.Finish()
+	tree := tr.Tree()
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Name != "outer" {
+		t.Fatalf("outer span missing: %+v", tree.Root.Children)
+	}
+	if kids := tree.Root.Children[0].Children; len(kids) != 1 || kids[0].Name != "inner" {
+		t.Fatalf("inner span not nested under outer: %+v", tree.Root.Children)
+	}
+}
+
+func TestTraceStoreRing(t *testing.T) {
+	ts := NewTraceStore(3)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		ts.Put(NewTrace(fmt.Sprintf("job-%d", i), "audit", now))
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := ts.Get(fmt.Sprintf("job-%d", i)); ok {
+			t.Errorf("job-%d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := ts.Get(fmt.Sprintf("job-%d", i)); !ok {
+			t.Errorf("job-%d missing", i)
+		}
+	}
+	// Replacing an existing ID must not consume a ring slot.
+	ts.Put(NewTrace("job-4", "audit", now))
+	if ts.Len() != 3 {
+		t.Fatalf("Len after replace = %d, want 3", ts.Len())
+	}
+	if _, ok := ts.Get("job-2"); !ok {
+		t.Error("replace evicted an unrelated trace")
+	}
+}

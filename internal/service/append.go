@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"rankfair"
 	"rankfair/internal/dataset"
@@ -54,7 +55,9 @@ func (s *Service) AppendRows(id, contentType string, data []byte) (*AppendRespon
 	}
 	defer e.unlockAppend()
 
+	t0 := time.Now()
 	batch, err := parseBatch(contentType, data, st.table, st.opts.Comma)
+	s.obs.decode.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
 	}

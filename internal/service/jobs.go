@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"rankfair"
+	"rankfair/internal/obs"
 )
 
 // JobStatus is the lifecycle state of an audit job.
@@ -75,6 +78,30 @@ type JobView struct {
 	TotalGroups   int   `json:"total_groups,omitempty"`
 }
 
+// JobObserver is the manager's hook into the observability layer: queue
+// and run latency histograms, the finished-trace ring, and structured
+// logging with a slow-audit threshold. A nil observer (or any nil field)
+// disables that part of the instrumentation.
+type JobObserver struct {
+	// QueueWait observes created→started, Run observes started→finished,
+	// both in seconds.
+	QueueWait *obs.Histogram
+	Run       *obs.Histogram
+	// Traces receives each finished job's span tree, keyed by job ID.
+	Traces *obs.TraceStore
+	// Logger logs job completion at debug level; jobs that ran longer than
+	// SlowAudit (> 0) log at warn level with the full span tree attached.
+	Logger    *slog.Logger
+	SlowAudit time.Duration
+}
+
+// SetObserver installs the observer; call before the first Submit.
+func (m *Manager) SetObserver(ob *JobObserver) {
+	m.mu.Lock()
+	m.observer = ob
+	m.mu.Unlock()
+}
+
 // ManagerStats snapshots the job counters for /metrics.
 type ManagerStats struct {
 	Submitted int64 `json:"submitted"`
@@ -101,6 +128,7 @@ type Manager struct {
 	running                                int
 	retain                                 int
 	clock                                  func() time.Time
+	observer                               *JobObserver
 }
 
 // defaultJobRetention bounds how many job records the manager keeps; the
@@ -202,14 +230,44 @@ func (m *Manager) execute(j *Job) {
 	j.status = JobRunning
 	j.started = m.clock()
 	m.running++
+	ob := m.observer
 	m.mu.Unlock()
+
+	// The trace roots at submission so the queue wait is visible in the
+	// span tree; the run span rides into the job context, and the phases
+	// the service opens below it (analyst → search → serialize) nest there.
+	var tr *obs.Trace
+	var runSpan *obs.Span
+	if ob != nil {
+		tr = obs.NewTrace(j.ID, "audit", j.created)
+		tr.Root().ChildAt("queue", j.created, j.started)
+		runSpan = tr.Root().StartChild("run")
+		ctx = obs.ContextWithSpan(ctx, runSpan)
+		if ob.QueueWait != nil {
+			ob.QueueWait.Observe(j.started.Sub(j.created).Seconds())
+		}
+	}
 
 	report, hit, err := j.run(ctx)
 
+	finished := m.clock()
+	if ob != nil {
+		// Close out the trace before the job's terminal status becomes
+		// visible, so a client that polls to completion and immediately
+		// fetches /v1/audits/{id}/trace never races the ring insert.
+		runSpan.FinishAt(finished)
+		tr.Root().FinishAt(finished)
+		if ob.Run != nil {
+			ob.Run.Observe(finished.Sub(j.started).Seconds())
+		}
+		if ob.Traces != nil {
+			ob.Traces.Put(tr)
+		}
+	}
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.running--
-	j.finished = m.clock()
+	j.finished = finished
 	switch {
 	case ctx.Err() != nil:
 		// Canceled mid-run: the job context flows into the lattice search
@@ -234,6 +292,27 @@ func (m *Manager) execute(j *Job) {
 	j.run = nil
 	j.cancel()
 	m.pruneLocked()
+	status := j.status
+	m.mu.Unlock()
+
+	if ob == nil || ob.Logger == nil {
+		return
+	}
+	elapsed := finished.Sub(j.started)
+	elapsedMS := float64(elapsed) / float64(time.Millisecond)
+	if ob.SlowAudit > 0 && elapsed >= ob.SlowAudit {
+		// The span tree is marshaled into one attribute so a slow audit's
+		// phase breakdown lands in the log stream even after the trace
+		// ring evicts it.
+		spans, _ := json.Marshal(tr.Tree())
+		ob.Logger.Warn("slow audit",
+			"job", j.ID, "dataset", j.Dataset, "status", string(status),
+			"cache_hit", hit, "elapsed_ms", elapsedMS, "trace", string(spans))
+		return
+	}
+	ob.Logger.Debug("audit finished",
+		"job", j.ID, "dataset", j.Dataset, "status", string(status),
+		"cache_hit", hit, "elapsed_ms", elapsedMS)
 }
 
 // pruneLocked drops the oldest finished jobs beyond the retention cap.

@@ -8,16 +8,18 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"rankfair"
+	"rankfair/internal/obs"
 )
 
 // metrics holds the request-level counters; job and cache counters live
-// with their subsystems and are gathered at scrape time.
+// with their subsystems and are gathered at scrape time. Error counting
+// moved to obsState.requestErrors, which splits by status class.
 type metrics struct {
-	requests      atomic.Int64
-	requestErrors atomic.Int64
-	uploads       atomic.Int64
+	requests atomic.Int64
+	uploads  atomic.Int64
 
 	// Streaming append counters: accepted batches, rows they carried, the
 	// incremental-vs-rebuild path split, and cached analysts warm-promoted
@@ -27,6 +29,98 @@ type metrics struct {
 	streamIncremental atomic.Int64
 	streamRebuilds    atomic.Int64
 	streamPromoted    atomic.Int64
+}
+
+// obsState bundles the observability core wired through the service: the
+// metrics registry behind /metrics, per-phase latency histograms, the
+// aggregated lattice-search counters fed by recordSearch, and the trace
+// ring behind GET /v1/audits/{id}/trace. Every rankfaird_* series name is
+// registered in this file — the CI metrics-lint step greps server.go and
+// fails when a name here is missing from the README metric catalog.
+type obsState struct {
+	reg    *obs.Registry
+	traces *obs.TraceStore
+	reqSeq atomic.Int64 // X-Request-ID generator
+
+	requestErrors *obs.CounterVec   // by status class: 4xx, 5xx
+	reqLatency    *obs.HistogramVec // by route pattern
+	decode        *obs.Histogram
+	queueWait     *obs.Histogram
+	runLatency    *obs.Histogram
+
+	searchRuns          *obs.CounterVec // by counting strategy: lists, index
+	searchExpanded      *obs.Counter
+	searchPruned        *obs.CounterVec // by reason: size, bound, dominated
+	searchIntersections *obs.Counter
+	searchCountOnly     *obs.Counter
+	searchLazy          *obs.Counter
+}
+
+// newObsState builds the registry. Families registered earliest are the
+// pre-existing scrape series, in their historical order, bridged to the
+// counters their subsystems already maintain; the histogram and search
+// families follow, then the runtime gauges.
+func newObsState(s *Service, traceEntries int) *obsState {
+	o := &obsState{reg: obs.NewRegistry(), traces: obs.NewTraceStore(traceEntries)}
+	r := o.reg
+	m := s.metrics
+	r.NewCounterFunc("rankfaird_requests_total", "HTTP requests served.", m.requests.Load)
+	o.requestErrors = r.NewCounterVec("rankfaird_request_errors_total", "HTTP responses with status >= 400, by status class.", "class")
+	r.NewCounterFunc("rankfaird_dataset_uploads_total", "Accepted dataset uploads.", m.uploads.Load)
+	r.NewGaugeFunc("rankfaird_datasets", "Datasets currently registered.", func() int64 { return int64(s.registry.Len()) })
+	r.NewCounterFunc("rankfaird_stream_appends_total", "Accepted streaming append batches.", m.streamAppends.Load)
+	r.NewCounterFunc("rankfaird_stream_rows_total", "Rows ingested through streaming appends.", m.streamRows.Load)
+	r.NewCounterFunc("rankfaird_stream_incremental_total", "Append batches applied incrementally (ranking merge-insert, copy-on-write posting maintenance).", m.streamIncremental.Load)
+	r.NewCounterFunc("rankfaird_stream_rebuild_total", "Append batches applied by full re-decode and rebuild (cost model or schema drift).", m.streamRebuilds.Load)
+	r.NewCounterFunc("rankfaird_stream_promoted_analysts_total", "Cached analysts warm-promoted to a new dataset generation.", m.streamPromoted.Load)
+	r.NewCounterFunc("rankfaird_jobs_submitted_total", "Audit jobs accepted.", func() int64 { return s.jobs.Stats().Submitted })
+	r.NewCounterFunc("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", func() int64 { return s.jobs.Stats().Completed })
+	r.NewCounterFunc("rankfaird_jobs_failed_total", "Audit jobs that errored.", func() int64 { return s.jobs.Stats().Failed })
+	r.NewCounterFunc("rankfaird_jobs_canceled_total", "Audit jobs canceled.", func() int64 { return s.jobs.Stats().Canceled })
+	r.NewGaugeFunc("rankfaird_jobs_queued", "Audit jobs waiting for a worker.", func() int64 { return int64(s.jobs.Stats().Queued) })
+	r.NewGaugeFunc("rankfaird_jobs_running", "Audit jobs currently running.", func() int64 { return int64(s.jobs.Stats().Running) })
+	r.NewCounterFunc("rankfaird_cache_hits_total", "Audits served from the result cache (completed entries plus joined in-flight computations).", func() int64 {
+		cs := s.cache.Stats()
+		return cs.Hits + cs.Shared
+	})
+	r.NewCounterFunc("rankfaird_cache_entry_hits_total", "Audits served from a completed cache entry.", func() int64 { return s.cache.Stats().Hits })
+	r.NewCounterFunc("rankfaird_cache_inflight_shared_total", "Audits that joined an identical in-flight computation.", func() int64 { return s.cache.Stats().Shared })
+	r.NewCounterFunc("rankfaird_cache_misses_total", "Audits that ran the lattice search.", func() int64 { return s.cache.Stats().Misses })
+	r.NewCounterFunc("rankfaird_cache_evictions_total", "Result cache LRU evictions.", func() int64 { return s.cache.Stats().Evictions })
+	r.NewGaugeFunc("rankfaird_cache_entries", "Result cache entries resident.", func() int64 { return int64(s.cache.Stats().Entries) })
+	r.NewCounterFunc("rankfaird_analyst_cache_hits_total", "Audits, repairs and explanations that reused a built analyst (completed entries plus joined in-flight builds).", func() int64 {
+		as := s.AnalystCacheStats()
+		return as.Hits + as.Shared
+	})
+	r.NewCounterFunc("rankfaird_analyst_cache_entry_hits_total", "Analyst reuses served from a completed cache entry.", func() int64 { return s.AnalystCacheStats().Hits })
+	r.NewCounterFunc("rankfaird_analyst_cache_inflight_shared_total", "Analyst requests that joined an identical in-flight build.", func() int64 { return s.AnalystCacheStats().Shared })
+	r.NewCounterFunc("rankfaird_analyst_cache_misses_total", "Analyst builds: dataset ranked and counting index constructed.", func() int64 { return s.AnalystCacheStats().Misses })
+	r.NewCounterFunc("rankfaird_analyst_cache_evictions_total", "Analyst cache LRU evictions.", func() int64 { return s.AnalystCacheStats().Evictions })
+	r.NewGaugeFunc("rankfaird_analyst_cache_entries", "Built analysts resident.", func() int64 { return int64(s.AnalystCacheStats().Entries) })
+	o.reqLatency = r.NewHistogramVec("rankfaird_request_duration_seconds", "HTTP request latency by route pattern.", "route", nil)
+	o.decode = r.NewHistogram("rankfaird_decode_seconds", "Dataset decode latency: CSV uploads and streaming append batches.", nil)
+	o.queueWait = r.NewHistogram("rankfaird_job_queue_wait_seconds", "Time audit jobs spend queued before a worker picks them up.", nil)
+	o.runLatency = r.NewHistogram("rankfaird_job_run_seconds", "Audit job run time, queue wait excluded.", nil)
+	o.searchRuns = r.NewCounterVec("rankfaird_search_total", "Lattice searches computed (cache misses), by counting strategy.", "strategy")
+	o.searchExpanded = r.NewCounter("rankfaird_search_nodes_expanded_total", "Lattice nodes expanded across all searches.")
+	o.searchPruned = r.NewCounterVec("rankfaird_search_pruned_total", "Lattice nodes pruned without expansion, by reason.", "reason")
+	o.searchIntersections = r.NewCounter("rankfaird_search_posting_intersections_total", "Posting-list intersections materialized during searches.")
+	o.searchCountOnly = r.NewCounter("rankfaird_search_count_only_passes_total", "Count-only posting passes that avoided materializing a match list.")
+	o.searchLazy = r.NewCounter("rankfaird_search_lazy_scatters_total", "Lazy rank-partition scatters performed on first touch.")
+	r.NewGaugeFunc("rankfaird_analyst_index_bytes", "Estimated heap bytes held by cached analysts' counting indexes.", func() int64 {
+		if s.analysts == nil {
+			return 0
+		}
+		var total int64
+		for _, kv := range s.analysts.EntriesPrefix("") {
+			if e, ok := kv.Val.(*analystEntry); ok {
+				total += e.analyst.IndexFootprint()
+			}
+		}
+		return total
+	})
+	obs.RegisterRuntime(r, "rankfaird_")
+	return o
 }
 
 // Handler returns the daemon's full route table as a stdlib handler.
@@ -42,6 +136,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleAuditGet)
 	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleAuditCancel)
 	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleAuditReport)
+	mux.HandleFunc("GET /v1/audits/{id}/trace", s.handleAuditTrace)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -60,15 +155,38 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// count wraps the mux with request/error accounting.
-func (s *Service) count(next http.Handler) http.Handler {
+// count wraps the mux with request accounting: total and per-class error
+// counters, a per-route latency histogram, an X-Request-ID correlation
+// header (honoring a client-supplied one), and a debug-level access log.
+// The route label comes from mux.Handler, which reports the matched
+// pattern without serving — bounding the label cardinality to the route
+// table instead of the raw URL space.
+func (s *Service) count(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		s.metrics.requests.Add(1)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		if sw.status >= 400 {
-			s.metrics.requestErrors.Add(1)
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", s.obs.reqSeq.Add(1))
 		}
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		s.obs.reqLatency.With(route).Observe(elapsed.Seconds())
+		switch {
+		case sw.status >= 500:
+			s.obs.requestErrors.With("5xx").Inc()
+		case sw.status >= 400:
+			s.obs.requestErrors.With("4xx").Inc()
+		}
+		s.logger.Debug("http request",
+			"id", reqID, "method", r.Method, "route", route, "status", sw.status,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
 	})
 }
 
@@ -135,7 +253,9 @@ func (s *Service) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Comma = runes[0]
 	}
+	t0 := time.Now()
 	info, err := s.registry.Add(q.Get("name"), raw, opts)
+	s.obs.decode.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
@@ -287,54 +407,25 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok", Datasets: s.registry.Len()})
 }
 
-// handleMetrics emits the counters in the Prometheus text exposition
-// format (no client library: the format is plain lines).
+// handleMetrics renders the registry in the Prometheus text exposition
+// format (no client library: obs.Registry writes the format directly).
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
-	js := s.jobs.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
-	writeMetric := func(name string, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
-			name, help, name, metricType(name), name, v)
-	}
-	writeMetric("rankfaird_requests_total", "HTTP requests served.", s.metrics.requests.Load())
-	writeMetric("rankfaird_request_errors_total", "HTTP responses with status >= 400.", s.metrics.requestErrors.Load())
-	writeMetric("rankfaird_dataset_uploads_total", "Accepted dataset uploads.", s.metrics.uploads.Load())
-	writeMetric("rankfaird_datasets", "Datasets currently registered.", int64(s.registry.Len()))
-	writeMetric("rankfaird_stream_appends_total", "Accepted streaming append batches.", s.metrics.streamAppends.Load())
-	writeMetric("rankfaird_stream_rows_total", "Rows ingested through streaming appends.", s.metrics.streamRows.Load())
-	writeMetric("rankfaird_stream_incremental_total", "Append batches applied incrementally (ranking merge-insert, copy-on-write posting maintenance).", s.metrics.streamIncremental.Load())
-	writeMetric("rankfaird_stream_rebuild_total", "Append batches applied by full re-decode and rebuild (cost model or schema drift).", s.metrics.streamRebuilds.Load())
-	writeMetric("rankfaird_stream_promoted_analysts_total", "Cached analysts warm-promoted to a new dataset generation.", s.metrics.streamPromoted.Load())
-	writeMetric("rankfaird_jobs_submitted_total", "Audit jobs accepted.", js.Submitted)
-	writeMetric("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", js.Completed)
-	writeMetric("rankfaird_jobs_failed_total", "Audit jobs that errored.", js.Failed)
-	writeMetric("rankfaird_jobs_canceled_total", "Audit jobs canceled.", js.Canceled)
-	writeMetric("rankfaird_jobs_queued", "Audit jobs waiting for a worker.", int64(js.Queued))
-	writeMetric("rankfaird_jobs_running", "Audit jobs currently running.", int64(js.Running))
-	writeMetric("rankfaird_cache_hits_total", "Audits served from the result cache (completed entries plus joined in-flight computations).", cs.Hits+cs.Shared)
-	writeMetric("rankfaird_cache_entry_hits_total", "Audits served from a completed cache entry.", cs.Hits)
-	writeMetric("rankfaird_cache_inflight_shared_total", "Audits that joined an identical in-flight computation.", cs.Shared)
-	writeMetric("rankfaird_cache_misses_total", "Audits that ran the lattice search.", cs.Misses)
-	writeMetric("rankfaird_cache_evictions_total", "Result cache LRU evictions.", cs.Evictions)
-	writeMetric("rankfaird_cache_entries", "Result cache entries resident.", int64(cs.Entries))
-	as := s.AnalystCacheStats()
-	writeMetric("rankfaird_analyst_cache_hits_total", "Audits, repairs and explanations that reused a built analyst (completed entries plus joined in-flight builds).", as.Hits+as.Shared)
-	writeMetric("rankfaird_analyst_cache_entry_hits_total", "Analyst reuses served from a completed cache entry.", as.Hits)
-	writeMetric("rankfaird_analyst_cache_inflight_shared_total", "Analyst requests that joined an identical in-flight build.", as.Shared)
-	writeMetric("rankfaird_analyst_cache_misses_total", "Analyst builds: dataset ranked and counting index constructed.", as.Misses)
-	writeMetric("rankfaird_analyst_cache_evictions_total", "Analyst cache LRU evictions.", as.Evictions)
-	writeMetric("rankfaird_analyst_cache_entries", "Built analysts resident.", int64(as.Entries))
-	_, _ = io.WriteString(w, b.String())
+	_, _ = s.obs.reg.WriteTo(w)
 }
 
-// metricType classifies a metric name for the TYPE line.
-func metricType(name string) string {
-	if strings.HasSuffix(name, "_total") {
-		return "counter"
+// handleAuditTrace serves the span tree of a finished audit from the
+// bounded trace ring. Traces are recorded when a job reaches a terminal
+// state, so a queued or running audit 404s until it finishes; very old
+// audits 404 again once the ring evicts them.
+func (s *Service) handleAuditTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.obs.traces.Get(id)
+	if !ok {
+		writeErr(w, &NotFoundError{Resource: "trace", ID: id})
+		return
 	}
-	return "gauge"
+	writeJSON(w, http.StatusOK, tr.Tree())
 }
 
 // decodeJSON strictly decodes one JSON body.

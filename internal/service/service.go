@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"rankfair"
+	"rankfair/internal/obs"
 )
 
 // Config sizes the service's pools and caches. The zero value selects
@@ -43,6 +46,18 @@ type Config struct {
 	// otherwise. 0 selects stream.DefaultRebuildFraction; negative
 	// disables the incremental path entirely (every append rebuilds).
 	StreamRebuildFraction float64
+	// Logger receives structured request and job logs (requests and job
+	// completions at debug level, slow audits at warn). Nil selects
+	// slog.Default(), whose default info level keeps the routine records
+	// quiet.
+	Logger *slog.Logger
+	// SlowAudit is the warn-level threshold for audit run time; a job that
+	// runs at least this long logs its full span tree. 0 disables slow
+	// logging.
+	SlowAudit time.Duration
+	// TraceEntries bounds the finished-trace ring behind
+	// GET /v1/audits/{id}/trace; <= 0 means 256.
+	TraceEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +100,8 @@ type Service struct {
 	analysts *Cache // nil when Config.AnalystCacheEntries < 0
 	jobs     *Manager
 	metrics  *metrics
+	obs      *obsState
+	logger   *slog.Logger
 }
 
 // New builds a started service; callers must Shutdown it.
@@ -108,6 +125,18 @@ func New(cfg Config) *Service {
 			s.analysts.RemovePrefix(analystKeyPrefix(info.Hash))
 		})
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.obs = newObsState(s, cfg.TraceEntries)
+	s.jobs.SetObserver(&JobObserver{
+		QueueWait: s.obs.queueWait,
+		Run:       s.obs.runLatency,
+		Traces:    s.obs.traces,
+		Logger:    s.logger,
+		SlowAudit: cfg.SlowAudit,
+	})
 	return s
 }
 
@@ -228,18 +257,36 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 	run := func(ctx context.Context) (*rankfair.ReportJSON, bool, error) {
 		for {
 			val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
-				analyst, err := s.analystFor(ctx, analystKey, table, ranker)
+				// Phase spans land on the computing job's trace; audits that
+				// join this flight show a bare run span, which is accurate —
+				// they did no phase work. Note the report itself stays free
+				// of wall-clock fields: cached entries are shared across
+				// requests and byte-compared against independently computed
+				// reports (append-vs-fresh-upload equivalence), so timings
+				// belong on the trace, not in the report.
+				actx, sp := obs.StartSpan(ctx, "analyst")
+				analyst, err := s.analystFor(actx, analystKey, table, ranker)
+				sp.Finish()
 				if err != nil {
 					return nil, err
 				}
 				// The job's context flows into the lattice search, so a
 				// canceled job stops mid-traversal instead of completing
 				// a doomed audit and discarding it.
+				_, sp = obs.StartSpan(ctx, "search")
 				report, err := analyst.DetectCtx(ctx, params)
+				sp.Finish()
 				if err != nil {
 					return nil, err
 				}
-				return report.ToJSON(), nil
+				_, sp = obs.StartSpan(ctx, "serialize")
+				rj := report.ToJSON()
+				sp.Finish()
+				// Aggregate inside the compute function only: cache hits
+				// re-serve the same search, and counting it again would
+				// overstate the lattice work the daemon actually did.
+				s.recordSearch(rj.Stats)
+				return rj, nil
 			})
 			if err != nil {
 				// A canceled compute owner hands its error to every job
@@ -426,17 +473,40 @@ func (s *Service) analystFor(ctx context.Context, key string, table *rankfair.Da
 		return rankfair.New(table, ranker)
 	}
 	val, _, err := s.analysts.Do(ctx, key, func() (any, error) {
+		_, sp := obs.StartSpan(ctx, "rank")
 		a, err := rankfair.New(table, ranker)
+		sp.Finish()
 		if err != nil {
 			return nil, err
 		}
+		_, sp = obs.StartSpan(ctx, "index")
 		a.Warm()
+		sp.Finish()
 		return &analystEntry{analyst: a, ranker: ranker}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return val.(*analystEntry).analyst, nil
+}
+
+// recordSearch folds one computed audit's search statistics into the
+// fleet-level counters on /metrics. Called from the cache compute path
+// only, so the aggregates count lattice work performed, not responses
+// served.
+func (s *Service) recordSearch(st *rankfair.SearchStatsJSON) {
+	if st == nil || s.obs == nil {
+		return
+	}
+	o := s.obs
+	o.searchRuns.With(st.Strategy).Inc()
+	o.searchExpanded.Add(st.NodesExpanded)
+	o.searchPruned.With("size").Add(st.PrunedSize)
+	o.searchPruned.With("bound").Add(st.PrunedBound)
+	o.searchPruned.With("dominated").Add(st.PrunedDominated)
+	o.searchIntersections.Add(st.PostingIntersections)
+	o.searchCountOnly.Add(st.CountOnlyPasses)
+	o.searchLazy.Add(st.LazyScatters)
 }
 
 // AnalystCacheStats snapshots the analyst-cache counters; the zero value

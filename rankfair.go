@@ -163,6 +163,18 @@ func (a *Analyst) index() *count.Index {
 // the same.
 func (a *Analyst) Warm() { a.index() }
 
+// IndexFootprint returns the estimated heap footprint in bytes of the
+// analyst's counting index, building the index on first use. The rankfaird
+// service surfaces the sum over cached analysts as a gauge.
+func (a *Analyst) IndexFootprint() int64 { return a.index().SizeBytes() }
+
+// SetSearchStats toggles collection of per-run core.SearchStats on this
+// analyst's detection runs (enabled by default). Disabling removes the
+// Report.Search counters and the audit JSON "stats" key; Groups and the
+// comparable Stats are byte-identical either way. Call before sharing the
+// analyst across goroutines — the flag is read at the start of each run.
+func (a *Analyst) SetSearchStats(enabled bool) { a.in.DisableStats = !enabled }
+
 // Count returns s_D(p), the number of tuples matching p, answered from the
 // shared posting-list index (O(bound attrs · shortest list) instead of a
 // full dataset scan).
@@ -248,11 +260,12 @@ func (a *Analyst) Append(table *Dataset, ranker Ranker) (*Analyst, error) {
 	rows = append(rows, tail...)
 	idx := a.index().Extend(rows, a.in.Space, newRanking)
 	in := &core.Input{
-		Rows:     rows,
-		Space:    a.in.Space,
-		Ranking:  newRanking,
-		Index:    idx,
-		Strategy: a.in.Strategy,
+		Rows:         rows,
+		Space:        a.in.Space,
+		Ranking:      newRanking,
+		Index:        idx,
+		Strategy:     a.in.Strategy,
+		DisableStats: a.in.DisableStats,
 	}
 	if err := in.ValidateAppend(a.in); err != nil {
 		return nil, fmt.Errorf("rankfair: append: %w", err)

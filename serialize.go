@@ -164,6 +164,41 @@ type ReportJSON struct {
 	// Results holds one entry per k with a non-empty (or changed) result
 	// set; consumers index by K.
 	Results []KGroupsJSON `json:"results"`
+	// Stats carries the run's search observability counters and, when the
+	// serving layer fills them in, per-phase wall-clock timings. Nil when
+	// the run disabled stats collection; the key is then omitted, keeping
+	// the rest of the document unchanged.
+	Stats *SearchStatsJSON `json:"stats,omitempty"`
+}
+
+// SearchStatsJSON is the serialized form of core.SearchStats plus optional
+// phase timings. Unlike NodesExamined/FullSearches these counters are
+// engine-dependent by design, so equivalence comparisons across engines
+// must strip the "stats" key before diffing documents. SearchStats.Workers
+// is deliberately NOT serialized: every counter here is identical for
+// every worker count, and keeping the document fan-out-independent is what
+// lets audits differing only in Workers share one cache entry (the same
+// reason AuditParams.CacheKey omits Workers). In-process consumers read
+// the width from Report.Search.Workers.
+type SearchStatsJSON struct {
+	Strategy             string            `json:"strategy"`
+	NodesExpanded        int64             `json:"nodes_expanded"`
+	PrunedSize           int64             `json:"pruned_size"`
+	PrunedBound          int64             `json:"pruned_bound"`
+	PrunedDominated      int64             `json:"pruned_dominated"`
+	PostingIntersections int64             `json:"posting_intersections"`
+	CountOnlyPasses      int64             `json:"count_only_passes"`
+	LazyScatters         int64             `json:"lazy_scatters"`
+	FrontierByLevel      []int64           `json:"frontier_by_level,omitempty"`
+	PhaseMS              *PhaseTimingsJSON `json:"phase_ms,omitempty"`
+}
+
+// PhaseTimingsJSON holds per-phase wall-clock milliseconds of one audit,
+// filled by the serving layer (the library leaves it nil).
+type PhaseTimingsJSON struct {
+	Analyst   float64 `json:"analyst"`
+	Search    float64 `json:"search"`
+	Serialize float64 `json:"serialize"`
 }
 
 // KGroupsJSON is one k's result set.
@@ -240,6 +275,21 @@ func (r *Report) toJSONShared() *ReportJSON {
 		Attributes:    append([]string(nil), r.analyst.in.Space.Names...),
 		NodesExamined: r.Stats.NodesExamined,
 		FullSearches:  r.Stats.FullSearches,
+	}
+	if s := r.Search; s != nil {
+		out.Stats = &SearchStatsJSON{
+			Strategy:             s.Strategy,
+			NodesExpanded:        s.NodesExpanded,
+			PrunedSize:           s.PrunedSize,
+			PrunedBound:          s.PrunedBound,
+			PrunedDominated:      s.PrunedDominated,
+			PostingIntersections: s.PostingIntersections,
+			CountOnlyPasses:      s.CountOnlyPasses,
+			LazyScatters:         s.LazyScatters,
+		}
+		if len(s.FrontierByLevel) > 0 {
+			out.Stats.FrontierByLevel = append([]int64(nil), s.FrontierByLevel...)
+		}
 	}
 	for k := r.KMin; k <= r.KMax; k++ {
 		var kg KGroupsJSON

@@ -469,12 +469,15 @@ func BenchmarkServiceAudit(b *testing.B) {
 
 	newService := func(b *testing.B, analystEntries int) (*service.Service, service.DatasetInfo) {
 		b.Helper()
-		svc := service.New(service.Config{
+		svc, err := service.New(service.Config{
 			Workers: 2, QueueDepth: 256, CacheEntries: 1024,
 			AnalystCacheEntries: analystEntries,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Cleanup(func() { svc.Shutdown(context.Background()) })
-		info, err := svc.Registry().Add("german", csv.Bytes(), rankfair.CSVOptions{})
+		info, _, err := svc.Registry().Add("german", csv.Bytes(), rankfair.CSVOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -35,20 +35,22 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
-		auditW      = flag.Int("audit-workers", envInt("RANKFAIRD_WORKERS", 1), "lattice search goroutines per audit when the request leaves workers unset (1 = serial; default from RANKFAIRD_WORKERS)")
-		queue       = flag.Int("queue", 64, "pending audit queue depth")
-		cacheSize   = flag.Int("cache", 128, "result cache entries")
-		analystSize = flag.Int("analyst-cache", 32, "built-analyst cache entries per (dataset, ranker); 0 selects the default (32), negative disables analyst reuse")
-		maxDatasets = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
-		maxUpload   = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
-		streamFrac  = flag.Float64("stream-rebuild-fraction", 0, "append batches at or above this fraction of the dataset's rows rebuild instead of applying incrementally (0 = default 0.25, negative disables the incremental path)")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
-		slowAuditMS = flag.Int("slow-audit-ms", 0, "log a warning with the full span tree for audits running at least this long (0 disables)")
-		traceSize   = flag.Int("trace-entries", 0, "finished audit traces retained for GET /v1/audits/{id}/trace (0 = default 256)")
-		verbose     = flag.Bool("v", false, "log every request and job completion (debug level)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
+		auditW       = flag.Int("audit-workers", envInt("RANKFAIRD_WORKERS", 1), "lattice search goroutines per audit when the request leaves workers unset (1 = serial; default from RANKFAIRD_WORKERS)")
+		queue        = flag.Int("queue", 64, "pending audit queue depth")
+		cacheSize    = flag.Int("cache", 128, "result cache entries")
+		analystSize  = flag.Int("analyst-cache", 32, "built-analyst cache entries per (dataset, ranker); 0 selects the default (32), negative disables analyst reuse")
+		maxDatasets  = flag.Int("max-datasets", 64, "datasets held in memory before LRU eviction")
+		maxUpload    = flag.Int64("max-upload", 32<<20, "maximum CSV upload size in bytes")
+		streamFrac   = flag.Float64("stream-rebuild-fraction", 0, "append batches at or above this fraction of the dataset's rows rebuild instead of applying incrementally (0 = default 0.25, negative disables the incremental path)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+		slowAuditMS  = flag.Int("slow-audit-ms", 0, "log a warning with the full span tree for audits running at least this long (0 disables)")
+		traceSize    = flag.Int("trace-entries", 0, "finished audit traces retained for GET /v1/audits/{id}/trace (0 = default 256)")
+		dataDir      = flag.String("data-dir", "", "root of the durable dataset store (empty = fully in-memory); uploads and appends are fsync'd before acknowledgment and replayed on restart")
+		persistCache = flag.Bool("persist-cache", false, "also persist computed audit results and reload them on restart (requires -data-dir)")
+		verbose      = flag.Bool("v", false, "log every request and job completion (debug level)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,12 @@ func main() {
 		Logger:                logger,
 		SlowAudit:             time.Duration(*slowAuditMS) * time.Millisecond,
 		TraceEntries:          *traceSize,
+		DataDir:               *dataDir,
+		PersistCache:          *persistCache,
+	}
+	if *persistCache && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "rankfaird: -persist-cache requires -data-dir")
+		os.Exit(1)
 	}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, logger)
@@ -112,7 +120,10 @@ func envInt(name string, def int) int {
 // run serves until SIGINT/SIGTERM, then drains in-flight requests and
 // audit workers within the drain timeout.
 func run(addr string, cfg service.Config, drain time.Duration) error {
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return fmt.Errorf("opening durable store: %w", err)
+	}
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),

@@ -40,7 +40,7 @@ func waitDone(t *testing.T, svc *Service, id string) {
 // yet reuse one built analyst — the dataset is ranked and indexed once.
 func TestAnalystReuse(t *testing.T) {
 	svc, _ := testServer(t)
-	info, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
+	info, _, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestAnalystReuse(t *testing.T) {
 // hold for derived state too.
 func TestAnalystEvictedWithDataset(t *testing.T) {
 	svc, _ := testServer(t)
-	info, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
+	info, _, err := svc.Registry().Add("bias", biasedCSV(64), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +109,13 @@ func TestAnalystEvictedWithDataset(t *testing.T) {
 	}
 
 	// LRU eviction (capacity overflow) must fire the hook too.
-	small := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4, MaxDatasets: 1})
+	small := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheEntries: 4, MaxDatasets: 1})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		small.Shutdown(ctx)
 	})
-	first, err := small.Registry().Add("a", biasedCSV(32), rankfair.CSVOptions{})
+	first, _, err := small.Registry().Add("a", biasedCSV(32), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestAnalystEvictedWithDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDone(t, small, v.ID)
-	if _, err := small.Registry().Add("b", biasedCSV(48), rankfair.CSVOptions{}); err != nil {
+	if _, _, err := small.Registry().Add("b", biasedCSV(48), rankfair.CSVOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := small.AnalystCacheStats().Entries; got != 0 {
@@ -135,13 +135,13 @@ func TestAnalystEvictedWithDataset(t *testing.T) {
 // TestAnalystCacheDisabled pins the negative-entries escape hatch: every
 // audit builds a fresh analyst and the stats stay zero.
 func TestAnalystCacheDisabled(t *testing.T) {
-	svc := New(Config{Workers: 2, QueueDepth: 8, CacheEntries: 8, MaxDatasets: 4, AnalystCacheEntries: -1})
+	svc := mustNew(t, Config{Workers: 2, QueueDepth: 8, CacheEntries: 8, MaxDatasets: 4, AnalystCacheEntries: -1})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		svc.Shutdown(ctx)
 	})
-	info, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
+	info, _, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestAnalystCacheDisabled(t *testing.T) {
 // the result-cache ones.
 func TestMetricsAnalystCounters(t *testing.T) {
 	svc, ts := testServer(t)
-	info, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
+	info, _, err := svc.Registry().Add("bias", biasedCSV(32), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

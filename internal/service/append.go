@@ -51,7 +51,14 @@ type AppendResponse struct {
 func (s *Service) AppendRows(id, contentType string, data []byte) (*AppendResponse, error) {
 	e, st, ok := s.registry.lockAppend(id)
 	if !ok {
-		return nil, &NotFoundError{Resource: "dataset", ID: id}
+		// The dataset may be durable but not resident (restart, or paged
+		// out by the registry LRU): page it in, then retry the lock once.
+		if _, _, loaded := s.getDataset(id); !loaded {
+			return nil, &NotFoundError{Resource: "dataset", ID: id}
+		}
+		if e, st, ok = s.registry.lockAppend(id); !ok {
+			return nil, &NotFoundError{Resource: "dataset", ID: id}
+		}
 	}
 	defer e.unlockAppend()
 
@@ -137,6 +144,21 @@ func (s *Service) AppendRows(id, contentType string, data []byte) (*AppendRespon
 		s.analysts.RemovePrefix(analystKeyPrefix(st.info.Hash))
 	}
 	s.cache.RemovePrefix(st.info.Hash + "|")
+
+	// Durability before visibility: the generation is persisted (batch
+	// blob + fsync'd manifest record) before the in-memory commit, so an
+	// acknowledged append can never be lost to a crash. The store
+	// validates the parent against its own head, so a tombstone that
+	// raced this transaction loses the generation on disk exactly when
+	// commitAppend would discard it in memory.
+	if s.store != nil {
+		if err := s.store.PutAppend(id, info.Hash, st.info.Hash, batch.Raw, encodeMeta(info, st.opts)); err != nil {
+			if _, chained := s.store.Chain(id); !chained {
+				return nil, &NotFoundError{Resource: "dataset", ID: id}
+			}
+			return nil, &StorageError{Err: err}
+		}
+	}
 
 	if !s.registry.commitAppend(id, e, newTable, newRaw, info) {
 		return nil, &NotFoundError{Resource: "dataset", ID: id}

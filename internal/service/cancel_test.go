@@ -25,9 +25,9 @@ func TestCancelRunningAuditStopsSearch(t *testing.T) {
 	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
 		t.Fatal(err)
 	}
-	svc := New(Config{Workers: 1, QueueDepth: 4})
+	svc := mustNew(t, Config{Workers: 1, QueueDepth: 4})
 	t.Cleanup(func() { svc.Shutdown(context.Background()) })
-	info, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	info, _, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,9 +95,9 @@ func TestAuditWorkersDefaultApplied(t *testing.T) {
 	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
 		t.Fatal(err)
 	}
-	svc := New(Config{Workers: 1, AuditWorkers: 3})
+	svc := mustNew(t, Config{Workers: 1, AuditWorkers: 3})
 	t.Cleanup(func() { svc.Shutdown(context.Background()) })
-	info, err := svc.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	info, _, err := svc.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,9 +131,9 @@ func TestAuditWorkersDefaultApplied(t *testing.T) {
 
 	// An oversized operator default is clamped, not allowed to fail every
 	// workers-unset audit at run time.
-	svc2 := New(Config{Workers: 1, AuditWorkers: rankfair.MaxWorkers + 100})
+	svc2 := mustNew(t, Config{Workers: 1, AuditWorkers: rankfair.MaxWorkers + 100})
 	t.Cleanup(func() { svc2.Shutdown(context.Background()) })
-	info2, err := svc2.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	info2, _, err := svc2.Registry().Add("tiny", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,9 +167,9 @@ func TestCancelDoesNotPoisonJoinedAudit(t *testing.T) {
 	if err := rankfair.WriteCSV(&csv, bundle.Table); err != nil {
 		t.Fatal(err)
 	}
-	svc := New(Config{Workers: 2, QueueDepth: 4})
+	svc := mustNew(t, Config{Workers: 2, QueueDepth: 4})
 	t.Cleanup(func() { svc.Shutdown(context.Background()) })
-	info, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
+	info, _, err := svc.Registry().Add("worst", csv.Bytes(), rankfair.CSVOptions{AllCategorical: true})
 	if err != nil {
 		t.Fatal(err)
 	}

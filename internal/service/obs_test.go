@@ -223,7 +223,7 @@ func (w *syncWriter) String() string {
 func TestSlowAuditLogging(t *testing.T) {
 	var sink syncWriter
 	logger := slog.New(slog.NewTextHandler(&sink, &slog.HandlerOptions{Level: slog.LevelDebug}))
-	svc := New(Config{Workers: 2, CacheEntries: 8, MaxDatasets: 4, Logger: logger, SlowAudit: time.Nanosecond})
+	svc := mustNew(t, Config{Workers: 2, CacheEntries: 8, MaxDatasets: 4, Logger: logger, SlowAudit: time.Nanosecond})
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -130,8 +130,10 @@ func HashCSV(raw []byte) string {
 func idFromHash(hash string) string { return "ds-" + hash[:12] }
 
 // Add decodes raw CSV bytes into a dataset and registers it. Re-uploading
-// byte-identical content is idempotent and returns the existing record.
-func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (DatasetInfo, error) {
+// byte-identical content is idempotent and returns the existing record
+// with created=false, so the caller can tell a fresh admission (which the
+// durable store must learn about) from a no-op.
+func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (DatasetInfo, bool, error) {
 	hash := HashCSV(raw)
 	id := idFromHash(hash)
 
@@ -140,20 +142,20 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 		r.used[id] = r.clock()
 		info := e.info
 		r.mu.Unlock()
-		return info, nil
+		return info, false, nil
 	}
 	r.mu.Unlock()
 
 	// Decode outside the lock: CSV parsing is the slow part.
 	table, err := rankfair.ReadCSV(bytes.NewReader(raw), opts)
 	if err != nil {
-		return DatasetInfo{}, fmt.Errorf("service: decoding CSV: %w", err)
+		return DatasetInfo{}, false, fmt.Errorf("service: decoding CSV: %w", err)
 	}
 	if err := table.Validate(); err != nil {
-		return DatasetInfo{}, fmt.Errorf("service: invalid table: %w", err)
+		return DatasetInfo{}, false, fmt.Errorf("service: invalid table: %w", err)
 	}
 	if table.NumRows() == 0 {
-		return DatasetInfo{}, fmt.Errorf("service: dataset has no rows")
+		return DatasetInfo{}, false, fmt.Errorf("service: dataset has no rows")
 	}
 	info := DatasetInfo{
 		ID:         id,
@@ -175,7 +177,7 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 	defer r.mu.Unlock()
 	if e, ok := r.byID[id]; ok { // lost a concurrent upload race
 		r.used[id] = r.clock()
-		return e.info, nil
+		return e.info, false, nil
 	}
 	info.Created = r.clock()
 	r.byID[id] = &regEntry{info: info, table: table, raw: raw, opts: opts}
@@ -185,7 +187,30 @@ func (r *Registry) Add(name string, raw []byte, opts rankfair.CSVOptions) (Datas
 			break
 		}
 	}
-	return info, nil
+	return info, true, nil
+}
+
+// Restore admits a generation recovered from the durable store: the
+// caller already materialized the table (seed decode plus append-chain
+// replay), so the record lands as-is — Version, Parent and Created come
+// from the persisted metadata, not from this process's clock. Restoring
+// an ID that is already resident is a no-op returning the resident
+// record (a concurrent upload or page-in won).
+func (r *Registry) Restore(info DatasetInfo, table *rankfair.Dataset, raw []byte, opts rankfair.CSVOptions) DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[info.ID]; ok {
+		r.used[info.ID] = r.clock()
+		return e.info
+	}
+	r.byID[info.ID] = &regEntry{info: info, table: table, raw: raw, opts: opts}
+	r.used[info.ID] = r.clock()
+	for len(r.byID) > r.cap {
+		if !r.evictOldestLocked() {
+			break
+		}
+	}
+	return info
 }
 
 // evictOldestLocked drops the least recently used dataset and fires the
@@ -230,13 +255,19 @@ func (r *Registry) List() []DatasetInfo {
 	for _, e := range r.byID {
 		out = append(out, e.info)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].Created.Equal(out[j].Created) {
-			return out[i].Created.After(out[j].Created)
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortDatasetInfos(out)
 	return out
+}
+
+// sortDatasetInfos orders records most recently created first, ID as the
+// tiebreak — the deterministic ordering the list API paginates over.
+func sortDatasetInfos(infos []DatasetInfo) {
+	sort.Slice(infos, func(i, j int) bool {
+		if !infos[i].Created.Equal(infos[j].Created) {
+			return infos[i].Created.After(infos[j].Created)
+		}
+		return infos[i].ID < infos[j].ID
+	})
 }
 
 // Evict removes a dataset; it reports whether the ID was present. Cached

@@ -11,9 +11,12 @@ const tinyCSV = "sex,region,score\nF,N,1\nM,S,9\nF,E,2\nM,W,8\n"
 
 func TestRegistryAddGetEvict(t *testing.T) {
 	r := NewRegistry(4)
-	info, err := r.Add("tiny", []byte(tinyCSV), rankfair.CSVOptions{})
+	info, created, err := r.Add("tiny", []byte(tinyCSV), rankfair.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !created {
+		t.Error("fresh Add should report created=true")
 	}
 	if info.Rows != 4 || info.Columns != 3 {
 		t.Errorf("info = %+v, want 4 rows, 3 columns", info)
@@ -34,9 +37,12 @@ func TestRegistryAddGetEvict(t *testing.T) {
 	}
 
 	// Idempotent re-upload: same bytes, same record, no duplicate.
-	again, err := r.Add("other-name", []byte(tinyCSV), rankfair.CSVOptions{})
+	again, againCreated, err := r.Add("other-name", []byte(tinyCSV), rankfair.CSVOptions{})
 	if err != nil || again.ID != info.ID {
 		t.Errorf("re-upload: %+v, %v; want same ID", again, err)
+	}
+	if againCreated {
+		t.Error("idempotent re-upload should report created=false")
 	}
 	if r.Len() != 1 {
 		t.Errorf("Len = %d after idempotent re-upload, want 1", r.Len())
@@ -60,7 +66,7 @@ func TestRegistryRejectsBadCSV(t *testing.T) {
 		"header": "a,b\n",
 		"ragged": "a,b\n1,2\n3\n",
 	} {
-		if _, err := r.Add(name, []byte(raw), rankfair.CSVOptions{}); err == nil {
+		if _, _, err := r.Add(name, []byte(raw), rankfair.CSVOptions{}); err == nil {
 			t.Errorf("%s: Add accepted invalid CSV", name)
 		}
 	}
@@ -71,7 +77,7 @@ func TestRegistryCapEviction(t *testing.T) {
 	ids := make([]string, 3)
 	for i := range ids {
 		csv := tinyCSV + strings.Repeat("F,N,1\n", i+1) // distinct content
-		info, err := r.Add("t", []byte(csv), rankfair.CSVOptions{})
+		info, _, err := r.Add("t", []byte(csv), rankfair.CSVOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,8 +96,8 @@ func TestRegistryCapEviction(t *testing.T) {
 
 func TestRegistryList(t *testing.T) {
 	r := NewRegistry(4)
-	a, _ := r.Add("a", []byte(tinyCSV), rankfair.CSVOptions{})
-	b, _ := r.Add("b", []byte(tinyCSV+"F,N,3\n"), rankfair.CSVOptions{})
+	a, _, _ := r.Add("a", []byte(tinyCSV), rankfair.CSVOptions{})
+	b, _, _ := r.Add("b", []byte(tinyCSV+"F,N,3\n"), rankfair.CSVOptions{})
 	list := r.List()
 	if len(list) != 2 {
 		t.Fatalf("List returned %d entries, want 2", len(list))

@@ -1,16 +1,19 @@
 package service
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"rankfair"
+	"rankfair/internal/dataset"
 	"rankfair/internal/obs"
 )
 
@@ -29,6 +32,17 @@ type metrics struct {
 	streamIncremental atomic.Int64
 	streamRebuilds    atomic.Int64
 	streamPromoted    atomic.Int64
+
+	// Durable-store counters: datasets paged in from disk, generations
+	// replayed through the incremental append path vs rebuilt by
+	// re-decode, and persisted-result-cache traffic. The replayed/rebuilt
+	// split is the restart-warm proof: a healthy warm restart shows
+	// replays > 0 with rebuilds == 0.
+	storeLoads          atomic.Int64
+	storeReplayed       atomic.Int64
+	storeRebuilds       atomic.Int64
+	storeCachePersisted atomic.Int64
+	storeCacheLoaded    atomic.Int64
 }
 
 // obsState bundles the observability core wired through the service: the
@@ -73,6 +87,21 @@ func newObsState(s *Service, traceEntries int) *obsState {
 	r.NewCounterFunc("rankfaird_stream_incremental_total", "Append batches applied incrementally (ranking merge-insert, copy-on-write posting maintenance).", m.streamIncremental.Load)
 	r.NewCounterFunc("rankfaird_stream_rebuild_total", "Append batches applied by full re-decode and rebuild (cost model or schema drift).", m.streamRebuilds.Load)
 	r.NewCounterFunc("rankfaird_stream_promoted_analysts_total", "Cached analysts warm-promoted to a new dataset generation.", m.streamPromoted.Load)
+	r.NewGaugeFunc("rankfaird_store_datasets", "Dataset generation chains resident in the durable store (0 when no -data-dir).", func() int64 {
+		if s.store == nil {
+			return 0
+		}
+		return int64(s.store.Len())
+	})
+	r.NewCounterFunc("rankfaird_store_blob_writes_total", "Content blobs made durable (deduplicated rewrites excluded).", func() int64 { return s.storeStats().BlobWrites })
+	r.NewCounterFunc("rankfaird_store_blob_write_bytes_total", "Bytes written into durable content blobs.", func() int64 { return s.storeStats().BlobWriteBytes })
+	r.NewCounterFunc("rankfaird_store_blob_reads_total", "Content blobs read and hash-verified from the durable store.", func() int64 { return s.storeStats().BlobReads })
+	r.NewCounterFunc("rankfaird_store_blob_read_bytes_total", "Bytes read from durable content blobs.", func() int64 { return s.storeStats().BlobReadBytes })
+	r.NewCounterFunc("rankfaird_store_dataset_loads_total", "Datasets paged in from the durable store (restart warm-up and post-LRU page-ins).", m.storeLoads.Load)
+	r.NewCounterFunc("rankfaird_store_replayed_generations_total", "Persisted generations replayed through the incremental append path during page-in.", m.storeReplayed.Load)
+	r.NewCounterFunc("rankfaird_store_replay_rebuilds_total", "Persisted generations applied by full re-decode during page-in (schema drift or undecodable batch).", m.storeRebuilds.Load)
+	r.NewCounterFunc("rankfaird_store_cache_persisted_total", "Computed audit results written through to the durable store.", m.storeCachePersisted.Load)
+	r.NewCounterFunc("rankfaird_store_cache_loaded_total", "Persisted audit results loaded into the result cache at boot.", m.storeCacheLoaded.Load)
 	r.NewCounterFunc("rankfaird_jobs_submitted_total", "Audit jobs accepted.", func() int64 { return s.jobs.Stats().Submitted })
 	r.NewCounterFunc("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", func() int64 { return s.jobs.Stats().Completed })
 	r.NewCounterFunc("rankfaird_jobs_failed_total", "Audit jobs that errored.", func() int64 { return s.jobs.Stats().Failed })
@@ -190,34 +219,105 @@ func (s *Service) count(mux *http.ServeMux) http.Handler {
 	})
 }
 
-// writeJSON emits one JSON response.
+// writeJSON emits one JSON response. The value is marshaled before any
+// header is written, so an encoding failure still produces a well-formed
+// 500 envelope instead of a truncated 200 body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, CodeInternal, "encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(append(buf, '\n'))
 }
 
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
+// APIError is the machine-readable error body every non-2xx response
+// carries, wrapped as {"error": {...}}. Code is a stable identifier
+// clients can switch on; Message is human prose and not part of the
+// contract; RequestID echoes the response's X-Request-ID header so an
+// error can be correlated with the server log line for its request.
+type APIError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// writeErr maps service errors onto HTTP statuses.
+// errorEnvelope nests the error object under the "error" key.
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// Stable API error codes. Not-found errors use "<resource>_not_found"
+// (dataset_not_found, audit_not_found, trace_not_found), derived from the
+// NotFoundError resource in writeErr.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeInvalidJSON    = "invalid_json"
+	CodeEmptyBody      = "empty_body"
+	CodeBodyTooLarge   = "body_too_large"
+	CodeSchemaDrift    = "schema_drift"
+	CodeQueueFull      = "queue_full"
+	CodeStorageError   = "storage_error"
+	CodeAuditNotReady  = "audit_not_ready"
+	CodeAuditFailed    = "audit_failed"
+	CodeAuditCanceled  = "audit_canceled"
+	CodeInternal       = "internal"
+)
+
+// writeAPIError emits the uniform error envelope. The request ID comes
+// from the X-Request-ID response header the count middleware set before
+// routing, so every handler's errors correlate for free.
+func writeAPIError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: APIError{
+		Code:      code,
+		Message:   message,
+		RequestID: w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// writeErr maps service errors onto HTTP statuses and stable codes.
 func writeErr(w http.ResponseWriter, err error) {
 	var nf *NotFoundError
 	var br *BadRequestError
+	var se *StorageError
 	switch {
 	case errors.As(err, &nf):
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusNotFound, nf.Resource+"_not_found", err.Error())
+	case errors.Is(err, dataset.ErrSchemaDrift):
+		writeAPIError(w, http.StatusBadRequest, CodeSchemaDrift, err.Error())
 	case errors.As(err, &br):
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error())
+	case errors.As(err, &se):
+		writeAPIError(w, http.StatusInternalServerError, CodeStorageError, err.Error())
 	default:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
+}
+
+// readBody drains a size-capped request body, translating failures into
+// envelope errors; ok reports whether the handler should proceed.
+func (s *Service) readBody(w http.ResponseWriter, r *http.Request, what string) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeAPIError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("%s exceeds the %d byte limit", what, mbe.Limit))
+			return nil, false
+		}
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("reading %s: %v", what, err))
+		return nil, false
+	}
+	if len(raw) == 0 {
+		writeAPIError(w, http.StatusBadRequest, CodeEmptyBody, "empty "+what)
+		return nil, false
+	}
+	return raw, true
 }
 
 // handleDatasetUpload decodes a raw CSV body into the registry. Optional
@@ -225,14 +325,8 @@ func writeErr(w http.ResponseWriter, err error) {
 // column lists forcing the kind), all_categorical=true, comma (single-rune
 // field delimiter).
 func (s *Service) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	raw, err := io.ReadAll(body)
-	if err != nil {
-		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: fmt.Sprintf("reading upload: %v", err)})
-		return
-	}
-	if len(raw) == 0 {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty upload"})
+	raw, ok := s.readBody(w, r, "upload")
+	if !ok {
 		return
 	}
 	q := r.URL.Query()
@@ -248,31 +342,137 @@ func (s *Service) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("comma"); v != "" {
 		runes := []rune(v)
 		if len(runes) != 1 {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("comma must be a single rune, got %q", v)})
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("comma must be a single rune, got %q", v))
 			return
 		}
 		opts.Comma = runes[0]
 	}
+
+	// A seed upload addresses the dataset by its content hash, so if the
+	// store already holds a chain for this ID — possibly advanced past the
+	// seed by persisted appends — page it in first. registry.Add then
+	// reports it resident, and the response carries the chain's real head
+	// instead of forking a fresh v1 in memory that disagrees with disk.
+	if s.store != nil {
+		s.getDataset(idFromHash(HashCSV(raw)))
+	}
+
 	t0 := time.Now()
-	info, err := s.registry.Add(q.Get("name"), raw, opts)
+	info, created, err := s.registry.Add(q.Get("name"), raw, opts)
 	s.obs.decode.Observe(time.Since(t0).Seconds())
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
+	}
+	if created {
+		if err := s.persistSeed(info, raw, opts); err != nil {
+			writeErr(w, err)
+			return
+		}
 	}
 	s.metrics.uploads.Add(1)
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// DatasetList is the GET /v1/datasets response: one page of dataset
+// records, most recently created first (ID as tiebreak), with the cursor
+// for the next page when one exists.
+type DatasetList struct {
+	Datasets      []DatasetInfo `json:"datasets"`
+	NextPageToken string        `json:"next_page_token,omitempty"`
+}
+
+// AuditList is the GET /v1/audits response: one page of job snapshots,
+// newest job ID first, with the cursor for the next page when one exists.
+type AuditList struct {
+	Audits        []JobView `json:"audits"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}
+
+// parseLimit reads the limit query parameter (default 100, capped at
+// 1000); ok reports whether the handler should proceed.
+func parseLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return defaultPageLimit, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("limit must be a positive integer, got %q", v))
+		return 0, false
+	}
+	return min(n, maxPageLimit), true
+}
+
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// datasetCursor encodes a list position as an opaque page token. The
+// token pins the (created, id) sort key of the last returned record, so
+// pagination stays stable under concurrent inserts: new datasets sort
+// before the cursor and simply don't appear mid-walk.
+func datasetCursor(info DatasetInfo) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%d~%s", info.Created.UnixNano(), info.ID)))
+}
+
+func decodeDatasetCursor(token string) (int64, string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, "", err
+	}
+	nanos, id, ok := strings.Cut(string(raw), "~")
+	if !ok {
+		return 0, "", fmt.Errorf("malformed cursor")
+	}
+	n, err := strconv.ParseInt(nanos, 10, 64)
+	if err != nil {
+		return 0, "", err
+	}
+	return n, id, nil
+}
+
 func (s *Service) handleDatasetList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Datasets []DatasetInfo `json:"datasets"`
-	}{Datasets: s.registry.List()})
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	infos := s.listDatasets()
+	if token := r.URL.Query().Get("page_token"); token != "" {
+		nanos, id, err := decodeDatasetCursor(token)
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid page_token")
+			return
+		}
+		// Keep records strictly after the cursor in (Created desc, ID asc)
+		// order.
+		kept := infos[:0]
+		for _, info := range infos {
+			created := info.Created.UnixNano()
+			if created < nanos || (created == nanos && info.ID > id) {
+				kept = append(kept, info)
+			}
+		}
+		infos = kept
+	}
+	resp := DatasetList{Datasets: infos}
+	if len(infos) > limit {
+		resp.Datasets = infos[:limit]
+		resp.NextPageToken = datasetCursor(infos[limit-1])
+	}
+	if resp.Datasets == nil {
+		resp.Datasets = []DatasetInfo{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	_, info, ok := s.registry.Get(id)
+	_, info, ok := s.getDataset(id)
 	if !ok {
 		writeErr(w, &NotFoundError{Resource: "dataset", ID: id})
 		return
@@ -280,9 +480,22 @@ func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleDatasetEvict deletes a dataset. With a durable store this is a
+// tombstone, not a page-out: the append chain is dead on disk and the ID
+// 404s after restart. Either tier having held the dataset makes the
+// delete a 204 — the registry may have paged it out already, or the chain
+// may predate this process.
 func (s *Service) handleDatasetEvict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.registry.Evict(id) {
+	tombstoned := false
+	if s.store != nil {
+		var err error
+		if tombstoned, err = s.store.Tombstone(id); err != nil {
+			writeErr(w, &StorageError{Err: err})
+			return
+		}
+	}
+	if !s.registry.Evict(id) && !tombstoned {
 		writeErr(w, &NotFoundError{Resource: "dataset", ID: id})
 		return
 	}
@@ -291,16 +504,11 @@ func (s *Service) handleDatasetEvict(w http.ResponseWriter, r *http.Request) {
 
 // handleDatasetAppend applies one row batch (CSV rows without a header,
 // or JSON rows — see stream.ParseJSON for the accepted shapes) to a
-// dataset, advancing it to a new versioned generation.
+// dataset, advancing it to a new versioned generation. The 201 names the
+// created resource: the new generation, addressed by the dataset URL.
 func (s *Service) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	raw, err := io.ReadAll(body)
-	if err != nil {
-		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: fmt.Sprintf("reading batch: %v", err)})
-		return
-	}
-	if len(raw) == 0 {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch"})
+	raw, ok := s.readBody(w, r, "batch")
+	if !ok {
 		return
 	}
 	resp, err := s.AppendRows(r.PathValue("id"), r.Header.Get("Content-Type"), raw)
@@ -308,13 +516,14 @@ func (s *Service) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Location", "/v1/datasets/"+resp.Dataset.ID)
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
 	var req AuditRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	view, err := s.SubmitAudit(req)
@@ -326,10 +535,44 @@ func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
+// handleAuditList pages through job snapshots, newest first. state=
+// filters on job status (queued, running, done, failed, canceled); the
+// page token is the last returned job ID — job IDs are zero-padded
+// sequence numbers, so the ID ordering is the submission ordering.
 func (s *Service) handleAuditList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Audits []JobView `json:"audits"`
-	}{Audits: s.jobs.List()})
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	state := r.URL.Query().Get("state")
+	switch JobStatus(state) {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	default:
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("unknown state %q (want queued, running, done, failed or canceled)", state))
+		return
+	}
+	token := r.URL.Query().Get("page_token")
+	views := s.jobs.List()
+	kept := views[:0]
+	for _, v := range views {
+		if state != "" && v.Status != JobStatus(state) {
+			continue
+		}
+		if token != "" && v.ID >= token {
+			continue // at or before the cursor in the ID-descending walk
+		}
+		kept = append(kept, v)
+	}
+	resp := AuditList{Audits: kept}
+	if len(kept) > limit {
+		resp.Audits = kept[:limit]
+		resp.NextPageToken = kept[limit-1].ID
+	}
+	if resp.Audits == nil {
+		resp.Audits = []JobView{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleAuditGet(w http.ResponseWriter, r *http.Request) {
@@ -363,19 +606,19 @@ func (s *Service) handleAuditReport(w http.ResponseWriter, r *http.Request) {
 	case JobDone:
 		writeJSON(w, http.StatusOK, report)
 	case JobFailed:
-		writeJSON(w, http.StatusConflict, apiError{Error: "audit failed: " + view.Error})
+		writeAPIError(w, http.StatusConflict, CodeAuditFailed, "audit failed: "+view.Error)
 	case JobCanceled:
-		writeJSON(w, http.StatusConflict, apiError{Error: "audit canceled"})
+		writeAPIError(w, http.StatusConflict, CodeAuditCanceled, "audit canceled")
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("audit %s is %s", id, view.Status)})
+		writeAPIError(w, http.StatusConflict, CodeAuditNotReady, fmt.Sprintf("audit %s is %s", id, view.Status))
 	}
 }
 
 func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
 	var req RepairRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	resp, err := s.Repair(r.Context(), req)
@@ -389,7 +632,7 @@ func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req ExplainRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	resp, err := s.Explain(r.Context(), req)

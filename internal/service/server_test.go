@@ -38,10 +38,20 @@ func biasedCSV(rows int) []byte {
 	return b.Bytes()
 }
 
+// mustNew builds a service, failing the test on a store-open error.
+func mustNew(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
 // testServer wraps a Service in an httptest server.
 func testServer(t *testing.T) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(Config{Workers: 4, QueueDepth: 32, CacheEntries: 32, MaxDatasets: 8})
+	svc := mustNew(t, Config{Workers: 4, QueueDepth: 32, CacheEntries: 32, MaxDatasets: 8})
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rankfair"
 	"rankfair/internal/obs"
+	"rankfair/internal/store"
 )
 
 // Config sizes the service's pools and caches. The zero value selects
@@ -58,6 +60,17 @@ type Config struct {
 	// TraceEntries bounds the finished-trace ring behind
 	// GET /v1/audits/{id}/trace; <= 0 means 256.
 	TraceEntries int
+	// DataDir roots the durable content-addressed store. Empty keeps the
+	// service fully in-memory (the pre-PR-7 behavior); set, every accepted
+	// upload and append is made durable before it is acknowledged, and a
+	// restarted service pages datasets back in by replaying their
+	// persisted append chains through the incremental ingestion path.
+	DataDir string
+	// PersistCache additionally persists every computed audit result under
+	// its (dataset hash | ranker | params) cache key and reloads the set on
+	// boot, so repeated audits survive restarts without re-searching.
+	// Ignored when DataDir is empty.
+	PersistCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,10 +115,18 @@ type Service struct {
 	metrics  *metrics
 	obs      *obsState
 	logger   *slog.Logger
+
+	// store is the durable tier; nil when Config.DataDir is empty.
+	// loads deduplicates concurrent page-ins of the same dataset.
+	store  *store.Store
+	loadMu sync.Mutex
+	loads  map[string]*loadFlight
 }
 
-// New builds a started service; callers must Shutdown it.
-func New(cfg Config) *Service {
+// New builds a started service; callers must Shutdown it. The only error
+// source is opening the durable store (Config.DataDir), so a fully
+// in-memory configuration never fails.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
@@ -113,6 +134,7 @@ func New(cfg Config) *Service {
 		cache:    NewCache(cfg.CacheEntries),
 		jobs:     NewManager(cfg.Workers, cfg.QueueDepth),
 		metrics:  &metrics{},
+		loads:    make(map[string]*loadFlight),
 	}
 	if cfg.AnalystCacheEntries > 0 {
 		s.analysts = NewCache(cfg.AnalystCacheEntries)
@@ -137,7 +159,20 @@ func New(cfg Config) *Service {
 		Logger:    s.logger,
 		SlowAudit: cfg.SlowAudit,
 	})
-	return s
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir)
+		if err != nil {
+			s.jobs.Shutdown(context.Background())
+			return nil, err
+		}
+		s.store = st
+		if cfg.PersistCache {
+			s.loadPersistedResults()
+		}
+		s.logger.Info("durable store open",
+			"dir", cfg.DataDir, "datasets", st.Len(), "persist_cache", cfg.PersistCache)
+	}
+	return s, nil
 }
 
 // Registry exposes the dataset registry.
@@ -149,8 +184,17 @@ func (s *Service) Cache() *Cache { return s.cache }
 // Jobs exposes the job manager.
 func (s *Service) Jobs() *Manager { return s.jobs }
 
-// Shutdown cancels outstanding jobs and waits for workers to drain.
-func (s *Service) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+// Shutdown cancels outstanding jobs, waits for workers to drain, and
+// releases the durable store's manifest handle. Every store mutation is
+// fsync'd at write time, so shutdown performs no flushing — an abrupt
+// kill loses nothing that was acknowledged.
+func (s *Service) Shutdown(ctx context.Context) error {
+	err := s.jobs.Shutdown(ctx)
+	if s.store != nil {
+		err = errors.Join(err, s.store.Close())
+	}
+	return err
+}
 
 // RankerSpec is the wire description of the black-box ranker an audit
 // binds to its dataset: either numeric sort keys or an explicit
@@ -227,7 +271,7 @@ type AuditRequest struct {
 // pool. Identical requests against identical data share one computation
 // through the result cache.
 func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
-	table, info, ok := s.registry.Get(req.Dataset)
+	table, info, ok := s.getDataset(req.Dataset)
 	if !ok {
 		return JobView{}, &NotFoundError{Resource: "dataset", ID: req.Dataset}
 	}
@@ -286,6 +330,10 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 				// re-serve the same search, and counting it again would
 				// overstate the lattice work the daemon actually did.
 				s.recordSearch(rj.Stats)
+				// Same placement for durability: only computed results are
+				// persisted, under the same key, so a restarted daemon
+				// re-serves them without re-searching.
+				s.persistResult(key, rj)
 				return rj, nil
 			})
 			if err != nil {
@@ -419,7 +467,7 @@ func (s *Service) Explain(ctx context.Context, req ExplainRequest) (*ExplainResp
 // request's in-flight build, so a disconnected client does not leave a
 // handler goroutine blocked behind a slow build it no longer wants.
 func (s *Service) bindAnalyst(ctx context.Context, datasetID string, spec RankerSpec) (*rankfair.Analyst, error) {
-	table, info, ok := s.registry.Get(datasetID)
+	table, info, ok := s.getDataset(datasetID)
 	if !ok {
 		return nil, &NotFoundError{Resource: "dataset", ID: datasetID}
 	}
@@ -509,6 +557,16 @@ func (s *Service) recordSearch(st *rankfair.SearchStatsJSON) {
 	o.searchLazy.Add(st.LazyScatters)
 }
 
+// storeStats snapshots the durable store's counters; the zero value is
+// returned when no store is configured, so the metric families scrape as
+// constant zeros instead of being conditionally absent.
+func (s *Service) storeStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
+}
+
 // AnalystCacheStats snapshots the analyst-cache counters; the zero value
 // is returned when the cache is disabled.
 func (s *Service) AnalystCacheStats() CacheStats {
@@ -531,3 +589,12 @@ type BadRequestError struct{ Err error }
 
 func (e *BadRequestError) Error() string { return e.Err.Error() }
 func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// StorageError marks a durable-store failure on a write the service could
+// not acknowledge without; handlers map it to 500 with code
+// "storage_error" so clients can tell a retryable infrastructure fault
+// from bad input.
+type StorageError struct{ Err error }
+
+func (e *StorageError) Error() string { return "storage: " + e.Err.Error() }
+func (e *StorageError) Unwrap() error { return e.Err }

@@ -39,7 +39,7 @@ func postAppend(t *testing.T, ts *httptest.Server, id, contentType string, body 
 		t.Fatal(err)
 	}
 	var out AppendResponse
-	if resp.StatusCode == http.StatusOK {
+	if resp.StatusCode == http.StatusCreated {
 		if err := json.Unmarshal(raw, &out); err != nil {
 			t.Fatalf("decoding append response %q: %v", raw, err)
 		}
@@ -106,7 +106,7 @@ func TestAppendEndToEnd(t *testing.T) {
 	}
 
 	resp, code := postAppend(t, ts, info.ID, "text/csv", batch)
-	if code != http.StatusOK {
+	if code != http.StatusCreated {
 		t.Fatalf("append: status %d", code)
 	}
 	if resp.Mode != "incremental" {
@@ -136,7 +136,7 @@ func TestAppendEndToEnd(t *testing.T) {
 
 	// A second append chains onto the new generation.
 	resp2, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(2))
-	if code != http.StatusOK || resp2.Dataset.Version != 3 || resp2.Dataset.Parent != resp.Dataset.Hash {
+	if code != http.StatusCreated || resp2.Dataset.Version != 3 || resp2.Dataset.Parent != resp.Dataset.Hash {
 		t.Fatalf("second append: status %d, %+v", code, resp2.Dataset)
 	}
 }
@@ -149,7 +149,7 @@ func TestAppendJSONBatch(t *testing.T) {
 	info := upload(t, ts, base)
 	body := []byte(`{"rows": [{"sex": "F", "region": "N", "score": 101}, ["F", "S", 102]]}`)
 	resp, code := postAppend(t, ts, info.ID, "application/json", body)
-	if code != http.StatusOK {
+	if code != http.StatusCreated {
 		t.Fatalf("json append: status %d", code)
 	}
 	if resp.Appended != 2 || resp.Dataset.Rows != 42 {
@@ -159,7 +159,7 @@ func TestAppendJSONBatch(t *testing.T) {
 	_, ts2 := testServer(t)
 	info2 := upload(t, ts2, base)
 	resp2, code := postAppend(t, ts2, info2.ID, "text/csv", []byte("F,N,101\nF,S,102\n"))
-	if code != http.StatusOK {
+	if code != http.StatusCreated {
 		t.Fatalf("csv append: status %d", code)
 	}
 	if resp.Dataset.Hash != resp2.Dataset.Hash {
@@ -176,7 +176,7 @@ func TestAppendSchemaDriftRebuilds(t *testing.T) {
 	_, ts := testServer(t)
 	info := upload(t, ts, base)
 	resp, code := postAppend(t, ts, info.ID, "text/csv", batch)
-	if code != http.StatusOK {
+	if code != http.StatusCreated {
 		t.Fatalf("append: status %d", code)
 	}
 	if resp.Mode != "rebuild" {
@@ -199,7 +199,7 @@ func TestAppendSchemaDriftRebuilds(t *testing.T) {
 // TestAppendCostModel: batches at or above the configured fraction of the
 // dataset rebuild even without drift.
 func TestAppendCostModel(t *testing.T) {
-	svc := New(Config{Workers: 1, StreamRebuildFraction: 0.1})
+	svc := mustNew(t, Config{Workers: 1, StreamRebuildFraction: 0.1})
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -207,11 +207,11 @@ func TestAppendCostModel(t *testing.T) {
 	})
 	info := upload(t, ts, biasedCSV(40))
 	resp, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(6)) // 6 >= 0.1*40
-	if code != http.StatusOK || resp.Mode != "rebuild" {
+	if code != http.StatusCreated || resp.Mode != "rebuild" {
 		t.Fatalf("status %d mode %q, want rebuild", code, resp.Mode)
 	}
 	resp, code = postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(2)) // 2 < 0.1*46
-	if code != http.StatusOK || resp.Mode != "incremental" {
+	if code != http.StatusCreated || resp.Mode != "incremental" {
 		t.Fatalf("status %d mode %q, want incremental", code, resp.Mode)
 	}
 }
@@ -268,7 +268,7 @@ func TestAppendSnapshotIsolation(t *testing.T) {
 
 	// The append lands while the v1 audit is in flight.
 	resp, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(6))
-	if code != http.StatusOK || resp.Dataset.Version != 2 {
+	if code != http.StatusCreated || resp.Dataset.Version != 2 {
 		t.Fatalf("append during in-flight audit: status %d %+v", code, resp)
 	}
 
@@ -320,7 +320,7 @@ func TestAppendCacheReconciliation(t *testing.T) {
 	}
 
 	resp, code := postAppend(t, ts, infoA.ID, "text/csv", appendBatchCSV(4))
-	if code != http.StatusOK || resp.Mode != "incremental" {
+	if code != http.StatusCreated || resp.Mode != "incremental" {
 		t.Fatalf("append: status %d mode %q", code, resp.Mode)
 	}
 	if resp.PromotedAnalysts != 1 {
@@ -364,7 +364,7 @@ func TestAppendCacheReconciliation(t *testing.T) {
 
 // TestAppendErrors covers the endpoint's failure paths.
 func TestAppendErrors(t *testing.T) {
-	svc := New(Config{Workers: 1, MaxUploadBytes: 2048})
+	svc := mustNew(t, Config{Workers: 1, MaxUploadBytes: 2048})
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -403,10 +403,10 @@ func TestAppendErrors(t *testing.T) {
 func TestAppendMetrics(t *testing.T) {
 	_, ts := testServer(t)
 	info := upload(t, ts, biasedCSV(40))
-	if _, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(3)); code != http.StatusOK {
+	if _, code := postAppend(t, ts, info.ID, "text/csv", appendBatchCSV(3)); code != http.StatusCreated {
 		t.Fatalf("append: status %d", code)
 	}
-	if _, code := postAppend(t, ts, info.ID, "text/csv", []byte("F,X,1\n")); code != http.StatusOK {
+	if _, code := postAppend(t, ts, info.ID, "text/csv", []byte("F,X,1\n")); code != http.StatusCreated {
 		t.Fatalf("drift append: status %d", code)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")

@@ -365,6 +365,10 @@ func BenchmarkLatticeParallel(b *testing.B) {
 //   - index-warm: the rank-space engine over a pre-built index (the
 //     cached-Analyst serving case) — root nodes alias posting lists, so
 //     the search starts with zero setup scans.
+//   - bitmap-warm: the rank-space engine over the same pre-built index
+//     with bitmap counting forced — step-time re-materialization runs
+//     word-wise AND + popcount over the index's roaring-style bitmaps
+//     wherever every bound value has one.
 //
 // The light workload (high threshold, narrow k range) isolates the setup
 // scans the warm index deletes; the sweep workloads show the halved
@@ -386,6 +390,7 @@ func BenchmarkIndexedSearch(b *testing.B) {
 		{"lists", core.StrategyLists, nil},
 		{"index-cold", core.StrategyIndex, nil},
 		{"index-warm", core.StrategyIndex, ix},
+		{"bitmap-warm", core.StrategyBitmap, ix},
 	}
 	for _, eng := range engines {
 		in := *german

@@ -163,6 +163,8 @@ func appendSearchStats(b []byte, s *SearchStatsJSON, depth int) []byte {
 		{"posting_intersections", s.PostingIntersections},
 		{"count_only_passes", s.CountOnlyPasses},
 		{"lazy_scatters", s.LazyScatters},
+		{"bitmap_passes", s.BitmapPasses},
+		{"slice_passes", s.SlicePasses},
 	} {
 		b = append(b, ',')
 		b = nl(b, depth+1)

@@ -19,10 +19,12 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
 
 	"rankfair/internal/count"
 	"rankfair/internal/pattern"
@@ -352,31 +354,61 @@ func sortNodesInterned[N any](nodes []*N, pat func(*N) pattern.Pattern, key func
 	}
 }
 
+// sortScratch holds the pooled buffers of sortPatterns: one shared byte
+// arena for every key of a call plus the sort's item table, so a per-k
+// baseline sorting its result set allocates nothing in steady state (the
+// keys used to be one string allocation per pattern per call, the
+// dominant allocator of the ITERTD staircases).
+type sortScratch struct {
+	buf   []byte
+	offs  []int32
+	items []sortItem
+}
+
+type sortItem struct {
+	p     pattern.Pattern
+	attrs int32
+	key   []byte
+}
+
+var sortScratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
 // sortPatterns orders a result set by (number of bound attributes, key) so
-// outputs are deterministic across runs and algorithms. Keys are built once
-// per pattern up front: the comparator used to call Pattern.Key() — a
-// string build plus allocation — O(m log m) times, which dominated
-// serialization on wide result sets.
+// outputs are deterministic across runs and algorithms. Keys are appended
+// once per pattern into the pooled arena up front; byte comparison of the
+// arena slices orders identically to string comparison of Pattern.Key.
 func sortPatterns(ps []pattern.Pattern) {
 	if len(ps) < 2 {
 		return
 	}
-	type keyed struct {
-		p     pattern.Pattern
-		attrs int
-		key   string
+	sc := sortScratchPool.Get().(*sortScratch)
+	buf, offs := sc.buf[:0], sc.offs[:0]
+	offs = append(offs, 0)
+	for _, p := range ps {
+		buf = p.AppendKey(buf)
+		offs = append(offs, int32(len(buf)))
 	}
-	items := make([]keyed, len(ps))
+	items := sc.items
+	if cap(items) < len(ps) {
+		items = make([]sortItem, len(ps))
+	} else {
+		items = items[:len(ps)]
+	}
+	// Key slices are carved only after the arena stops growing, so they
+	// cannot be invalidated by a reallocation.
 	for i, p := range ps {
-		items[i] = keyed{p: p, attrs: p.NumAttrs(), key: p.Key()}
+		items[i] = sortItem{p: p, attrs: int32(p.NumAttrs()), key: buf[offs[i]:offs[i+1]]}
 	}
-	slices.SortFunc(items, func(a, b keyed) int {
+	slices.SortFunc(items, func(a, b sortItem) int {
 		if a.attrs != b.attrs {
-			return a.attrs - b.attrs
+			return int(a.attrs - b.attrs)
 		}
-		return strings.Compare(a.key, b.key)
+		return bytes.Compare(a.key, b.key)
 	})
 	for i := range items {
 		ps[i] = items[i].p
+		items[i] = sortItem{} // drop pattern references before pooling
 	}
+	sc.buf, sc.offs, sc.items = buf, offs, items[:0]
+	sortScratchPool.Put(sc)
 }

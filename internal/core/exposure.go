@@ -103,34 +103,34 @@ func IterTDExposureCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	return runPerK(ctx, eng, params.KMin, params.KMax, workers, func(cn *canceler, st *Stats, ss *SearchStats, k int) []Pattern {
 		st.FullSearches++
 		ek := totalExposure[k]
-		var filt subsetFilter
-		queue := make([]unit, 0, 64)
-		queue = append(queue, eng.rootUnits(k)...)
-		for head := 0; head < len(queue); head++ {
+		filt := newSubsetFilter()
+		q := eng.newBFS(k)
+		defer q.close()
+		for q.more() {
 			if cn.stopped() {
 				return nil
 			}
-			e := queue[head]
-			queue[head] = unit{}
+			u := q.pop()
 			st.NodesExamined++
-			sD := len(e.m.all)
+			sD := len(u.m.all)
 			if sD < params.MinSize {
 				ss.prunedSize()
 				continue
 			}
-			exp := eng.exposureOf(e.m, k)
+			exp := eng.exposureOf(u.m, k)
 			if exp < params.Alpha*float64(sD)*ek/nf {
+				p := q.pat(&u)
 				ss.prunedBound()
-				if !filt.dominated(e.p) {
-					ss.frontier(e.p)
-					filt.add(e.p)
+				if !filt.dominated(p) {
+					ss.frontier(p)
+					filt.add(p)
 				} else {
 					ss.addDominated(1)
 				}
 				continue
 			}
 			ss.expanded()
-			queue = eng.appendChildren(queue, e)
+			q.expand(&u, q.pat(&u))
 		}
 		groups := filt.res
 		sortPatterns(groups)

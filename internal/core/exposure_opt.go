@@ -36,17 +36,19 @@ func ExposureBoundsCtx(ctx context.Context, in *Input, params ExposureParams, wo
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &exposureState{
-		in:        in,
-		eng:       newEngine(in),
-		pr:        &params,
-		stats:     &res.Stats,
-		n:         float64(len(in.Rows)),
-		ctx:       ctx,
-		workers:   normWorkers(workers),
-		biasedSet: make(map[*enode]struct{}),
-		buckets:   make([][]*enode, params.KMax+2),
-		weightOf:  make([]float64, len(in.Rows)),
-		totalExp:  make([]float64, params.KMax+1),
+		in:      in,
+		eng:     newEngine(in),
+		pr:      &params,
+		stats:   &res.Stats,
+		n:       float64(len(in.Rows)),
+		ctx:     ctx,
+		workers: normWorkers(workers),
+		front: newDomFrontier(
+			func(nd *enode) pattern.Pattern { return nd.p },
+			func(nd *enode) *string { return &nd.key }),
+		buckets:  make([][]*enode, params.KMax+2),
+		weightOf: make([]float64, len(in.Rows)),
+		totalExp: make([]float64, params.KMax+1),
 	}
 	wByRank := make([]float64, params.KMax)
 	for i := 0; i < params.KMax; i++ {
@@ -116,11 +118,13 @@ type exposureState struct {
 	// search accumulates the run's SearchStats; nil when disabled.
 	search *SearchStats
 
-	roots     []*enode
-	biasedSet map[*enode]struct{}
-	buckets   [][]*enode
-	weightOf  []float64
-	totalExp  []float64
+	roots []*enode
+	// front holds the biased frontier with its Res/DRes split maintained
+	// incrementally (see domFrontier).
+	front    *domFrontier[enode]
+	buckets  [][]*enode
+	weightOf []float64
+	totalExp []float64
 
 	res  []Pattern
 	dirt bool
@@ -171,8 +175,11 @@ func (s *exposureState) scheduleInto(nd *enode, sk *esink) {
 func (s *exposureState) merge(sk *esink) {
 	s.stats.add(sk.stats)
 	s.search.merge(&sk.search)
+	// Frontier admissions use the sink's own canceler, so a halt during the
+	// incremental domination update registers at the caller's existing
+	// halted checks.
 	for _, nd := range sk.biased {
-		s.biasedSet[nd] = struct{}{}
+		s.front.add(nd)
 	}
 	if len(sk.biased) > 0 {
 		s.dirt = true
@@ -286,7 +293,7 @@ func (s *exposureState) step(k int) bool {
 		if nd.biased {
 			if !s.biasedAt(nd.sD, nd.exposure, k) {
 				nd.biased = false
-				delete(s.biasedSet, nd)
+				s.front.remove(nd)
 				s.scheduleInto(nd, ser)
 				freed = append(freed, nd)
 				s.dirt = true
@@ -297,7 +304,7 @@ func (s *exposureState) step(k int) bool {
 			nd.biased = true
 			s.search.prunedBound()
 			s.search.frontier(nd.p)
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 			s.dirt = true
 		} else {
 			s.scheduleInto(nd, ser)
@@ -322,7 +329,7 @@ func (s *exposureState) step(k int) bool {
 			nd.biased = true
 			s.search.prunedBound()
 			s.search.frontier(nd.p)
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 			s.dirt = true
 		} else {
 			s.scheduleInto(nd, ser)
@@ -401,35 +408,19 @@ func (s *exposureState) expandWithInto(nd *enode, m matchSet, k int, sk *esink) 
 }
 
 // snapshot returns the most general biased patterns (see
-// propState.snapshot); the domination filter fans out on the worker pool
-// and ok is false when it was abandoned because the context was canceled.
+// propState.snapshot): the first dirty snapshot bulk-seeds the domination
+// frontier on the worker pool, later ones read the incrementally
+// maintained split. ok is false when the seed was abandoned because the
+// context was canceled.
 func (s *exposureState) snapshot() (groups []Pattern, ok bool) {
 	if !s.dirt {
 		return s.res, true
 	}
-	nodes := make([]*enode, 0, len(s.biasedSet))
-	for nd := range s.biasedSet {
-		nodes = append(nodes, nd)
-	}
-	sortNodesInterned(nodes,
-		func(nd *enode) pattern.Pattern { return nd.p },
-		func(nd *enode) *string { return &nd.key })
-	ps := make([]pattern.Pattern, len(nodes))
-	for i, nd := range nodes {
-		ps[i] = nd.p
-	}
-	dominated, halted := markDominated(s.ctx, ps, s.workers)
-	if halted {
+	if s.front.settle(s.ctx, s.workers) {
 		return nil, false
 	}
-	s.search.countDominated(dominated)
+	s.search.addDominated(int64(s.front.ndom))
 	s.dirt = false
-	res := make([]Pattern, 0, len(ps))
-	for i, p := range ps {
-		if !dominated[i] {
-			res = append(res, p)
-		}
-	}
-	s.res = res
-	return res, true
+	s.res = s.front.emit()
+	return s.res, true
 }

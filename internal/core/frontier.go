@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+
+	"rankfair/internal/pattern"
+)
+
+// domFrontier maintains the Res/DRes split of the biased frontier
+// incrementally across k. The incremental searches used to recompute the
+// split from scratch at every snapshot — sort the frontier, run
+// markDominated over all of it — which made the per-k term quadratic-ish
+// in the frontier size even when one pattern flipped. The frontier instead
+// keeps the split materialized and updates it on each membership change,
+// so per-k work is proportional to the flip set.
+//
+// Correctness rests on an order-independence property of the split.
+// markDominated marks p dominated iff some *accepted* (itself
+// non-dominated) earlier pattern is a proper subset of p — but over a
+// fixed member set that is equivalent to "some member, accepted or not,
+// is a proper subset of p": if any member q ⊊ p exists, pick a ⊂-minimal
+// one; minimality means no member is a proper subset of q, so q is
+// accepted and witnesses p's domination (every proper subset has strictly
+// fewer bound attributes, so the induction over generality levels is
+// well-founded). The split is therefore a pure function of the current
+// member set, and maintaining it by membership deltas is exact:
+//
+//   - applyAdd(nd): nd is dominated iff some existing member is a proper
+//     subset of it; members one or more levels above nd may newly become
+//     dominated with nd as witness.
+//   - applyRemove(nd): only members whose recorded witness was nd can
+//     change status; each rescans the levels below it for a replacement
+//     subset.
+//
+// Every dominated member carries a witness (one member proving its
+// domination — any proper subset serves), which is what bounds
+// applyRemove to the orphaned entries instead of a full recompute.
+//
+// Each incremental operation costs one mask pass over the members, so a
+// step that flips thousands of nodes on a hundred-thousand-node frontier
+// (the full-scale COMPAS sweep) would pay more than the recompute it
+// replaced. add/remove therefore only buffer the flip into an op log;
+// settle() — called once per snapshot — replays a small batch through
+// the incremental operations and routes a large one back through the
+// bulk sort + markDominatedWitness pass. Because the split is a pure
+// function of the member set, both routes produce identical snapshots.
+//
+// Members are kept sorted by (bound-attribute count, interned key), the
+// sortNodesInterned order, so emit() reproduces the old sort-then-filter
+// snapshot byte for byte; the attrMask prefilter of subsetFilter is
+// maintained in place alongside. The struct is generic over the node type
+// for the same reason sortNodesInterned is: the three incremental
+// searches each have their own node struct with an interned key field.
+//
+// Cancellation: add and remove poll the caller's canceler with the same
+// effective cadence as markDominated's scan loops. A halted operation
+// returns immediately and may leave the split stale — callers abandon the
+// whole search on halt, so consistency after a halt is never observed.
+type domFrontier[N any] struct {
+	pat func(*N) pattern.Pattern
+	key func(*N) *string
+
+	nodes []*N
+	masks []uint64
+	attrs []int32
+	dom   []bool
+	wit   []*N // wit[i] proves dom[i]; nil otherwise
+	ndom  int
+
+	// Before the first seed() the frontier only accumulates members:
+	// the initial build discovers thousands of biased patterns at once,
+	// and bulk-seeding them through markDominatedWitness keeps that
+	// pass's level-parallel fan-out instead of paying one incremental
+	// insert each.
+	seeded  bool
+	pending []*N
+
+	// ops buffers post-seed membership flips until the next settle().
+	ops []frontOp[N]
+}
+
+// frontOp is one buffered membership flip.
+type frontOp[N any] struct {
+	nd  *N
+	add bool
+}
+
+func newDomFrontier[N any](pat func(*N) pattern.Pattern, key func(*N) *string) *domFrontier[N] {
+	return &domFrontier[N]{pat: pat, key: key}
+}
+
+// searchPos returns the insertion index of (attrs, key) in the sorted
+// member order. Member keys are interned before insertion, so the
+// comparison never builds a key.
+func (f *domFrontier[N]) searchPos(attrs int32, key string) int {
+	lo, hi := 0, len(f.nodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.attrs[mid] < attrs || (f.attrs[mid] == attrs && *f.key(f.nodes[mid]) < key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// add admits nd into the frontier. Pre-seed it queues the node for the
+// bulk seed; afterwards it buffers the flip for the next settle().
+func (f *domFrontier[N]) add(nd *N) {
+	if !f.seeded {
+		f.pending = append(f.pending, nd)
+		return
+	}
+	f.ops = append(f.ops, frontOp[N]{nd: nd, add: true})
+}
+
+// remove evicts nd. Pre-seed it drops the node from the pending queue;
+// afterwards it buffers the flip for the next settle().
+func (f *domFrontier[N]) remove(nd *N) {
+	if !f.seeded {
+		for i, q := range f.pending {
+			if q == nd {
+				f.pending[i] = f.pending[len(f.pending)-1]
+				f.pending = f.pending[:len(f.pending)-1]
+				return
+			}
+		}
+		return
+	}
+	f.ops = append(f.ops, frontOp[N]{nd: nd, add: false})
+}
+
+// settle applies the buffered flips, leaving the split current. Small
+// batches replay through the incremental operations; a batch whose
+// one-mask-pass-per-op cost would exceed a recompute reroutes through
+// the bulk seed path. It reports halted=true when the update was
+// abandoned because ctx was canceled (the split may be stale; callers
+// abandon the search).
+func (f *domFrontier[N]) settle(ctx context.Context, workers int) (halted bool) {
+	if !f.seeded {
+		return f.seed(ctx, workers)
+	}
+	if len(f.ops) == 0 {
+		return false
+	}
+	if len(f.ops) > max(64, len(f.nodes)/64) {
+		return f.rebulk(ctx, workers)
+	}
+	cn := canceler{ctx: ctx}
+	for _, op := range f.ops {
+		if op.add {
+			f.applyAdd(op.nd, &cn)
+		} else {
+			f.applyRemove(op.nd, &cn)
+		}
+		if cn.halted {
+			return true
+		}
+	}
+	f.ops = f.ops[:0]
+	return false
+}
+
+// rebulk folds the op log into the member list and recomputes the split
+// through the seed path's level-parallel markDominatedWitness pass.
+func (f *domFrontier[N]) rebulk(ctx context.Context, workers int) (halted bool) {
+	// Only a node's last flip decides its final membership.
+	last := make(map[*N]bool, len(f.ops))
+	order := make([]*N, 0, len(f.ops))
+	for _, op := range f.ops {
+		if _, seen := last[op.nd]; !seen {
+			order = append(order, op.nd)
+		}
+		last[op.nd] = op.add
+	}
+	merged := make([]*N, 0, len(f.nodes)+len(order))
+	for _, nd := range f.nodes {
+		if want, touched := last[nd]; !touched || want {
+			merged = append(merged, nd)
+			// A re-added member must not be appended again below.
+			delete(last, nd)
+		}
+	}
+	for _, nd := range order {
+		if last[nd] {
+			merged = append(merged, nd)
+		}
+	}
+	f.ops = nil
+	f.pending = merged
+	f.nodes, f.masks, f.attrs, f.dom, f.wit = nil, nil, nil, nil, nil
+	f.ndom = 0
+	f.seeded = false
+	return f.seed(ctx, workers)
+}
+
+// applyAdd admits nd into the settled split. Polls cn and returns early
+// when the search is halted.
+func (f *domFrontier[N]) applyAdd(nd *N, cn *canceler) {
+	p := f.pat(nd)
+	pm := attrMask(p)
+	na := int32(p.NumAttrs())
+	kp := f.key(nd)
+	if *kp == "" {
+		*kp = p.Key()
+	}
+	// One pass over the members: lower levels may dominate nd (the first
+	// witness found serves — the split does not depend on which), higher
+	// levels may newly become dominated by nd. Same-level members never
+	// nest. The mask prefilter skips pairs whose attribute sets cannot.
+	dominated := false
+	var w *N
+	for i := range f.nodes {
+		if i&63 == 63 && cn.stopped() {
+			return
+		}
+		switch qa := f.attrs[i]; {
+		case qa < na:
+			if !dominated && f.masks[i]&^pm == 0 && f.pat(f.nodes[i]).ProperSubsetOf(p) {
+				dominated = true
+				w = f.nodes[i]
+			}
+		case qa > na:
+			if !f.dom[i] && pm&^f.masks[i] == 0 && p.ProperSubsetOf(f.pat(f.nodes[i])) {
+				f.dom[i] = true
+				f.wit[i] = nd
+				f.ndom++
+			}
+		}
+	}
+	pos := f.searchPos(na, *kp)
+	f.nodes = append(f.nodes, nil)
+	copy(f.nodes[pos+1:], f.nodes[pos:])
+	f.nodes[pos] = nd
+	f.masks = append(f.masks, 0)
+	copy(f.masks[pos+1:], f.masks[pos:])
+	f.masks[pos] = pm
+	f.attrs = append(f.attrs, 0)
+	copy(f.attrs[pos+1:], f.attrs[pos:])
+	f.attrs[pos] = na
+	f.dom = append(f.dom, false)
+	copy(f.dom[pos+1:], f.dom[pos:])
+	f.dom[pos] = dominated
+	f.wit = append(f.wit, nil)
+	copy(f.wit[pos+1:], f.wit[pos:])
+	f.wit[pos] = w
+	if dominated {
+		f.ndom++
+	}
+}
+
+// applyRemove evicts nd from the settled split, re-witnessing the
+// members its departure orphaned. Polls cn and returns early when
+// halted.
+func (f *domFrontier[N]) applyRemove(nd *N, cn *canceler) {
+	p := f.pat(nd)
+	pos := f.searchPos(int32(p.NumAttrs()), *f.key(nd))
+	if pos >= len(f.nodes) || f.nodes[pos] != nd {
+		return // not a member
+	}
+	if f.dom[pos] {
+		f.ndom--
+	}
+	last := len(f.nodes) - 1
+	copy(f.nodes[pos:], f.nodes[pos+1:])
+	f.nodes[last] = nil
+	f.nodes = f.nodes[:last]
+	copy(f.masks[pos:], f.masks[pos+1:])
+	f.masks = f.masks[:last]
+	copy(f.attrs[pos:], f.attrs[pos+1:])
+	f.attrs = f.attrs[:last]
+	copy(f.dom[pos:], f.dom[pos+1:])
+	f.dom = f.dom[:last]
+	copy(f.wit[pos:], f.wit[pos+1:])
+	f.wit[last] = nil
+	f.wit = f.wit[:last]
+	// Only entries witnessed by nd can change status.
+	checks := 0
+	for i := range f.nodes {
+		if f.wit[i] != nd {
+			continue
+		}
+		f.wit[i] = nil
+		f.dom[i] = false
+		f.ndom--
+		q := f.pat(f.nodes[i])
+		qm := f.masks[i]
+		qa := f.attrs[i]
+		for j := 0; j < len(f.nodes) && f.attrs[j] < qa; j++ {
+			if checks++; checks&63 == 0 && cn.stopped() {
+				return
+			}
+			if f.masks[j]&^qm == 0 && f.pat(f.nodes[j]).ProperSubsetOf(q) {
+				f.wit[i] = f.nodes[j]
+				f.dom[i] = true
+				f.ndom++
+				break
+			}
+		}
+	}
+}
+
+// seed bulk-loads the pending members through the level-parallel
+// markDominatedWitness pass, recording each dominated pattern's witness.
+// It reports halted=true when the filter was abandoned because the
+// context was canceled (the frontier stays unseeded).
+func (f *domFrontier[N]) seed(ctx context.Context, workers int) (halted bool) {
+	sortNodesInterned(f.pending, f.pat, f.key)
+	ps := make([]pattern.Pattern, len(f.pending))
+	for i, nd := range f.pending {
+		ps[i] = f.pat(nd)
+	}
+	wit, halted := markDominatedWitness(ctx, ps, workers)
+	if halted {
+		return true
+	}
+	n := len(f.pending)
+	f.nodes = f.pending
+	f.pending = nil
+	f.masks = make([]uint64, n)
+	f.attrs = make([]int32, n)
+	f.dom = make([]bool, n)
+	f.wit = make([]*N, n)
+	f.ndom = 0
+	for i := range f.nodes {
+		f.masks[i] = attrMask(ps[i])
+		f.attrs[i] = int32(ps[i].NumAttrs())
+		if wit[i] >= 0 {
+			f.dom[i] = true
+			f.wit[i] = f.nodes[wit[i]]
+			f.ndom++
+		}
+	}
+	f.seeded = true
+	return false
+}
+
+// emit renders the current Res — the non-dominated members in
+// (generality, key) order, matching the old sort-then-filter snapshot.
+func (f *domFrontier[N]) emit() []Pattern {
+	out := make([]Pattern, 0, len(f.nodes)-f.ndom)
+	for i, nd := range f.nodes {
+		if !f.dom[i] {
+			out = append(out, f.pat(nd))
+		}
+	}
+	return out
+}

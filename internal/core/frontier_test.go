@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rankfair/internal/pattern"
+)
+
+// tfnode is the minimal node shape the frontier is generic over: a pattern
+// plus an interned-key slot, mirroring pnode/enode/gnode.
+type tfnode struct {
+	p   pattern.Pattern
+	key string
+}
+
+func tfPat(nd *tfnode) pattern.Pattern { return nd.p }
+func tfKey(nd *tfnode) *string         { return &nd.key }
+
+// tfPool enumerates every non-empty pattern over a small space — dense
+// enough that subset chains (and therefore witness hand-offs on removal)
+// occur constantly under random membership churn.
+func tfPool(cards []int) []pattern.Pattern {
+	n := len(cards)
+	var pool []pattern.Pattern
+	var rec func(a int, p pattern.Pattern)
+	rec = func(a int, p pattern.Pattern) {
+		if a == n {
+			if p.NumAttrs() > 0 {
+				pool = append(pool, append(pattern.Pattern(nil), p...))
+			}
+			return
+		}
+		rec(a+1, p) // leave unbound
+		for v := 0; v < cards[a]; v++ {
+			p[a] = int32(v)
+			rec(a+1, p)
+		}
+		p[a] = pattern.Unbound
+	}
+	rec(0, pattern.Empty(n))
+	return pool
+}
+
+// tfOracle recomputes the Res split from scratch — sort the member set,
+// run the bulk markDominated pass, filter — exactly what the incremental
+// searches did at every k before the frontier existed.
+func tfOracle(t *testing.T, members []*tfnode, workers int) []Pattern {
+	t.Helper()
+	nodes := append([]*tfnode(nil), members...)
+	sortNodesInterned(nodes, tfPat, tfKey)
+	ps := make([]pattern.Pattern, len(nodes))
+	for i, nd := range nodes {
+		ps[i] = nd.p
+	}
+	mask, halted := markDominated(context.Background(), ps, workers)
+	if halted {
+		t.Fatal("oracle markDominated halted without cancellation")
+	}
+	out := make([]Pattern, 0, len(ps))
+	for i := range ps {
+		if !mask[i] {
+			out = append(out, ps[i])
+		}
+	}
+	return out
+}
+
+// tfCompare asserts the frontier's emitted Res equals the full-recompute
+// oracle element for element, in order.
+func tfCompare(t *testing.T, f *domFrontier[tfnode], members map[int]*tfnode, step string) {
+	t.Helper()
+	list := make([]*tfnode, 0, len(members))
+	for _, nd := range members {
+		list = append(list, nd)
+	}
+	want := tfOracle(t, list, 4)
+	got := f.emit()
+	if got == nil {
+		t.Fatalf("%s: emit() returned nil, want non-nil", step)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: emit %d patterns, oracle %d", step, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("%s: emit[%d] = %s, oracle %s", step, i, got[i].Key(), want[i].Key())
+		}
+	}
+	if wantDom := len(members) - len(want); f.ndom != wantDom {
+		t.Fatalf("%s: ndom = %d, oracle %d", step, f.ndom, wantDom)
+	}
+}
+
+// TestFrontierMatchesBulkRecompute is the staircase differential for the
+// incremental domination split: a long random add/remove churn over a
+// nested pattern pool, with the frontier compared against the full
+// sort-then-markDominated recompute after every single flip — the
+// invariant that makes the per-k flip-set path of the incremental searches
+// exact. The churn exercises witness hand-off on removal (a dominated
+// member whose recorded witness leaves must find a replacement subset or
+// resurface into Res) and domination on insert in both directions.
+func TestFrontierMatchesBulkRecompute(t *testing.T) {
+	pool := tfPool([]int{2, 3, 2, 3})
+	rng := rand.New(rand.NewSource(7))
+	f := newDomFrontier(tfPat, tfKey)
+	members := map[int]*tfnode{}
+	ctx := context.Background()
+
+	// Pre-seed phase: bulk membership accumulates as pending, including a
+	// few pending removals, then the first settle() bulk-seeds the split.
+	for _, i := range rng.Perm(len(pool))[:48] {
+		nd := &tfnode{p: pool[i]}
+		f.add(nd)
+		members[i] = nd
+	}
+	removed := 0
+	for i, nd := range members {
+		if removed == 6 {
+			break
+		}
+		f.remove(nd)
+		delete(members, i)
+		removed++
+	}
+	if f.settle(ctx, 4) {
+		t.Fatal("seeding settle halted without cancellation")
+	}
+	tfCompare(t, f, members, "after seed")
+
+	// Incremental phase: 400 random flips, settled and checked against the
+	// oracle one at a time — single-op batches always take the incremental
+	// replay route.
+	for op := 0; op < 400; op++ {
+		i := rng.Intn(len(pool))
+		if nd, ok := members[i]; ok {
+			f.remove(nd)
+			delete(members, i)
+		} else {
+			nd := &tfnode{p: pool[i]}
+			f.add(nd)
+			members[i] = nd
+		}
+		if f.settle(ctx, 4) {
+			t.Fatal("incremental settle halted without cancellation")
+		}
+		tfCompare(t, f, members, "churn")
+	}
+
+	// Batch phase: pile 120 flips (over the rebulk threshold for this
+	// frontier size) into one op log — including remove-then-readd and
+	// add-then-remove sequences of the same node — then settle once
+	// through the bulk recompute route.
+	for op := 0; op < 120; op++ {
+		i := rng.Intn(len(pool))
+		if nd, ok := members[i]; ok {
+			f.remove(nd)
+			delete(members, i)
+		} else {
+			nd := &tfnode{p: pool[i]}
+			f.add(nd)
+			members[i] = nd
+		}
+	}
+	if f.settle(ctx, 4) {
+		t.Fatal("rebulk settle halted without cancellation")
+	}
+	tfCompare(t, f, members, "after rebulk")
+
+	// Drain to empty: emit must stay exact (and non-nil) all the way down.
+	for i, nd := range members {
+		f.remove(nd)
+		delete(members, i)
+		if f.settle(ctx, 4) {
+			t.Fatal("drain settle halted without cancellation")
+		}
+		tfCompare(t, f, members, "drain")
+	}
+	if got := f.emit(); got == nil || len(got) != 0 {
+		t.Fatalf("drained frontier emit = %v, want empty non-nil", got)
+	}
+}
+
+// TestFrontierSeedCancellation proves the bounded-cancel guarantee
+// survives the frontier's bulk-seed path: a canceled markDominatedWitness
+// pass leaves the frontier unseeded and uncorrupted, and a later seed over
+// the same pending set succeeds and matches the oracle.
+func TestFrontierSeedCancellation(t *testing.T) {
+	pool := tfPool([]int{2, 2, 2, 2})
+	f := newDomFrontier(tfPat, tfKey)
+	members := map[int]*tfnode{}
+	for i := range pool {
+		nd := &tfnode{p: pool[i]}
+		f.add(nd)
+		members[i] = nd
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !f.seed(ctx, 4) {
+		t.Fatal("seed with canceled context reported success")
+	}
+	if f.seeded {
+		t.Fatal("halted seed left the frontier marked seeded")
+	}
+	if len(f.pending) != len(members) {
+		t.Fatalf("halted seed dropped pending members: %d of %d left", len(f.pending), len(members))
+	}
+	if f.seed(context.Background(), 4) {
+		t.Fatal("re-seed halted without cancellation")
+	}
+	tfCompare(t, f, members, "after re-seed")
+}
+
+// TestFrontierHaltedSettleRecovers pins the halt contract of the batched
+// update: a settle abandoned by cancellation mid-rebulk leaves the
+// frontier unseeded but loses no membership, and a later settle rebuilds
+// the exact split.
+func TestFrontierHaltedSettleRecovers(t *testing.T) {
+	pool := tfPool([]int{2, 3, 2, 3})
+	f := newDomFrontier(tfPat, tfKey)
+	members := map[int]*tfnode{}
+	for i := 0; i < 40; i++ {
+		nd := &tfnode{p: pool[i]}
+		f.add(nd)
+		members[i] = nd
+	}
+	if f.settle(context.Background(), 1) {
+		t.Fatal("seeding settle halted without cancellation")
+	}
+	// Buffer a batch past the rebulk threshold, including a removal and a
+	// remove-then-readd, then settle under an already-canceled context.
+	f.remove(members[0])
+	delete(members, 0)
+	f.remove(members[1])
+	f.add(members[1])
+	for i := 40; i < 110; i++ {
+		nd := &tfnode{p: pool[i]}
+		f.add(nd)
+		members[i] = nd
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !f.settle(ctx, 1) {
+		t.Fatal("settle with canceled context reported success")
+	}
+	if f.seeded {
+		t.Fatal("halted rebulk left the frontier marked seeded")
+	}
+	if f.settle(context.Background(), 1) {
+		t.Fatal("recovery settle halted without cancellation")
+	}
+	tfCompare(t, f, members, "after recovery settle")
+}
+
+// TestIncrementalCancellationSweep sweeps the poll budget so the
+// cancellation lands in every phase of the incremental searches — root
+// setup, the bulk seed, and the per-k frontier flips — and requires the
+// bounded-latency guarantee (or a clean completion) at each landing spot.
+func TestIncrementalCancellationSweep(t *testing.T) {
+	in := denseCancelInput(10, 300)
+	const bound = 64 * cancelStride
+	runs := map[string]func(ctx context.Context) (*Result, error){
+		"PropBounds": func(ctx context.Context) (*Result, error) {
+			return PropBoundsCtx(ctx, in, PropParams{MinSize: 1, KMin: 10, KMax: 40, Alpha: 0.8}, 2)
+		},
+		"ExposureBounds": func(ctx context.Context) (*Result, error) {
+			return ExposureBoundsCtx(ctx, in, ExposureParams{MinSize: 1, KMin: 10, KMax: 40, Alpha: 0.8}, 2)
+		},
+		"GlobalBounds": func(ctx context.Context) (*Result, error) {
+			return GlobalBoundsCtx(ctx, in, GlobalParams{MinSize: 1, KMin: 10, KMax: 40,
+				Lower: ConstantBounds(10, 40, 1)}, 2)
+		},
+	}
+	for name, run := range runs {
+		want, err := run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: uncanceled run failed: %v", name, err)
+		}
+		for _, budget := range []int64{1, 5, 25, 125, 625, 3125} {
+			res, err := run(newBudgetCtx(budget))
+			if err == nil {
+				// Budget outlived the search: the result must be the real one.
+				if len(res.Groups) != len(want.Groups) {
+					t.Errorf("%s budget=%d: completed with %d k-groups, want %d",
+						name, budget, len(res.Groups), len(want.Groups))
+				}
+				continue
+			}
+			var cerr *CanceledError
+			if !errors.As(err, &cerr) {
+				t.Errorf("%s budget=%d: want CanceledError, got %v", name, budget, err)
+				continue
+			}
+			if cerr.NodesExamined > int64(bound)+budget*cancelStride {
+				t.Errorf("%s budget=%d: examined %d nodes after cancellation, bound %d",
+					name, budget, cerr.NodesExamined, int64(bound)+budget*cancelStride)
+			}
+		}
+	}
+}

@@ -49,12 +49,10 @@ type globalState struct {
 	search *SearchStats
 
 	roots []*gnode
-	// biasedSet is the biased frontier: Res ∪ DRes of the paper.
-	biasedSet map[*gnode]struct{}
-	// res / dres split the frontier into most general biased patterns and
-	// dominated biased patterns.
-	res  map[*gnode]struct{}
-	dres map[*gnode]struct{}
+	// front is the biased frontier (Res ∪ DRes of the paper) with its
+	// Res/DRes split maintained incrementally: full builds bulk-seed it,
+	// steps feed it the flipped nodes only.
+	front *domFrontier[gnode]
 }
 
 // GlobalBounds is Algorithm 2 (GLOBALBOUNDS): detection of groups with
@@ -131,9 +129,11 @@ func GlobalBoundsCtx(ctx context.Context, in *Input, params GlobalParams, worker
 func (s *globalState) fullBuild(k int) bool {
 	s.stats.FullSearches++
 	s.roots = nil
-	s.biasedSet = make(map[*gnode]struct{})
-	s.res = make(map[*gnode]struct{})
-	s.dres = make(map[*gnode]struct{})
+	// A bound increase rebuilds the tree, so the frontier restarts from
+	// scratch and re-seeds at the normalize below.
+	s.front = newDomFrontier(
+		func(nd *gnode) pattern.Pattern { return nd.p },
+		func(nd *gnode) *string { return &nd.key })
 
 	L := s.params.lowerAt(k)
 	units := s.eng.rootUnits(k)
@@ -175,7 +175,7 @@ func (s *globalState) fullBuild(k int) bool {
 		s.stats.add(sinks[i].stats)
 		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].biased {
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 		}
 		halted = halted || sinks[i].cn.halted
 	}
@@ -261,9 +261,7 @@ func (s *globalState) step(k int) (changed, ok bool) {
 	}
 
 	for _, nd := range freed {
-		delete(s.biasedSet, nd)
-		delete(s.res, nd)
-		delete(s.dres, nd)
+		s.front.remove(nd)
 	}
 	// searchFromNode: resume the search in the unexplored subtrees of the
 	// freed frontier nodes. Freed nodes were frontier nodes, so their
@@ -284,16 +282,16 @@ func (s *globalState) step(k int) (changed, ok bool) {
 		s.stats.add(sinks[i].stats)
 		s.search.merge(&sinks[i].search)
 		for _, nd := range sinks[i].biased {
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 		}
 		halted = halted || sinks[i].cn.halted
 	}
 	if halted {
 		return false, false
 	}
-	// Freed nodes can promote their dominated descendants into Res, and
-	// concurrent expansions can discover biased patterns in any order, so
-	// the Res/DRes split is recomputed from the updated frontier.
+	// The frontier absorbed the flips incrementally (freed removals above,
+	// new biased discoveries per sink); normalize only folds the updated
+	// domination tally into the stats.
 	if !s.normalize() {
 		return false, false
 	}
@@ -349,60 +347,26 @@ func (s *globalState) expandWithInto(nd *gnode, m matchSet, k, L int, sk *gsink)
 	}
 }
 
-// normalize recomputes the Res/DRes split of the biased frontier from
-// scratch: Res is the set of biased patterns with no biased proper subset.
-// The per-pattern subset checks run level-synchronized on the worker pool
-// (markDominated); on adversarial inputs with huge incomparable result
-// sets this filter, not the tree walk, is the dominant cost. It reports
-// false when the filter was abandoned because the context was canceled.
+// normalize settles the Res/DRes split of the biased frontier: the first
+// call after a full build bulk-seeds the domination frontier through the
+// level-parallel markDominatedWitness pass (on adversarial inputs with
+// huge incomparable result sets that filter, not the tree walk, is the
+// dominant cost); later calls find the split already maintained and only
+// fold the domination tally into the stats — the same per-pass accounting
+// the full recompute used to report. It reports false when the seed was
+// abandoned because the context was canceled.
 func (s *globalState) normalize() bool {
-	nodes := make([]*gnode, 0, len(s.biasedSet))
-	for nd := range s.biasedSet {
-		nodes = append(nodes, nd)
-	}
-	sortNodes(nodes)
-	ps := make([]pattern.Pattern, len(nodes))
-	for i, nd := range nodes {
-		ps[i] = nd.p
-	}
-	dominated, halted := markDominated(s.ctx, ps, s.workers)
-	if halted {
+	if s.front.settle(s.ctx, s.workers) {
 		return false
 	}
-	s.search.countDominated(dominated)
-	s.res = make(map[*gnode]struct{}, len(nodes))
-	s.dres = make(map[*gnode]struct{})
-	for i, nd := range nodes {
-		if dominated[i] {
-			s.dres[nd] = struct{}{}
-		} else {
-			s.res[nd] = struct{}{}
-		}
-	}
+	s.search.addDominated(int64(s.front.ndom))
 	return true
 }
 
-// snapshot renders the current Res as a sorted pattern slice, sorting by
-// the nodes' interned keys instead of rebuilding keys per snapshot.
+// snapshot renders the current Res as a sorted pattern slice straight off
+// the frontier's maintained order.
 func (s *globalState) snapshot() []Pattern {
-	nodes := make([]*gnode, 0, len(s.res))
-	for nd := range s.res {
-		nodes = append(nodes, nd)
-	}
-	sortNodes(nodes)
-	out := make([]Pattern, len(nodes))
-	for i, nd := range nodes {
-		out[i] = nd.p
-	}
-	return out
-}
-
-// sortNodes orders nodes by (number of bound attributes, key): generality
-// order with deterministic ties, through the interned per-node keys.
-func sortNodes(nodes []*gnode) {
-	sortNodesInterned(nodes,
-		func(nd *gnode) pattern.Pattern { return nd.p },
-		func(nd *gnode) *string { return &nd.key })
+	return s.front.emit()
 }
 
 // matchingRows returns the indices of rows matching p. If base is non-nil

@@ -44,9 +44,32 @@ const (
 	// on tiny inputs, where the index build cannot amortize.
 	StrategyLists
 	// StrategyIndex forces the rank-space posting-list engine, building an
-	// index first when Input.Index is nil.
+	// index first when Input.Index is nil. Intersections stay pure slice
+	// walks — this is the differential baseline for the bitmap path.
 	StrategyIndex
+	// StrategyBitmap forces the rank-space engine with bitmap counting:
+	// step-time re-materialization runs word-wise AND + popcount over the
+	// index's roaring-style bitmaps whenever every bound value has one,
+	// falling back to the galloping slice walk only below the bitmap
+	// build cut. StrategyAuto picks between postings and bitmaps per node
+	// by list length instead of forcing either.
+	StrategyBitmap
 )
+
+// bitmapMode is the engine's resolved bitmap policy.
+type bitmapMode uint8
+
+const (
+	bmOff   bitmapMode = iota // pure slice intersections (lists/index)
+	bmAuto                    // per-node cost model (auto)
+	bmForce                   // bitmaps whenever representable (bitmap)
+)
+
+// bitmapPassMin is the auto cost-model cut for one intersection pass: the
+// galloping merge touches O(shortest) entries with branchy compares, so it
+// stays the winner for short lists; past ~1k entries the straight-line
+// word AND + popcount pass wins even counting the materialization scatter.
+const bitmapPassMin = 1024
 
 // useIndex resolves StrategyAuto with a small cost model. The rank-space
 // engine saves the O(n·attrs) root scans of every full build, halves the
@@ -60,7 +83,7 @@ func (in *Input) useIndex() bool {
 	switch in.Strategy {
 	case StrategyLists:
 		return false
-	case StrategyIndex:
+	case StrategyIndex, StrategyBitmap:
 		return true
 	}
 	if in.Index != nil {
@@ -112,6 +135,9 @@ type engine struct {
 	// newSearchStats returns nil under it, which disarms every nil-checked
 	// counter increment downstream.
 	statsOff bool
+	// bm is the resolved bitmap policy; meaningful only on the rank-space
+	// engine (ix != nil).
+	bm bitmapMode
 	// rootAll caches the lists engine's k-independent root partition: the
 	// full dataset bucketed per (attribute, value), which every full build
 	// used to recompute even when only the bound changed (the GLOBALBOUNDS
@@ -134,15 +160,29 @@ func newEngine(in *Input) *engine {
 	if ix == nil {
 		ix = count.Build(in.Rows, in.Space, in.Ranking)
 	}
-	return &engine{in: in, ix: ix, rowAt: ix.RowsByRank(), statsOff: in.DisableStats}
+	bm := bmOff
+	switch in.Strategy {
+	case StrategyBitmap:
+		bm = bmForce
+	case StrategyAuto:
+		bm = bmAuto
+	}
+	return &engine{in: in, ix: ix, rowAt: ix.RowsByRank(), statsOff: in.DisableStats, bm: bm}
 }
 
 // strategyName labels the resolved match-set strategy for SearchStats.
+// Auto resolving to the rank-space engine reports "index" regardless of
+// its per-node bitmap picks — the name identifies the match-set
+// representation contract, and per-pass bitmap usage is visible in the
+// BitmapPasses/SlicePasses counters instead.
 func (e *engine) strategyName() string {
-	if e.ix != nil {
-		return "index"
+	if e.ix == nil {
+		return "lists"
 	}
-	return "lists"
+	if e.in.Strategy == StrategyBitmap {
+		return "bitmap"
+	}
+	return "index"
 }
 
 // newSearchStats returns the run's SearchStats accumulator stamped with
@@ -202,16 +242,7 @@ func (e *engine) rootUnits(k int) []unit {
 		}
 		return units
 	}
-	e.rootAllOnce.Do(func() {
-		all := make([]int32, len(e.in.Rows))
-		for i := range all {
-			all[i] = int32(i)
-		}
-		e.rootAll = make([][][]int32, n)
-		for a := 0; a < n; a++ {
-			e.rootAll[a] = partitionByValue(e.in.Rows, all, a, space.Cards[a])
-		}
-	})
+	e.ensureRootAll()
 	if k > len(e.in.Ranking) {
 		k = len(e.in.Ranking)
 	}
@@ -231,49 +262,20 @@ func (e *engine) rootUnits(k int) []unit {
 	return units
 }
 
-// appendChildren pushes the search-tree children (Definition 4.1) of u
-// onto the queue, partitioning the parent's match set per attribute in a
-// single pass per attribute. Children are heap-allocated (no arena): the
-// breadth-first baselines keep frontier entries alive until consumption,
-// so their lifetimes are not stack-shaped.
-func (e *engine) appendChildren(queue []unit, u unit) []unit {
-	n := e.in.Space.NumAttrs()
-	for a := u.p.MaxAttrIdx() + 1; a < n; a++ {
-		card := e.in.Space.Cards[a]
-		if e.ix != nil {
-			buckets := partitionRanks(e.rowAt, u.m.all, a, card)
-			for v := 0; v < card; v++ {
-				queue = append(queue, unit{p: u.p.With(a, int32(v)), m: matchSet{all: buckets[v]}})
-			}
-			continue
+// ensureRootAll lazily fills the cached k-independent root partition
+// (safe under the per-k baselines' concurrent seeding).
+func (e *engine) ensureRootAll() {
+	e.rootAllOnce.Do(func() {
+		n := e.in.Space.NumAttrs()
+		all := make([]int32, len(e.in.Rows))
+		for i := range all {
+			all[i] = int32(i)
 		}
-		allBuckets := partitionByValue(e.in.Rows, u.m.all, a, card)
-		topBuckets := partitionByValue(e.in.Rows, u.m.top, a, card)
-		for v := 0; v < card; v++ {
-			queue = append(queue, unit{p: u.p.With(a, int32(v)), m: matchSet{all: allBuckets[v], top: topBuckets[v]}})
+		e.rootAll = make([][][]int32, n)
+		for a := 0; a < n; a++ {
+			e.rootAll[a] = partitionByValue(e.in.Rows, all, a, e.in.Space.Cards[a])
 		}
-	}
-	return queue
-}
-
-// partitionRanks splits an ascending rank list by the value of attribute a,
-// preserving order (each bucket stays ascending).
-func partitionRanks(rowAt [][]int32, ranks []int32, a, card int) [][]int32 {
-	counts := make([]int, card)
-	for _, r := range ranks {
-		counts[rowAt[r][a]]++
-	}
-	flat := make([]int32, len(ranks))
-	buckets := make([][]int32, card)
-	off := 0
-	for v := 0; v < card; v++ {
-		buckets[v] = flat[off : off : off+counts[v]]
-		off += counts[v]
-	}
-	for _, r := range ranks {
-		buckets[rowAt[r][a]] = append(buckets[rowAt[r][a]], r)
-	}
-	return buckets
+	})
 }
 
 // searcher is an engine handle plus per-worker scratch. The incremental
@@ -496,12 +498,17 @@ func (sr searcher) materialize(p pattern.Pattern, k int) matchSet {
 		}
 	}
 	lists := sr.scr.lists[:0]
+	bms := sr.scr.bms[:0]
 	for a, v := range p {
 		if v != pattern.Unbound {
 			lists = append(lists, sr.ix.Postings(a, v))
+			if sr.bm != bmOff {
+				bms = append(bms, sr.ix.Bitmap(a, v))
+			}
 		}
 	}
-	sr.scr.lists = lists[:0] // retain the backing array for reuse
+	sr.scr.lists = lists[:0] // retain the backing arrays for reuse
+	sr.scr.bms = bms[:0]
 	switch len(lists) {
 	case 0:
 		all := sr.scr.ints.alloc(len(sr.in.Rows))
@@ -513,22 +520,69 @@ func (sr searcher) materialize(p pattern.Pattern, k int) matchSet {
 		return matchSet{all: lists[0]}
 	}
 	// Shortest pair first: every step's output is bounded by its shortest
-	// input, so later intersections only get cheaper.
+	// input, so later intersections only get cheaper. Bitmaps ride the
+	// same permutation so the two representations stay aligned.
 	for i := 1; i < len(lists); i++ {
 		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
 			lists[j], lists[j-1] = lists[j-1], lists[j]
+			if sr.bm != bmOff {
+				bms[j], bms[j-1] = bms[j-1], bms[j]
+			}
 		}
 	}
+	if sr.useBitmaps(lists, bms) {
+		return matchSet{all: sr.intersectBitmaps(bms)}
+	}
 	sr.ss.intersection()
+	sr.ss.slicePass()
 	res := count.IntersectInto(sr.scr.ints.alloc(len(lists[0]))[:0], lists[0], lists[1])
 	for _, b := range lists[2:] {
 		if len(res) == 0 {
 			break
 		}
 		sr.ss.intersection()
+		sr.ss.slicePass()
 		res = count.IntersectInto(sr.scr.ints.alloc(len(res))[:0], res, b)
 	}
 	return matchSet{all: res}
+}
+
+// useBitmaps is the per-node arm of the cost model: bitmaps carry the
+// intersection only when every bound value has one (availability), and —
+// under auto — when the shortest list is long enough that the word-wise
+// AND beats the galloping merge (profitability). Forced bitmap mode skips
+// the profitability cut but still needs availability.
+func (sr searcher) useBitmaps(lists [][]int32, bms []*count.Bitmap) bool {
+	if sr.bm == bmOff {
+		return false
+	}
+	for _, bm := range bms {
+		if bm == nil {
+			return false
+		}
+	}
+	return sr.bm == bmForce || len(lists[0]) >= bitmapPassMin
+}
+
+// intersectBitmaps runs the pattern's intersection as a word-wise AND
+// chain over the pre-sorted bitmaps and materializes the surviving ranks
+// into the worker's arena. Every pairwise AND counts as one posting
+// intersection (so the totals stay comparable across engines) plus one
+// bitmap pass.
+func (sr searcher) intersectBitmaps(bms []*count.Bitmap) []int32 {
+	sr.ss.intersection()
+	sr.ss.bitmapPass()
+	acc := bms[0].And(bms[1])
+	for _, b := range bms[2:] {
+		if acc.Cardinality() == 0 {
+			break
+		}
+		sr.ss.intersection()
+		sr.ss.bitmapPass()
+		acc = acc.And(b)
+	}
+	n := acc.Cardinality()
+	return acc.AppendRanks(sr.scr.ints.alloc(n)[:0:n])
 }
 
 // scratch is the per-worker allocation pool: counting-sort scratch, the
@@ -537,6 +591,7 @@ type scratch struct {
 	cnt    []int32
 	cur    []int32
 	lists  [][]int32
+	bms    []*count.Bitmap
 	ints   arena[int32]
 	floats arena[float64]
 }

@@ -156,7 +156,25 @@ func runPerK(ctx context.Context, eng *engine, kMin, kMax, workers int, body fun
 // cost, not just the tree traversal. When canceled it reports halted=true
 // and the partial mask is meaningless.
 func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask []bool, halted bool) {
+	wit, halted := markDominatedWitness(ctx, ps, workers)
 	mask = make([]bool, len(ps))
+	for i, w := range wit {
+		mask[i] = w >= 0
+	}
+	return mask, halted
+}
+
+// markDominatedWitness is markDominated with witness recording: wit[i] is
+// the ps-index of the accepted proper subset that proved ps[i] dominated,
+// or -1 when ps[i] is most general. The witnesses are what lets the
+// incremental domination frontier (domFrontier) bulk-seed from this pass
+// and then maintain the split by membership deltas. When halted the
+// partial wit slice is meaningless.
+func markDominatedWitness(ctx context.Context, ps []pattern.Pattern, workers int) (wit []int32, halted bool) {
+	wit = make([]int32, len(ps))
+	for i := range wit {
+		wit[i] = -1
+	}
 	pms := make([]uint64, len(ps))
 	for i, p := range ps {
 		pms[i] = attrMask(p)
@@ -164,9 +182,10 @@ func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask
 	var stop atomic.Bool
 	var res []pattern.Pattern
 	var resMasks []uint64
+	var resIdx []int32
 	for start := 0; start < len(ps); {
 		if ctx != nil && ctx.Err() != nil {
-			return mask, true
+			return wit, true
 		}
 		end := start
 		lvl := ps[start].NumAttrs()
@@ -188,23 +207,24 @@ func markDominated(ctx context.Context, ps []pattern.Pattern, workers int) (mask
 					return
 				}
 				if qm&^pm == 0 && res[j].ProperSubsetOf(p) {
-					mask[start+i] = true
+					wit[start+i] = resIdx[j]
 					return
 				}
 			}
 		})
 		if stop.Load() {
-			return mask, true
+			return wit, true
 		}
 		for i := start; i < end; i++ {
-			if !mask[i] {
+			if wit[i] < 0 {
 				res = append(res, ps[i])
 				resMasks = append(resMasks, pms[i])
+				resIdx = append(resIdx, int32(i))
 			}
 		}
 		start = end
 	}
-	return mask, false
+	return wit, false
 }
 
 // IterTDGlobalParallel is IterTDGlobal with the per-k searches fanned out

@@ -53,8 +53,11 @@ type propState struct {
 	// phases count into it directly, fan-out workers via their sink.
 	search *SearchStats
 
-	roots     []*pnode
-	biasedSet map[*pnode]struct{}
+	roots []*pnode
+	// front is the biased frontier with its Res/DRes split maintained
+	// incrementally: the full build bulk-seeds it, steps feed it only the
+	// nodes that flipped.
+	front *domFrontier[pnode]
 	// buckets[k] holds unbiased nodes scheduled for re-examination at k
 	// (the set K of the paper). Entries can be stale: a node is only
 	// processed when its stored ktilde still equals k and it is unbiased.
@@ -91,15 +94,17 @@ func PropBoundsCtx(ctx context.Context, in *Input, params PropParams, workers in
 	}
 	res := &Result{KMin: params.KMin, KMax: params.KMax, Groups: make([][]Pattern, params.KMax-params.KMin+1)}
 	st := &propState{
-		in:        in,
-		eng:       newEngine(in),
-		pr:        &params,
-		stats:     &res.Stats,
-		n:         len(in.Rows),
-		ctx:       ctx,
-		workers:   normWorkers(workers),
-		biasedSet: make(map[*pnode]struct{}),
-		buckets:   make([][]*pnode, params.KMax+2),
+		in:      in,
+		eng:     newEngine(in),
+		pr:      &params,
+		stats:   &res.Stats,
+		n:       len(in.Rows),
+		ctx:     ctx,
+		workers: normWorkers(workers),
+		front: newDomFrontier(
+			func(nd *pnode) pattern.Pattern { return nd.p },
+			func(nd *pnode) *string { return &nd.key }),
+		buckets: make([][]*pnode, params.KMax+2),
 	}
 	st.search = st.eng.newSearchStats(st.workers)
 	res.Search = st.search
@@ -164,12 +169,14 @@ func (s *propState) scheduleInto(nd *pnode, sk *psink) {
 	}
 }
 
-// merge folds a sink into the shared state.
+// merge folds a sink into the shared state. Frontier admissions use the
+// sink's own canceler, so a halt during the incremental domination update
+// registers at the caller's existing halted checks.
 func (s *propState) merge(sk *psink) {
 	s.stats.add(sk.stats)
 	s.search.merge(&sk.search)
 	for _, nd := range sk.biased {
-		s.biasedSet[nd] = struct{}{}
+		s.front.add(nd)
 	}
 	if len(sk.biased) > 0 {
 		s.dirt = true
@@ -292,7 +299,7 @@ func (s *propState) step(k int) bool {
 		if nd.biased {
 			if !s.biasedAt(nd.sD, nd.cnt, k) {
 				nd.biased = false
-				delete(s.biasedSet, nd)
+				s.front.remove(nd)
 				s.scheduleInto(nd, ser)
 				freed = append(freed, nd)
 				s.dirt = true
@@ -303,7 +310,7 @@ func (s *propState) step(k int) bool {
 			nd.biased = true
 			s.search.prunedBound()
 			s.search.frontier(nd.p)
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 			s.dirt = true
 		} else {
 			s.scheduleInto(nd, ser)
@@ -331,7 +338,7 @@ func (s *propState) step(k int) bool {
 			nd.biased = true
 			s.search.prunedBound()
 			s.search.frontier(nd.p)
-			s.biasedSet[nd] = struct{}{}
+			s.front.add(nd)
 			s.dirt = true
 		} else {
 			s.scheduleInto(nd, ser)
@@ -416,37 +423,22 @@ func (s *propState) expandWithInto(nd *pnode, m matchSet, k int, sk *psink) {
 
 // snapshot returns the most general biased patterns. Because biased nodes
 // can appear and disappear anywhere in the explored tree (including
-// interior nodes with explored descendants), Res is recomputed from the
-// biased frontier whenever it changed. The domination filter fans out on
-// the worker pool (markDominated); ok is false when it was abandoned
-// because the context was canceled (the state stays dirty).
+// interior nodes with explored descendants), the Res/DRes split lives in
+// the incrementally maintained domination frontier: the first snapshot
+// bulk-seeds it on the worker pool (markDominatedWitness), later dirty
+// snapshots find the split already settled by the step's flips and only
+// fold the domination tally into the stats — the same per-pass accounting
+// the full recompute used to report. ok is false when the seed was
+// abandoned because the context was canceled (the state stays dirty).
 func (s *propState) snapshot() (groups []Pattern, ok bool) {
 	if !s.dirt {
 		return s.res, true
 	}
-	nodes := make([]*pnode, 0, len(s.biasedSet))
-	for nd := range s.biasedSet {
-		nodes = append(nodes, nd)
-	}
-	sortNodesInterned(nodes,
-		func(nd *pnode) pattern.Pattern { return nd.p },
-		func(nd *pnode) *string { return &nd.key })
-	ps := make([]pattern.Pattern, len(nodes))
-	for i, nd := range nodes {
-		ps[i] = nd.p
-	}
-	dominated, halted := markDominated(s.ctx, ps, s.workers)
-	if halted {
+	if s.front.settle(s.ctx, s.workers) {
 		return nil, false
 	}
-	s.search.countDominated(dominated)
+	s.search.addDominated(int64(s.front.ndom))
 	s.dirt = false
-	res := make([]Pattern, 0, len(ps))
-	for i, p := range ps {
-		if !dominated[i] {
-			res = append(res, p)
-		}
-	}
-	s.res = res
-	return res, true
+	s.res = s.front.emit()
+	return s.res, true
 }

@@ -18,7 +18,8 @@ import "rankfair/internal/pattern"
 // sink-merge points. All counter sums are order-independent, so totals are
 // identical for every worker count.
 type SearchStats struct {
-	// Strategy is the match-set engine the run used: "lists" or "index".
+	// Strategy is the match-set engine the run used: "lists", "index" or
+	// "bitmap".
 	Strategy string
 	// Workers is the fan-out width the run was clamped to.
 	Workers int
@@ -46,6 +47,12 @@ type SearchStats struct {
 	// scatter the parent's rank list after all, because the search
 	// descended into at least one child (rank-space engine only).
 	LazyScatters int64
+	// BitmapPasses counts the pairwise intersections carried by word-wise
+	// bitmap AND + popcount; SlicePasses counts the ones carried by the
+	// galloping posting-list merge. Together they partition
+	// PostingIntersections, exposing what the per-node cost model picked.
+	BitmapPasses int64
+	SlicePasses  int64
 	// FrontierByLevel[l] counts frontier admissions of patterns binding l
 	// attributes: biased-pattern discoveries on the lower-bound searches,
 	// candidate admissions on the upper-bound ones. Index 0 is unused
@@ -99,6 +106,18 @@ func (s *SearchStats) lazyScatter() {
 	}
 }
 
+func (s *SearchStats) bitmapPass() {
+	if s != nil {
+		s.BitmapPasses++
+	}
+}
+
+func (s *SearchStats) slicePass() {
+	if s != nil {
+		s.SlicePasses++
+	}
+}
+
 // frontier records a frontier admission at the pattern's lattice level.
 // The NumAttrs scan runs only when stats are enabled.
 func (s *SearchStats) frontier(p pattern.Pattern) {
@@ -110,20 +129,6 @@ func (s *SearchStats) frontier(p pattern.Pattern) {
 		s.FrontierByLevel = append(s.FrontierByLevel, 0)
 	}
 	s.FrontierByLevel[lvl]++
-}
-
-// countDominated folds a domination mask into the counter.
-func (s *SearchStats) countDominated(mask []bool) {
-	if s == nil {
-		return
-	}
-	n := int64(0)
-	for _, d := range mask {
-		if d {
-			n++
-		}
-	}
-	s.PrunedDominated += n
 }
 
 // merge folds a per-worker accumulator into the run totals. Nil receivers
@@ -139,6 +144,8 @@ func (s *SearchStats) merge(o *SearchStats) {
 	s.PostingIntersections += o.PostingIntersections
 	s.CountOnlyPasses += o.CountOnlyPasses
 	s.LazyScatters += o.LazyScatters
+	s.BitmapPasses += o.BitmapPasses
+	s.SlicePasses += o.SlicePasses
 	for len(s.FrontierByLevel) < len(o.FrontierByLevel) {
 		s.FrontierByLevel = append(s.FrontierByLevel, 0)
 	}

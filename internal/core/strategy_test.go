@@ -123,6 +123,8 @@ func TestQuickStrategyIndexMatchesLists(t *testing.T) {
 			{"index-cold", withStrategy(base, StrategyIndex, nil)},
 			{"index-warm", withStrategy(base, StrategyIndex, prebuilt)},
 			{"auto-warm", withStrategy(base, StrategyAuto, prebuilt)},
+			{"bitmap-cold", withStrategy(base, StrategyBitmap, nil)},
+			{"bitmap-warm", withStrategy(base, StrategyBitmap, prebuilt)},
 		}
 		// One parameter draw shared by the lists run and every variant.
 		prng := rand.New(rand.NewSource(seed + 1))
@@ -169,24 +171,30 @@ func TestStrategyCanceledRunsAgree(t *testing.T) {
 	base := denseCancelInput(12, 1500)
 	listsIn := withStrategy(base, StrategyLists, nil)
 	indexIn := withStrategy(base, StrategyIndex, nil)
+	bitmapIn := withStrategy(base, StrategyBitmap, nil)
 	listsRuns := strategyEntryPoints(listsIn, rand.New(rand.NewSource(31)))
+	bitmapRuns := strategyEntryPoints(bitmapIn, rand.New(rand.NewSource(31)))
 	for name, indexRun := range strategyEntryPoints(indexIn, rand.New(rand.NewSource(31))) {
 		listsRun := listsRuns[name]
+		bitmapRun := bitmapRuns[name]
 		for _, budget := range []int64{1, 5} {
 			lres, lerr := listsRun(newBudgetCtx(budget), 1)
 			ires, ierr := indexRun(newBudgetCtx(budget), 1)
-			if lres != nil || ires != nil {
-				t.Errorf("%s budget=%d: canceled run returned a result (lists=%v index=%v)", name, budget, lres != nil, ires != nil)
+			bres, berr := bitmapRun(newBudgetCtx(budget), 1)
+			if lres != nil || ires != nil || bres != nil {
+				t.Errorf("%s budget=%d: canceled run returned a result (lists=%v index=%v bitmap=%v)",
+					name, budget, lres != nil, ires != nil, bres != nil)
 				continue
 			}
-			var lc, ic *CanceledError
-			if !errors.As(lerr, &lc) || !errors.As(ierr, &ic) {
-				t.Errorf("%s budget=%d: want CanceledError on both engines, got lists=%v index=%v", name, budget, lerr, ierr)
+			var lc, ic, bc *CanceledError
+			if !errors.As(lerr, &lc) || !errors.As(ierr, &ic) || !errors.As(berr, &bc) {
+				t.Errorf("%s budget=%d: want CanceledError on every engine, got lists=%v index=%v bitmap=%v",
+					name, budget, lerr, ierr, berr)
 				continue
 			}
-			if lc.NodesExamined != ic.NodesExamined {
-				t.Errorf("%s budget=%d: partial work diverges: lists examined %d nodes, index %d",
-					name, budget, lc.NodesExamined, ic.NodesExamined)
+			if lc.NodesExamined != ic.NodesExamined || lc.NodesExamined != bc.NodesExamined {
+				t.Errorf("%s budget=%d: partial work diverges: lists examined %d nodes, index %d, bitmap %d",
+					name, budget, lc.NodesExamined, ic.NodesExamined, bc.NodesExamined)
 			}
 		}
 	}
@@ -216,6 +224,10 @@ func TestAutoStrategyCostModel(t *testing.T) {
 	forcedLists := withStrategy(big, StrategyLists, nil)
 	if forcedLists.useIndex() {
 		t.Error("StrategyLists not honored")
+	}
+	forcedBitmap := withStrategy(tiny, StrategyBitmap, nil)
+	if !forcedBitmap.useIndex() {
+		t.Error("StrategyBitmap not honored")
 	}
 }
 

@@ -36,40 +36,43 @@ func (m propMeasure) biased(sD, cnt, k int) bool {
 // every more general biased pattern has already been classified; the
 // update() check of the paper therefore only needs to scan Res — through a
 // subsetFilter, whose attribute bitmasks skip patterns over disjoint
-// attribute sets without comparing values.
+// attribute sets without comparing values. Frontier match sets live in
+// the traversal's ring arena (see bfs.go): pop reclaims the blocks of
+// already-consumed entries, and size-pruned entries never materialize a
+// Pattern.
 func topDownSearch(cn *canceler, eng *engine, minSize, k int, meas measure, stats *Stats, ss *SearchStats) (res, dres []pattern.Pattern) {
 	stats.FullSearches++
 
-	queue := make([]unit, 0, 64)
-	queue = append(queue, eng.rootUnits(k)...)
-	var filt subsetFilter
+	q := eng.newBFS(k)
+	defer q.close()
+	filt := newSubsetFilter()
 
-	for head := 0; head < len(queue); head++ {
+	for q.more() {
 		if cn.stopped() {
 			return nil, nil
 		}
-		e := queue[head]
-		queue[head] = unit{} // release match sets of consumed entries
+		u := q.pop()
 		stats.NodesExamined++
-		sD := len(e.m.all)
+		sD := len(u.m.all)
 		if sD < minSize {
 			ss.prunedSize()
 			continue
 		}
-		cnt := eng.topCount(e.m, k)
+		cnt := eng.topCount(u.m, k)
 		if meas.biased(sD, cnt, k) {
+			p := q.pat(&u)
 			ss.prunedBound()
-			if filt.dominated(e.p) {
+			if filt.dominated(p) {
 				ss.addDominated(1)
-				dres = append(dres, e.p)
+				dres = append(dres, p)
 			} else {
-				ss.frontier(e.p)
-				filt.add(e.p)
+				ss.frontier(p)
+				filt.add(p)
 			}
 			continue
 		}
 		ss.expanded()
-		queue = eng.appendChildren(queue, e)
+		q.expand(&u, q.pat(&u))
 	}
 	return filt.res, dres
 }
@@ -135,6 +138,19 @@ func (f *subsetFilter) dominated(p pattern.Pattern) bool {
 func (f *subsetFilter) add(p pattern.Pattern) {
 	f.res = append(f.res, p)
 	f.masks = append(f.masks, attrMask(p))
+}
+
+// newSubsetFilter returns a filter presized for a typical biased frontier,
+// so the per-k searches of a staircase sweep admit their first patterns
+// without append-growth reallocations. The result slice escapes into the
+// search's return value, so the backing arrays are per-search allocations
+// by design — presizing just collapses the doubling ladder into one carve.
+func newSubsetFilter() subsetFilter {
+	const hint = 64
+	return subsetFilter{
+		res:   make([]pattern.Pattern, 0, hint),
+		masks: make([]uint64, 0, hint),
+	}
 }
 
 // hasProperSubset reports whether any member of set is a proper subset of

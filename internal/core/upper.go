@@ -130,32 +130,37 @@ func IterTDPropUpperCtx(ctx context.Context, in *Input, params PropUpperParams, 
 // collectExceeding runs a top-down search that prunes on the size threshold
 // and on the classify callback's descend decision, returning every pattern
 // classified as a candidate. The search polls cn once per node and returns
-// early when the caller's context is canceled.
+// early when the caller's context is canceled. Frontier match sets live in
+// the traversal's ring arena (see bfs.go); only candidates and descents
+// materialize a Pattern.
 func collectExceeding(cn *canceler, eng *engine, minSize, k int, stats *Stats, ss *SearchStats, classify func(sD, cnt int) (candidate, descend bool)) []Pattern {
 	stats.FullSearches++
 	var cands []Pattern
-	queue := make([]unit, 0, 64)
-	queue = append(queue, eng.rootUnits(k)...)
-	for head := 0; head < len(queue); head++ {
+	q := eng.newBFS(k)
+	defer q.close()
+	for q.more() {
 		if cn.stopped() {
 			return nil
 		}
-		e := queue[head]
-		queue[head] = unit{}
+		u := q.pop()
 		stats.NodesExamined++
-		sD := len(e.m.all)
+		sD := len(u.m.all)
 		if sD < minSize {
 			ss.prunedSize()
 			continue
 		}
-		candidate, descend := classify(sD, eng.topCount(e.m, k))
+		candidate, descend := classify(sD, eng.topCount(u.m, k))
+		var p pattern.Pattern
+		if candidate || descend {
+			p = q.pat(&u)
+		}
 		if candidate {
-			ss.frontier(e.p)
-			cands = append(cands, e.p)
+			ss.frontier(p)
+			cands = append(cands, p)
 		}
 		if descend {
 			ss.expanded()
-			queue = eng.appendChildren(queue, e)
+			q.expand(&u, p)
 		} else {
 			ss.prunedBound()
 		}

@@ -74,26 +74,26 @@ func IterTDGlobalLowerMostSpecificCtx(ctx context.Context, in *Input, params Glo
 		substantial := make(map[string]bool)
 		var below []Pattern
 		st.FullSearches++
-		queue := make([]unit, 0, 64)
-		queue = append(queue, eng.rootUnits(k)...)
-		for head := 0; head < len(queue); head++ {
+		q := eng.newBFS(k)
+		defer q.close()
+		for q.more() {
 			if cn.stopped() {
 				return nil
 			}
-			e := queue[head]
-			queue[head] = unit{}
+			u := q.pop()
 			st.NodesExamined++
-			if len(e.m.all) < params.MinSize {
+			if len(u.m.all) < params.MinSize {
 				ss.prunedSize()
 				continue
 			}
-			substantial[e.p.Key()] = true
-			if eng.topCount(e.m, k) < l {
-				ss.frontier(e.p)
-				below = append(below, e.p)
+			p := q.pat(&u)
+			substantial[p.Key()] = true
+			if eng.topCount(u.m, k) < l {
+				ss.frontier(p)
+				below = append(below, p)
 			}
 			ss.expanded()
-			queue = eng.appendChildren(queue, e)
+			q.expand(&u, p)
 		}
 		var groups []Pattern
 		for _, p := range below {

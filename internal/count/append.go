@@ -35,6 +35,7 @@ func (ix *Index) Extend(rows [][]int32, space *pattern.Space, ranking []int) *In
 		rankOf:   make([]int32, total),
 		rowAt:    make([][]int32, total),
 		postings: make([][][]int32, space.NumAttrs()),
+		bitmaps:  make([][]*Bitmap, space.NumAttrs()),
 	}
 	// One pass over the new ranking: the rank-major views, the monotone
 	// old-rank → new-rank map, and the appended rows' insertion positions
@@ -62,9 +63,12 @@ func (ix *Index) Extend(rows [][]int32, space *pattern.Space, ranking []int) *In
 	for a := 0; a < space.NumAttrs(); a++ {
 		card := space.Cards[a]
 		out.postings[a] = make([][]int32, card)
+		out.bitmaps[a] = make([]*Bitmap, card)
 		var oldLists [][]int32
+		var oldBms []*Bitmap
 		if a < len(ix.postings) {
 			oldLists = ix.postings[a]
+			oldBms = ix.bitmaps[a]
 		}
 		newPer := make([][]int32, card)
 		for _, rank := range inserted {
@@ -79,6 +83,9 @@ func (ix *Index) Extend(rows [][]int32, space *pattern.Space, ranking []int) *In
 			add := newPer[v]
 			if len(add) == 0 && (len(old) == 0 || int(old[len(old)-1]) < minIns) {
 				out.postings[a][v] = old // untouched: alias, copy-on-write
+				if v < len(oldBms) {
+					out.bitmaps[a][v] = oldBms[v] // bitmap shares the list's fate
+				}
 				continue
 			}
 			merged := make([]int32, 0, len(old)+len(add))
@@ -98,6 +105,9 @@ func (ix *Index) Extend(rows [][]int32, space *pattern.Space, ranking []int) *In
 			}
 			merged = append(merged, add[j:]...)
 			out.postings[a][v] = merged
+			if len(merged) >= bitmapMinLen {
+				out.bitmaps[a][v] = BitmapFromRanks(merged)
+			}
 		}
 	}
 	return out

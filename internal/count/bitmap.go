@@ -1,0 +1,430 @@
+package count
+
+import (
+	"math/bits"
+
+	"rankfair/internal/pattern"
+)
+
+// Roaring-style bitmaps over rank positions. A posting list is an ascending
+// []int32 of ranks; a Bitmap stores the same set chunked into containers of
+// 65536 consecutive ranks, each container represented either as a sorted
+// array of low 16-bit offsets (sparse) or as a 1024-word bitmap (dense),
+// chosen per container by cardinality. Word-wise AND + popcount turns the
+// branchy merge walk of a posting-list intersection into straight-line
+// arithmetic for dense values, and a per-container cumulative-cardinality
+// prefix keeps rank-range counts (s_{R_k}) logarithmic without
+// materializing the intersection.
+const (
+	containerSpan  = 1 << 16
+	containerWords = containerSpan / 64
+	// arrayMaxCard is the per-container representation cut: at most this
+	// many ranks and the sorted uint16 array (<= 8 KiB) beats the fixed
+	// 8 KiB word bitmap on both footprint and scan cost; above it the word
+	// form wins on AND/popcount throughput.
+	arrayMaxCard = 4096
+	// bitmapMinLen is the per-(attr,value) cost-model cut used by Build:
+	// posting lists shorter than this stay slice-only (a bitmap over a
+	// handful of ranks buys nothing and costs container headers). Kept low
+	// so small differential-test datasets still exercise the bitmap paths.
+	bitmapMinLen = 16
+)
+
+// Bitmap is an immutable compressed bitmap over rank positions. Containers
+// are stored in parallel slices: keys[i] is the container number
+// (rank >> 16), exactly one of arrs[i] / words[i] is non-nil, and
+// cum[i] is the total cardinality of containers before i (len(cum) ==
+// len(keys)+1), which makes CountBelow a binary search plus one partial
+// container scan.
+type Bitmap struct {
+	keys  []uint32
+	cum   []int32
+	arrs  [][]uint16
+	words [][]uint64
+}
+
+// BitmapFromRanks builds a Bitmap from an ascending, duplicate-free rank
+// list. The input is not retained.
+func BitmapFromRanks(ranks []int32) *Bitmap {
+	bm := &Bitmap{cum: []int32{0}}
+	for i := 0; i < len(ranks); {
+		key := uint32(ranks[i]) >> 16
+		j := i + 1
+		for j < len(ranks) && uint32(ranks[j])>>16 == key {
+			j++
+		}
+		chunk := ranks[i:j]
+		bm.keys = append(bm.keys, key)
+		bm.cum = append(bm.cum, bm.cum[len(bm.cum)-1]+int32(len(chunk)))
+		if len(chunk) <= arrayMaxCard {
+			arr := make([]uint16, len(chunk))
+			for n, r := range chunk {
+				arr[n] = uint16(r)
+			}
+			bm.arrs = append(bm.arrs, arr)
+			bm.words = append(bm.words, nil)
+		} else {
+			w := make([]uint64, containerWords)
+			for _, r := range chunk {
+				lo := uint32(r) & (containerSpan - 1)
+				w[lo>>6] |= 1 << (lo & 63)
+			}
+			bm.arrs = append(bm.arrs, nil)
+			bm.words = append(bm.words, w)
+		}
+		i = j
+	}
+	return bm
+}
+
+// Cardinality returns the number of ranks in the bitmap.
+func (bm *Bitmap) Cardinality() int { return int(bm.cum[len(bm.cum)-1]) }
+
+// SizeBytes estimates the heap footprint of the bitmap's owned storage.
+func (bm *Bitmap) SizeBytes() int64 {
+	const sliceHeader = 24
+	size := int64(len(bm.keys))*4 + int64(len(bm.cum))*4 + int64(len(bm.arrs)+len(bm.words))*sliceHeader
+	for i := range bm.keys {
+		size += int64(len(bm.arrs[i]))*2 + int64(len(bm.words[i]))*8
+	}
+	return size
+}
+
+// searchKey returns the index of the first container with key >= want.
+func (bm *Bitmap) searchKey(want uint32) int {
+	lo, hi := 0, len(bm.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bm.keys[mid] < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CountBelow returns the number of ranks strictly below k: the
+// cumulative-cardinality prefix plus one partial container, so s_{R_k}
+// stays O(log containers + log card) without materializing anything.
+func (bm *Bitmap) CountBelow(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	key := uint32(k) >> 16
+	i := bm.searchKey(key)
+	n := int(bm.cum[i])
+	if i == len(bm.keys) || bm.keys[i] != key {
+		return n
+	}
+	low := uint32(k) & (containerSpan - 1)
+	if low == 0 {
+		return n
+	}
+	if arr := bm.arrs[i]; arr != nil {
+		return n + upperBound16(arr, uint16(low-1))
+	}
+	w := bm.words[i]
+	full := int(low >> 6)
+	for _, word := range w[:full] {
+		n += bits.OnesCount64(word)
+	}
+	if rem := low & 63; rem != 0 {
+		n += bits.OnesCount64(w[full] & (1<<rem - 1))
+	}
+	return n
+}
+
+// upperBound16 returns the number of entries of the sorted array at most
+// hi (i.e. the count of entries <= hi).
+func upperBound16(arr []uint16, hi uint16) int {
+	lo, up := 0, len(arr)
+	for lo < up {
+		mid := int(uint(lo+up) >> 1)
+		if arr[mid] <= hi {
+			lo = mid + 1
+		} else {
+			up = mid
+		}
+	}
+	return lo
+}
+
+// AndCardinality returns |bm ∩ o| without materializing the intersection:
+// containers align by key and each pair resolves to a word-wise
+// AND+popcount, a probe loop, or a merge count.
+func (bm *Bitmap) AndCardinality(o *Bitmap) int {
+	n, i, j := 0, 0, 0
+	for i < len(bm.keys) && j < len(o.keys) {
+		switch {
+		case bm.keys[i] < o.keys[j]:
+			i++
+		case bm.keys[i] > o.keys[j]:
+			j++
+		default:
+			n += andContainerCard(bm.arrs[i], bm.words[i], o.arrs[j], o.words[j], containerSpan)
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// AndCardinalityBelow returns |bm ∩ o ∩ [0, k)| — the count-only top-k
+// intersection pass. Containers wholly below k count in full; the boundary
+// container counts through a masked tail.
+func (bm *Bitmap) AndCardinalityBelow(o *Bitmap, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	key := uint32(k) >> 16
+	low := int(uint32(k) & (containerSpan - 1))
+	n, i, j := 0, 0, 0
+	for i < len(bm.keys) && j < len(o.keys) && bm.keys[i] <= key && o.keys[j] <= key {
+		switch {
+		case bm.keys[i] < o.keys[j]:
+			i++
+		case bm.keys[i] > o.keys[j]:
+			j++
+		default:
+			limit := containerSpan
+			if bm.keys[i] == key {
+				limit = low
+			}
+			n += andContainerCard(bm.arrs[i], bm.words[i], o.arrs[j], o.words[j], limit)
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// andContainerCard counts the intersection of two containers restricted to
+// offsets strictly below limit (containerSpan = unrestricted).
+func andContainerCard(aArr []uint16, aW []uint64, bArr []uint16, bW []uint64, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	switch {
+	case aW != nil && bW != nil:
+		full := limit >> 6
+		n := 0
+		for w, word := range aW[:full] {
+			n += bits.OnesCount64(word & bW[w])
+		}
+		if rem := limit & 63; rem != 0 {
+			n += bits.OnesCount64(aW[full] & bW[full] & (1<<rem - 1))
+		}
+		return n
+	case aArr != nil && bArr != nil:
+		n, i, j := 0, 0, 0
+		for i < len(aArr) && j < len(bArr) {
+			x, y := aArr[i], bArr[j]
+			if int(x) >= limit || int(y) >= limit {
+				break
+			}
+			switch {
+			case x < y:
+				i++
+			case x > y:
+				j++
+			default:
+				n++
+				i++
+				j++
+			}
+		}
+		return n
+	default:
+		// One array, one word bitmap: probe each array entry.
+		arr, w := aArr, bW
+		if arr == nil {
+			arr, w = bArr, aW
+		}
+		n := 0
+		for _, lo := range arr {
+			if int(lo) >= limit {
+				break
+			}
+			if w[lo>>6]&(1<<(lo&63)) != 0 {
+				n++
+			}
+		}
+		return n
+	}
+}
+
+// And returns the intersection as a fresh Bitmap. Array×array and
+// array×word containers produce array containers; word×word containers
+// keep the word form regardless of the result cardinality (intersection
+// results are transient — re-running the build cost model on them would
+// cost more than the representation saves).
+func (bm *Bitmap) And(o *Bitmap) *Bitmap {
+	out := &Bitmap{cum: []int32{0}}
+	i, j := 0, 0
+	for i < len(bm.keys) && j < len(o.keys) {
+		switch {
+		case bm.keys[i] < o.keys[j]:
+			i++
+		case bm.keys[i] > o.keys[j]:
+			j++
+		default:
+			arr, w := andContainer(bm.arrs[i], bm.words[i], o.arrs[j], o.words[j])
+			card := len(arr)
+			if w != nil {
+				card = 0
+				for _, word := range w {
+					card += bits.OnesCount64(word)
+				}
+			}
+			if card > 0 {
+				out.keys = append(out.keys, bm.keys[i])
+				out.cum = append(out.cum, out.cum[len(out.cum)-1]+int32(card))
+				out.arrs = append(out.arrs, arr)
+				out.words = append(out.words, w)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// andContainer materializes the intersection of two containers; exactly
+// one of the returned slices is non-nil unless the result is empty.
+func andContainer(aArr []uint16, aW []uint64, bArr []uint16, bW []uint64) ([]uint16, []uint64) {
+	switch {
+	case aW != nil && bW != nil:
+		out := make([]uint64, containerWords)
+		for w, word := range aW {
+			out[w] = word & bW[w]
+		}
+		return nil, out
+	case aArr != nil && bArr != nil:
+		short := len(aArr)
+		if len(bArr) < short {
+			short = len(bArr)
+		}
+		out := make([]uint16, 0, short)
+		i, j := 0, 0
+		for i < len(aArr) && j < len(bArr) {
+			switch {
+			case aArr[i] < bArr[j]:
+				i++
+			case aArr[i] > bArr[j]:
+				j++
+			default:
+				out = append(out, aArr[i])
+				i++
+				j++
+			}
+		}
+		if len(out) == 0 {
+			return nil, nil
+		}
+		return out, nil
+	default:
+		arr, w := aArr, bW
+		if arr == nil {
+			arr, w = bArr, aW
+		}
+		out := make([]uint16, 0, len(arr))
+		for _, lo := range arr {
+			if w[lo>>6]&(1<<(lo&63)) != 0 {
+				out = append(out, lo)
+			}
+		}
+		if len(out) == 0 {
+			return nil, nil
+		}
+		return out, nil
+	}
+}
+
+// AppendRanks appends the bitmap's ranks to dst in ascending order and
+// returns the extended slice — the materialization bridge back into the
+// posting-list world (dst typically comes from a scratch arena sized by
+// Cardinality, so no growth happens).
+func (bm *Bitmap) AppendRanks(dst []int32) []int32 {
+	for i, key := range bm.keys {
+		base := int32(key) << 16
+		if arr := bm.arrs[i]; arr != nil {
+			for _, lo := range arr {
+				dst = append(dst, base|int32(lo))
+			}
+			continue
+		}
+		for w, word := range bm.words[i] {
+			wordBase := base + int32(w<<6)
+			for word != 0 {
+				dst = append(dst, wordBase+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+	}
+	return dst
+}
+
+// bitmapProbeMin is the cost-model cut for the count-only query paths
+// (Count/CountTopK): the probe-and-verify walk touches O(shortest·attrs)
+// entries, so it stays the winner until the probed prefix is a few
+// thousand entries long; past that the word-wise AND+popcount pass wins.
+const bitmapProbeMin = 4096
+
+// patternBitmaps collects the bitmaps of every bound (attr, value) of p,
+// reporting ok=false when any bound value sits below the bitmap cut (the
+// caller falls back to the slice walk). Bound values are in-domain here —
+// shortestBound has already rejected out-of-domain patterns.
+func (ix *Index) patternBitmaps(p pattern.Pattern) ([]*Bitmap, bool) {
+	bms := make([]*Bitmap, 0, 8)
+	for a, v := range p {
+		if v == pattern.Unbound {
+			continue
+		}
+		bm := ix.bitmaps[a][v]
+		if bm == nil {
+			return nil, false
+		}
+		bms = append(bms, bm)
+	}
+	return bms, true
+}
+
+// andCardinalityAll counts the intersection of two or more bitmaps,
+// restricted to ranks below k when k >= 0. The chain runs
+// smallest-cardinality first and the final pair resolves count-only, so
+// only len(bms)-2 intermediate bitmaps materialize.
+func andCardinalityAll(bms []*Bitmap, k int) int {
+	for i := 1; i < len(bms); i++ {
+		for j := i; j > 0 && bms[j].Cardinality() < bms[j-1].Cardinality(); j-- {
+			bms[j], bms[j-1] = bms[j-1], bms[j]
+		}
+	}
+	acc := bms[0]
+	for _, bm := range bms[1 : len(bms)-1] {
+		if acc.Cardinality() == 0 {
+			return 0
+		}
+		acc = acc.And(bm)
+	}
+	last := bms[len(bms)-1]
+	if k < 0 {
+		return acc.AndCardinality(last)
+	}
+	return acc.AndCardinalityBelow(last, k)
+}
+
+// buildBitmaps constructs the per-(attr,value) bitmaps for every posting
+// list at or above the bitmapMinLen cost-model cut.
+func buildBitmaps(postings [][][]int32) [][]*Bitmap {
+	out := make([][]*Bitmap, len(postings))
+	for a, lists := range postings {
+		out[a] = make([]*Bitmap, len(lists))
+		for v, l := range lists {
+			if len(l) >= bitmapMinLen {
+				out[a][v] = BitmapFromRanks(l)
+			}
+		}
+	}
+	return out
+}

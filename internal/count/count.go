@@ -47,6 +47,11 @@ type Index struct {
 	// postings[a][v] holds the rank positions of rows with row[a] == v,
 	// ascending. The per-(a,v) lists partition [0, n).
 	postings [][][]int32
+	// bitmaps[a][v] is the roaring-style bitmap form of postings[a][v],
+	// built for lists at or above the bitmapMinLen cost-model cut and nil
+	// below it. Bitmaps are derived data: always in sync with the posting
+	// lists, shared copy-on-write by Extend exactly when the list is.
+	bitmaps [][]*Bitmap
 }
 
 // Build constructs the index in one O(n·attrs) pass. ranking must be a
@@ -85,6 +90,7 @@ func Build(rows [][]int32, space *pattern.Space, ranking []int) *Index {
 			ix.postings[a][v] = append(ix.postings[a][v], int32(rank))
 		}
 	}
+	ix.bitmaps = buildBitmaps(ix.postings)
 	return ix
 }
 
@@ -103,6 +109,20 @@ func (ix *Index) RowsByRank() [][]int32 { return ix.rowAt }
 // positions of the rows holding that value. Callers must not mutate it.
 func (ix *Index) Postings(attr int, val int32) []int32 { return ix.postings[attr][val] }
 
+// Bitmap returns the bitmap form of the (attr, value) posting list, or nil
+// when the list sits below the bitmap cost-model cut (callers fall back to
+// the slice walk). Callers must not mutate it.
+func (ix *Index) Bitmap(attr int, val int32) *Bitmap {
+	if attr < 0 || attr >= len(ix.bitmaps) {
+		return nil
+	}
+	bs := ix.bitmaps[attr]
+	if val < 0 || int(val) >= len(bs) {
+		return nil
+	}
+	return bs[val]
+}
+
 // SizeBytes estimates the heap footprint of the index's owned structures:
 // the rank map, the rank-major row view headers, and the posting lists
 // (counting capacity, since extended indexes share list backing arrays
@@ -116,6 +136,14 @@ func (ix *Index) SizeBytes() int64 {
 		size += int64(len(lists)) * sliceHeader
 		for _, l := range lists {
 			size += int64(cap(l)) * 4
+		}
+	}
+	for _, bms := range ix.bitmaps {
+		size += int64(len(bms)) * sliceHeader
+		for _, bm := range bms {
+			if bm != nil {
+				size += bm.SizeBytes()
+			}
 		}
 	}
 	return size
@@ -183,6 +211,11 @@ func (ix *Index) Count(p pattern.Pattern) int {
 	if p.NumAttrs() == 1 {
 		return len(list)
 	}
+	if len(list) >= bitmapProbeMin {
+		if bms, ok := ix.patternBitmaps(p); ok {
+			return andCardinalityAll(bms, -1)
+		}
+	}
 	n := 0
 	for _, rk := range list {
 		if matchesExcept(p, ix.rowAt[rk], probe) {
@@ -212,6 +245,11 @@ func (ix *Index) CountTopK(p pattern.Pattern, k int) int {
 	cut := upperBound(list, k)
 	if p.NumAttrs() == 1 {
 		return cut
+	}
+	if cut >= bitmapProbeMin {
+		if bms, ok := ix.patternBitmaps(p); ok {
+			return andCardinalityAll(bms, k)
+		}
 	}
 	n := 0
 	for _, rk := range list[:cut] {

@@ -174,6 +174,24 @@ func (p Pattern) Key() string {
 	return b.String()
 }
 
+// AppendKey appends Key's canonical encoding to dst and returns the
+// extended slice — the allocation-free form for callers that key many
+// patterns into a shared buffer (byte comparison of appended keys orders
+// exactly like string comparison of Key results).
+func (p Pattern) AppendKey(dst []byte) []byte {
+	for i, v := range p {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		if v == Unbound {
+			dst = append(dst, '*')
+		} else {
+			dst = strconv.AppendInt(dst, int64(v), 10)
+		}
+	}
+	return dst
+}
+
 // ParseKey decodes a pattern previously produced by Key.
 func ParseKey(key string) (Pattern, error) {
 	parts := strings.Split(key, "|")

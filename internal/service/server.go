@@ -62,10 +62,13 @@ type obsState struct {
 	queueWait     *obs.Histogram
 	runLatency    *obs.Histogram
 
-	searchRuns          *obs.CounterVec // by counting strategy: lists, index
+	searchRuns          *obs.CounterVec // by counting strategy: lists, index, bitmap
+	searchStrategy      *obs.CounterVec // resolved strategy selections, same labels
 	searchExpanded      *obs.Counter
 	searchPruned        *obs.CounterVec // by reason: size, bound, dominated
 	searchIntersections *obs.Counter
+	searchBitmapPasses  *obs.Counter
+	searchSlicePasses   *obs.Counter
 	searchCountOnly     *obs.Counter
 	searchLazy          *obs.Counter
 }
@@ -131,9 +134,12 @@ func newObsState(s *Service, traceEntries int) *obsState {
 	o.queueWait = r.NewHistogram("rankfaird_job_queue_wait_seconds", "Time audit jobs spend queued before a worker picks them up.", nil)
 	o.runLatency = r.NewHistogram("rankfaird_job_run_seconds", "Audit job run time, queue wait excluded.", nil)
 	o.searchRuns = r.NewCounterVec("rankfaird_search_total", "Lattice searches computed (cache misses), by counting strategy.", "strategy")
+	o.searchStrategy = r.NewCounterVec("rankfaird_search_strategy_total", "Match-set strategy selections resolved for computed searches (explicit overrides and cost-model picks), by strategy.", "strategy")
 	o.searchExpanded = r.NewCounter("rankfaird_search_nodes_expanded_total", "Lattice nodes expanded across all searches.")
 	o.searchPruned = r.NewCounterVec("rankfaird_search_pruned_total", "Lattice nodes pruned without expansion, by reason.", "reason")
 	o.searchIntersections = r.NewCounter("rankfaird_search_posting_intersections_total", "Posting-list intersections materialized during searches.")
+	o.searchBitmapPasses = r.NewCounter("rankfaird_search_bitmap_passes_total", "Posting intersections carried by word-wise bitmap AND + popcount passes.")
+	o.searchSlicePasses = r.NewCounter("rankfaird_search_slice_passes_total", "Posting intersections carried by galloping slice-merge passes.")
 	o.searchCountOnly = r.NewCounter("rankfaird_search_count_only_passes_total", "Count-only posting passes that avoided materializing a match list.")
 	o.searchLazy = r.NewCounter("rankfaird_search_lazy_scatters_total", "Lazy rank-partition scatters performed on first touch.")
 	r.NewGaugeFunc("rankfaird_analyst_index_bytes", "Estimated heap bytes held by cached analysts' counting indexes.", func() int64 {

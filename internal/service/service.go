@@ -548,11 +548,14 @@ func (s *Service) recordSearch(st *rankfair.SearchStatsJSON) {
 	}
 	o := s.obs
 	o.searchRuns.With(st.Strategy).Inc()
+	o.searchStrategy.With(st.Strategy).Inc()
 	o.searchExpanded.Add(st.NodesExpanded)
 	o.searchPruned.With("size").Add(st.PrunedSize)
 	o.searchPruned.With("bound").Add(st.PrunedBound)
 	o.searchPruned.With("dominated").Add(st.PrunedDominated)
 	o.searchIntersections.Add(st.PostingIntersections)
+	o.searchBitmapPasses.Add(st.BitmapPasses)
+	o.searchSlicePasses.Add(st.SlicePasses)
 	o.searchCountOnly.Add(st.CountOnlyPasses)
 	o.searchLazy.Add(st.LazyScatters)
 }

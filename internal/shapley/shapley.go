@@ -12,6 +12,7 @@ package shapley
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"rankfair/internal/pattern"
@@ -92,7 +93,7 @@ func (e *Explainer) Exact(row []int32) ([]float64, error) {
 	}
 	phi := make([]float64, n)
 	for mask := 0; mask < len(v); mask++ {
-		s := popcount(mask)
+		s := bits.OnesCount(uint(mask))
 		for a := 0; a < n; a++ {
 			if mask&(1<<uint(a)) != 0 {
 				continue
@@ -212,13 +213,4 @@ func groupMembers(rows [][]int32, p pattern.Pattern) [][]int32 {
 		}
 	}
 	return members
-}
-
-func popcount(x int) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }

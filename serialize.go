@@ -189,6 +189,8 @@ type SearchStatsJSON struct {
 	PostingIntersections int64             `json:"posting_intersections"`
 	CountOnlyPasses      int64             `json:"count_only_passes"`
 	LazyScatters         int64             `json:"lazy_scatters"`
+	BitmapPasses         int64             `json:"bitmap_passes"`
+	SlicePasses          int64             `json:"slice_passes"`
 	FrontierByLevel      []int64           `json:"frontier_by_level,omitempty"`
 	PhaseMS              *PhaseTimingsJSON `json:"phase_ms,omitempty"`
 }
@@ -286,6 +288,8 @@ func (r *Report) toJSONShared() *ReportJSON {
 			PostingIntersections: s.PostingIntersections,
 			CountOnlyPasses:      s.CountOnlyPasses,
 			LazyScatters:         s.LazyScatters,
+			BitmapPasses:         s.BitmapPasses,
+			SlicePasses:          s.SlicePasses,
 		}
 		if len(s.FrontierByLevel) > 0 {
 			out.Stats.FrontierByLevel = append([]int64(nil), s.FrontierByLevel...)

@@ -60,6 +60,7 @@ func TestStatsInvariance(t *testing.T) {
 	}{
 		{"lists", core.StrategyLists},
 		{"index", core.StrategyIndex},
+		{"bitmap", core.StrategyBitmap},
 	}
 	for _, strat := range strategies {
 		for _, workers := range []int{1, 4} {

@@ -90,7 +90,7 @@ func TestAppendDifferential(t *testing.T) {
 	strategies := []struct {
 		name string
 		s    core.Strategy
-	}{{"lists", core.StrategyLists}, {"index", core.StrategyIndex}}
+	}{{"lists", core.StrategyLists}, {"index", core.StrategyIndex}, {"bitmap", core.StrategyBitmap}}
 	for _, strat := range strategies {
 		for _, workers := range []int{1, 4} {
 			for _, params := range streamAuditParams(10, 49) {

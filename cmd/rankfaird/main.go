@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"rankfair/internal/fault"
 	"rankfair/internal/service"
 )
 
@@ -51,6 +52,16 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "root of the durable dataset store (empty = fully in-memory); uploads and appends are fsync'd before acknowledgment and replayed on restart")
 		persistCache = flag.Bool("persist-cache", false, "also persist computed audit results and reload them on restart (requires -data-dir)")
 		verbose      = flag.Bool("v", false, "log every request and job completion (debug level)")
+
+		auditDeadMS = flag.Int64("audit-deadline-ms", 0, "default audit time budget in milliseconds when the request carries none (0 = unbounded)")
+		maxDeadMS   = flag.Int64("max-deadline-ms", 0, "clamp for requested and default audit deadlines in milliseconds (0 = default 5 minutes)")
+		queueWaitMS = flag.Int64("queue-wait-ms", 0, "shed queued audits without an explicit deadline after this queue wait in milliseconds (0 disables)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrently served HTTP requests before admission control sheds by class (0 = default 256, negative disables)")
+		storeRetry  = flag.Int("store-retries", 0, "in-place retries of transient durable-store errors (0 = default 2, negative disables)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive store infrastructure failures that open the write circuit breaker (0 = default 5, negative disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long the open breaker rejects writes before probing half-open (0 = default 5s)")
+		faultSpec   = flag.String("fault-store", "", "inject store faults from a spec like 'op=write,path=MANIFEST,skip=3,count=1,err=eio' (testing only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection rules")
 	)
 	flag.Parse()
 
@@ -74,10 +85,30 @@ func main() {
 		TraceEntries:          *traceSize,
 		DataDir:               *dataDir,
 		PersistCache:          *persistCache,
+		AuditDeadline:         time.Duration(*auditDeadMS) * time.Millisecond,
+		MaxDeadline:           time.Duration(*maxDeadMS) * time.Millisecond,
+		QueueWaitBudget:       time.Duration(*queueWaitMS) * time.Millisecond,
+		MaxInflight:           *maxInflight,
+		StoreRetries:          *storeRetry,
+		BreakerThreshold:      *brkThresh,
+		BreakerCooldown:       *brkCooldown,
 	}
 	if *persistCache && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "rankfaird: -persist-cache requires -data-dir")
 		os.Exit(1)
+	}
+	if *faultSpec != "" {
+		rules, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rankfaird: -fault-store:", err)
+			os.Exit(1)
+		}
+		inj := fault.NewInjector(*faultSeed)
+		for _, r := range rules {
+			inj.Add(r)
+		}
+		cfg.StoreFS = fault.NewFaultFS(fault.OS{}, inj)
+		logger.Warn("store fault injection active", "spec", *faultSpec, "seed", *faultSeed)
 	}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, logger)

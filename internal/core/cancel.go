@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
 
@@ -30,6 +31,13 @@ func (e *CanceledError) Error() string {
 }
 
 func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// DeadlineExceeded reports whether the cancellation was a time budget
+// expiring rather than an explicit cancel — the service maps the former
+// to a deadline_exceeded envelope and the latter to a canceled job.
+func (e *CanceledError) DeadlineExceeded() bool {
+	return errors.Is(e.Cause, context.DeadlineExceeded)
+}
 
 // canceler polls a context once every cancelStride node expansions. Each
 // worker goroutine owns one (no synchronization); a nil context disables

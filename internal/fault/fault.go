@@ -1,0 +1,240 @@
+// Package fault is a dependency-free fault-injection harness for the
+// serving stack's robustness tests. An Injector holds a list of Rules,
+// each matching an (operation, path) pair and describing what to break:
+// return an error, sleep, or tear a write partway through. The store
+// activates it through FaultFS (a filesystem wrapper, see fs.go); the
+// job manager exposes test hooks that call Fire directly.
+//
+// Determinism: given a fixed seed and a fixed sequence of Fire calls,
+// an Injector always makes the same decisions. Probabilistic rules
+// (P > 0) draw from a seeded source; counted rules (Skip/Count) key on
+// per-rule hit counters. Chaos tests rely on this to replay failures
+// exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Error is an injected failure. It wraps the rule's underlying error
+// and carries the transience mark that retry policies key on.
+type Error struct {
+	Op          string
+	Path        string
+	Err         error
+	IsTransient bool
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s failure on %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Transient reports whether the failure should be treated as retryable.
+// The store's retry helper discovers this via an
+// interface{ Transient() bool } assertion, so injected transient errors
+// exercise the same classification path as real EINTR/EAGAIN.
+func (e *Error) Transient() bool { return e.IsTransient }
+
+// Rule describes one injected behavior. The zero value of each field is
+// permissive: an empty Op or Path matches everything, Skip 0 starts
+// firing immediately, Count 0 never stops, P 0 fires deterministically.
+type Rule struct {
+	// Op is the operation key to match ("write", "sync", "readfile",
+	// ...; see the FaultFS doc for the full set). Empty matches all.
+	Op string
+	// Path is matched as a substring of the operation's target path
+	// (e.g. "MANIFEST" or "blobs"). Empty matches all.
+	Path string
+	// Skip is the number of matching calls passed through unharmed
+	// before the rule starts firing.
+	Skip int
+	// Count bounds how many calls the rule fires on after Skip;
+	// 0 means unlimited.
+	Count int
+	// P fires the rule with this probability inside its Skip/Count
+	// window; 0 means always.
+	P float64
+	// Err is the error to inject; nil makes the rule latency/no-op only.
+	Err error
+	// Transient marks Err as retryable.
+	Transient bool
+	// Latency is slept before the operation proceeds (or fails).
+	Latency time.Duration
+	// Torn applies to write operations: the number of payload bytes
+	// actually written to the underlying file before Err is returned.
+	// 0 fails cleanly before writing anything.
+	Torn int
+}
+
+type rule struct {
+	Rule
+	hits int
+}
+
+// Outcome is the injector's decision for one operation.
+type Outcome struct {
+	// Err is the injected failure; nil means proceed normally.
+	Err error
+	// Torn is the number of payload bytes a torn write lets through
+	// before failing. Meaningful only when Err is non-nil.
+	Torn int
+}
+
+// Injector evaluates rules against a stream of Fire calls.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*rule
+	fired int64
+}
+
+// NewInjector returns an empty injector whose probabilistic rules draw
+// from the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add installs a rule. Rules are evaluated in insertion order; the
+// first rule that decides to inject an error wins, but every matching
+// rule's latency accumulates.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	in.rules = append(in.rules, &rule{Rule: r})
+	in.mu.Unlock()
+}
+
+// Reset removes every rule, hit counts included. The seed sequence is
+// not rewound.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Fired returns how many errors the injector has injected so far
+// (latency-only firings are not counted).
+func (in *Injector) Fired() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Fire consults the rules for one (op, path) call. Any injected latency
+// is slept here, outside the injector lock, before the outcome is
+// returned.
+func (in *Injector) Fire(op, path string) Outcome {
+	in.mu.Lock()
+	var latency time.Duration
+	var out Outcome
+	for _, r := range in.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.hits++
+		if r.hits <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && r.hits > r.Skip+r.Count {
+			continue
+		}
+		if r.P > 0 && in.rng.Float64() >= r.P {
+			continue
+		}
+		latency += r.Latency
+		if r.Err != nil && out.Err == nil {
+			out.Err = &Error{Op: op, Path: path, Err: r.Err, IsTransient: r.Transient}
+			out.Torn = r.Torn
+			in.fired++
+		}
+	}
+	in.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return out
+}
+
+// ParseSpec parses the command-line fault specification used by the
+// daemon's -fault-store flag (and by CI's torn-write round trip).
+// Rules are separated by ';', fields by ',', each field "key=value":
+//
+//	op=write,path=MANIFEST,skip=3,count=1,torn=10,err=eio
+//
+// Recognized error names: enospc, eio (permanent), eagain, eintr
+// (transient by default), fail (generic permanent); an explicit
+// transient=true/false overrides the default. latency takes a Go
+// duration ("50ms"), p a float in (0,1].
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var r Rule
+		transientSet := false
+		for _, field := range strings.Split(part, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: field %q is not key=value", field)
+			}
+			var err error
+			switch k {
+			case "op":
+				r.Op = v
+			case "path":
+				r.Path = v
+			case "skip":
+				r.Skip, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "torn":
+				r.Torn, err = strconv.Atoi(v)
+			case "p":
+				r.P, err = strconv.ParseFloat(v, 64)
+			case "latency":
+				r.Latency, err = time.ParseDuration(v)
+			case "transient":
+				r.Transient, err = strconv.ParseBool(v)
+				transientSet = true
+			case "err":
+				switch v {
+				case "enospc":
+					r.Err = syscall.ENOSPC
+				case "eio":
+					r.Err = syscall.EIO
+				case "eagain":
+					r.Err = syscall.EAGAIN
+				case "eintr":
+					r.Err = syscall.EINTR
+				case "fail":
+					r.Err = errors.New("injected failure")
+				default:
+					err = fmt.Errorf("unknown error name %q", v)
+				}
+				if err == nil && !transientSet {
+					r.Transient = v == "eagain" || v == "eintr"
+				}
+			default:
+				err = fmt.Errorf("unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: parsing %q: %w", field, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

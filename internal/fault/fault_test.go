@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestInjectorSkipCountWindow(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Op: "write", Skip: 2, Count: 2, Err: syscall.EIO})
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Fire("write", "x").Err != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("call %d: fired=%v, want %v (window Skip=2 Count=2)", i, errs[i], want[i])
+		}
+	}
+	if got := in.Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+func TestInjectorMatchesOpAndPathSubstring(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Op: "write", Path: "MANIFEST", Err: syscall.ENOSPC})
+	if out := in.Fire("sync", "dir/MANIFEST"); out.Err != nil {
+		t.Fatal("rule fired on wrong op")
+	}
+	if out := in.Fire("write", "dir/blobs/ab12"); out.Err != nil {
+		t.Fatal("rule fired on wrong path")
+	}
+	out := in.Fire("write", "dir/MANIFEST")
+	if out.Err == nil {
+		t.Fatal("rule did not fire on matching op+path")
+	}
+	var fe *Error
+	if !errors.As(out.Err, &fe) {
+		t.Fatalf("injected error %T is not *fault.Error", out.Err)
+	}
+	if !errors.Is(out.Err, syscall.ENOSPC) {
+		t.Fatal("injected error does not unwrap to ENOSPC")
+	}
+	if fe.Transient() {
+		t.Fatal("ENOSPC rule without Transient mark reported transient")
+	}
+}
+
+func TestInjectorTransientMark(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Err: syscall.EAGAIN, Transient: true})
+	out := in.Fire("readfile", "blob")
+	var tr interface{ Transient() bool }
+	if !errors.As(out.Err, &tr) || !tr.Transient() {
+		t.Fatalf("transient rule produced non-transient error %v", out.Err)
+	}
+}
+
+func TestInjectorProbabilisticDeterminism(t *testing.T) {
+	fire := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.Add(Rule{P: 0.5, Err: syscall.EIO})
+		var got []bool
+		for i := 0; i < 32; i++ {
+			got = append(got, in.Fire("write", "x").Err != nil)
+		}
+		return got
+	}
+	a, b := fire(42), fire(42)
+	anyFired, anyPassed := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		anyFired = anyFired || a[i]
+		anyPassed = anyPassed || !a[i]
+	}
+	if !anyFired || !anyPassed {
+		t.Fatal("p=0.5 over 32 calls should both fire and pass at least once")
+	}
+}
+
+func TestInjectorLatencyOnly(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Op: "sync", Latency: 20 * time.Millisecond})
+	start := time.Now()
+	out := in.Fire("sync", "x")
+	if out.Err != nil {
+		t.Fatalf("latency-only rule injected error %v", out.Err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("latency rule slept %v, want >= 20ms", elapsed)
+	}
+	if in.Fired() != 0 {
+		t.Fatal("latency-only firing counted as an injected error")
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1)
+	ffs := NewFaultFS(OS{}, in)
+	f, err := ffs.OpenFile(filepath.Join(dir, "MANIFEST"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first\n")); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(Rule{Op: "write", Path: "MANIFEST", Count: 1, Torn: 3, Err: syscall.EIO})
+	n, err := f.Write([]byte("second\n"))
+	if err == nil {
+		t.Fatal("torn write did not return the injected error")
+	}
+	if n != 3 {
+		t.Fatalf("torn write reported %d bytes, want 3", n)
+	}
+	if _, err := f.Write([]byte("third\n")); err != nil {
+		t.Fatalf("write after exhausted rule failed: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "first\nsecthird\n" {
+		t.Fatalf("file content %q: torn bytes or follow-up write landed wrong", raw)
+	}
+}
+
+func TestFaultFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{}, NewInjector(1))
+	sub := filepath.Join(dir, "blobs")
+	if err := ffs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.CreateTemp(sub, "tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(sub, "final")
+	if err := ffs.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ffs.ReadFile(dst)
+	if err != nil || string(raw) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", raw, err)
+	}
+	if st, err := ffs.Stat(dst); err != nil || st.Size() != 7 {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	if err := ffs.Truncate(dst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("op=write,path=MANIFEST,skip=3,count=1,torn=10,err=eio; op=readfile,err=eagain,latency=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	r := rules[0]
+	if r.Op != "write" || r.Path != "MANIFEST" || r.Skip != 3 || r.Count != 1 || r.Torn != 10 {
+		t.Fatalf("rule 0 mis-parsed: %+v", r)
+	}
+	if !errors.Is(r.Err, syscall.EIO) || r.Transient {
+		t.Fatalf("rule 0 error mis-parsed: err=%v transient=%v", r.Err, r.Transient)
+	}
+	if !errors.Is(rules[1].Err, syscall.EAGAIN) || !rules[1].Transient || rules[1].Latency != 5*time.Millisecond {
+		t.Fatalf("rule 1 mis-parsed: %+v", rules[1])
+	}
+	if _, err := ParseSpec("op=write,err=bogus"); err == nil {
+		t.Fatal("unknown error name parsed without error")
+	}
+	if _, err := ParseSpec("nonsense"); err == nil {
+		t.Fatal("non key=value field parsed without error")
+	}
+	if _, err := ParseSpec("op=write,transient=false,err=eagain"); err != nil {
+		t.Fatal(err)
+	} else if r, _ := ParseSpec("op=write,transient=false,err=eagain"); r[0].Transient {
+		t.Fatal("explicit transient=false overridden by err default")
+	}
+}

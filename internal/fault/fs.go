@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam the durable store writes through. The
+// methods mirror the os package calls the store makes; production uses
+// the OS passthrough, chaos tests wrap it in a FaultFS.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (fs.FileInfo, error)
+	Truncate(name string, size int64) error
+}
+
+// File is the slice of *os.File the store needs.
+type File interface {
+	Write(p []byte) (int, error)
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// OS is the passthrough FS backed by the real disk.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error               { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error)   { return os.ReadFile(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)  { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// FaultFS wraps an FS, consulting an Injector before every operation.
+// Operation keys: "mkdir", "create", "openfile", "open", "rename",
+// "remove", "readfile", "stat", "truncate" fire on the path-level
+// calls; files returned by CreateTemp/OpenFile/Open additionally fire
+// "write", "sync", "ftruncate", and "close" with the file's own path.
+// Torn rules apply to "write": the configured number of payload bytes
+// reaches the underlying file before the error is returned, modeling a
+// crash mid-write.
+type FaultFS struct {
+	fs  FS
+	inj *Injector
+}
+
+// NewFaultFS wraps fsys so every operation consults inj first.
+func NewFaultFS(fsys FS, inj *Injector) *FaultFS {
+	return &FaultFS{fs: fsys, inj: inj}
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if out := f.inj.Fire("mkdir", path); out.Err != nil {
+		return out.Err
+	}
+	return f.fs.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if out := f.inj.Fire("create", dir); out.Err != nil {
+		return nil, out.Err
+	}
+	file, err := f.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj, path: file.Name()}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if out := f.inj.Fire("openfile", name); out.Err != nil {
+		return nil, out.Err
+	}
+	file, err := f.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj, path: name}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if out := f.inj.Fire("open", name); out.Err != nil {
+		return nil, out.Err
+	}
+	file, err := f.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj, path: name}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if out := f.inj.Fire("rename", newpath); out.Err != nil {
+		return out.Err
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if out := f.inj.Fire("remove", name); out.Err != nil {
+		return out.Err
+	}
+	return f.fs.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if out := f.inj.Fire("readfile", name); out.Err != nil {
+		return nil, out.Err
+	}
+	return f.fs.ReadFile(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if out := f.inj.Fire("stat", name); out.Err != nil {
+		return nil, out.Err
+	}
+	return f.fs.Stat(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if out := f.inj.Fire("truncate", name); out.Err != nil {
+		return out.Err
+	}
+	return f.fs.Truncate(name, size)
+}
+
+type faultFile struct {
+	f    File
+	inj  *Injector
+	path string
+}
+
+func (f *faultFile) Name() string { return f.f.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	out := f.inj.Fire("write", f.path)
+	if out.Err != nil {
+		n := 0
+		if out.Torn > 0 {
+			n, _ = f.f.Write(p[:min(out.Torn, len(p))])
+		}
+		return n, out.Err
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if out := f.inj.Fire("sync", f.path); out.Err != nil {
+		return out.Err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if out := f.inj.Fire("ftruncate", f.path); out.Err != nil {
+		return out.Err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if out := f.inj.Fire("close", f.path); out.Err != nil {
+		f.f.Close()
+		return out.Err
+	}
+	return f.f.Close()
+}

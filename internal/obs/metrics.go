@@ -163,6 +163,88 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
 	})
 }
 
+// Gauge is a settable level (inflight requests, queue depths) owned by
+// the instrumented code itself rather than read through a func.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NewGauge registers and returns a settable gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(b []byte) []byte {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, g.Value(), 10)
+		return append(b, '\n')
+	})
+	return g
+}
+
+// GaugeVec is a family of gauges keyed by one label's value, created
+// lazily on first With. Rendering sorts by label value so scrapes are
+// deterministic.
+type GaugeVec struct {
+	name, label string
+	mu          sync.Mutex
+	vals        map[string]*Gauge
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.vals[value]
+	if !ok {
+		g = &Gauge{}
+		v.vals[value] = g
+	}
+	return g
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{name: name, label: label, vals: make(map[string]*Gauge)}
+	r.register(name, help, "gauge", func(b []byte) []byte {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.vals))
+		for k := range v.vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		gs := make([]*Gauge, len(keys))
+		for i, k := range keys {
+			gs[i] = v.vals[k]
+		}
+		v.mu.Unlock()
+		for i, k := range keys {
+			b = append(b, name...)
+			b = append(b, '{')
+			b = append(b, v.label...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, k)
+			b = append(b, '"', '}', ' ')
+			b = strconv.AppendInt(b, gs[i].Value(), 10)
+			b = append(b, '\n')
+		}
+		return b
+	})
+	return v
+}
+
 // CounterVec is a family of counters keyed by one label's value, created
 // lazily on first With. Rendering sorts by label value so scrapes are
 // deterministic.
@@ -263,6 +345,37 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the target bucket, the same estimate
+// Prometheus's histogram_quantile computes server-side. The admission
+// layer uses the p50 run time to compute Retry-After hints. With no
+// observations it returns 0; a target rank landing in the +Inf bucket
+// returns the highest finite bound (the histogram cannot say more).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if n == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // renderInto appends the bucket/sum/count sample lines. extraLabels is
 // either empty or a pre-rendered `name="value",` prefix for the le label

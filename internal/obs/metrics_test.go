@@ -171,3 +171,64 @@ func TestRegisterRuntime(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("inflight", "Inflight by class.", "class")
+	v.With("audit").Add(3)
+	v.With("read").Inc()
+	v.With("audit").Dec()
+	out := render(t, r)
+	want := "# HELP inflight Inflight by class.\n# TYPE inflight gauge\n" +
+		`inflight{class="audit"} 2` + "\n" + `inflight{class="read"} 1` + "\n"
+	if out != want {
+		t.Fatalf("render mismatch:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("level", "A level.")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("Value() = %d, want 5", g.Value())
+	}
+	if !strings.Contains(render(t, r), "level 5\n") {
+		t.Fatal("gauge sample missing from render")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", q)
+	}
+	// 10 observations uniformly in (1,2]: the median interpolates to the
+	// middle of that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if q := h.Quantile(0.5); q != 1.5 {
+		t.Fatalf("single-bucket median = %v, want 1.5", q)
+	}
+	// Add 10 observations in (4,8]: p25 stays in the first bucket, p75
+	// lands in the (4,8] bucket, p100 hits its upper bound.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if q := h.Quantile(0.25); q < 1 || q > 2 {
+		t.Fatalf("p25 = %v, want inside (1,2]", q)
+	}
+	if q := h.Quantile(0.75); q < 4 || q > 8 {
+		t.Fatalf("p75 = %v, want inside (4,8]", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want 8", q)
+	}
+	// An observation beyond every bound caps at the top finite bound.
+	h.Observe(100)
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 with +Inf observation = %v, want top finite bound 8", q)
+	}
+}

@@ -117,6 +117,30 @@ func (s *Service) AppendRows(id, contentType string, data []byte) (*AppendRespon
 	}
 	info.Bytes = int64(len(newRaw))
 
+	// Durability before visibility — and before cache reconciliation: the
+	// generation is persisted (batch blob + fsync'd manifest record,
+	// under the store retry/breaker policy) before anything in memory
+	// changes, so a failed persist rolls back to a fully consistent state
+	// instead of having already invalidated valid cache entries. An
+	// acknowledged append can never be lost to a crash. The store
+	// validates the parent against its own head, so a tombstone that
+	// raced this transaction loses the generation on disk exactly when
+	// commitAppend would discard it in memory.
+	if s.store != nil {
+		perr := s.storeWrite("append", func() error {
+			return s.store.PutAppend(id, info.Hash, st.info.Hash, batch.Raw, encodeMeta(info, st.opts))
+		})
+		if perr != nil {
+			var ue *UnavailableError
+			if !errors.As(perr, &ue) {
+				if _, chained := s.store.Chain(id); !chained {
+					return nil, &NotFoundError{Resource: "dataset", ID: id}
+				}
+			}
+			return nil, storageErr(perr)
+		}
+	}
+
 	// Reconcile the caches for this dataset only. Promotion happens
 	// before invalidation so a promoted analyst's warm state derives from
 	// the still-cached parent; in-flight builds are untouched either way
@@ -144,21 +168,6 @@ func (s *Service) AppendRows(id, contentType string, data []byte) (*AppendRespon
 		s.analysts.RemovePrefix(analystKeyPrefix(st.info.Hash))
 	}
 	s.cache.RemovePrefix(st.info.Hash + "|")
-
-	// Durability before visibility: the generation is persisted (batch
-	// blob + fsync'd manifest record) before the in-memory commit, so an
-	// acknowledged append can never be lost to a crash. The store
-	// validates the parent against its own head, so a tombstone that
-	// raced this transaction loses the generation on disk exactly when
-	// commitAppend would discard it in memory.
-	if s.store != nil {
-		if err := s.store.PutAppend(id, info.Hash, st.info.Hash, batch.Raw, encodeMeta(info, st.opts)); err != nil {
-			if _, chained := s.store.Chain(id); !chained {
-				return nil, &NotFoundError{Resource: "dataset", ID: id}
-			}
-			return nil, &StorageError{Err: err}
-		}
-	}
 
 	if !s.registry.commitAppend(id, e, newTable, newRaw, info) {
 		return nil, &NotFoundError{Resource: "dataset", ID: id}

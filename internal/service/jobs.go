@@ -42,8 +42,13 @@ type Job struct {
 
 	status   JobStatus
 	err      string
+	errCode  string
 	cacheHit bool
 	report   *rankfair.ReportJSON
+
+	// budget is the job's end-to-end time bound (queue wait + run);
+	// zero means unbounded.
+	budget time.Duration
 
 	created  time.Time
 	started  time.Time
@@ -61,13 +66,19 @@ func (j *Job) finish() { j.doneOnce.Do(func() { close(j.done) }) }
 
 // JobView is the JSON-safe snapshot of a job served by the audit API.
 type JobView struct {
-	ID       string               `json:"id"`
-	Dataset  string               `json:"dataset"`
-	Params   rankfair.AuditParams `json:"params"`
-	Status   JobStatus            `json:"status"`
-	Error    string               `json:"error,omitempty"`
-	CacheHit bool                 `json:"cache_hit"`
-	Created  time.Time            `json:"created"`
+	ID      string               `json:"id"`
+	Dataset string               `json:"dataset"`
+	Params  rankfair.AuditParams `json:"params"`
+	Status  JobStatus            `json:"status"`
+	Error   string               `json:"error,omitempty"`
+	// ErrorCode classifies a failed job beyond the message: "shed" (the
+	// queue wait consumed the budget before the job ran) or
+	// "deadline_exceeded" (the budget expired mid-run). Empty otherwise.
+	ErrorCode string    `json:"error_code,omitempty"`
+	CacheHit  bool      `json:"cache_hit"`
+	Created   time.Time `json:"created"`
+	// BudgetMS echoes the job's end-to-end time budget when one was set.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
 	// ElapsedMS is the run time: queued jobs report 0, running jobs the
 	// time since start, finished jobs the total duration.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -108,8 +119,13 @@ type ManagerStats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
+	// Shed and DeadlineExceeded break down Failed: jobs shed at dequeue
+	// because their queue wait consumed the budget (or exceeded the
+	// manager's CoDel-style bound), and jobs whose budget expired mid-run.
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Queued           int   `json:"queued"`
+	Running          int   `json:"running"`
 }
 
 // Manager runs audit jobs on a fixed pool of workers over a bounded
@@ -125,10 +141,22 @@ type Manager struct {
 	wg      sync.WaitGroup
 
 	submitted, completed, failed, canceled int64
+	shed, deadlineExceeded                 int64
 	running                                int
 	retain                                 int
 	clock                                  func() time.Time
 	observer                               *JobObserver
+
+	// queueBudget is the CoDel-style queue-wait bound for jobs without
+	// their own budget: a job that waited longer than this is shed at
+	// dequeue instead of run (running it would only add late work to an
+	// already-behind queue). Zero disables the bound.
+	queueBudget time.Duration
+
+	// beforeRun, when set, runs on the worker goroutine after dequeue and
+	// before the shed/deadline checks — a fault-injection seam chaos tests
+	// use to add deterministic queue latency.
+	beforeRun func()
 }
 
 // defaultJobRetention bounds how many job records the manager keeps; the
@@ -161,18 +189,50 @@ func NewManager(workers, queueDepth int) *Manager {
 	return m
 }
 
+// SetQueueWaitBudget installs the CoDel-style queue-wait bound for
+// budget-less jobs; call before serving traffic.
+func (m *Manager) SetQueueWaitBudget(d time.Duration) {
+	m.mu.Lock()
+	m.queueBudget = d
+	m.mu.Unlock()
+}
+
+// SubmitOption tunes one submission.
+type SubmitOption func(*submitSpec)
+
+type submitSpec struct{ budget time.Duration }
+
+// WithBudget bounds the job end to end: the deadline covers queue wait
+// plus run, flows into the job context (and from there into the
+// cancellable lattice search), and a job still queued when it expires is
+// shed without running. Non-positive budgets are ignored.
+func WithBudget(d time.Duration) SubmitOption {
+	return func(s *submitSpec) { s.budget = d }
+}
+
 // Submit queues one job. It returns the job snapshot immediately; the
 // work runs asynchronously on the pool.
-func (m *Manager) Submit(dataset string, params rankfair.AuditParams, run JobFunc) (JobView, error) {
-	ctx, cancel := context.WithCancel(m.baseCtx)
+func (m *Manager) Submit(dataset string, params rankfair.AuditParams, run JobFunc, opts ...SubmitOption) (JobView, error) {
+	var spec submitSpec
+	for _, o := range opts {
+		o(&spec)
+	}
 	m.mu.Lock()
+	created := m.clock()
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if spec.budget > 0 {
+		dctx, dcancel := context.WithDeadline(ctx, created.Add(spec.budget))
+		base := cancel
+		ctx, cancel = dctx, func() { dcancel(); base() }
+	}
 	m.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%06d", m.seq),
 		Dataset: dataset,
 		Params:  params,
 		status:  JobQueued,
-		created: m.clock(),
+		created: created,
+		budget:  max(spec.budget, 0),
 		run:     run,
 		runCtx:  ctx,
 		cancel:  cancel,
@@ -216,11 +276,42 @@ func (m *Manager) execute(j *Job) {
 	defer j.finish()
 	ctx := j.runCtx
 	m.mu.Lock()
+	hook := m.beforeRun
+	m.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	m.mu.Lock()
 	if j.status == JobCanceled || ctx.Err() != nil {
-		if j.status != JobCanceled {
+		switch {
+		case j.status == JobCanceled:
+			// Counted by Cancel already.
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			// The queue wait consumed the whole budget: shed without
+			// running — late work would only push the queue further behind.
+			j.status = JobFailed
+			j.errCode = CodeShed
+			j.err = fmt.Sprintf("shed before running: queue wait exceeded the %v budget", j.budget)
+			m.shed++
+			m.failed++
+		default:
 			j.status = JobCanceled
 			m.canceled++
 		}
+		j.finished = m.clock()
+		j.run = nil
+		m.mu.Unlock()
+		j.cancel()
+		return
+	}
+	if wait := m.clock().Sub(j.created); m.queueBudget > 0 && j.budget == 0 && wait > m.queueBudget {
+		// CoDel-style bound for budget-less jobs: a wait this long means
+		// the queue is persistently behind, so shed rather than serve stale.
+		j.status = JobFailed
+		j.errCode = CodeShed
+		j.err = fmt.Sprintf("shed before running: queue wait %v exceeded the %v bound", wait.Round(time.Millisecond), m.queueBudget)
+		m.shed++
+		m.failed++
 		j.finished = m.clock()
 		j.run = nil
 		m.mu.Unlock()
@@ -268,14 +359,32 @@ func (m *Manager) execute(j *Job) {
 	m.mu.Lock()
 	m.running--
 	j.finished = finished
+	deadlined := errors.Is(ctx.Err(), context.DeadlineExceeded)
 	switch {
-	case ctx.Err() != nil:
+	case ctx.Err() != nil && !(deadlined && err == nil && report != nil):
 		// Canceled mid-run: the job context flows into the lattice search
 		// (Analyst.DetectCtx), which aborts within a bounded number of
 		// node expansions and returns a partial-work error; whatever the
-		// run produced is discarded.
-		j.status = JobCanceled
-		m.canceled++
+		// run produced is discarded. A budget expiring is surfaced as a
+		// typed deadline_exceeded failure carrying the partial-work error
+		// (how many nodes the search examined before stopping); an
+		// explicit cancel stays a canceled job. The one exception: a run
+		// that *completed* just as its deadline fired still serves its
+		// report — the result beat the check.
+		if deadlined {
+			j.status = JobFailed
+			j.errCode = CodeDeadlineExceeded
+			if err != nil {
+				j.err = err.Error()
+			} else {
+				j.err = context.DeadlineExceeded.Error()
+			}
+			m.deadlineExceeded++
+			m.failed++
+		} else {
+			j.status = JobCanceled
+			m.canceled++
+		}
 	case err != nil:
 		j.status = JobFailed
 		j.err = err.Error()
@@ -426,12 +535,14 @@ func (m *Manager) Stats() ManagerStats {
 		}
 	}
 	return ManagerStats{
-		Submitted: m.submitted,
-		Completed: m.completed,
-		Failed:    m.failed,
-		Canceled:  m.canceled,
-		Queued:    queued,
-		Running:   m.running,
+		Submitted:        m.submitted,
+		Completed:        m.completed,
+		Failed:           m.failed,
+		Canceled:         m.canceled,
+		Shed:             m.shed,
+		DeadlineExceeded: m.deadlineExceeded,
+		Queued:           queued,
+		Running:          m.running,
 	}
 }
 
@@ -473,13 +584,15 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 // viewLocked snapshots a job; callers hold m.mu.
 func (m *Manager) viewLocked(j *Job) JobView {
 	v := JobView{
-		ID:       j.ID,
-		Dataset:  j.Dataset,
-		Params:   j.Params,
-		Status:   j.status,
-		Error:    j.err,
-		CacheHit: j.cacheHit,
-		Created:  j.created,
+		ID:        j.ID,
+		Dataset:   j.Dataset,
+		Params:    j.Params,
+		Status:    j.status,
+		Error:     j.err,
+		ErrorCode: j.errCode,
+		CacheHit:  j.cacheHit,
+		Created:   j.created,
+		BudgetMS:  j.budget.Milliseconds(),
 	}
 	switch j.status {
 	case JobRunning:

@@ -128,7 +128,7 @@ func (s *Service) loadFromStore(id string) bool {
 		s.logger.Error("store: undecodable seed metadata", "dataset", id, "err", err)
 		return false
 	}
-	raw, err := s.store.Blob(gens[0].Blob)
+	raw, err := s.storeBlob(gens[0].Blob)
 	if err != nil {
 		s.logger.Error("store: unreadable seed blob", "dataset", id, "err", err)
 		return false
@@ -148,7 +148,7 @@ func (s *Service) loadFromStore(id string) bool {
 		if err != nil {
 			break
 		}
-		batchRaw, err := s.store.Blob(gen.Blob)
+		batchRaw, err := s.storeBlob(gen.Blob)
 		if err != nil {
 			// Same-size corruption slips past the boot-time stat checks;
 			// the content verification catches it here. Serve the prefix
@@ -222,15 +222,19 @@ func (s *Service) replayBatch(table *rankfair.Dataset, raw, batchRaw []byte, opt
 }
 
 // persistSeed writes a freshly admitted seed generation through to the
-// store; failure is returned as a StorageError after the registry entry
-// is rolled back, so an acknowledged upload is always durable.
+// store under the resilience policy (retry, breaker); failure rolls the
+// registry entry back and is returned shaped for the HTTP layer, so an
+// acknowledged upload is always durable.
 func (s *Service) persistSeed(info DatasetInfo, raw []byte, opts rankfair.CSVOptions) error {
 	if s.store == nil {
 		return nil
 	}
-	if err := s.store.PutSeed(info.ID, info.Hash, raw, encodeMeta(info, opts)); err != nil {
+	err := s.storeWrite("seed", func() error {
+		return s.store.PutSeed(info.ID, info.Hash, raw, encodeMeta(info, opts))
+	})
+	if err != nil {
 		s.registry.Evict(info.ID)
-		return &StorageError{Err: err}
+		return storageErr(err)
 	}
 	return nil
 }
@@ -247,8 +251,16 @@ func (s *Service) persistResult(key string, rj *rankfair.ReportJSON) {
 	if err != nil {
 		return
 	}
-	if err := s.store.PutCache(key, raw); err != nil {
-		s.logger.Warn("store: persisting audit result", "key", key, "err", err)
+	err = s.storeWrite("cache", func() error { return s.store.PutCache(key, raw) })
+	if err != nil {
+		// A breaker rejection is routine degraded-mode operation; only an
+		// actual write failure deserves a warning.
+		var ue *UnavailableError
+		if errors.As(err, &ue) {
+			s.logger.Debug("store: audit result not persisted (degraded mode)", "key", key)
+		} else {
+			s.logger.Warn("store: persisting audit result", "key", key, "err", err)
+		}
 		return
 	}
 	s.metrics.storeCachePersisted.Add(1)

@@ -56,11 +56,20 @@ type obsState struct {
 	traces *obs.TraceStore
 	reqSeq atomic.Int64 // X-Request-ID generator
 
-	requestErrors *obs.CounterVec   // by status class: 4xx, 5xx
+	requestErrors *obs.CounterVec   // by status class: 4xx, 5xx, canceled
 	reqLatency    *obs.HistogramVec // by route pattern
 	decode        *obs.Histogram
 	queueWait     *obs.Histogram
 	runLatency    *obs.Histogram
+
+	// Overload and store-resilience families: admitted-inflight and shed
+	// counts by request class, store retry/rejection counters, and the
+	// circuit breaker's transition log.
+	inflightGauge      *obs.GaugeVec   // by request class
+	shedRequests       *obs.CounterVec // by request class
+	storeRetries       *obs.Counter
+	storeRejected      *obs.Counter
+	breakerTransitions *obs.CounterVec // by state entered
 
 	searchRuns          *obs.CounterVec // by counting strategy: lists, index, bitmap
 	searchStrategy      *obs.CounterVec // resolved strategy selections, same labels
@@ -105,10 +114,20 @@ func newObsState(s *Service, traceEntries int) *obsState {
 	r.NewCounterFunc("rankfaird_store_replay_rebuilds_total", "Persisted generations applied by full re-decode during page-in (schema drift or undecodable batch).", m.storeRebuilds.Load)
 	r.NewCounterFunc("rankfaird_store_cache_persisted_total", "Computed audit results written through to the durable store.", m.storeCachePersisted.Load)
 	r.NewCounterFunc("rankfaird_store_cache_loaded_total", "Persisted audit results loaded into the result cache at boot.", m.storeCacheLoaded.Load)
+	r.NewCounterFunc("rankfaird_store_recovery_records_total", "Manifest records applied while recovering the durable store at boot.", func() int64 { return s.storeStats().RecoveredRecords })
+	r.NewCounterFunc("rankfaird_store_recovery_dropped_total", "Manifest records discarded during recovery (torn tail, missing blob, broken chain).", func() int64 { return s.storeStats().DroppedRecords })
+	o.storeRetries = r.NewCounter("rankfaird_store_retries_total", "Transient durable-store errors retried in place with jittered backoff.")
+	o.storeRejected = r.NewCounter("rankfaird_store_write_rejections_total", "Durable-store writes refused because the circuit breaker was open.")
+	o.breakerTransitions = r.NewCounterVec("rankfaird_store_breaker_transitions_total", "Store circuit breaker state transitions, by state entered.", "state")
+	r.NewGaugeFunc("rankfaird_store_breaker_state", "Store circuit breaker state: 0 closed, 1 half-open, 2 open.", func() int64 { return int64(s.breaker.State()) })
+	o.inflightGauge = r.NewGaugeVec("rankfaird_inflight_requests", "HTTP requests currently admitted, by request class (audit, append, read).", "class")
+	o.shedRequests = r.NewCounterVec("rankfaird_requests_shed_total", "HTTP requests refused by admission control, by request class.", "class")
 	r.NewCounterFunc("rankfaird_jobs_submitted_total", "Audit jobs accepted.", func() int64 { return s.jobs.Stats().Submitted })
 	r.NewCounterFunc("rankfaird_jobs_completed_total", "Audit jobs finished successfully.", func() int64 { return s.jobs.Stats().Completed })
 	r.NewCounterFunc("rankfaird_jobs_failed_total", "Audit jobs that errored.", func() int64 { return s.jobs.Stats().Failed })
 	r.NewCounterFunc("rankfaird_jobs_canceled_total", "Audit jobs canceled.", func() int64 { return s.jobs.Stats().Canceled })
+	r.NewCounterFunc("rankfaird_jobs_shed_total", "Audit jobs shed before running (queue wait exceeded the admission budget).", func() int64 { return s.jobs.Stats().Shed })
+	r.NewCounterFunc("rankfaird_jobs_deadline_exceeded_total", "Audit jobs whose time budget expired mid-run.", func() int64 { return s.jobs.Stats().DeadlineExceeded })
 	r.NewGaugeFunc("rankfaird_jobs_queued", "Audit jobs waiting for a worker.", func() int64 { return int64(s.jobs.Stats().Queued) })
 	r.NewGaugeFunc("rankfaird_jobs_running", "Audit jobs currently running.", func() int64 { return int64(s.jobs.Stats().Running) })
 	r.NewCounterFunc("rankfaird_cache_hits_total", "Audits served from the result cache (completed entries plus joined in-flight computations).", func() int64 {
@@ -179,23 +198,36 @@ func (s *Service) Handler() http.Handler {
 	return s.count(mux)
 }
 
-// statusWriter records the response code for the request counters.
+// statusWriter records the response code for the request counters, and
+// whether anything was written at all — a handler that went silent
+// because its client disconnected writes nothing, which the error
+// classifier must not read as a successful 200.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// count wraps the mux with request accounting: total and per-class error
-// counters, a per-route latency histogram, an X-Request-ID correlation
-// header (honoring a client-supplied one), and a debug-level access log.
-// The route label comes from mux.Handler, which reports the matched
-// pattern without serving — bounding the label cardinality to the route
-// table instead of the raw URL space.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// count wraps the mux with request accounting and admission control:
+// total and per-class error counters, a per-route latency histogram, an
+// X-Request-ID correlation header (honoring a client-supplied one), and
+// a debug-level access log. The route label comes from mux.Handler,
+// which reports the matched pattern without serving — bounding the label
+// cardinality to the route table instead of the raw URL space. The route
+// is resolved before serving so admission can shed by request class:
+// over the inflight limit for a class, the request is refused with a
+// fast 503 (code shed) and a Retry-After hint instead of being served.
 func (s *Service) count(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -205,15 +237,31 @@ func (s *Service) count(mux *http.ServeMux) http.Handler {
 			reqID = fmt.Sprintf("req-%06d", s.obs.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", reqID)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		mux.ServeHTTP(sw, r)
 		_, route := mux.Handler(r)
 		if route == "" {
 			route = "unmatched"
 		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		class := requestClass(route)
+		if release, ok := s.admit(class); ok {
+			mux.ServeHTTP(sw, r)
+			release()
+		} else {
+			s.obs.shedRequests.With(class).Inc()
+			sw.Header().Set("Retry-After", retryAfterValue(s.retryAfterHint()))
+			writeAPIError(sw, http.StatusServiceUnavailable, CodeShed,
+				fmt.Sprintf("server over capacity for %s requests, retry later", class))
+		}
 		elapsed := time.Since(start)
 		s.obs.reqLatency.With(route).Observe(elapsed.Seconds())
 		switch {
+		case r.Context().Err() != nil && (!sw.wrote || sw.status >= 400):
+			// The client hung up mid-request: whatever error status (or
+			// silence) the handler produced never reached anyone, so
+			// count the disconnect rather than blaming the server (5xx)
+			// or the request (4xx). A response fully written before the
+			// disconnect still counts as what it was.
+			s.obs.requestErrors.With("canceled").Inc()
 		case sw.status >= 500:
 			s.obs.requestErrors.With("5xx").Inc()
 		case sw.status >= 400:
@@ -270,6 +318,17 @@ const (
 	CodeAuditFailed    = "audit_failed"
 	CodeAuditCanceled  = "audit_canceled"
 	CodeInternal       = "internal"
+
+	// Overload and degraded-mode codes. shed: the request was refused to
+	// protect the server (admission cap or queue-wait budget) — retry
+	// after the hinted backoff. deadline_exceeded: the audit's time
+	// budget expired mid-search; the partial-work message reports how far
+	// the lattice traversal got. store_unavailable: the durable store's
+	// circuit breaker is open; writes are refused while reads keep
+	// serving (degraded mode).
+	CodeShed             = "shed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeStoreUnavailable = "store_unavailable"
 )
 
 // writeAPIError emits the uniform error envelope. The request ID comes
@@ -288,6 +347,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	var nf *NotFoundError
 	var br *BadRequestError
 	var se *StorageError
+	var ue *UnavailableError
 	switch {
 	case errors.As(err, &nf):
 		writeAPIError(w, http.StatusNotFound, nf.Resource+"_not_found", err.Error())
@@ -297,6 +357,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 	case errors.Is(err, ErrQueueFull):
 		writeAPIError(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error())
+	case errors.As(err, &ue):
+		w.Header().Set("Retry-After", retryAfterValue(ue.RetryAfter))
+		writeAPIError(w, http.StatusServiceUnavailable, ue.Code, err.Error())
 	case errors.As(err, &se):
 		writeAPIError(w, http.StatusInternalServerError, CodeStorageError, err.Error())
 	default:
@@ -495,9 +558,13 @@ func (s *Service) handleDatasetEvict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tombstoned := false
 	if s.store != nil {
-		var err error
-		if tombstoned, err = s.store.Tombstone(id); err != nil {
-			writeErr(w, &StorageError{Err: err})
+		err := s.storeWrite("tombstone", func() error {
+			var terr error
+			tombstoned, terr = s.store.Tombstone(id)
+			return terr
+		})
+		if err != nil {
+			writeErr(w, storageErr(err))
 			return
 		}
 	}
@@ -526,16 +593,47 @@ func (s *Service) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
+// handleAuditSubmit queues an audit. The time budget comes from the
+// body's deadline_ms or, when that is absent, the X-Deadline-Ms header.
+// ?wait=true blocks until the job reaches a terminal state (bounded by
+// the request context) and returns the final snapshot; a client that
+// disconnects while waiting cancels the job it was waiting on.
 func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
 	var req AuditRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeAPIError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" && req.DeadlineMS == 0 {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms < 0 {
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("X-Deadline-Ms must be a non-negative integer, got %q", h))
+			return
+		}
+		req.DeadlineMS = ms
+	}
 	view, err := s.SubmitAudit(req)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", retryAfterValue(s.retryAfterHint()))
+		}
 		writeErr(w, err)
 		return
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		final, werr := s.jobs.Wait(r.Context(), view.ID)
+		if werr != nil {
+			if r.Context().Err() != nil {
+				// The waiting client hung up: nobody is polling for this
+				// job's result anymore, so stop paying for it.
+				s.jobs.Cancel(view.ID)
+				return
+			}
+			writeErr(w, werr)
+			return
+		}
+		view = final
 	}
 	w.Header().Set("Location", "/v1/audits/"+view.ID)
 	writeJSON(w, http.StatusAccepted, view)
@@ -612,11 +710,25 @@ func (s *Service) handleAuditReport(w http.ResponseWriter, r *http.Request) {
 	case JobDone:
 		writeJSON(w, http.StatusOK, report)
 	case JobFailed:
-		writeAPIError(w, http.StatusConflict, CodeAuditFailed, "audit failed: "+view.Error)
+		// Overload failures keep their typed envelope: a shed job is a
+		// retryable 503, an expired budget is a gateway timeout whose
+		// message carries the partial-work progress.
+		switch view.ErrorCode {
+		case CodeShed:
+			w.Header().Set("Retry-After", retryAfterValue(s.retryAfterHint()))
+			writeAPIError(w, http.StatusServiceUnavailable, CodeShed, "audit shed: "+view.Error)
+		case CodeDeadlineExceeded:
+			writeAPIError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "audit deadline exceeded: "+view.Error)
+		default:
+			writeAPIError(w, http.StatusConflict, CodeAuditFailed, "audit failed: "+view.Error)
+		}
 	case JobCanceled:
 		writeAPIError(w, http.StatusConflict, CodeAuditCanceled, "audit canceled")
 	default:
-		w.Header().Set("Retry-After", "1")
+		// The poll-again hint tracks the observed median run time instead
+		// of a hardcoded second, so clients of slow corpora back off
+		// proportionally.
+		w.Header().Set("Retry-After", retryAfterValue(s.notReadyHint()))
 		writeAPIError(w, http.StatusConflict, CodeAuditNotReady, fmt.Sprintf("audit %s is %s", id, view.Status))
 	}
 }
@@ -649,11 +761,23 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports liveness plus the degraded-mode signal: when the
+// store circuit breaker is not closed, status becomes "degraded" (still
+// 200 — the process serves reads and should not be restarted) and the
+// store field names the breaker state.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, breaker := "ok", ""
+	if s.store != nil {
+		breaker = breakerStateName(s.breaker.State())
+		if breaker != "closed" {
+			status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status   string `json:"status"`
 		Datasets int    `json:"datasets"`
-	}{Status: "ok", Datasets: s.registry.Len()})
+		Store    string `json:"store,omitempty"`
+	}{Status: status, Datasets: s.registry.Len(), Store: breaker})
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition

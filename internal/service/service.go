@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rankfair"
+	"rankfair/internal/fault"
 	"rankfair/internal/obs"
 	"rankfair/internal/store"
 )
@@ -71,6 +72,39 @@ type Config struct {
 	// boot, so repeated audits survive restarts without re-searching.
 	// Ignored when DataDir is empty.
 	PersistCache bool
+	// AuditDeadline is the default per-audit time budget applied when a
+	// request carries none (no deadline_ms field, no X-Deadline-Ms
+	// header). 0 means unbounded.
+	AuditDeadline time.Duration
+	// MaxDeadline clamps every audit budget, requested or default; 0
+	// means 5 minutes.
+	MaxDeadline time.Duration
+	// QueueWaitBudget sheds jobs without an explicit deadline whose queue
+	// wait exceeds it (CoDel-style admission at the worker pool): a job
+	// that waited this long is served a fast 503-shaped failure instead
+	// of burning a worker on an answer nobody is still polling for.
+	// 0 disables queue-wait shedding.
+	QueueWaitBudget time.Duration
+	// MaxInflight caps concurrently served HTTP requests. Heavier request
+	// classes shed earlier: audits at 3/4 of the cap, appends at 7/8,
+	// reads at the full cap; /healthz and /metrics are exempt. 0 means
+	// 256; negative disables admission control.
+	MaxInflight int
+	// StoreRetries bounds in-place retries of transient durable-store
+	// errors (attempts beyond the first). 0 means 2; negative disables.
+	StoreRetries int
+	// StoreBackoff is the base of the jittered exponential backoff
+	// between store retries; 0 means 5ms.
+	StoreBackoff time.Duration
+	// BreakerThreshold is the consecutive-infra-failure count that opens
+	// the store circuit breaker. 0 means 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe write; 0 means 5s.
+	BreakerCooldown time.Duration
+	// StoreFS overrides the durable store's filesystem seam — the
+	// fault-injection hook behind -fault-store. Nil means the real OS.
+	StoreFS fault.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +135,27 @@ func (c Config) withDefaults() Config {
 	if c.AnalystCacheEntries == 0 {
 		c.AnalystCacheEntries = 32
 	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.StoreRetries == 0 {
+		c.StoreRetries = 2
+	}
+	if c.StoreBackoff <= 0 {
+		c.StoreBackoff = 5 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.StoreFS == nil {
+		c.StoreFS = fault.OS{}
+	}
 	return c
 }
 
@@ -121,6 +176,12 @@ type Service struct {
 	store  *store.Store
 	loadMu sync.Mutex
 	loads  map[string]*loadFlight
+
+	// breaker gates durable-store writes (nil when disabled: every
+	// breaker method is nil-safe). admission is the HTTP inflight cap
+	// (nil when disabled).
+	breaker   *breaker
+	admission *admissionState
 }
 
 // New builds a started service; callers must Shutdown it. The only error
@@ -151,7 +212,22 @@ func New(cfg Config) (*Service, error) {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
+	// The breaker must exist before newObsState: the breaker-state gauge
+	// registered there reads it at scrape time.
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if cfg.MaxInflight > 0 {
+		s.admission = newAdmissionState(cfg.MaxInflight)
+	}
+	s.jobs.SetQueueWaitBudget(cfg.QueueWaitBudget)
 	s.obs = newObsState(s, cfg.TraceEntries)
+	if s.breaker != nil {
+		s.breaker.onTransition = func(to string) {
+			s.obs.breakerTransitions.With(to).Inc()
+			s.logger.Warn("store circuit breaker transition", "state", to)
+		}
+	}
 	s.jobs.SetObserver(&JobObserver{
 		QueueWait: s.obs.queueWait,
 		Run:       s.obs.runLatency,
@@ -160,7 +236,7 @@ func New(cfg Config) (*Service, error) {
 		SlowAudit: cfg.SlowAudit,
 	})
 	if cfg.DataDir != "" {
-		st, err := store.Open(cfg.DataDir)
+		st, err := store.OpenFS(cfg.DataDir, cfg.StoreFS)
 		if err != nil {
 			s.jobs.Shutdown(context.Background())
 			return nil, err
@@ -265,6 +341,11 @@ type AuditRequest struct {
 	Ranker RankerSpec `json:"ranker"`
 	// Params selects the measure and its thresholds.
 	Params rankfair.AuditParams `json:"params"`
+	// DeadlineMS is the audit's time budget in milliseconds, measured
+	// from submission (queue wait included). The X-Deadline-Ms request
+	// header sets it when the body leaves it 0. Clamped to
+	// Config.MaxDeadline; 0 falls back to Config.AuditDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SubmitAudit validates an audit request and queues it on the worker
@@ -284,6 +365,16 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 	ranker, err := req.Ranker.Build()
 	if err != nil {
 		return JobView{}, &BadRequestError{Err: err}
+	}
+	if req.DeadlineMS < 0 {
+		return JobView{}, &BadRequestError{Err: fmt.Errorf("deadline_ms must be >= 0, got %d", req.DeadlineMS)}
+	}
+	budget := time.Duration(req.DeadlineMS) * time.Millisecond
+	if budget == 0 {
+		budget = s.cfg.AuditDeadline
+	}
+	if budget > s.cfg.MaxDeadline {
+		budget = s.cfg.MaxDeadline
 	}
 
 	// The cache key ignores Workers (fan-out never changes results), so
@@ -355,7 +446,7 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 			return val.(*rankfair.ReportJSON), hit, nil
 		}
 	}
-	view, err := s.jobs.Submit(req.Dataset, params, run)
+	view, err := s.jobs.Submit(req.Dataset, params, run, WithBudget(budget))
 	if err != nil {
 		return JobView{}, err
 	}

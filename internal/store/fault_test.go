@@ -1,0 +1,222 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"rankfair/internal/fault"
+)
+
+func seedBytes(i int) []byte {
+	return []byte(fmt.Sprintf("sex,score\nM,%d\nF,%d\n", 100+i, 90+i))
+}
+
+// openFault opens a store whose disk access runs through a fault
+// injector, returning both.
+func openFault(t *testing.T, dir string) (*Store, *fault.Injector) {
+	t.Helper()
+	inj := fault.NewInjector(1)
+	s, err := OpenFS(dir, fault.NewFaultFS(fault.OS{}, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, inj
+}
+
+func TestFaultBlobWriteFailureIsIOError(t *testing.T) {
+	s, inj := openFault(t, t.TempDir())
+	defer s.Close()
+	inj.Add(fault.Rule{Op: "write", Path: "blobs", Count: 1, Err: syscall.ENOSPC})
+	raw := seedBytes(0)
+	err := s.PutSeed("ds-a", HashBytes(raw), raw, nil)
+	if err == nil {
+		t.Fatal("PutSeed succeeded under injected ENOSPC")
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("blob write failure %T is not *IOError", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error %v does not unwrap to ENOSPC", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed seed left a chain behind")
+	}
+	// The rule is exhausted: the retry must succeed and be fully servable.
+	if err := s.PutSeed("ds-a", HashBytes(raw), raw, nil); err != nil {
+		t.Fatalf("retry after exhausted fault failed: %v", err)
+	}
+	if got, err := s.Blob(HashBytes(raw)); err != nil || string(got) != string(raw) {
+		t.Fatalf("blob after retry = %q, %v", got, err)
+	}
+}
+
+func TestFaultLogicalErrorsAreNotIOErrors(t *testing.T) {
+	s, _ := openFault(t, t.TempDir())
+	defer s.Close()
+	raw := seedBytes(0)
+	if err := s.PutSeed("ds-a", HashBytes(raw), raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := []byte("F,77\n")
+	err := s.PutAppend("ds-a", "newhash", "wrong-parent", batch, nil)
+	if err == nil {
+		t.Fatal("append with wrong parent succeeded")
+	}
+	var ioe *IOError
+	if errors.As(err, &ioe) {
+		t.Fatalf("logical parent-mismatch rejection %v classified as IOError", err)
+	}
+}
+
+// TestFaultTornWALWriteHealsTail is the acked-write-loss regression test:
+// a torn manifest write must be truncated away immediately, so the *next*
+// append lands on a clean tail and survives recovery. Without the heal,
+// recovery would cut the manifest at the torn bytes and silently drop the
+// later, acknowledged append.
+func TestFaultTornWALWriteHealsTail(t *testing.T) {
+	dir := t.TempDir()
+	s, inj := openFault(t, dir)
+	seed := seedBytes(0)
+	if err := s.PutSeed("ds-a", HashBytes(seed), seed, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the next manifest write 7 bytes in: the record fails (and is
+	// reported failed to the caller), leaving garbage after the seed
+	// record unless the store heals.
+	inj.Add(fault.Rule{Op: "write", Path: "MANIFEST", Count: 1, Torn: 7, Err: syscall.EIO})
+	batchA := []byte("F,77\n")
+	hashA := HashBytes(append(append([]byte{}, seed...), batchA...))
+	if err := s.PutAppend("ds-a", hashA, HashBytes(seed), batchA, nil); err == nil {
+		t.Fatal("append under torn WAL write succeeded")
+	}
+	// The failed append must not have advanced the chain.
+	gens, ok := s.Chain("ds-a")
+	if !ok || len(gens) != 1 {
+		t.Fatalf("chain after failed append has %d generations, want 1", len(gens))
+	}
+	// A second append (different batch) is acked on the healed tail.
+	batchB := []byte("M,55\n")
+	hashB := HashBytes(append(append([]byte{}, seed...), batchB...))
+	if err := s.PutAppend("ds-a", hashB, HashBytes(seed), batchB, nil); err != nil {
+		t.Fatalf("append after heal failed: %v", err)
+	}
+
+	// Simulate kill -9: reopen the directory without Close. The acked
+	// append must survive; nothing about the torn write may.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gens, ok = r.Chain("ds-a")
+	if !ok || len(gens) != 2 {
+		t.Fatalf("recovered chain has %d generations, want 2 (seed + acked append)", len(gens))
+	}
+	if gens[1].Hash != hashB {
+		t.Fatalf("recovered head %.12s, want the acked append %.12s", gens[1].Hash, hashB)
+	}
+	if st := r.Stats(); st.DroppedRecords != 0 {
+		t.Fatalf("recovery dropped %d records from a healed manifest, want 0", st.DroppedRecords)
+	}
+}
+
+// TestFaultWALHealRetriesWhenTruncateFails covers the dirty-tail path:
+// if the post-tear truncate itself fails, the store must keep refusing
+// appends (rather than writing after the tear) until a heal succeeds.
+func TestFaultWALHealRetriesWhenTruncateFails(t *testing.T) {
+	dir := t.TempDir()
+	s, inj := openFault(t, dir)
+	seed := seedBytes(0)
+	if err := s.PutSeed("ds-a", HashBytes(seed), seed, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(fault.Rule{Op: "write", Path: "MANIFEST", Count: 1, Torn: 7, Err: syscall.EIO})
+	inj.Add(fault.Rule{Op: "ftruncate", Path: "MANIFEST", Count: 1, Err: syscall.EIO})
+	batchA := []byte("F,77\n")
+	hashA := HashBytes(append(append([]byte{}, seed...), batchA...))
+	if err := s.PutAppend("ds-a", hashA, HashBytes(seed), batchA, nil); err == nil {
+		t.Fatal("append under torn WAL write succeeded")
+	}
+	// Both rules are spent: the next append heals the tail first, then
+	// lands cleanly.
+	batchB := []byte("M,55\n")
+	hashB := HashBytes(append(append([]byte{}, seed...), batchB...))
+	if err := s.PutAppend("ds-a", hashB, HashBytes(seed), batchB, nil); err != nil {
+		t.Fatalf("append after deferred heal failed: %v", err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if gens, _ := r.Chain("ds-a"); len(gens) != 2 || gens[1].Hash != hashB {
+		t.Fatalf("recovered chain %+v, want seed + %.12s", gens, hashB)
+	}
+}
+
+// TestFaultTornWALWriteWithoutLaterAppend is the plain crash shape: the
+// torn record is the last thing on disk (heal also failed), and recovery
+// truncates it as a torn tail, keeping the longest consistent prefix.
+func TestFaultTornWALWriteWithoutLaterAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, inj := openFault(t, dir)
+	seed := seedBytes(0)
+	if err := s.PutSeed("ds-a", HashBytes(seed), seed, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the write AND the heal: disk is left with a genuinely torn tail.
+	inj.Add(fault.Rule{Op: "write", Path: "MANIFEST", Count: 1, Torn: 7, Err: syscall.EIO})
+	inj.Add(fault.Rule{Op: "ftruncate", Path: "MANIFEST", Err: syscall.EIO})
+	batchA := []byte("F,77\n")
+	hashA := HashBytes(append(append([]byte{}, seed...), batchA...))
+	if err := s.PutAppend("ds-a", hashA, HashBytes(seed), batchA, nil); err == nil {
+		t.Fatal("append under torn WAL write succeeded")
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gens, ok := r.Chain("ds-a")
+	if !ok || len(gens) != 1 || gens[0].Hash != HashBytes(seed) {
+		t.Fatalf("recovered chain %+v, want just the seed", gens)
+	}
+	if st := r.Stats(); st.DroppedRecords == 0 {
+		t.Fatal("recovery of a torn tail reported no dropped records")
+	}
+	// And the recovered store accepts appends on the surviving head.
+	batchB := []byte("M,55\n")
+	hashB := HashBytes(append(append([]byte{}, seed...), batchB...))
+	if err := r.PutAppend("ds-a", hashB, HashBytes(seed), batchB, nil); err != nil {
+		t.Fatalf("append on recovered store failed: %v", err)
+	}
+}
+
+func TestFaultTransientReadErrorMark(t *testing.T) {
+	s, inj := openFault(t, t.TempDir())
+	defer s.Close()
+	raw := seedBytes(0)
+	if err := s.PutSeed("ds-a", HashBytes(raw), raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(fault.Rule{Op: "readfile", Path: "blobs", Count: 1, Err: syscall.EAGAIN, Transient: true})
+	_, err := s.Blob(HashBytes(raw))
+	if err == nil {
+		t.Fatal("blob read under injected EAGAIN succeeded")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("injected transient read error lost its mark through the store: %v", err)
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("read failure %T is not *IOError", err)
+	}
+	if got, rerr := s.Blob(HashBytes(raw)); rerr != nil || string(got) != string(raw) {
+		t.Fatalf("retry read = %q, %v", got, rerr)
+	}
+}

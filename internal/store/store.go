@@ -23,6 +23,13 @@
 // and because every append names its parent, dropping one generation
 // consistently drops everything chained after it: reboot always lands on
 // a prefix of each dataset's generation chain.
+//
+// All disk access goes through a fault.FS seam (OpenFS): production uses
+// the fault.OS passthrough, chaos tests substitute a fault.FaultFS to
+// inject errors, latency, and torn writes. Failures caused by the
+// filesystem — as opposed to logical rejections like a parent mismatch —
+// are wrapped in IOError so the service's retry and circuit-breaker
+// policies can tell the two apart.
 package store
 
 import (
@@ -31,11 +38,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"rankfair/internal/fault"
 )
 
 const (
@@ -94,16 +104,45 @@ type Stats struct {
 	DroppedRecords   int64
 }
 
+// IOError marks a store failure caused by the underlying filesystem —
+// as opposed to a logical rejection (unknown dataset, parent mismatch,
+// duplicate chain). The service's resilience policy keys on it: only
+// IOErrors count against the store circuit breaker, and only the
+// transient ones (per an Unwrap chain exposing Transient() bool) are
+// retried.
+type IOError struct {
+	// Op names the failing operation ("writing blob", "syncing manifest").
+	Op  string
+	Err error
+}
+
+func (e *IOError) Error() string { return "store: " + e.Op + ": " + e.Err.Error() }
+func (e *IOError) Unwrap() error { return e.Err }
+
+func ioErr(op string, err error) error { return &IOError{Op: op, Err: err} }
+
 // Store is a content-addressed on-disk store. All methods are safe for
 // concurrent use; chain mutations serialize on one mutex, so the caller's
 // own per-dataset append ordering is preserved as WAL order.
 type Store struct {
 	dir string
+	fs  fault.FS
 
 	mu     sync.Mutex
-	wal    *os.File
+	wal    fault.File
 	chains map[string][]Generation
 	cache  map[string]cacheRef
+
+	// walOff is the manifest's last known-good length: the byte offset
+	// after the last record that was fully written and fsync'd. A failed
+	// or short record write can leave torn bytes past it; those are
+	// truncated away immediately (or, if even the truncate fails, the
+	// store is marked walDirty and every later append re-attempts the
+	// heal first) so a later record never lands after a poisoned tail —
+	// recovery drops everything after the first unparseable line, and an
+	// acked record must never be in that shadow.
+	walOff   int64
+	walDirty bool
 
 	blobWrites, blobWriteBytes atomic.Int64
 	blobReads, blobReadBytes   atomic.Int64
@@ -121,26 +160,40 @@ type cacheRef struct {
 // dropped, and an append whose parent is not the current chain head is
 // dropped — which transitively drops everything chained after a bad
 // generation, so each dataset recovers to a consistent prefix.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenFS(dir, fault.OS{}) }
+
+// OpenFS is Open with an explicit filesystem; fault-injection harnesses
+// pass a fault.FaultFS here.
+func OpenFS(dir string, fsys fault.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, blobDirName), 0o755); err != nil {
-		return nil, fmt.Errorf("store: creating layout: %w", err)
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, blobDirName), 0o755); err != nil {
+		return nil, ioErr("creating layout", err)
 	}
 	s := &Store{
 		dir:    dir,
+		fs:     fsys,
 		chains: make(map[string][]Generation),
 		cache:  make(map[string]cacheRef),
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fsys.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening manifest: %w", err)
+		return nil, ioErr("opening manifest", err)
 	}
 	s.wal = wal
+	if st, err := fsys.Stat(s.manifestPath()); err == nil {
+		s.walOff = st.Size()
+	} else {
+		wal.Close()
+		return nil, ioErr("sizing manifest", err)
+	}
 	return s, nil
 }
 
@@ -158,12 +211,12 @@ func HashBytes(raw []byte) string {
 
 // recover replays the manifest into the in-memory catalog.
 func (s *Store) recover() error {
-	raw, err := os.ReadFile(s.manifestPath())
+	raw, err := s.fs.ReadFile(s.manifestPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: reading manifest: %w", err)
+		return ioErr("reading manifest", err)
 	}
 	// Walk line by line, tracking the byte offset of the first record that
 	// fails to parse: everything from there on is a torn or corrupt tail
@@ -194,8 +247,8 @@ func (s *Store) recover() error {
 		off = nl + 1
 	}
 	if valid < len(raw) {
-		if err := os.Truncate(s.manifestPath(), int64(valid)); err != nil {
-			return fmt.Errorf("store: truncating torn manifest tail: %w", err)
+		if err := s.fs.Truncate(s.manifestPath(), int64(valid)); err != nil {
+			return ioErr("truncating torn manifest tail", err)
 		}
 	}
 	s.pruneMissingBlobs()
@@ -239,7 +292,7 @@ func (s *Store) pruneMissingBlobs() {
 	for id, gens := range s.chains {
 		keep := len(gens)
 		for i, g := range gens {
-			st, err := os.Stat(s.blobPath(g.Blob))
+			st, err := s.fs.Stat(s.blobPath(g.Blob))
 			if err != nil || st.Size() != g.Size {
 				keep = i
 				break
@@ -255,7 +308,7 @@ func (s *Store) pruneMissingBlobs() {
 		}
 	}
 	for key, ref := range s.cache {
-		st, err := os.Stat(s.blobPath(ref.blob))
+		st, err := s.fs.Stat(s.blobPath(ref.blob))
 		if err != nil || st.Size() != ref.size {
 			delete(s.cache, key)
 			s.dropped.Add(1)
@@ -269,33 +322,33 @@ func (s *Store) pruneMissingBlobs() {
 func (s *Store) writeBlob(raw []byte) (string, error) {
 	hash := HashBytes(raw)
 	path := s.blobPath(hash)
-	if st, err := os.Stat(path); err == nil && st.Size() == int64(len(raw)) {
+	if st, err := s.fs.Stat(path); err == nil && st.Size() == int64(len(raw)) {
 		return hash, nil
 	}
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("store: blob dir: %w", err)
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return "", ioErr("blob dir", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := s.fs.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return "", fmt.Errorf("store: blob temp: %w", err)
+		return "", ioErr("blob temp", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	defer s.fs.Remove(tmp.Name()) // no-op after the rename succeeds
 	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
-		return "", fmt.Errorf("store: writing blob: %w", err)
+		return "", ioErr("writing blob", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return "", fmt.Errorf("store: syncing blob: %w", err)
+		return "", ioErr("syncing blob", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("store: closing blob: %w", err)
+		return "", ioErr("closing blob", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return "", fmt.Errorf("store: publishing blob: %w", err)
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
+		return "", ioErr("publishing blob", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(s.fs, dir); err != nil {
 		return "", err
 	}
 	s.blobWrites.Add(1)
@@ -304,31 +357,70 @@ func (s *Store) writeBlob(raw []byte) (string, error) {
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
-		return fmt.Errorf("store: opening dir for sync: %w", err)
+		return ioErr("opening dir for sync", err)
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: syncing dir: %w", err)
+		return ioErr("syncing dir", err)
 	}
 	return nil
 }
 
 // appendRecordLocked appends one fsync'd manifest line; callers hold s.mu.
 func (s *Store) appendRecordLocked(rec walRecord) error {
+	if s.walDirty {
+		if err := s.healWALLocked(); err != nil {
+			return ioErr("healing manifest tail", err)
+		}
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding record: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := s.wal.Write(line); err != nil {
-		return fmt.Errorf("store: appending manifest: %w", err)
+	n, werr := s.wal.Write(line)
+	if werr == nil && n == len(line) {
+		if serr := s.wal.Sync(); serr != nil {
+			// Durability unknown: roll the record back out of the tail so
+			// memory and disk agree it never happened (an unacked record
+			// surviving on disk would make the next acked append look
+			// parent-broken on recovery).
+			s.rollbackWALLocked()
+			return ioErr("syncing manifest", serr)
+		}
+		s.walOff += int64(len(line))
+		return nil
 	}
-	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: syncing manifest: %w", err)
+	if werr == nil {
+		werr = io.ErrShortWrite
 	}
+	// The failed write may have left torn bytes after walOff; truncate
+	// them away now rather than at next boot, because a *later* record
+	// appended after torn bytes would be dropped by recovery along with
+	// the tear — an acked-write loss, not just a lost error response.
+	s.rollbackWALLocked()
+	return ioErr("appending manifest", werr)
+}
+
+// rollbackWALLocked restores the manifest to its last known-good length.
+// If the truncate itself fails the store is marked dirty and every
+// subsequent append re-attempts the heal before writing.
+func (s *Store) rollbackWALLocked() {
+	if err := s.wal.Truncate(s.walOff); err != nil {
+		s.walDirty = true
+		return
+	}
+	s.walDirty = false
+}
+
+func (s *Store) healWALLocked() error {
+	if err := s.wal.Truncate(s.walOff); err != nil {
+		return err
+	}
+	s.walDirty = false
 	return nil
 }
 
@@ -457,9 +549,9 @@ func (s *Store) Chain(dataset string) ([]Generation, bool) {
 // Blob reads a blob and verifies its content against its name, so a
 // corrupt blob can never be replayed into a dataset silently.
 func (s *Store) Blob(hash string) ([]byte, error) {
-	raw, err := os.ReadFile(s.blobPath(hash))
+	raw, err := s.fs.ReadFile(s.blobPath(hash))
 	if err != nil {
-		return nil, fmt.Errorf("store: reading blob %.12s: %w", hash, err)
+		return nil, ioErr(fmt.Sprintf("reading blob %.12s", hash), err)
 	}
 	if got := HashBytes(raw); got != hash {
 		return nil, fmt.Errorf("store: blob %.12s content hashes to %.12s (torn or corrupt)", hash, got)

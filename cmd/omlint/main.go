@@ -1,0 +1,32 @@
+// Command omlint validates an OpenMetrics 1.0 exposition read from stdin
+// against the strict in-repo parser (internal/obs.ValidateOpenMetrics):
+// family/TYPE/HELP ordering, suffix discipline, label escaping, exemplar
+// placement and length, cumulative bucket monotonicity, and the # EOF
+// terminator. CI pipes the daemon's negotiated /metrics scrape through it
+// so a malformed exposition cannot land green.
+//
+// Usage:
+//
+//	curl -H 'Accept: application/openmetrics-text' localhost:8080/metrics | omlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rankfair/internal/obs"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omlint: reading stdin:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateOpenMetrics(data); err != nil {
+		fmt.Fprintln(os.Stderr, "omlint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("omlint: OK (%d bytes)\n", len(data))
+}

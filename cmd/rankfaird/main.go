@@ -62,6 +62,11 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long the open breaker rejects writes before probing half-open (0 = default 5s)")
 		faultSpec   = flag.String("fault-store", "", "inject store faults from a spec like 'op=write,path=MANIFEST,skip=3,count=1,err=eio' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection rules")
+
+		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL (e.g. http://collector:4318); ships audit span trees to /v1/traces and metric snapshots to /v1/metrics (empty disables)")
+		otlpInterval = flag.Duration("otlp-interval", 0, "metric snapshot export period (0 = default 15s)")
+		otlpQueue    = flag.Int("otlp-queue", 0, "pending-trace export queue depth; full queues drop, never block audits (0 = default 256)")
+		auditLogPath = flag.String("audit-log", "", "wide-event audit log destination: a file path, or 'stderr' (empty disables); one JSON record per terminal audit")
 	)
 	flag.Parse()
 
@@ -92,6 +97,26 @@ func main() {
 		StoreRetries:          *storeRetry,
 		BreakerThreshold:      *brkThresh,
 		BreakerCooldown:       *brkCooldown,
+		OTLPEndpoint:          *otlpEndpoint,
+		OTLPInterval:          *otlpInterval,
+		OTLPQueue:             *otlpQueue,
+	}
+	if *auditLogPath != "" {
+		var dst *os.File
+		if *auditLogPath == "stderr" {
+			dst = os.Stderr
+		} else {
+			f, err := os.OpenFile(*auditLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rankfaird: -audit-log:", err)
+				os.Exit(1)
+			}
+			dst = f
+			defer f.Close()
+		}
+		// JSON regardless of the main log's text format: wide events are
+		// for machines (grep/jq/ingest), not terminal scanning.
+		cfg.AuditLog = slog.New(slog.NewJSONHandler(dst, nil))
 	}
 	if *persistCache && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "rankfaird: -persist-cache requires -data-dir")

@@ -1,0 +1,29 @@
+package obs
+
+import "testing"
+
+// BenchmarkExemplarOverhead compares the plain histogram observe path
+// against the exemplar-recording one. The exemplar slot is a single
+// atomic pointer store on top of the bucket increment, so the two arms
+// should be within noise of each other — and of the PR 6 BenchmarkObs
+// numbers, since the plain path is byte-for-byte the pre-exemplar code.
+func BenchmarkExemplarOverhead(b *testing.B) {
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	bounds := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	b.Run("observe", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.NewHistogram("bench_observe_seconds", "bench", bounds)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%100) / 100)
+		}
+	})
+	b.Run("exemplar", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.NewHistogram("bench_exemplar_seconds", "bench", bounds)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ObserveExemplar(float64(i%100)/100, traceID)
+		}
+	})
+}

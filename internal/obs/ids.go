@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// W3C Trace Context identity (https://www.w3.org/TR/trace-context/):
+// a trace ID is 16 bytes rendered as 32 lowercase hex characters, a span
+// ID 8 bytes rendered as 16. rankfaird derives both deterministically
+// from correlation IDs it already owns (the X-Request-ID, the job ID)
+// instead of carrying a random source: the same request always maps to
+// the same trace identity, which keeps golden exports and restart
+// byte-identity tests reproducible, and a client that *does* send a
+// traceparent header wins outright — its IDs are adopted verbatim so
+// spans stitch across processes.
+
+const (
+	traceIDHexLen = 32
+	spanIDHexLen  = 16
+)
+
+// ParseTraceparent extracts the trace ID and parent span ID from a W3C
+// traceparent header value ("00-<32 hex>-<16 hex>-<2 hex flags>"). It
+// accepts only version 00 with well-formed, non-zero IDs; anything else
+// reports ok=false and the caller falls back to derived identity.
+func ParseTraceparent(header string) (traceID, spanID string, ok bool) {
+	// version(2) '-' traceID(32) '-' spanID(16) '-' flags(2)
+	if len(header) != 2+1+traceIDHexLen+1+spanIDHexLen+1+2 {
+		return "", "", false
+	}
+	if header[0] != '0' || header[1] != '0' {
+		return "", "", false // version 00 only; ff is explicitly invalid
+	}
+	if header[2] != '-' || header[3+traceIDHexLen] != '-' || header[4+traceIDHexLen+spanIDHexLen] != '-' {
+		return "", "", false
+	}
+	traceID = header[3 : 3+traceIDHexLen]
+	spanID = header[4+traceIDHexLen : 4+traceIDHexLen+spanIDHexLen]
+	flags := header[5+traceIDHexLen+spanIDHexLen:]
+	if !isLowerHex(traceID) || !isLowerHex(spanID) || !isLowerHex(flags) {
+		return "", "", false
+	}
+	if isAllZero(traceID) || isAllZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+// FormatTraceparent renders a traceparent header value with the sampled
+// flag set — rankfaird records every trace it finishes, so exported spans
+// are always worth the downstream hop keeping.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// DeriveTraceID maps an arbitrary correlation string (an X-Request-ID, a
+// job ID) onto a well-formed non-zero trace ID: the first 16 bytes of its
+// SHA-256. Deterministic by design — see the package comment above.
+func DeriveTraceID(seed string) string {
+	sum := sha256.Sum256([]byte("trace\x00" + seed))
+	return hex.EncodeToString(sum[:16])
+}
+
+// DeriveSpanID maps (trace ID, span discriminator) onto a well-formed
+// span ID: the first 8 bytes of their joint SHA-256. Discriminators are
+// unique within a trace (span sequence numbers, request nonces), so span
+// IDs never collide inside one trace.
+func DeriveSpanID(traceID, discriminator string) string {
+	sum := sha256.Sum256([]byte("span\x00" + traceID + "\x00" + discriminator))
+	return hex.EncodeToString(sum[:8])
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isAllZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

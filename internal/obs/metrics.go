@@ -31,10 +31,13 @@ type Registry struct {
 }
 
 // family is one registered metric family: fixed name/help/type plus a
-// render hook appending its sample lines (without HELP/TYPE headers).
+// render hook appending its Prometheus 0.0.4 sample lines (without
+// HELP/TYPE headers) and a snap hook producing the structured snapshot
+// the OpenMetrics renderer and the OTLP exporter share.
 type family struct {
 	name, help, typ string
 	render          func(b []byte) []byte
+	snap            func() FamilySnapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -42,14 +45,63 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]bool)}
 }
 
-func (r *Registry) register(name, help, typ string, render func(b []byte) []byte) {
+func (r *Registry) register(name, help, typ string, render func(b []byte) []byte, snap func() FamilySnapshot) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.byName[name] {
 		panic("obs: duplicate metric registration: " + name)
 	}
 	r.byName[name] = true
-	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, render: render})
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, render: render, snap: snap})
+}
+
+// Exemplar ties one observation to the trace that produced it: the
+// OpenMetrics scrape renders it as a `# {trace_id="..."} value` suffix
+// and the OTLP export attaches it to the histogram data point, so an
+// operator can jump from a slow latency bucket to the specific audit
+// trace that landed in it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
+// MetricPoint is one sample in a family snapshot. Counter and gauge
+// points use Value; histogram points carry the bucket layout, per-bucket
+// counts (non-cumulative, with the +Inf overflow last) and the optional
+// per-bucket exemplars.
+type MetricPoint struct {
+	Label     string // label value; "" when the family is unlabeled
+	Value     float64
+	Bounds    []float64
+	Buckets   []int64
+	Count     int64
+	Sum       float64
+	Exemplars []*Exemplar // parallel to Buckets; nil entries have none
+}
+
+// FamilySnapshot is the structured form of one metric family, in
+// registration order from Registry.Snapshot. Label is the label *name*
+// for vector families ("" otherwise); points are sorted by label value.
+type FamilySnapshot struct {
+	Name, Help, Typ, Label string
+	Points                 []MetricPoint
+}
+
+// Snapshot captures every family's current state in registration order —
+// the shared source for the OpenMetrics renderer and the OTLP metrics
+// export, so the two wire formats can never disagree about a value's
+// identity.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, len(fams))
+	for i, f := range fams {
+		out[i] = f.snap()
+		out[i].Name, out[i].Help, out[i].Typ = f.name, f.help, f.typ
+	}
+	return out
 }
 
 // WriteTo renders every family in registration order: HELP (escaped per
@@ -128,6 +180,14 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// singleValueSnap builds the snap hook shared by every unlabeled
+// counter/gauge family: one point whose value is read at snapshot time.
+func singleValueSnap(fn func() int64) func() FamilySnapshot {
+	return func() FamilySnapshot {
+		return FamilySnapshot{Points: []MetricPoint{{Value: float64(fn())}}}
+	}
+}
+
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}
@@ -136,7 +196,7 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 		b = append(b, ' ')
 		b = strconv.AppendInt(b, c.Value(), 10)
 		return append(b, '\n')
-	})
+	}, singleValueSnap(c.Value))
 	return c
 }
 
@@ -149,7 +209,7 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
 		b = append(b, ' ')
 		b = strconv.AppendInt(b, fn(), 10)
 		return append(b, '\n')
-	})
+	}, singleValueSnap(fn))
 }
 
 // NewGaugeFunc registers a gauge whose value is read from fn at scrape
@@ -160,7 +220,7 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
 		b = append(b, ' ')
 		b = strconv.AppendInt(b, fn(), 10)
 		return append(b, '\n')
-	})
+	}, singleValueSnap(fn))
 }
 
 // Gauge is a settable level (inflight requests, queue depths) owned by
@@ -190,7 +250,7 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 		b = append(b, ' ')
 		b = strconv.AppendInt(b, g.Value(), 10)
 		return append(b, '\n')
-	})
+	}, singleValueSnap(g.Value))
 	return g
 }
 
@@ -215,21 +275,26 @@ func (v *GaugeVec) With(value string) *Gauge {
 	return g
 }
 
+func (v *GaugeVec) snapshot() ([]string, []*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	gs := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		gs[i] = v.vals[k]
+	}
+	return keys, gs
+}
+
 // NewGaugeVec registers and returns a labeled gauge family.
 func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
 	v := &GaugeVec{name: name, label: label, vals: make(map[string]*Gauge)}
 	r.register(name, help, "gauge", func(b []byte) []byte {
-		v.mu.Lock()
-		keys := make([]string, 0, len(v.vals))
-		for k := range v.vals {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		gs := make([]*Gauge, len(keys))
-		for i, k := range keys {
-			gs[i] = v.vals[k]
-		}
-		v.mu.Unlock()
+		keys, gs := v.snapshot()
 		for i, k := range keys {
 			b = append(b, name...)
 			b = append(b, '{')
@@ -241,6 +306,13 @@ func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
 			b = append(b, '\n')
 		}
 		return b
+	}, func() FamilySnapshot {
+		keys, gs := v.snapshot()
+		points := make([]MetricPoint, len(keys))
+		for i, k := range keys {
+			points[i] = MetricPoint{Label: k, Value: float64(gs[i].Value())}
+		}
+		return FamilySnapshot{Label: v.label, Points: points}
 	})
 	return v
 }
@@ -297,6 +369,13 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 			b = append(b, '\n')
 		}
 		return b
+	}, func() FamilySnapshot {
+		keys, cs := v.snapshot()
+		points := make([]MetricPoint, len(keys))
+		for i, k := range keys {
+			points[i] = MetricPoint{Label: k, Value: float64(cs[i].Value())}
+		}
+		return FamilySnapshot{Label: label, Points: points}
 	})
 	return v
 }
@@ -311,6 +390,12 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last slot is the +Inf overflow
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+	// ex holds the last exemplar observed per bucket (len(bounds)+1).
+	// Stored behind atomic pointers so ObserveExemplar costs one pointer
+	// swap beyond Observe and never blocks a concurrent scrape; plain
+	// Observe never touches the slots, keeping the hot path identical to
+	// the pre-exemplar layout.
+	ex []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -321,11 +406,30 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the landing bucket's exemplar so the OpenMetrics scrape and
+// the OTLP export can point at the most recent trace that hit the bucket.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// observe updates the counters and returns the landing bucket index.
+func (h *Histogram) observe(v float64) int {
 	// First bound >= v: v lands in that bucket (le is inclusive); beyond
 	// every bound it lands in the +Inf slot.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -335,9 +439,26 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		nxt := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nxt) {
-			return
+			return i
 		}
 	}
+}
+
+// snapshotPoint captures the histogram as one MetricPoint.
+func (h *Histogram) snapshotPoint(label string) MetricPoint {
+	p := MetricPoint{
+		Label:     label,
+		Bounds:    h.bounds,
+		Buckets:   make([]int64, len(h.counts)),
+		Count:     h.Count(),
+		Sum:       h.Sum(),
+		Exemplars: make([]*Exemplar, len(h.counts)),
+	}
+	for i := range h.counts {
+		p.Buckets[i] = h.counts[i].Load()
+		p.Exemplars[i] = h.ex[i].Load()
+	}
+	return p
 }
 
 // Count returns the number of observations.
@@ -432,6 +553,8 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	h := newHistogram(bounds)
 	r.register(name, help, "histogram", func(b []byte) []byte {
 		return h.renderInto(b, name, "")
+	}, func() FamilySnapshot {
+		return FamilySnapshot{Points: []MetricPoint{h.snapshotPoint("")}}
 	})
 	return h
 }
@@ -465,17 +588,7 @@ func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *
 	}
 	v := &HistogramVec{name: name, label: label, bounds: cloneBounds(bounds), vals: make(map[string]*Histogram)}
 	r.register(name, help, "histogram", func(b []byte) []byte {
-		v.mu.Lock()
-		keys := make([]string, 0, len(v.vals))
-		for k := range v.vals {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		hs := make([]*Histogram, len(keys))
-		for i, k := range keys {
-			hs[i] = v.vals[k]
-		}
-		v.mu.Unlock()
+		keys, hs := v.snapshot()
 		for i, k := range keys {
 			prefix := make([]byte, 0, len(v.label)+len(k)+4)
 			prefix = append(prefix, v.label...)
@@ -485,8 +598,30 @@ func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *
 			b = hs[i].renderInto(b, name, string(prefix))
 		}
 		return b
+	}, func() FamilySnapshot {
+		keys, hs := v.snapshot()
+		points := make([]MetricPoint, len(keys))
+		for i, k := range keys {
+			points[i] = hs[i].snapshotPoint(k)
+		}
+		return FamilySnapshot{Label: label, Points: points}
 	})
 	return v
+}
+
+func (v *HistogramVec) snapshot() ([]string, []*Histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.vals[k]
+	}
+	return keys, hs
 }
 
 func cloneBounds(bounds []float64) []float64 {

@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds the reference audit trace: fixed timestamps, an
+// adopted client identity, phase children and terminal attributes — every
+// derived ID is a pure function of these inputs, so the exported JSON is
+// reproducible byte for byte.
+func goldenTrace() *Trace {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr := NewTrace("job-000042", "audit", base)
+	tr.AdoptIdentity("4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7")
+	tr.Root().SetAttr("outcome", "ok")
+	tr.Root().SetAttr("cache", "miss")
+	tr.Root().ChildAt("queue", base, base.Add(5*time.Millisecond))
+	run := tr.Root().ChildAt("run", base.Add(5*time.Millisecond), base.Add(105*time.Millisecond))
+	run.ChildAt("search", base.Add(10*time.Millisecond), base.Add(95*time.Millisecond))
+	run.ChildAt("serialize", base.Add(95*time.Millisecond), base.Add(104*time.Millisecond))
+	tr.Root().FinishAt(base.Add(110 * time.Millisecond))
+	return tr
+}
+
+// TestOTLPTraceGolden pins the exact OTLP/HTTP JSON wire shape for a
+// real audit span tree: hex IDs, string unix nanos, SERVER root with
+// status, INTERNAL children with parent links, attributes in order.
+func TestOTLPTraceGolden(t *testing.T) {
+	body, err := OTLPTraceRequest("rankfaird", []*Trace{goldenTrace()})
+	if err != nil {
+		t.Fatalf("OTLPTraceRequest: %v", err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, body, "", "  "); err != nil {
+		t.Fatalf("invalid JSON produced: %v", err)
+	}
+	pretty.WriteByte('\n')
+	path := filepath.Join("testdata", "otlp_trace_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, pretty.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Fatalf("OTLP trace JSON drifted from golden:\n got:\n%s\nwant:\n%s", pretty.Bytes(), want)
+	}
+}
+
+// TestOTLPTraceStructure walks the decoded payload and checks the
+// structural invariants the golden file can't articulate: parent/child
+// ID linkage, kind assignment, duration arithmetic, outcome status.
+func TestOTLPTraceStructure(t *testing.T) {
+	body, err := OTLPTraceRequest("rankfaird", []*Trace{goldenTrace()})
+	if err != nil {
+		t.Fatalf("OTLPTraceRequest: %v", err)
+	}
+	var payload otlpTracePayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	spans := payload.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string]otlpSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("span %s trace ID = %s, want adopted client ID", s.Name, s.TraceID)
+		}
+		if len(s.SpanID) != 16 {
+			t.Errorf("span %s ID %q not 16 hex chars", s.Name, s.SpanID)
+		}
+	}
+	root := byName["audit"]
+	if root.Kind != otlpKindServer {
+		t.Errorf("root kind = %d, want SERVER", root.Kind)
+	}
+	if root.ParentSpanID != "00f067aa0ba902b7" {
+		t.Errorf("root parent = %q, want adopted client span", root.ParentSpanID)
+	}
+	if root.Status == nil || root.Status.Code != otlpStatusOK {
+		t.Errorf("root status = %+v, want OK", root.Status)
+	}
+	if got := attrOf(t, root, "cache"); got != "miss" {
+		t.Errorf("root cache attr = %q, want miss", got)
+	}
+	for _, name := range []string{"queue", "run"} {
+		if byName[name].ParentSpanID != root.SpanID {
+			t.Errorf("%s parent = %s, want root %s", name, byName[name].ParentSpanID, root.SpanID)
+		}
+		if byName[name].Kind != otlpKindInternal {
+			t.Errorf("%s kind = %d, want INTERNAL", name, byName[name].Kind)
+		}
+	}
+	for _, name := range []string{"search", "serialize"} {
+		if byName[name].ParentSpanID != byName["run"].SpanID {
+			t.Errorf("%s parent = %s, want run %s", name, byName[name].ParentSpanID, byName["run"].SpanID)
+		}
+	}
+	// Duration check: run spans 5ms..105ms — exactly 100ms apart.
+	if run := byName["run"]; run.StartTimeUnixNano != "1767323045005000000" || run.EndTimeUnixNano != "1767323045105000000" {
+		t.Errorf("run endpoints = %s..%s, want 1767323045005000000..1767323045105000000", run.StartTimeUnixNano, run.EndTimeUnixNano)
+	}
+}
+
+func attrOf(t *testing.T, s otlpSpan, key string) string {
+	t.Helper()
+	for _, kv := range s.Attributes {
+		if kv.Key == key {
+			return kv.Value.StringValue
+		}
+	}
+	return ""
+}
+
+// TestOTLPTraceErrorStatus: a non-ok outcome maps to STATUS_CODE_ERROR
+// with the outcome as the message, so backends can filter shed/timeout.
+func TestOTLPTraceErrorStatus(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr := NewTrace("job-shed", "audit", base)
+	tr.Root().SetAttr("outcome", "shed")
+	tr.Root().FinishAt(base.Add(time.Millisecond))
+	body, err := OTLPTraceRequest("rankfaird", []*Trace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload otlpTracePayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	st := payload.ResourceSpans[0].ScopeSpans[0].Spans[0].Status
+	if st == nil || st.Code != otlpStatusError || st.Message != "shed" {
+		t.Fatalf("status = %+v, want ERROR/shed", st)
+	}
+}
+
+// TestOTLPMetricsShape checks the proto3 JSON mapping for all three
+// metric kinds: sums cumulative+monotonic, uint64s as strings, exemplars
+// attached to histogram points.
+func TestOTLPMetricsShape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs.")
+	c.Add(3)
+	g := r.NewGaugeVec("inflight", "Inflight.", "class")
+	g.With("audit").Set(2)
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.5, 1})
+	h.ObserveExemplar(0.25, "4bf92f3577b34da6a3ce929d0e0e4736")
+	start := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	now := start.Add(15 * time.Second)
+	body, err := OTLPMetricsRequest("rankfaird", r.Snapshot(), start, now)
+	if err != nil {
+		t.Fatalf("OTLPMetricsRequest: %v", err)
+	}
+	s := string(body)
+	for _, want := range []string{
+		`"name":"jobs_total"`,
+		`"aggregationTemporality":2`,
+		`"isMonotonic":true`,
+		`"startTimeUnixNano":"1767322800000000000"`,
+		`"timeUnixNano":"1767322815000000000"`,
+		`"attributes":[{"key":"class","value":{"stringValue":"audit"}}]`,
+		`"count":"1"`,
+		`"bucketCounts":["1","0","0"]`,
+		`"explicitBounds":[0.5,1]`,
+		`"exemplars":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","timeUnixNano":"1767322815000000000","asDouble":0.25}]`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics payload missing %s:\n%s", want, s)
+		}
+	}
+}
+
+// collectorFake records every POST body by path and can be stalled or
+// told to fail a number of times.
+type collectorFake struct {
+	mu       sync.Mutex
+	bodies   map[string][][]byte
+	failures int // respond 500 this many times before succeeding
+	status   int // non-zero: always respond with this status
+	stall    chan struct{}
+	requests int
+	srv      *httptest.Server
+}
+
+func newCollectorFake() *collectorFake {
+	c := &collectorFake{bodies: make(map[string][][]byte)}
+	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		c.mu.Lock()
+		c.requests++
+		stall := c.stall
+		fail := c.failures > 0
+		if fail {
+			c.failures--
+		}
+		status := c.status
+		c.mu.Unlock()
+		if stall != nil {
+			<-stall
+		}
+		if fail {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		if status != 0 {
+			w.WriteHeader(status)
+			return
+		}
+		c.mu.Lock()
+		c.bodies[r.URL.Path] = append(c.bodies[r.URL.Path], body)
+		c.mu.Unlock()
+	}))
+	return c
+}
+
+func (c *collectorFake) got(path string) [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.bodies[path]))
+	copy(out, c.bodies[path])
+	return out
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met within 5s")
+}
+
+func testCounters(r *Registry) ExporterCounters {
+	return ExporterCounters{
+		Dropped:    r.NewCounter("otlp_dropped_total", "D."),
+		Retries:    r.NewCounter("otlp_retries_total", "R."),
+		Exports:    r.NewCounterVec("otlp_exports_total", "E.", "signal"),
+		Failures:   r.NewCounterVec("otlp_export_failures_total", "F.", "signal"),
+		QueueDepth: r.NewGauge("otlp_queue_depth", "Q."),
+	}
+}
+
+// TestExporterShipsTraces: enqueued traces arrive at the collector inside
+// the flush interval and the success counter moves.
+func TestExporterShipsTraces(t *testing.T) {
+	col := newCollectorFake()
+	defer col.srv.Close()
+	reg := NewRegistry()
+	counters := testCounters(reg)
+	e := NewExporter(ExporterConfig{
+		Endpoint:      col.srv.URL,
+		FlushInterval: 5 * time.Millisecond,
+		Counters:      counters,
+	})
+	e.EnqueueTrace(goldenTrace())
+	waitFor(t, func() bool { return len(col.got("/v1/traces")) > 0 })
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	body := col.got("/v1/traces")[0]
+	if !bytes.Contains(body, []byte(`"name":"audit"`)) {
+		t.Fatalf("trace payload missing audit span:\n%s", body)
+	}
+	if counters.Exports.With("traces").Value() == 0 {
+		t.Fatal("exports counter did not move")
+	}
+}
+
+// TestExporterRetries: 429/5xx responses are retried with backoff until
+// the collector recovers; each retry is counted.
+func TestExporterRetries(t *testing.T) {
+	col := newCollectorFake()
+	defer col.srv.Close()
+	col.failures = 2
+	reg := NewRegistry()
+	counters := testCounters(reg)
+	e := NewExporter(ExporterConfig{
+		Endpoint:      col.srv.URL,
+		FlushInterval: 5 * time.Millisecond,
+		Counters:      counters,
+		Backoff:       func(int) time.Duration { return 0 },
+	})
+	e.EnqueueTrace(goldenTrace())
+	waitFor(t, func() bool { return len(col.got("/v1/traces")) > 0 })
+	e.Close(context.Background())
+	if got := counters.Retries.Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if counters.Failures.With("traces").Value() != 0 {
+		t.Fatal("transient failure counted as permanent")
+	}
+}
+
+// TestExporterPermanentFailure: a 4xx is not retried — the payload is
+// counted failed and the queue moves on.
+func TestExporterPermanentFailure(t *testing.T) {
+	col := newCollectorFake()
+	defer col.srv.Close()
+	col.status = http.StatusBadRequest
+	reg := NewRegistry()
+	counters := testCounters(reg)
+	e := NewExporter(ExporterConfig{
+		Endpoint:      col.srv.URL,
+		FlushInterval: 5 * time.Millisecond,
+		Counters:      counters,
+	})
+	e.EnqueueTrace(goldenTrace())
+	waitFor(t, func() bool { return counters.Failures.With("traces").Value() == 1 })
+	e.Close(context.Background())
+	if counters.Retries.Value() != 0 {
+		t.Fatal("4xx was retried")
+	}
+}
+
+// TestExporterBackpressure: with the collector stalled, enqueues beyond
+// the queue bound return false immediately instead of blocking, and every
+// drop is counted. This is the guarantee that a dead collector cannot
+// block an audit.
+func TestExporterBackpressure(t *testing.T) {
+	col := newCollectorFake()
+	defer col.srv.Close()
+	release := make(chan struct{})
+	col.stall = release
+	reg := NewRegistry()
+	counters := testCounters(reg)
+	e := NewExporter(ExporterConfig{
+		Endpoint:      col.srv.URL,
+		FlushInterval: time.Millisecond,
+		QueueSize:     2,
+		BatchSize:     1,
+		Counters:      counters,
+	})
+	// Let the first batch reach the stalled collector so the export
+	// goroutine is provably wedged mid-POST.
+	e.EnqueueTrace(goldenTrace())
+	waitFor(t, func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return col.requests > 0
+	})
+	dropped := 0
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		if !e.EnqueueTrace(goldenTrace()) {
+			dropped++
+		}
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Fatalf("EnqueueTrace blocked for %v with stalled collector", d)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no enqueue was dropped despite stalled collector and full queue")
+	}
+	if counters.Dropped.Value() != int64(dropped) {
+		t.Fatalf("dropped counter = %d, want %d", counters.Dropped.Value(), dropped)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("Close after release: %v", err)
+	}
+}
+
+// TestExporterDrainOnClose: traces still queued at shutdown are shipped
+// before Close returns, and a registry-backed exporter sends one final
+// metric snapshot.
+func TestExporterDrainOnClose(t *testing.T) {
+	col := newCollectorFake()
+	defer col.srv.Close()
+	reg := NewRegistry()
+	reg.NewCounter("final_total", "F.").Add(7)
+	e := NewExporter(ExporterConfig{
+		Endpoint:      col.srv.URL,
+		Registry:      reg,
+		Interval:      time.Hour, // only the shutdown snapshot fires
+		FlushInterval: time.Hour, // only the shutdown drain sends spans
+	})
+	for i := 0; i < 3; i++ {
+		if !e.EnqueueTrace(goldenTrace()) {
+			t.Fatal("enqueue failed with empty queue")
+		}
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	traces := col.got("/v1/traces")
+	total := 0
+	for _, b := range traces {
+		total += bytes.Count(b, []byte(`"name":"audit"`))
+	}
+	if total != 3 {
+		t.Fatalf("drained %d audit spans, want 3", total)
+	}
+	mets := col.got("/v1/metrics")
+	if len(mets) != 1 || !bytes.Contains(mets[0], []byte(`"name":"final_total"`)) {
+		t.Fatalf("final metric snapshot missing: %v", mets)
+	}
+}

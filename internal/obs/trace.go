@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -12,10 +13,13 @@ import (
 // single trace-level mutex is cheap; the cost per span is one lock and a
 // couple of time.Now calls, far below the phases it brackets.
 type Trace struct {
-	id    string
-	mu    sync.Mutex
-	root  *Span
-	start time.Time
+	id     string
+	w3c    string // 32-hex W3C trace ID; derived from id unless adopted
+	parent string // incoming parent span ID (16 hex) for cross-process stitching
+	mu     sync.Mutex
+	root   *Span
+	start  time.Time
+	seq    int // span discriminator allocator; root took 0
 }
 
 // Span is one timed phase inside a trace. A nil *Span is a valid no-op
@@ -24,14 +28,26 @@ type Trace struct {
 type Span struct {
 	tr       *Trace
 	name     string
+	seq      int // per-trace discriminator behind the W3C span ID
 	start    time.Time
 	end      time.Time
+	attrs    []Attr
 	children []*Span
 }
 
+// Attr is one string key/value annotation on a span (outcome codes,
+// cache disposition). Kept as an ordered slice: spans carry a handful at
+// most, and insertion order is the rendering order.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
 // NewTrace starts a trace whose root span (named name) opens at start.
+// The W3C trace ID is derived from the correlation ID; AdoptIdentity
+// replaces it when the request arrived with its own traceparent.
 func NewTrace(id, name string, start time.Time) *Trace {
-	t := &Trace{id: id, start: start}
+	t := &Trace{id: id, w3c: DeriveTraceID(id), start: start}
 	t.root = &Span{tr: t, name: name, start: start}
 	return t
 }
@@ -39,8 +55,79 @@ func NewTrace(id, name string, start time.Time) *Trace {
 // ID returns the trace's correlation ID (the job ID on the audit path).
 func (t *Trace) ID() string { return t.id }
 
+// AdoptIdentity replaces the derived W3C identity with one carried in
+// from the wire: the caller's trace ID becomes this trace's, and the
+// caller's span ID becomes the root span's parent, so an exported trace
+// stitches under the remote caller's span. Empty arguments are ignored;
+// call before any child spans are opened.
+func (t *Trace) AdoptIdentity(traceID, parentSpanID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if traceID != "" {
+		t.w3c = traceID
+	}
+	if parentSpanID != "" {
+		t.parent = parentSpanID
+	}
+}
+
+// TraceID returns the W3C trace ID (32 lowercase hex characters).
+func (t *Trace) TraceID() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w3c
+}
+
+// ParentSpanID returns the adopted remote parent span ID, or "".
+func (t *Trace) ParentSpanID() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parent
+}
+
 // Root returns the root span.
 func (t *Trace) Root() *Span { return t.root }
+
+// W3CID returns the span's W3C span ID, derived from the trace ID and
+// the span's per-trace sequence number.
+func (s *Span) W3CID() string {
+	if s == nil {
+		return ""
+	}
+	return DeriveSpanID(s.tr.TraceID(), strconv.Itoa(s.seq))
+}
+
+// SetAttr annotates the span, replacing an existing value for the key.
+// Nil-safe like every other span method.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the span's value for key, or "".
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
 
 // StartChild opens a child span starting now.
 func (s *Span) StartChild(name string) *Span {
@@ -58,6 +145,8 @@ func (s *Span) ChildAt(name string, start, end time.Time) *Span {
 	}
 	c := &Span{tr: s.tr, name: name, start: start, end: end}
 	s.tr.mu.Lock()
+	s.tr.seq++
+	c.seq = s.tr.seq
 	s.children = append(s.children, c)
 	s.tr.mu.Unlock()
 	return c
@@ -105,16 +194,24 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 
 // SpanTree is the JSON rendering of one span: offsets are relative to the
 // trace start so a reader can line phases up without absolute timestamps.
+// SpanID is the W3C span ID the OTLP export carries for the same span, so
+// a reader can cross-reference the in-process tree with a span in Jaeger
+// or Tempo; Attrs carries the span's annotations (terminal outcome, cache
+// disposition) in insertion order.
 type SpanTree struct {
 	Name       string     `json:"name"`
+	SpanID     string     `json:"span_id,omitempty"`
 	StartMS    float64    `json:"start_ms"`
 	DurationMS float64    `json:"duration_ms"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
 	Children   []SpanTree `json:"children,omitempty"`
 }
 
 // TraceTree is the JSON rendering of a whole trace.
 type TraceTree struct {
 	ID         string   `json:"id"`
+	TraceID    string   `json:"trace_id,omitempty"`
+	ParentSpan string   `json:"parent_span_id,omitempty"`
 	Start      string   `json:"start"`
 	DurationMS float64  `json:"duration_ms"`
 	Root       SpanTree `json:"root"`
@@ -125,27 +222,73 @@ type TraceTree struct {
 func (t *Trace) Tree() TraceTree {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	root := t.root.treeLocked(t.start)
+	root := t.root.treeLocked(t.start, t.w3c)
 	return TraceTree{
 		ID:         t.id,
+		TraceID:    t.w3c,
+		ParentSpan: t.parent,
 		Start:      t.start.UTC().Format(time.RFC3339Nano),
 		DurationMS: root.DurationMS,
 		Root:       root,
 	}
 }
 
-func (s *Span) treeLocked(origin time.Time) SpanTree {
+func (s *Span) treeLocked(origin time.Time, traceID string) SpanTree {
 	out := SpanTree{
 		Name:    s.name,
+		SpanID:  DeriveSpanID(traceID, strconv.Itoa(s.seq)),
 		StartMS: float64(s.start.Sub(origin)) / float64(time.Millisecond),
 	}
 	if !s.end.IsZero() {
 		out.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
 	}
+	if len(s.attrs) > 0 {
+		out.Attrs = append([]Attr(nil), s.attrs...)
+	}
 	for _, c := range s.children {
-		out.Children = append(out.Children, c.treeLocked(origin))
+		out.Children = append(out.Children, c.treeLocked(origin, traceID))
 	}
 	return out
+}
+
+// SpanRecord is the export-oriented flat view of one span: absolute
+// endpoints (the OTLP wire format wants unix nanos, not offsets), the
+// derived W3C IDs, and the parent linkage. The root span's parent is the
+// trace's adopted remote span when one arrived on the wire.
+type SpanRecord struct {
+	Name         string
+	SpanID       string
+	ParentSpanID string
+	Start, End   time.Time
+	Attrs        []Attr
+	Root         bool
+}
+
+// Records snapshots the trace as a preorder span list plus its W3C trace
+// ID — the shape the OTLP exporter consumes.
+func (t *Trace) Records() (traceID string, recs []SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(s *Span, parentID string)
+	walk = func(s *Span, parentID string) {
+		rec := SpanRecord{
+			Name:         s.name,
+			SpanID:       DeriveSpanID(t.w3c, strconv.Itoa(s.seq)),
+			ParentSpanID: parentID,
+			Start:        s.start,
+			End:          s.end,
+			Root:         s == t.root,
+		}
+		if len(s.attrs) > 0 {
+			rec.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		recs = append(recs, rec)
+		for _, c := range s.children {
+			walk(c, rec.SpanID)
+		}
+	}
+	walk(t.root, t.parent)
+	return t.w3c, recs
 }
 
 // TraceStore is a bounded ring of finished traces keyed by ID: the

@@ -50,6 +50,10 @@ type Job struct {
 	// zero means unbounded.
 	budget time.Duration
 
+	// meta carries the submitting request's correlation identity and the
+	// dataset coordinates for the wide-event audit log and trace export.
+	meta JobMeta
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -95,15 +99,35 @@ type JobView struct {
 // disables that part of the instrumentation.
 type JobObserver struct {
 	// QueueWait observes created→started, Run observes started→finished,
-	// both in seconds.
+	// both in seconds, with the job's trace ID as the bucket exemplar.
 	QueueWait *obs.Histogram
 	Run       *obs.Histogram
 	// Traces receives each finished job's span tree, keyed by job ID.
 	Traces *obs.TraceStore
+	// Export receives each finished trace after it lands in Traces — the
+	// OTLP enqueue hook. It must not block: the exporter's queue send is
+	// non-blocking by contract.
+	Export func(*obs.Trace)
+	// AuditLog, when set, receives one wide-event record per terminal
+	// audit: correlation IDs, dataset coordinates, phase durations,
+	// search statistics and the outcome code in a single greppable line.
+	AuditLog *slog.Logger
 	// Logger logs job completion at debug level; jobs that ran longer than
 	// SlowAudit (> 0) log at warn level with the full span tree attached.
 	Logger    *slog.Logger
 	SlowAudit time.Duration
+}
+
+// JobMeta is the correlation identity a submission carries into the job:
+// the originating request ID, the W3C trace identity to adopt (so the
+// audit's exported spans stitch under the caller's trace), and the
+// audited dataset's content coordinates for the wide-event log.
+type JobMeta struct {
+	RequestID      string
+	TraceID        string
+	ParentSpan     string
+	DatasetHash    string
+	DatasetVersion int
 }
 
 // SetObserver installs the observer; call before the first Submit.
@@ -200,7 +224,10 @@ func (m *Manager) SetQueueWaitBudget(d time.Duration) {
 // SubmitOption tunes one submission.
 type SubmitOption func(*submitSpec)
 
-type submitSpec struct{ budget time.Duration }
+type submitSpec struct {
+	budget time.Duration
+	meta   JobMeta
+}
 
 // WithBudget bounds the job end to end: the deadline covers queue wait
 // plus run, flows into the job context (and from there into the
@@ -208,6 +235,12 @@ type submitSpec struct{ budget time.Duration }
 // shed without running. Non-positive budgets are ignored.
 func WithBudget(d time.Duration) SubmitOption {
 	return func(s *submitSpec) { s.budget = d }
+}
+
+// WithMeta attaches the submitting request's correlation identity and
+// dataset coordinates to the job.
+func WithMeta(meta JobMeta) SubmitOption {
+	return func(s *submitSpec) { s.meta = meta }
 }
 
 // Submit queues one job. It returns the job snapshot immediately; the
@@ -233,6 +266,7 @@ func (m *Manager) Submit(dataset string, params rankfair.AuditParams, run JobFun
 		status:  JobQueued,
 		created: created,
 		budget:  max(spec.budget, 0),
+		meta:    spec.meta,
 		run:     run,
 		runCtx:  ctx,
 		cancel:  cancel,
@@ -271,6 +305,44 @@ func (m *Manager) worker() {
 	}
 }
 
+// outcomeFor maps a terminal job state onto the stable outcome code the
+// root span, the wide-event log and the OTLP status all carry: "ok",
+// "error", "canceled", "shed" or "deadline_exceeded".
+func outcomeFor(status JobStatus, errCode string) string {
+	switch {
+	case status == JobDone:
+		return "ok"
+	case status == JobCanceled:
+		return "canceled"
+	case errCode != "":
+		return errCode
+	default:
+		return "error"
+	}
+}
+
+// finishTraceLocked builds the span-tree record for a job that reached a
+// terminal state before running (shed at dequeue, canceled while
+// queued): a root span covering submission→finish with the queue child
+// spanning the whole wait and the outcome attribute set. Callers hold
+// m.mu — the ring insert lands before the terminal status becomes
+// visible to Get/List, preserving the no-404-after-terminal invariant
+// the run path has always kept.
+func finishTraceLocked(ob *JobObserver, j *Job, outcome string) *obs.Trace {
+	if ob == nil {
+		return nil
+	}
+	tr := obs.NewTrace(j.ID, "audit", j.created)
+	tr.AdoptIdentity(j.meta.TraceID, j.meta.ParentSpan)
+	tr.Root().ChildAt("queue", j.created, j.finished)
+	tr.Root().SetAttr("outcome", outcome)
+	tr.Root().FinishAt(j.finished)
+	if ob.Traces != nil {
+		ob.Traces.Put(tr)
+	}
+	return tr
+}
+
 // execute runs one job to completion.
 func (m *Manager) execute(j *Job) {
 	defer j.finish()
@@ -300,8 +372,12 @@ func (m *Manager) execute(j *Job) {
 		}
 		j.finished = m.clock()
 		j.run = nil
+		ob := m.observer
+		outcome := outcomeFor(j.status, j.errCode)
+		tr := finishTraceLocked(ob, j, outcome)
 		m.mu.Unlock()
 		j.cancel()
+		m.afterTerminal(ob, j, tr, outcome, false, nil)
 		return
 	}
 	if wait := m.clock().Sub(j.created); m.queueBudget > 0 && j.budget == 0 && wait > m.queueBudget {
@@ -314,8 +390,11 @@ func (m *Manager) execute(j *Job) {
 		m.failed++
 		j.finished = m.clock()
 		j.run = nil
+		ob := m.observer
+		tr := finishTraceLocked(ob, j, "shed")
 		m.mu.Unlock()
 		j.cancel()
+		m.afterTerminal(ob, j, tr, "shed", false, nil)
 		return
 	}
 	j.status = JobRunning
@@ -331,35 +410,24 @@ func (m *Manager) execute(j *Job) {
 	var runSpan *obs.Span
 	if ob != nil {
 		tr = obs.NewTrace(j.ID, "audit", j.created)
+		tr.AdoptIdentity(j.meta.TraceID, j.meta.ParentSpan)
 		tr.Root().ChildAt("queue", j.created, j.started)
 		runSpan = tr.Root().StartChild("run")
 		ctx = obs.ContextWithSpan(ctx, runSpan)
 		if ob.QueueWait != nil {
-			ob.QueueWait.Observe(j.started.Sub(j.created).Seconds())
+			ob.QueueWait.ObserveExemplar(j.started.Sub(j.created).Seconds(), tr.TraceID())
 		}
 	}
 
 	report, hit, err := j.run(ctx)
 
+	// Classify the terminal state once, before the trace closes and before
+	// the status is published, so the outcome attribute on the exported
+	// root span and the job's visible status can never disagree.
 	finished := m.clock()
-	if ob != nil {
-		// Close out the trace before the job's terminal status becomes
-		// visible, so a client that polls to completion and immediately
-		// fetches /v1/audits/{id}/trace never races the ring insert.
-		runSpan.FinishAt(finished)
-		tr.Root().FinishAt(finished)
-		if ob.Run != nil {
-			ob.Run.Observe(finished.Sub(j.started).Seconds())
-		}
-		if ob.Traces != nil {
-			ob.Traces.Put(tr)
-		}
-	}
-
-	m.mu.Lock()
-	m.running--
-	j.finished = finished
 	deadlined := errors.Is(ctx.Err(), context.DeadlineExceeded)
+	var status JobStatus
+	var errCode, errMsg string
 	switch {
 	case ctx.Err() != nil && !(deadlined && err == nil && report != nil):
 		// Canceled mid-run: the job context flows into the lattice search
@@ -372,28 +440,60 @@ func (m *Manager) execute(j *Job) {
 		// that *completed* just as its deadline fired still serves its
 		// report — the result beat the check.
 		if deadlined {
-			j.status = JobFailed
-			j.errCode = CodeDeadlineExceeded
+			status, errCode = JobFailed, CodeDeadlineExceeded
 			if err != nil {
-				j.err = err.Error()
+				errMsg = err.Error()
 			} else {
-				j.err = context.DeadlineExceeded.Error()
+				errMsg = context.DeadlineExceeded.Error()
 			}
-			m.deadlineExceeded++
-			m.failed++
 		} else {
-			j.status = JobCanceled
-			m.canceled++
+			status = JobCanceled
 		}
 	case err != nil:
-		j.status = JobFailed
-		j.err = err.Error()
-		m.failed++
+		status, errMsg = JobFailed, err.Error()
 	default:
-		j.status = JobDone
+		status = JobDone
+	}
+	outcome := outcomeFor(status, errCode)
+
+	if ob != nil {
+		// Close out the trace before the job's terminal status becomes
+		// visible, so a client that polls to completion and immediately
+		// fetches /v1/audits/{id}/trace never races the ring insert.
+		runSpan.FinishAt(finished)
+		tr.Root().SetAttr("outcome", outcome)
+		if status == JobDone {
+			tr.Root().SetAttr("cache", cacheDisposition(hit))
+		}
+		tr.Root().FinishAt(finished)
+		if ob.Run != nil {
+			ob.Run.ObserveExemplar(finished.Sub(j.started).Seconds(), tr.TraceID())
+		}
+		if ob.Traces != nil {
+			ob.Traces.Put(tr)
+		}
+	}
+
+	m.mu.Lock()
+	m.running--
+	j.finished = finished
+	j.status = status
+	j.err = errMsg
+	j.errCode = errCode
+	switch status {
+	case JobDone:
 		j.report = report
 		j.cacheHit = hit
 		m.completed++
+	case JobCanceled:
+		m.canceled++
+	default:
+		m.failed++
+		if errCode == CodeDeadlineExceeded {
+			m.deadlineExceeded++
+		} else if errCode == CodeShed {
+			m.shed++
+		}
 	}
 	// Release what the job no longer needs: the run closure pins the
 	// decoded table, and the uncalled cancel pins a child of baseCtx.
@@ -401,8 +501,9 @@ func (m *Manager) execute(j *Job) {
 	j.run = nil
 	j.cancel()
 	m.pruneLocked()
-	status := j.status
 	m.mu.Unlock()
+
+	m.afterTerminal(ob, j, tr, outcome, hit, report)
 
 	if ob == nil || ob.Logger == nil {
 		return
@@ -422,6 +523,75 @@ func (m *Manager) execute(j *Job) {
 	ob.Logger.Debug("audit finished",
 		"job", j.ID, "dataset", j.Dataset, "status", string(status),
 		"cache_hit", hit, "elapsed_ms", elapsedMS)
+}
+
+// cacheDisposition renders the cache outcome for span attributes and the
+// wide-event log.
+func cacheDisposition(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// afterTerminal runs the observer hooks that follow a job's terminal
+// transition: the OTLP export enqueue and the wide-event audit record.
+// Called outside m.mu — both hooks are non-blocking by contract, but
+// neither needs the lock and the log write does I/O.
+func (m *Manager) afterTerminal(ob *JobObserver, j *Job, tr *obs.Trace, outcome string, hit bool, report *rankfair.ReportJSON) {
+	if ob == nil || tr == nil {
+		return
+	}
+	if ob.Export != nil {
+		ob.Export(tr)
+	}
+	if ob.AuditLog == nil {
+		return
+	}
+	// One wide event per terminal audit: everything needed to reconstruct
+	// the request in a single greppable record. Phase durations come from
+	// the span tree so the log and the exported trace always agree.
+	var queueMS, runMS, serializeMS float64
+	_, recs := tr.Records()
+	for _, rec := range recs {
+		if rec.End.IsZero() {
+			continue
+		}
+		d := float64(rec.End.Sub(rec.Start)) / float64(time.Millisecond)
+		switch rec.Name {
+		case "queue":
+			queueMS = d
+		case "run":
+			runMS = d
+		case "serialize":
+			serializeMS = d
+		}
+	}
+	attrs := []any{
+		"job", j.ID,
+		"request_id", j.meta.RequestID,
+		"trace_id", tr.TraceID(),
+		"dataset", j.Dataset,
+		"dataset_hash", j.meta.DatasetHash,
+		"dataset_version", j.meta.DatasetVersion,
+		"measure", j.Params.Measure,
+		"workers", j.Params.Workers,
+		"outcome", outcome,
+		"cache", cacheDisposition(hit),
+		"queue_ms", queueMS,
+		"run_ms", runMS,
+		"serialize_ms", serializeMS,
+	}
+	if report != nil && report.Stats != nil {
+		st := report.Stats
+		attrs = append(attrs,
+			"strategy", st.Strategy,
+			"nodes_expanded", st.NodesExpanded,
+			"pruned", st.PrunedSize+st.PrunedBound+st.PrunedDominated,
+			"posting_intersections", st.PostingIntersections,
+		)
+	}
+	ob.AuditLog.Info("audit", attrs...)
 }
 
 // pruneLocked drops the oldest finished jobs beyond the retention cap.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -70,6 +71,15 @@ type obsState struct {
 	storeRetries       *obs.Counter
 	storeRejected      *obs.Counter
 	breakerTransitions *obs.CounterVec // by state entered
+
+	// OTLP export pipeline self-observation: traces dropped at the
+	// bounded queue, retry attempts, successful exports and exhausted
+	// failures by signal, and the current queue depth.
+	otlpDropped    *obs.Counter
+	otlpRetries    *obs.Counter
+	otlpExports    *obs.CounterVec // by signal: traces, metrics
+	otlpFailures   *obs.CounterVec // by signal: traces, metrics
+	otlpQueueDepth *obs.Gauge
 
 	searchRuns          *obs.CounterVec // by counting strategy: lists, index, bitmap
 	searchStrategy      *obs.CounterVec // resolved strategy selections, same labels
@@ -148,6 +158,11 @@ func newObsState(s *Service, traceEntries int) *obsState {
 	r.NewCounterFunc("rankfaird_analyst_cache_misses_total", "Analyst builds: dataset ranked and counting index constructed.", func() int64 { return s.AnalystCacheStats().Misses })
 	r.NewCounterFunc("rankfaird_analyst_cache_evictions_total", "Analyst cache LRU evictions.", func() int64 { return s.AnalystCacheStats().Evictions })
 	r.NewGaugeFunc("rankfaird_analyst_cache_entries", "Built analysts resident.", func() int64 { return int64(s.AnalystCacheStats().Entries) })
+	o.otlpDropped = r.NewCounter("rankfaird_otlp_dropped_total", "Finished traces dropped because the OTLP export queue was full.")
+	o.otlpRetries = r.NewCounter("rankfaird_otlp_retries_total", "OTLP export POSTs retried after a 429 or 5xx collector response.")
+	o.otlpExports = r.NewCounterVec("rankfaird_otlp_exports_total", "OTLP payloads accepted by the collector, by signal (traces, metrics).", "signal")
+	o.otlpFailures = r.NewCounterVec("rankfaird_otlp_export_failures_total", "OTLP payloads abandoned after exhausting retries or a permanent collector rejection, by signal.", "signal")
+	o.otlpQueueDepth = r.NewGauge("rankfaird_otlp_queue_depth", "Finished traces waiting in the OTLP export queue.")
 	o.reqLatency = r.NewHistogramVec("rankfaird_request_duration_seconds", "HTTP request latency by route pattern.", "route", nil)
 	o.decode = r.NewHistogram("rankfaird_decode_seconds", "Dataset decode latency: CSV uploads and streaming append batches.", nil)
 	o.queueWait = r.NewHistogram("rankfaird_job_queue_wait_seconds", "Time audit jobs spend queued before a worker picks them up.", nil)
@@ -219,10 +234,34 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// traceIdentity is the W3C identity the count middleware resolves for a
+// request: the trace ID (adopted from an incoming traceparent header, or
+// derived from the X-Request-ID otherwise), the caller's span ID when one
+// arrived on the wire, and the correlation request ID. It rides the
+// request context into SubmitAuditCtx so the audit's exported spans
+// stitch under the caller's trace.
+type traceIdentity struct {
+	RequestID  string
+	TraceID    string
+	ParentSpan string // incoming caller's span ID; "" when locally rooted
+}
+
+type traceIdentityKey struct{}
+
+// traceIdentityFrom returns the identity the middleware attached, or the
+// zero value for contexts that never passed through it (direct service
+// calls in tests, CLI embedding).
+func traceIdentityFrom(ctx context.Context) traceIdentity {
+	id, _ := ctx.Value(traceIdentityKey{}).(traceIdentity)
+	return id
+}
+
 // count wraps the mux with request accounting and admission control:
 // total and per-class error counters, a per-route latency histogram, an
-// X-Request-ID correlation header (honoring a client-supplied one), and
-// a debug-level access log. The route label comes from mux.Handler,
+// X-Request-ID correlation header (honoring a client-supplied one), W3C
+// trace identity (parsing an incoming traceparent, deriving one from the
+// request ID otherwise, echoing it on every response — errors included),
+// and a debug-level access log. The route label comes from mux.Handler,
 // which reports the matched pattern without serving — bounding the label
 // cardinality to the route table instead of the raw URL space. The route
 // is resolved before serving so admission can shed by request class:
@@ -237,6 +276,21 @@ func (s *Service) count(mux *http.ServeMux) http.Handler {
 			reqID = fmt.Sprintf("req-%06d", s.obs.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		// A well-formed incoming traceparent wins outright — its IDs are
+		// adopted verbatim so this request's spans stitch under the
+		// caller's trace. Anything else (absent, malformed, version ff)
+		// falls back to identity derived from the request ID, so every
+		// response carries a valid traceparent either way. The span ID on
+		// the response is derived per request: a proxy hop forwarding it
+		// downstream parents cleanly even when one trace ID covers
+		// several requests.
+		traceID, parentSpan, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID, parentSpan = obs.DeriveTraceID(reqID), ""
+		}
+		w.Header().Set("Traceparent", obs.FormatTraceparent(traceID, obs.DeriveSpanID(traceID, "req:"+reqID)))
+		r = r.WithContext(context.WithValue(r.Context(), traceIdentityKey{},
+			traceIdentity{RequestID: reqID, TraceID: traceID, ParentSpan: parentSpan}))
 		_, route := mux.Handler(r)
 		if route == "" {
 			route = "unmatched"
@@ -253,7 +307,7 @@ func (s *Service) count(mux *http.ServeMux) http.Handler {
 				fmt.Sprintf("server over capacity for %s requests, retry later", class))
 		}
 		elapsed := time.Since(start)
-		s.obs.reqLatency.With(route).Observe(elapsed.Seconds())
+		s.obs.reqLatency.With(route).ObserveExemplar(elapsed.Seconds(), traceID)
 		switch {
 		case r.Context().Err() != nil && (!sw.wrote || sw.status >= 400):
 			// The client hung up mid-request: whatever error status (or
@@ -296,6 +350,10 @@ type APIError struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID echoes the response's traceparent trace ID so a failed
+	// request is traceable end to end: the same ID keys the exported
+	// OTLP spans and the exemplars on /metrics.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorEnvelope nests the error object under the "error" key.
@@ -331,14 +389,17 @@ const (
 	CodeStoreUnavailable = "store_unavailable"
 )
 
-// writeAPIError emits the uniform error envelope. The request ID comes
-// from the X-Request-ID response header the count middleware set before
-// routing, so every handler's errors correlate for free.
+// writeAPIError emits the uniform error envelope. The request ID and
+// trace ID come from the response headers the count middleware set
+// before routing, so every handler's errors correlate for free — the
+// traceparent header itself also rides every error response.
 func writeAPIError(w http.ResponseWriter, status int, code, message string) {
+	traceID, _, _ := obs.ParseTraceparent(w.Header().Get("Traceparent"))
 	writeJSON(w, status, errorEnvelope{Error: APIError{
 		Code:      code,
 		Message:   message,
 		RequestID: w.Header().Get("X-Request-ID"),
+		TraceID:   traceID,
 	}})
 }
 
@@ -613,7 +674,7 @@ func (s *Service) handleAuditSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		req.DeadlineMS = ms
 	}
-	view, err := s.SubmitAudit(req)
+	view, err := s.SubmitAuditCtx(r.Context(), req)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			w.Header().Set("Retry-After", retryAfterValue(s.retryAfterHint()))
@@ -782,7 +843,17 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the registry in the Prometheus text exposition
 // format (no client library: obs.Registry writes the format directly).
+// A scraper that offers application/openmetrics-text in Accept gets the
+// OpenMetrics 1.0 rendering instead — same families, same values, plus
+// trace-ID exemplars on histogram buckets and the # EOF terminator. The
+// default 0.0.4 body is byte-stable: existing scrape configs see exactly
+// the pre-exemplar output.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		_, _ = s.obs.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.obs.reg.WriteTo(w)
 }

@@ -105,6 +105,21 @@ type Config struct {
 	// StoreFS overrides the durable store's filesystem seam — the
 	// fault-injection hook behind -fault-store. Nil means the real OS.
 	StoreFS fault.FS
+	// OTLPEndpoint, when set, ships finished audit span trees and
+	// periodic metric snapshots to an OTLP/HTTP collector at
+	// <endpoint>/v1/traces and /v1/metrics. Export is strictly
+	// best-effort: the enqueue is non-blocking and drops (counted by
+	// rankfaird_otlp_dropped_total) rather than ever stalling an audit.
+	// Empty disables export entirely.
+	OTLPEndpoint string
+	// OTLPInterval is the metric snapshot export period; 0 means 15s.
+	OTLPInterval time.Duration
+	// OTLPQueue bounds the exporter's pending-trace queue; 0 means 256.
+	OTLPQueue int
+	// AuditLog, when set, receives one wide-event record per terminal
+	// audit (correlation IDs, dataset coordinates, phase durations,
+	// search stats, outcome) independent of Logger's level filtering.
+	AuditLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +197,10 @@ type Service struct {
 	// (nil when disabled).
 	breaker   *breaker
 	admission *admissionState
+
+	// exporter ships traces and metric snapshots over OTLP/HTTP; nil
+	// when Config.OTLPEndpoint is empty.
+	exporter *obs.Exporter
 }
 
 // New builds a started service; callers must Shutdown it. The only error
@@ -228,13 +247,34 @@ func New(cfg Config) (*Service, error) {
 			s.logger.Warn("store circuit breaker transition", "state", to)
 		}
 	}
-	s.jobs.SetObserver(&JobObserver{
+	if cfg.OTLPEndpoint != "" {
+		s.exporter = obs.NewExporter(obs.ExporterConfig{
+			Endpoint:  cfg.OTLPEndpoint,
+			Registry:  s.obs.reg,
+			Interval:  cfg.OTLPInterval,
+			QueueSize: cfg.OTLPQueue,
+			Logger:    s.logger,
+			Counters: obs.ExporterCounters{
+				Dropped:    s.obs.otlpDropped,
+				Retries:    s.obs.otlpRetries,
+				Exports:    s.obs.otlpExports,
+				Failures:   s.obs.otlpFailures,
+				QueueDepth: s.obs.otlpQueueDepth,
+			},
+		})
+	}
+	observer := &JobObserver{
 		QueueWait: s.obs.queueWait,
 		Run:       s.obs.runLatency,
 		Traces:    s.obs.traces,
+		AuditLog:  cfg.AuditLog,
 		Logger:    s.logger,
 		SlowAudit: cfg.SlowAudit,
-	})
+	}
+	if s.exporter != nil {
+		observer.Export = func(tr *obs.Trace) { s.exporter.EnqueueTrace(tr) }
+	}
+	s.jobs.SetObserver(observer)
 	if cfg.DataDir != "" {
 		st, err := store.OpenFS(cfg.DataDir, cfg.StoreFS)
 		if err != nil {
@@ -266,6 +306,11 @@ func (s *Service) Jobs() *Manager { return s.jobs }
 // kill loses nothing that was acknowledged.
 func (s *Service) Shutdown(ctx context.Context) error {
 	err := s.jobs.Shutdown(ctx)
+	if s.exporter != nil {
+		// After jobs drain, so the final batch carries every trace the
+		// terminal transitions enqueued.
+		err = errors.Join(err, s.exporter.Close(ctx))
+	}
 	if s.store != nil {
 		err = errors.Join(err, s.store.Close())
 	}
@@ -352,6 +397,17 @@ type AuditRequest struct {
 // pool. Identical requests against identical data share one computation
 // through the result cache.
 func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
+	return s.SubmitAuditCtx(context.Background(), req)
+}
+
+// SubmitAuditCtx is SubmitAudit carrying the submitting request's
+// context: the trace identity the HTTP layer parsed from traceparent (or
+// derived from the request ID) rides into the job's metadata, so the
+// exported root span joins the caller's distributed trace and the
+// wide-event audit record carries the correlation IDs. The context is
+// read for identity only — it does not bound the job, whose lifetime is
+// governed by its deadline budget.
+func (s *Service) SubmitAuditCtx(ctx context.Context, req AuditRequest) (JobView, error) {
 	table, info, ok := s.getDataset(req.Dataset)
 	if !ok {
 		return JobView{}, &NotFoundError{Resource: "dataset", ID: req.Dataset}
@@ -446,7 +502,14 @@ func (s *Service) SubmitAudit(req AuditRequest) (JobView, error) {
 			return val.(*rankfair.ReportJSON), hit, nil
 		}
 	}
-	view, err := s.jobs.Submit(req.Dataset, params, run, WithBudget(budget))
+	id := traceIdentityFrom(ctx)
+	view, err := s.jobs.Submit(req.Dataset, params, run, WithBudget(budget), WithMeta(JobMeta{
+		RequestID:      id.RequestID,
+		TraceID:        id.TraceID,
+		ParentSpan:     id.ParentSpan,
+		DatasetHash:    info.Hash,
+		DatasetVersion: info.Version,
+	}))
 	if err != nil {
 		return JobView{}, err
 	}
